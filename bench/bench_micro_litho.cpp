@@ -1,0 +1,102 @@
+// Microbenchmarks of the lithography/ILT hot path: 2-D FFT, SOCS forward
+// pass, full ILT gradient step, EPE metrology.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "layout/generator.h"
+#include "layout/raster.h"
+#include "litho/metrics.h"
+#include "litho/simulator.h"
+#include "opc/ilt.h"
+
+namespace {
+
+using namespace ldmo;
+
+litho::LithoConfig litho_config(int grid) {
+  litho::LithoConfig cfg;
+  cfg.grid_size = grid;
+  cfg.pixel_nm = 1024.0 / grid;
+  return cfg;
+}
+
+void BM_Fft2D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  fft::Fft2DPlan plan(n, n);
+  Rng rng(1);
+  fft::GridC grid(n, n);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    grid[i] = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    plan.forward(grid);
+    plan.inverse(grid);
+    benchmark::DoNotOptimize(grid.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Fft2D)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AerialForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const litho::LithoSimulator sim(litho_config(n));
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(1);
+  const GridF mask = layout::rasterize_target(l, n);
+  for (auto _ : state) {
+    const GridF intensity = sim.aerial().intensity(mask);
+    benchmark::DoNotOptimize(intensity.data());
+  }
+}
+BENCHMARK(BM_AerialForward)->Arg(64)->Arg(128);
+
+void BM_IltStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const litho::LithoSimulator sim(litho_config(n));
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(2);
+  layout::Assignment assignment(
+      static_cast<std::size_t>(l.pattern_count()), 0);
+  for (int i = 0; i < l.pattern_count(); ++i)
+    assignment[static_cast<std::size_t>(i)] = i % 2;
+  opc::IltEngine engine(sim);
+  const GridF target = layout::rasterize_target(l, n);
+  opc::IltState ilt_state = engine.init_state(l, assignment);
+  for (auto _ : state) {
+    engine.step(ilt_state, target);
+    benchmark::DoNotOptimize(ilt_state.p1.data());
+  }
+}
+BENCHMARK(BM_IltStep)->Arg(64)->Arg(128);
+
+void BM_EpeMeasurement(benchmark::State& state) {
+  const int n = 128;
+  const litho::LithoSimulator sim(litho_config(n));
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(3);
+  layout::Assignment assignment(
+      static_cast<std::size_t>(l.pattern_count()), 0);
+  const GridF response = sim.print_decomposition(l, assignment);
+  const layout::RasterTransform transform = sim.transform_for(l);
+  for (auto _ : state) {
+    const litho::EpeReport report =
+        litho::measure_epe(response, l, transform, sim.config());
+    benchmark::DoNotOptimize(report.violation_count);
+  }
+}
+BENCHMARK(BM_EpeMeasurement);
+
+void BM_KernelConstruction(benchmark::State& state) {
+  // Full TCC + Jacobi + calibration (one-time setup cost per config).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const litho::SocsKernels kernels =
+        litho::build_socs_kernels(litho_config(n));
+    benchmark::DoNotOptimize(kernels.weights.data());
+  }
+}
+BENCHMARK(BM_KernelConstruction)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Microbenchmarks of the sampling substrates: covering arrays, SIFT,
+// layout similarity, k-medoids and decomposition generation.
+#include <benchmark/benchmark.h>
+
+#include "coverage/covering_array.h"
+#include "layout/generator.h"
+#include "layout/raster.h"
+#include "mpl/decomposition_generator.h"
+#include "vision/kmedoids.h"
+#include "vision/sift.h"
+#include "vision/similarity.h"
+
+namespace {
+
+using namespace ldmo;
+
+void BM_CoveringArray(benchmark::State& state) {
+  const int factors = static_cast<int>(state.range(0));
+  const int strength = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const coverage::CoveringArray array =
+        coverage::generate_covering_array(factors, strength);
+    benchmark::DoNotOptimize(array.rows.size());
+  }
+}
+BENCHMARK(BM_CoveringArray)
+    ->Args({8, 2})
+    ->Args({16, 2})
+    ->Args({8, 3})
+    ->Args({12, 3});
+
+void BM_SiftDetect(benchmark::State& state) {
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(5);
+  const GridF raster = layout::rasterize_target(l, 128);
+  for (auto _ : state) {
+    const auto features = vision::detect_sift(raster);
+    benchmark::DoNotOptimize(features.size());
+  }
+}
+BENCHMARK(BM_SiftDetect)->Unit(benchmark::kMillisecond);
+
+void BM_LayoutSimilarity(benchmark::State& state) {
+  layout::LayoutGenerator gen;
+  const auto fa =
+      vision::detect_sift(layout::rasterize_target(gen.generate(6), 128));
+  const auto fb =
+      vision::detect_sift(layout::rasterize_target(gen.generate(7), 128));
+  for (auto _ : state) {
+    const double d = vision::layout_similarity(fa, fb);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_LayoutSimilarity);
+
+void BM_KMedoids(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  std::vector<double> d(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double v = rng.uniform(0.1, 3.0);
+      d[static_cast<std::size_t>(i) * n + j] = v;
+      d[static_cast<std::size_t>(j) * n + i] = v;
+    }
+  vision::KMedoidsConfig cfg;
+  cfg.clusters = 5;
+  for (auto _ : state) {
+    const auto result = vision::kmedoids(d, n, cfg);
+    benchmark::DoNotOptimize(result.sld);
+  }
+}
+BENCHMARK(BM_KMedoids)->Arg(30)->Arg(60);
+
+void BM_DecompositionGeneration(benchmark::State& state) {
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(9);
+  for (auto _ : state) {
+    const mpl::GenerationResult result = mpl::generate_decompositions(l);
+    benchmark::DoNotOptimize(result.candidates.size());
+  }
+}
+BENCHMARK(BM_DecompositionGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

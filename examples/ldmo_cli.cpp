@@ -1,0 +1,147 @@
+// Command-line front end for the library.
+//
+//   ldmo_cli generate --seed 42 --out clip.layout
+//       Generate a synthetic contact layout and write it as text.
+//   ldmo_cli inspect clip.layout
+//       Pattern classification, conflict structure, candidate counts.
+//   ldmo_cli run clip.layout [--flow ours|suald|balanced|unified]
+//       Run a full LDMO flow and report printability (writes PGM images).
+//
+// All subcommands use the quick 64-pixel lithography model so they respond
+// in seconds; the benches use the experiment-grade 128-pixel model.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/baseline_flows.h"
+#include "core/ldmo_flow.h"
+#include "core/predictor.h"
+#include "layout/generator.h"
+#include "layout/io.h"
+#include "layout/raster.h"
+#include "mpl/baselines.h"
+#include "mpl/decomposition_generator.h"
+
+namespace {
+
+using namespace ldmo;
+
+litho::LithoConfig cli_litho() {
+  litho::LithoConfig cfg;
+  cfg.grid_size = 64;
+  cfg.pixel_nm = 16.0;
+  return cfg;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ldmo_cli generate [--seed N] [--out FILE]\n"
+               "  ldmo_cli inspect FILE\n"
+               "  ldmo_cli run FILE [--flow ours|suald|balanced|unified]\n");
+  return 2;
+}
+
+const char* flag_value(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return fallback;
+}
+
+int cmd_generate(int argc, char** argv) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "42")));
+  const std::string out = flag_value(argc, argv, "--out", "clip.layout");
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(seed);
+  layout::write_layout_text(l, out);
+  std::printf("wrote %s: %d patterns in a %lldnm clip\n", out.c_str(),
+              l.pattern_count(), static_cast<long long>(l.clip.width()));
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const layout::Layout l = layout::read_layout_text(argv[2]);
+  std::printf("%s: %d patterns\n", l.name.c_str(), l.pattern_count());
+  const mpl::PatternClassification classes = mpl::classify_patterns(l);
+  std::printf("classes: %zu SP, %zu VP, %zu NP\n", classes.sp.size(),
+              classes.vp.size(), classes.np.size());
+  const mpl::GenerationResult generated = mpl::generate_decompositions(l);
+  std::printf("SP MST: %zu edges, %d components\n",
+              generated.sp_mst.edges.size(), generated.sp_component_count);
+  std::printf("candidates: %zu (Arrs1 %zu x Arrs2 %zu)\n",
+              generated.candidates.size(), generated.arrs1_rows,
+              generated.arrs2_rows);
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const layout::Layout l = layout::read_layout_text(argv[2]);
+  const std::string flow_name = flag_value(argc, argv, "--flow", "ours");
+  const litho::LithoSimulator simulator(cli_litho());
+
+  GridF mask1, mask2, response;
+  litho::PrintabilityReport report;
+  double seconds = 0.0;
+  if (flow_name == "ours") {
+    core::RawPrintPredictor predictor(simulator);
+    core::LdmoFlow flow(simulator, predictor, {});
+    core::LdmoResult r = flow.run(l);
+    mask1 = std::move(r.ilt.mask1);
+    mask2 = std::move(r.ilt.mask2);
+    response = std::move(r.ilt.response);
+    report = r.ilt.report;
+    seconds = r.total_seconds;
+  } else if (flow_name == "suald" || flow_name == "balanced") {
+    core::TwoStageFlow flow(
+        simulator, [&flow_name](const layout::Layout& layout) {
+          if (flow_name == "suald")
+            return mpl::SpacingUniformityDecomposer().decompose(layout);
+          return mpl::BalancedDecomposer().decompose(layout);
+        });
+    core::BaselineFlowResult r = flow.run(l);
+    mask1 = std::move(r.ilt.mask1);
+    mask2 = std::move(r.ilt.mask2);
+    response = std::move(r.ilt.response);
+    report = r.ilt.report;
+    seconds = r.total_seconds;
+  } else if (flow_name == "unified") {
+    core::UnifiedGreedyFlow flow(simulator, {});
+    core::BaselineFlowResult r = flow.run(l);
+    mask1 = std::move(r.ilt.mask1);
+    mask2 = std::move(r.ilt.mask2);
+    response = std::move(r.ilt.response);
+    report = r.ilt.report;
+    seconds = r.total_seconds;
+  } else {
+    return usage();
+  }
+
+  std::printf("flow %-8s: %d EPE violations, %d print violations, "
+              "L2 %.1f, score %.1f (%.2fs)\n",
+              flow_name.c_str(), report.epe.violation_count,
+              report.violations.total(), report.l2, report.score(), seconds);
+  layout::write_pgm(mask1, "cli_mask1.pgm");
+  layout::write_pgm(mask2, "cli_mask2.pgm");
+  layout::write_pgm(response, "cli_print.pgm");
+  std::printf("wrote cli_mask1.pgm cli_mask2.pgm cli_print.pgm\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+    if (std::strcmp(argv[1], "inspect") == 0) return cmd_inspect(argc, argv);
+    if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,114 @@
+// End-to-end CNN training pipeline (the paper's Fig. 5):
+//
+//   layout corpus -> SIFT + k-medoids layout sampling -> MST + 3-wise
+//   decomposition sampling -> ILT labeling (Eq. 9 scores, z-normalized)
+//   -> ResNet regression training (Adam + MAE) -> held-out evaluation.
+//
+// Sized to finish in a couple of minutes on one CPU core; every knob that
+// is scaled down from the paper is labeled.
+#include <cstdio>
+
+#include "common/timer.h"
+#include "layout/generator.h"
+#include "nn/trainer.h"
+#include "opc/ilt.h"
+#include "sampling/decomposition_sampling.h"
+#include "sampling/layout_sampling.h"
+#include "sampling/training_set.h"
+
+int main() {
+  using namespace ldmo;
+  Timer total;
+
+  litho::LithoConfig litho_cfg;
+  litho_cfg.grid_size = 64;  // 128 in the experiment benches
+  litho_cfg.pixel_nm = 16.0;
+  const litho::LithoSimulator simulator(litho_cfg);
+
+  // 1. Corpus (the paper generates 8000 layouts; 24 here).
+  layout::LayoutGenerator generator;
+  const std::vector<layout::Layout> corpus =
+      generator.generate_corpus(24, /*seed0=*/100);
+  std::printf("Corpus: %zu layouts\n", corpus.size());
+
+  // 2. Layout sampling: SIFT features, Alg. 2 distances, k-medoids.
+  sampling::LayoutSamplingConfig layout_cfg;
+  layout_cfg.clusters = 4;     // m = 50 in the paper
+  layout_cfg.per_cluster = 2;  // 5 in the paper
+  const sampling::LayoutSamplingResult selected =
+      sampling::sample_layouts(corpus, layout_cfg);
+  std::printf("Layout sampling: %zu representatives from %d clusters "
+              "(SLD %.2f)\n",
+              selected.selected.size(), layout_cfg.clusters,
+              selected.clustering.sld);
+
+  // 3. Decomposition sampling per selected layout: MST + 3-wise.
+  std::vector<layout::Layout> train_layouts;
+  std::vector<std::vector<layout::Assignment>> train_decomps;
+  int total_decomps = 0;
+  for (int idx : selected.selected) {
+    train_layouts.push_back(corpus[static_cast<std::size_t>(idx)]);
+    sampling::DecompositionSamplingConfig dcfg;
+    dcfg.max_samples = 6;
+    train_decomps.push_back(
+        sampling::sample_decompositions(train_layouts.back(), dcfg));
+    total_decomps += static_cast<int>(train_decomps.back().size());
+  }
+  std::printf("Decomposition sampling: %d labeled candidates\n",
+              total_decomps);
+
+  // 4. ILT labeling + z-score normalization (Eq. 9).
+  opc::IltConfig label_cfg;
+  label_cfg.max_iterations = 10;  // 29 in the evaluation flows
+  opc::IltEngine engine(simulator, label_cfg);
+  sampling::TrainingSetConfig tcfg;
+  tcfg.image_size = 32;
+  const sampling::TrainingSet training_set = sampling::build_training_set(
+      train_layouts, train_decomps, engine, tcfg,
+      [](int done, int count) {
+        if (done % 10 == 0 || done == count)
+          std::printf("  labeled %d/%d\n", done, count);
+      });
+  std::printf("Label statistics: mean %.1f, stddev %.1f (raw Eq. 9 units)\n",
+              training_set.normalizer.fitted_mean(),
+              training_set.normalizer.fitted_stddev());
+
+  // 5. Train the (slim) ResNet regressor with Adam + MAE.
+  nn::ResNetConfig net_cfg;
+  net_cfg.input_size = 32;        // 224 in the paper
+  net_cfg.width_multiplier = 0.25;  // 1.0 in the paper
+  nn::ResNetRegressor network(net_cfg);
+  std::printf("Network: %zu parameters\n", network.parameter_count());
+
+  nn::TrainerConfig train_cfg;
+  train_cfg.epochs = 10;
+  train_cfg.batch_size = 8;
+  train_cfg.adam.learning_rate = 2e-3;
+  nn::train_regressor(network, training_set.examples, train_cfg,
+                      [](const nn::EpochStats& stats) {
+                        std::printf("  epoch %2d  train MAE %.4f\n",
+                                    stats.epoch, stats.mean_loss);
+                      });
+
+  // 6. Evaluate ranking quality on the training layouts: does the CNN
+  // order decompositions like the true post-ILT score does?
+  int correct_pairs = 0, total_pairs = 0;
+  for (std::size_t a = 0; a < training_set.examples.size(); ++a) {
+    for (std::size_t b = a + 1; b < training_set.examples.size(); ++b) {
+      const double pa =
+          network.predict_one(training_set.examples[a].image);
+      const double pb =
+          network.predict_one(training_set.examples[b].image);
+      const float la = training_set.examples[a].label;
+      const float lb = training_set.examples[b].label;
+      if (la == lb) continue;
+      ++total_pairs;
+      if ((pa < pb) == (la < lb)) ++correct_pairs;
+    }
+  }
+  std::printf("Pairwise ranking accuracy: %.1f%% (%d/%d pairs)\n",
+              100.0 * correct_pairs / std::max(1, total_pairs),
+              correct_pairs, total_pairs);
+  std::printf("Total time: %.1fs\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldmo {
+
+void raise(const std::string& message) { throw Error(message); }
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "LDMO_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace ldmo

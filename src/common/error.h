@@ -1,0 +1,36 @@
+// Error handling primitives shared across all ldmo libraries.
+//
+// The library reports contract violations (bad arguments, broken invariants)
+// via ldmo::Error exceptions so callers can recover or surface a clean
+// message; internal "this cannot happen" conditions use LDMO_ASSERT which
+// aborts in all build types (cheap checks only on hot paths).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ldmo {
+
+/// Exception type thrown for all recoverable errors in the ldmo libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws ldmo::Error with the given message.
+[[noreturn]] void raise(const std::string& message);
+
+/// Throws ldmo::Error if `condition` is false.
+void require(bool condition, const std::string& message);
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace ldmo
+
+/// Hard internal invariant; active in all build types.
+#define LDMO_ASSERT(expr)                                         \
+  do {                                                            \
+    if (!(expr)) ::ldmo::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,68 @@
+// Dense row-major 2-D array, the workhorse container for raster images,
+// aerial intensities, mask parameter fields and frequency-domain data.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace ldmo {
+
+/// Row-major H x W grid of T with bounds-checked accessors.
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+
+  Grid(int height, int width, T fill = T{})
+      : height_(height),
+        width_(width),
+        data_(static_cast<std::size_t>(height) * static_cast<std::size_t>(width),
+              fill) {
+    require(height >= 0 && width >= 0, "Grid: negative dimensions");
+  }
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(int y, int x) {
+    LDMO_ASSERT(y >= 0 && y < height_ && x >= 0 && x < width_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& at(int y, int x) const {
+    LDMO_ASSERT(y >= 0 && y < height_ && x >= 0 && x < width_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Unchecked linear access for hot loops.
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// True if (y, x) is a valid coordinate.
+  bool in_bounds(int y, int x) const {
+    return y >= 0 && y < height_ && x >= 0 && x < width_;
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  bool same_shape(const Grid& other) const {
+    return height_ == other.height_ && width_ == other.width_;
+  }
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<T> data_;
+};
+
+using GridF = Grid<double>;
+using GridU8 = Grid<unsigned char>;
+
+}  // namespace ldmo

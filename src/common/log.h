@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr. Default level is Info; benches raise it
+// to Warn to keep their stdout tables clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ldmo {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+
+/// Current global level.
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Formats with ostream semantics and emits if `level` passes the filter.
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::log_emit(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::Debug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::Info, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::Warn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(LogLevel::Error, args...); }
+
+}  // namespace ldmo

@@ -1,0 +1,59 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+void ZScoreNormalizer::fit(const std::vector<double>& values) {
+  require(!values.empty(), "ZScoreNormalizer::fit: empty input");
+  mean_ = mean(values);
+  stddev_ = stddev(values);
+  fitted_ = true;
+}
+
+double ZScoreNormalizer::transform(double value) const {
+  require(fitted_, "ZScoreNormalizer: transform before fit");
+  if (stddev_ <= 0.0) return 0.0;
+  return (value - mean_) / stddev_;
+}
+
+double ZScoreNormalizer::inverse(double z) const {
+  require(fitted_, "ZScoreNormalizer: inverse before fit");
+  return mean_ + z * stddev_;
+}
+
+std::vector<double> ZScoreNormalizer::transform(
+    const std::vector<double>& values) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(transform(v));
+  return out;
+}
+
+}  // namespace ldmo

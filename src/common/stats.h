@@ -1,0 +1,48 @@
+// Small statistics helpers: mean / stddev / z-score normalization.
+//
+// The paper (Eq. 9) z-score-regularizes the printability score labels before
+// CNN regression; ZScoreNormalizer implements exactly that transform and its
+// inverse so predicted scores can be compared in raw units.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ldmo {
+
+/// Arithmetic mean; 0 for an empty vector.
+double mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for fewer than 2 values.
+double stddev(const std::vector<double>& values);
+
+/// Median (average of middle two for even sizes); 0 for empty input.
+double median(std::vector<double> values);
+
+/// Fit-once, apply-many z-score transform: z = (x - mean) / stddev.
+/// A degenerate fit (stddev == 0) maps every value to 0.
+class ZScoreNormalizer {
+ public:
+  /// Fits mean and stddev on `values`. Throws on empty input.
+  void fit(const std::vector<double>& values);
+
+  /// Normalizes one value. Requires fit() first.
+  double transform(double value) const;
+
+  /// Inverse transform back to raw units. Requires fit() first.
+  double inverse(double z) const;
+
+  /// Normalizes a whole vector.
+  std::vector<double> transform(const std::vector<double>& values) const;
+
+  bool fitted() const { return fitted_; }
+  double fitted_mean() const { return mean_; }
+  double fitted_stddev() const { return stddev_; }
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+}  // namespace ldmo

@@ -1,0 +1,25 @@
+#include "common/timer.h"
+
+namespace ldmo {
+
+void PhaseTimer::add(const std::string& phase, double seconds) {
+  buckets_[phase] += seconds;
+}
+
+double PhaseTimer::get(const std::string& phase) const {
+  const auto it = buckets_.find(phase);
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::total() const {
+  double sum = 0.0;
+  for (const auto& [name, value] : buckets_) sum += value;
+  return sum;
+}
+
+double PhaseTimer::fraction(const std::string& phase) const {
+  const double t = total();
+  return t > 0.0 ? get(phase) / t : 0.0;
+}
+
+}  // namespace ldmo

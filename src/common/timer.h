@@ -1,0 +1,63 @@
+// Wall-clock timing used by the benchmark harnesses (Table I "Time" column,
+// Fig. 1(c) runtime breakdown).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+namespace ldmo {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named time buckets; used to split a flow's runtime into
+/// phases (e.g. decomposition selection vs. mask optimization, Fig. 1(c)).
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to bucket `phase`.
+  void add(const std::string& phase, double seconds);
+
+  /// Total seconds recorded in `phase` (0 if never recorded).
+  double get(const std::string& phase) const;
+
+  /// Sum over all phases.
+  double total() const;
+
+  /// Fraction of the total spent in `phase` (0 when total is 0).
+  double fraction(const std::string& phase) const;
+
+ private:
+  std::unordered_map<std::string, double> buckets_;
+};
+
+/// Runs `fn`, adds its wall time to `timer[phase]`, and returns fn's result.
+template <typename Fn>
+auto timed_phase(PhaseTimer& timer, const std::string& phase, Fn&& fn) {
+  Timer t;
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    timer.add(phase, t.seconds());
+  } else {
+    auto result = fn();
+    timer.add(phase, t.seconds());
+    return result;
+  }
+}
+
+}  // namespace ldmo

@@ -1,0 +1,145 @@
+#include "core/baseline_flows.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "layout/raster.h"
+#include "sampling/decomposition_sampling.h"
+
+namespace ldmo::core {
+
+TwoStageFlow::TwoStageFlow(const litho::LithoSimulator& simulator,
+                           Decomposer decomposer, opc::IltConfig ilt_config)
+    : simulator_(simulator),
+      decomposer_(std::move(decomposer)),
+      ilt_config_(ilt_config) {
+  require(static_cast<bool>(decomposer_), "TwoStageFlow: null decomposer");
+}
+
+BaselineFlowResult TwoStageFlow::run(const layout::Layout& layout) const {
+  Timer total;
+  BaselineFlowResult result;
+  result.chosen = timed_phase(result.timing, "decompose",
+                              [&] { return decomposer_(layout); });
+  opc::IltEngine engine(simulator_, ilt_config_);
+  result.ilt = timed_phase(result.timing, "mo", [&] {
+    return engine.optimize(layout, result.chosen);
+  });
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+UnifiedGreedyFlow::UnifiedGreedyFlow(const litho::LithoSimulator& simulator,
+                                     UnifiedGreedyConfig config)
+    : simulator_(simulator), config_(config) {
+  require(config_.initial_pool >= 1, "UnifiedGreedyFlow: empty pool");
+  require(config_.prune_interval >= 1,
+          "UnifiedGreedyFlow: bad prune interval");
+  require(config_.keep_fraction > 0.0 && config_.keep_fraction < 1.0,
+          "UnifiedGreedyFlow: keep fraction out of (0,1)");
+}
+
+BaselineFlowResult UnifiedGreedyFlow::run(const layout::Layout& layout) const {
+  Timer total;
+  BaselineFlowResult result;
+  opc::IltEngine engine(simulator_, config_.ilt);
+
+  // Candidate pool: the generator's candidates first (the [10] framework's
+  // discrete engine), supplemented with random decompositions up to
+  // initial_pool — [10] explores a far larger discrete space than our
+  // curated n-wise set, which is part of why its selection cost dominates.
+  std::vector<layout::Assignment> candidates = timed_phase(
+      result.timing, "decompose", [&] {
+        mpl::GenerationResult generated =
+            mpl::generate_decompositions(layout, config_.generation);
+        std::vector<layout::Assignment> list =
+            std::move(generated.candidates);
+        if (static_cast<int>(list.size()) < config_.initial_pool) {
+          for (layout::Assignment& extra : sampling::random_decompositions(
+                   layout, config_.initial_pool * 2, 0xD15C0))
+            if (std::find(list.begin(), list.end(), extra) == list.end() &&
+                static_cast<int>(list.size()) < config_.initial_pool)
+              list.push_back(std::move(extra));
+        }
+        return list;
+      });
+  const int pool_size = std::min<int>(config_.initial_pool,
+                                      static_cast<int>(candidates.size()));
+
+  struct PoolEntry {
+    const layout::Assignment* assignment;
+    opc::IltState state;
+  };
+  std::vector<PoolEntry> pool;
+  pool.reserve(static_cast<std::size_t>(pool_size));
+  for (int i = 0; i < pool_size; ++i)
+    pool.push_back({&candidates[static_cast<std::size_t>(i)],
+                    engine.init_state(
+                        layout, candidates[static_cast<std::size_t>(i)])});
+
+  const GridF target =
+      layout::rasterize_target(layout, simulator_.grid_size());
+
+  // Co-optimize, pruning on intermediate printability every prune_interval
+  // iterations. Time accounting for the Fig. 1(c) split: with s candidates
+  // alive, each iteration does the mask optimization of ONE eventual winner
+  // ("mo") plus (s-1) candidates' worth of work whose only purpose is to
+  // decide which decomposition to keep ("ds"); the lithography-simulated
+  // pruning evaluations are pure "ds".
+  for (int iter = 0; iter < config_.ilt.max_iterations; ++iter) {
+    Timer step_timer;
+    for (PoolEntry& entry : pool) engine.step(entry.state, target);
+    const double step_seconds = step_timer.seconds();
+    const double pool_count = static_cast<double>(pool.size());
+    result.timing.add("mo", step_seconds / pool_count);
+    result.timing.add("ds", step_seconds * (pool_count - 1.0) / pool_count);
+    const bool prune_now = (iter + 1) % config_.prune_interval == 0 &&
+                           pool.size() > 1;
+    if (!prune_now) continue;
+    timed_phase(result.timing, "ds", [&] {
+      std::vector<double> scores;
+      scores.reserve(pool.size());
+      for (PoolEntry& entry : pool)
+        scores.push_back(engine.evaluate(entry.state, layout).score());
+      std::vector<std::size_t> order(pool.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return scores[a] < scores[b];
+                       });
+      const std::size_t keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(static_cast<double>(pool.size()) *
+                           config_.keep_fraction)));
+      std::vector<PoolEntry> survivors;
+      survivors.reserve(keep);
+      for (std::size_t k = 0; k < keep; ++k)
+        survivors.push_back(std::move(pool[order[k]]));
+      pool = std::move(survivors);
+    });
+  }
+
+  // Final selection among the survivors.
+  timed_phase(result.timing, "ds", [&] {
+    std::size_t best = 0;
+    double best_score = 0.0;
+    std::vector<opc::IltResult> finals(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      finals[i] = engine.finalize(pool[i].state, layout);
+      const double score = finals[i].report.score();
+      if (i == 0 || score < best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    result.chosen = *pool[best].assignment;
+    result.ilt = std::move(finals[best]);
+  });
+
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace ldmo::core

@@ -1,0 +1,70 @@
+// Baseline end-to-end flows for the Table I comparison.
+//
+// TwoStageFlow reproduces the conventional "[decomposer] + [6]" pipelines:
+// one decomposition chosen from graph structure alone, then mask
+// optimization — no printability feedback into the decomposition choice.
+//
+// UnifiedGreedyFlow reproduces the ICCAD'17 simultaneous framework [10]:
+// a pool of decomposition candidates is co-optimized, and every few ILT
+// iterations the pool is pruned by *lithography-simulated* intermediate
+// printability (the expensive "decomposition selection" whose cost
+// dominates the runtime breakdown in Fig. 1(c), and whose greedy early
+// pruning causes the sub-optimality of Fig. 1(b)).
+#pragma once
+
+#include <functional>
+
+#include "common/timer.h"
+#include "mpl/decomposition_generator.h"
+#include "opc/ilt.h"
+
+namespace ldmo::core {
+
+/// Result shared by the baseline flows.
+struct BaselineFlowResult {
+  layout::Assignment chosen;
+  opc::IltResult ilt;
+  double total_seconds = 0.0;
+  PhaseTimer timing;  ///< "decompose" / "mo" / "ds" buckets
+};
+
+/// Two-stage flow: `decomposer` picks one assignment, ILT optimizes it.
+class TwoStageFlow {
+ public:
+  using Decomposer =
+      std::function<layout::Assignment(const layout::Layout&)>;
+
+  TwoStageFlow(const litho::LithoSimulator& simulator, Decomposer decomposer,
+               opc::IltConfig ilt_config = {});
+
+  BaselineFlowResult run(const layout::Layout& layout) const;
+
+ private:
+  const litho::LithoSimulator& simulator_;
+  Decomposer decomposer_;
+  opc::IltConfig ilt_config_;
+};
+
+/// ICCAD'17-style unified flow configuration.
+struct UnifiedGreedyConfig {
+  mpl::GenerationConfig generation;
+  opc::IltConfig ilt;
+  int initial_pool = 10;    ///< candidates co-optimized at the start
+  int prune_interval = 3;   ///< iterations between pruning rounds
+  double keep_fraction = 0.5;  ///< pool fraction surviving each pruning
+};
+
+/// The unified simultaneous-LDMO baseline.
+class UnifiedGreedyFlow {
+ public:
+  UnifiedGreedyFlow(const litho::LithoSimulator& simulator,
+                    UnifiedGreedyConfig config = {});
+
+  BaselineFlowResult run(const layout::Layout& layout) const;
+
+ private:
+  const litho::LithoSimulator& simulator_;
+  UnifiedGreedyConfig config_;
+};
+
+}  // namespace ldmo::core

@@ -1,0 +1,73 @@
+#include "core/ldmo_flow.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace ldmo::core {
+
+LdmoFlow::LdmoFlow(const litho::LithoSimulator& simulator,
+                   PrintabilityPredictor& predictor, LdmoConfig config)
+    : simulator_(simulator), predictor_(predictor), config_(config) {
+  require(config_.max_fallbacks >= 0, "LdmoFlow: negative fallback budget");
+}
+
+LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
+  Timer total_timer;
+  LdmoResult result;
+  opc::IltEngine engine(simulator_, config_.ilt);
+
+  // 1. Decomposition generation.
+  const mpl::GenerationResult generated = timed_phase(
+      result.timing, "generate",
+      [&] { return mpl::generate_decompositions(layout, config_.generation); });
+  result.candidates_generated =
+      static_cast<int>(generated.candidates.size());
+
+  // 2. Printability prediction: rank every candidate, best (lowest) first.
+  const std::vector<std::size_t> order = timed_phase(
+      result.timing, "predict", [&] {
+        std::vector<double> scores;
+        scores.reserve(generated.candidates.size());
+        for (const layout::Assignment& candidate : generated.candidates)
+          scores.push_back(predictor_.score(layout, candidate));
+        std::vector<std::size_t> idx(generated.candidates.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a,
+                                                     std::size_t b) {
+          return scores[a] < scores[b];
+        });
+        return idx;
+      });
+
+  // 3. ILT with violation fallback. Previously tried candidates are
+  // "marked" by walking the ranked order; the final attempt runs without
+  // the abort so the flow always produces masks.
+  const int attempts = std::min<int>(
+      config_.max_fallbacks + 1, static_cast<int>(order.size()));
+  timed_phase(result.timing, "ilt", [&] {
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      const layout::Assignment& candidate =
+          generated.candidates[order[static_cast<std::size_t>(attempt)]];
+      const bool last_attempt = attempt + 1 == attempts;
+      opc::IltResult ilt = engine.optimize(
+          layout, candidate, /*abort_on_violation=*/!last_attempt);
+      ++result.candidates_tried;
+      if (!ilt.aborted_on_violation) {
+        result.chosen = candidate;
+        result.ilt = std::move(ilt);
+        return;
+      }
+      log_debug("LdmoFlow: candidate ", attempt,
+                " aborted on print violation, falling back");
+    }
+    LDMO_ASSERT(false);  // the last attempt never aborts
+  });
+
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace ldmo::core

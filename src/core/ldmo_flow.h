@@ -1,0 +1,59 @@
+// The paper's LDMO flow (Fig. 2):
+//
+//   input layout
+//     -> decomposition generation (MST + n-wise, Algorithm 1)
+//     -> printability prediction (CNN scores every candidate)
+//     -> ILT optimization of the best candidate, checking print violations
+//        every 3 iterations
+//     -> on violation: mark the candidate as seen, fall back to the next
+//        best unseen candidate ("we mark the previous outputs and when
+//        facing the same decomposition, we drop it")
+//     -> optimized masks.
+#pragma once
+
+#include <vector>
+
+#include "common/timer.h"
+#include "core/predictor.h"
+#include "mpl/decomposition_generator.h"
+#include "opc/ilt.h"
+
+namespace ldmo::core {
+
+struct LdmoConfig {
+  mpl::GenerationConfig generation;
+  opc::IltConfig ilt;
+  /// Maximum violation-triggered fallbacks before the best remaining
+  /// candidate is simply run to completion. Each fallback costs a partial
+  /// ILT run, so the budget is small; the CNN ranking makes deep fallback
+  /// chains unnecessary.
+  int max_fallbacks = 2;
+};
+
+struct LdmoResult {
+  layout::Assignment chosen;       ///< decomposition that produced the masks
+  opc::IltResult ilt;              ///< final optimization result
+  int candidates_generated = 0;
+  int candidates_tried = 0;        ///< ILT attempts (1 + fallbacks)
+  PhaseTimer timing;               ///< "generate" / "predict" / "ilt"
+  double total_seconds = 0.0;
+};
+
+/// End-to-end LDMO engine bound to a simulator and a predictor.
+class LdmoFlow {
+ public:
+  /// Keeps references; both must outlive the flow.
+  LdmoFlow(const litho::LithoSimulator& simulator,
+           PrintabilityPredictor& predictor, LdmoConfig config = {});
+
+  LdmoResult run(const layout::Layout& layout) const;
+
+  const LdmoConfig& config() const { return config_; }
+
+ private:
+  const litho::LithoSimulator& simulator_;
+  PrintabilityPredictor& predictor_;
+  LdmoConfig config_;
+};
+
+}  // namespace ldmo::core

@@ -1,0 +1,48 @@
+#include "core/predictor.h"
+
+#include "common/error.h"
+#include "nn/serialize.h"
+#include "sampling/training_set.h"
+
+namespace ldmo::core {
+
+CnnPredictor::CnnPredictor(std::unique_ptr<nn::ResNetRegressor> network)
+    : network_(std::move(network)) {
+  require(network_ != nullptr, "CnnPredictor: null network");
+}
+
+double CnnPredictor::score(const layout::Layout& layout,
+                           const layout::Assignment& assignment) {
+  const nn::Tensor image = sampling::decomposition_tensor(
+      layout, assignment, network_->config().input_size);
+  return network_->predict_one(image);
+}
+
+void CnnPredictor::save(const std::string& path) {
+  nn::save_parameters(network_->parameters(), path);
+}
+
+void CnnPredictor::load(const std::string& path) {
+  nn::load_parameters(network_->parameters(), path);
+}
+
+IltOraclePredictor::IltOraclePredictor(const opc::IltEngine& engine,
+                                       litho::ScoreWeights weights)
+    : engine_(engine), weights_(weights) {}
+
+double IltOraclePredictor::score(const layout::Layout& layout,
+                                 const layout::Assignment& assignment) {
+  return engine_.optimize(layout, assignment).report.score(weights_);
+}
+
+RawPrintPredictor::RawPrintPredictor(const litho::LithoSimulator& simulator,
+                                     litho::ScoreWeights weights)
+    : simulator_(simulator), weights_(weights) {}
+
+double RawPrintPredictor::score(const layout::Layout& layout,
+                                const layout::Assignment& assignment) {
+  const GridF response = simulator_.print_decomposition(layout, assignment);
+  return simulator_.evaluate(response, layout).score(weights_);
+}
+
+}  // namespace ldmo::core

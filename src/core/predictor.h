@@ -1,0 +1,84 @@
+// Printability predictors: the learned CNN scorer and reference oracles.
+//
+// A predictor answers one question: "how printable will this decomposition
+// be after mask optimization?" — lower score is better. The paper's
+// contribution is answering it with a CNN in milliseconds instead of a
+// lithography-simulation loop in seconds.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "layout/layout.h"
+#include "litho/simulator.h"
+#include "nn/resnet.h"
+#include "opc/ilt.h"
+
+namespace ldmo::core {
+
+/// Interface: score a decomposition candidate (lower = better).
+class PrintabilityPredictor {
+ public:
+  virtual ~PrintabilityPredictor() = default;
+  virtual double score(const layout::Layout& layout,
+                       const layout::Assignment& assignment) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The paper's predictor: the trained ResNet regressor on the grayscale
+/// decomposition image. Scores are in z-normalized units — fine for
+/// ranking, which is all the flow needs.
+class CnnPredictor : public PrintabilityPredictor {
+ public:
+  /// Takes ownership of a (typically trained) regressor.
+  explicit CnnPredictor(std::unique_ptr<nn::ResNetRegressor> network);
+
+  double score(const layout::Layout& layout,
+               const layout::Assignment& assignment) override;
+  std::string name() const override { return "cnn"; }
+
+  nn::ResNetRegressor& network() { return *network_; }
+
+  /// Weight (de)serialization for reuse across runs.
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  std::unique_ptr<nn::ResNetRegressor> network_;
+};
+
+/// Oracle predictor: runs the full ILT optimization and returns the true
+/// Eq. 9 score. Exact but as expensive as the thing the CNN replaces —
+/// used for tests and the sampling-quality experiments.
+class IltOraclePredictor : public PrintabilityPredictor {
+ public:
+  IltOraclePredictor(const opc::IltEngine& engine,
+                     litho::ScoreWeights weights = {});
+
+  double score(const layout::Layout& layout,
+               const layout::Assignment& assignment) override;
+  std::string name() const override { return "ilt-oracle"; }
+
+ private:
+  const opc::IltEngine& engine_;
+  litho::ScoreWeights weights_;
+};
+
+/// Cheap analytic predictor: prints the *unoptimized* decomposition once
+/// and scores it. No learning, one lithography forward pass — a sanity
+/// baseline between the CNN and the oracle.
+class RawPrintPredictor : public PrintabilityPredictor {
+ public:
+  explicit RawPrintPredictor(const litho::LithoSimulator& simulator,
+                             litho::ScoreWeights weights = {});
+
+  double score(const layout::Layout& layout,
+               const layout::Assignment& assignment) override;
+  std::string name() const override { return "raw-print"; }
+
+ private:
+  const litho::LithoSimulator& simulator_;
+  litho::ScoreWeights weights_;
+};
+
+}  // namespace ldmo::core

@@ -1,0 +1,236 @@
+#include "coverage/covering_array.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace ldmo::coverage {
+namespace {
+
+using Row = std::vector<std::uint8_t>;
+
+// Enumerates all C(f, t) column subsets of size t in lexicographic order,
+// invoking fn(columns).
+template <typename Fn>
+void for_each_column_subset(int factor_count, int strength, Fn&& fn) {
+  std::vector<int> cols(static_cast<std::size_t>(strength));
+  for (int i = 0; i < strength; ++i) cols[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    fn(cols);
+    int i = strength - 1;
+    while (i >= 0 &&
+           cols[static_cast<std::size_t>(i)] == factor_count - strength + i)
+      --i;
+    if (i < 0) break;
+    ++cols[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < strength; ++j)
+      cols[static_cast<std::size_t>(j)] =
+          cols[static_cast<std::size_t>(j - 1)] + 1;
+  }
+}
+
+// Mixed-radix index of a row's values on one column subset.
+std::size_t value_index(const std::vector<int>& cols,
+                        const std::vector<int>& arities, const Row& row) {
+  std::size_t index = 0;
+  for (int c : cols) {
+    index = index * static_cast<std::size_t>(
+                        arities[static_cast<std::size_t>(c)]) +
+            row[static_cast<std::size_t>(c)];
+  }
+  return index;
+}
+
+// Number of level combinations on one column subset.
+std::size_t combo_count(const std::vector<int>& cols,
+                        const std::vector<int>& arities) {
+  std::size_t n = 1;
+  for (int c : cols) n *= static_cast<std::size_t>(
+      arities[static_cast<std::size_t>(c)]);
+  return n;
+}
+
+// Tracks uncovered tuples across all column subsets of the given strength.
+class TupleTracker {
+ public:
+  TupleTracker(const std::vector<int>& arities, int strength)
+      : arities_(arities), strength_(strength) {
+    const int f = static_cast<int>(arities.size());
+    std::size_t offset = 0;
+    for_each_column_subset(f, strength, [&](const std::vector<int>& cols) {
+      column_sets_.push_back(cols);
+      offsets_.push_back(offset);
+      offset += combo_count(cols, arities_);
+    });
+    covered_.assign(offset, false);
+    uncovered_count_ = offset;
+  }
+
+  std::size_t uncovered_count() const { return uncovered_count_; }
+
+  std::size_t gain(const Row& row) const {
+    std::size_t g = 0;
+    for (std::size_t s = 0; s < column_sets_.size(); ++s)
+      if (!covered_[offsets_[s] + value_index(column_sets_[s], arities_, row)])
+        ++g;
+    return g;
+  }
+
+  void cover(const Row& row) {
+    for (std::size_t s = 0; s < column_sets_.size(); ++s) {
+      const std::size_t idx =
+          offsets_[s] + value_index(column_sets_[s], arities_, row);
+      if (!covered_[idx]) {
+        covered_[idx] = true;
+        --uncovered_count_;
+      }
+    }
+  }
+
+  // An arbitrary uncovered tuple as (columns, values).
+  std::pair<std::vector<int>, Row> any_uncovered() const {
+    for (std::size_t s = 0; s < column_sets_.size(); ++s) {
+      const std::size_t combos = combo_count(column_sets_[s], arities_);
+      for (std::size_t v = 0; v < combos; ++v) {
+        if (covered_[offsets_[s] + v]) continue;
+        // Decode mixed-radix v back into per-column levels.
+        Row values(static_cast<std::size_t>(strength_));
+        std::size_t rest = v;
+        for (int b = strength_ - 1; b >= 0; --b) {
+          const int arity = arities_[static_cast<std::size_t>(
+              column_sets_[s][static_cast<std::size_t>(b)])];
+          values[static_cast<std::size_t>(b)] =
+              static_cast<std::uint8_t>(rest % static_cast<std::size_t>(arity));
+          rest /= static_cast<std::size_t>(arity);
+        }
+        return {column_sets_[s], values};
+      }
+    }
+    raise("TupleTracker::any_uncovered: all tuples covered");
+  }
+
+ private:
+  std::vector<int> arities_;
+  int strength_;
+  std::vector<std::vector<int>> column_sets_;
+  std::vector<std::size_t> offsets_;
+  std::vector<bool> covered_;
+  std::size_t uncovered_count_ = 0;
+};
+
+CoveringArray cartesian_product(const std::vector<int>& arities,
+                                int strength) {
+  std::size_t rows = 1;
+  for (int a : arities) {
+    rows *= static_cast<std::size_t>(a);
+    require(rows <= (std::size_t{1} << 20),
+            "covering array: Cartesian product too large");
+  }
+  CoveringArray array;
+  array.factor_count = static_cast<int>(arities.size());
+  array.strength = strength;
+  array.arities = arities;
+  array.rows.reserve(rows);
+  Row row(arities.size(), 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    array.rows.push_back(row);
+    // Increment the mixed-radix counter.
+    for (std::size_t f = 0; f < arities.size(); ++f) {
+      if (++row[f] < arities[f]) break;
+      row[f] = 0;
+    }
+  }
+  return array;
+}
+
+}  // namespace
+
+CoveringArray generate_covering_array_mixed(std::vector<int> arities,
+                                            int strength,
+                                            const GeneratorOptions& options) {
+  const int factor_count = static_cast<int>(arities.size());
+  if (factor_count == 0) {
+    CoveringArray array;
+    array.strength = strength;
+    array.rows.push_back({});
+    return array;
+  }
+  require(strength >= 1, "covering array: strength must be >= 1");
+  for (int a : arities)
+    require(a >= 2 && a <= 255, "covering array: arity out of [2, 255]");
+  if (strength >= factor_count) return cartesian_product(arities, strength);
+
+  TupleTracker tracker(arities, strength);
+  Rng rng(options.seed);
+  CoveringArray array;
+  array.factor_count = factor_count;
+  array.strength = strength;
+  array.arities = arities;
+
+  while (tracker.uncovered_count() > 0) {
+    // Seed every candidate with one uncovered tuple, fill the rest
+    // randomly, keep the candidate covering the most new tuples (AETG).
+    const auto [seed_cols, seed_vals] = tracker.any_uncovered();
+    Row best_row;
+    std::size_t best_gain = 0;
+    for (int c = 0; c < std::max(1, options.candidates_per_row); ++c) {
+      Row row(static_cast<std::size_t>(factor_count));
+      for (int f = 0; f < factor_count; ++f)
+        row[static_cast<std::size_t>(f)] = static_cast<std::uint8_t>(
+            rng.uniform_int(0, arities[static_cast<std::size_t>(f)] - 1));
+      for (std::size_t i = 0; i < seed_cols.size(); ++i)
+        row[static_cast<std::size_t>(seed_cols[i])] = seed_vals[i];
+      const std::size_t g = tracker.gain(row);
+      if (g > best_gain) {
+        best_gain = g;
+        best_row = std::move(row);
+      }
+    }
+    LDMO_ASSERT(best_gain > 0);  // seeded tuple is always newly covered
+    tracker.cover(best_row);
+    array.rows.push_back(std::move(best_row));
+  }
+  return array;
+}
+
+CoveringArray generate_covering_array(int factor_count, int strength,
+                                      const GeneratorOptions& options) {
+  require(factor_count >= 0, "covering array: negative factor count");
+  require(factor_count <= 62, "covering array: too many factors");
+  if (factor_count > 0)
+    require(strength >= 1, "covering array: strength must be >= 1");
+  return generate_covering_array_mixed(
+      std::vector<int>(static_cast<std::size_t>(factor_count), 2), strength,
+      options);
+}
+
+bool verify_coverage(const CoveringArray& array) {
+  if (array.factor_count == 0) return !array.rows.empty();
+  std::vector<int> arities = array.arities;
+  if (arities.empty())
+    arities.assign(static_cast<std::size_t>(array.factor_count), 2);
+  const int t = std::min(array.strength, array.factor_count);
+  bool ok = true;
+  for_each_column_subset(
+      array.factor_count, t, [&](const std::vector<int>& cols) {
+        if (!ok) return;
+        std::unordered_set<std::size_t> seen;
+        for (const auto& row : array.rows)
+          seen.insert(value_index(cols, arities, row));
+        if (seen.size() != combo_count(cols, arities)) ok = false;
+      });
+  return ok;
+}
+
+std::uint64_t required_tuple_count(int factor_count, int strength) {
+  if (strength > factor_count) strength = factor_count;
+  // C(f, t)
+  std::uint64_t c = 1;
+  for (int i = 1; i <= strength; ++i)
+    c = c * static_cast<std::uint64_t>(factor_count - strength + i) /
+        static_cast<std::uint64_t>(i);
+  return c << strength;
+}
+
+}  // namespace ldmo::coverage

@@ -1,0 +1,69 @@
+// Combinatorial covering arrays over binary factors (n-wise method).
+//
+// The paper generates decomposition candidates with PICT's n-wise arrays:
+// each row is one decomposition, each column a pattern, and the value the
+// mask assignment. A strength-n array guarantees every combination of any
+// n patterns' assignments appears in some row while keeping the row count
+// near-minimal (logarithmic in the factor count). This module is our
+// from-scratch PICT replacement: a greedy AETG-style generator plus an
+// exhaustive coverage verifier used by tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ldmo::coverage {
+
+/// A covering array: rows x factors. Entry (r, f) is a level in
+/// [0, arities[f]). The paper's decomposition use is binary (two masks);
+/// the k-ary form supports the triple-patterning extension (arity 3+) and
+/// mixed-arity factor sets (e.g. 6-level component-permutation factors).
+struct CoveringArray {
+  int factor_count = 0;
+  int strength = 0;
+  /// Levels per factor; all 2 for the binary constructor.
+  std::vector<int> arities;
+  std::vector<std::vector<std::uint8_t>> rows;
+};
+
+/// Options for the greedy generator.
+struct GeneratorOptions {
+  /// Candidate rows scored per emitted row (AETG parameter); higher gives
+  /// smaller arrays but costs more time.
+  int candidates_per_row = 24;
+  /// RNG seed for candidate generation (arrays are deterministic per seed).
+  std::uint64_t seed = 1;
+};
+
+/// Generates a binary covering array of the given strength.
+///
+/// - strength >= factor_count degenerates to the full Cartesian product
+///   (2^factor_count rows), matching the paper's remark.
+/// - factor_count == 0 yields a single empty row (the unique empty
+///   assignment), so downstream candidate counts multiply correctly.
+///
+/// Throws on negative inputs or strength < 1 (unless factor_count == 0).
+CoveringArray generate_covering_array(int factor_count, int strength,
+                                      const GeneratorOptions& options = {});
+
+/// Mixed-arity covering array: factor f takes levels [0, arities[f]).
+/// Same degenerate cases as the binary form (full Cartesian product when
+/// strength >= factor count; a single empty row for zero factors).
+/// Throws when any arity is < 2 or the Cartesian-product fallback would
+/// exceed 2^20 rows.
+CoveringArray generate_covering_array_mixed(
+    std::vector<int> arities, int strength,
+    const GeneratorOptions& options = {});
+
+/// Exhaustively checks the strength-t coverage property: for every choice
+/// of `strength` columns, all combinations of those columns' levels appear
+/// in some row.
+bool verify_coverage(const CoveringArray& array);
+
+/// Number of distinct (column-set, value) tuples a strength-t array over
+/// `factor_count` binary factors must cover: C(f, t) * 2^t.
+std::uint64_t required_tuple_count(int factor_count, int strength);
+
+}  // namespace ldmo::coverage

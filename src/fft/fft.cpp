@@ -1,0 +1,137 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::fft {
+
+int next_pow2(int n) {
+  require(n >= 1, "next_pow2: n must be >= 1");
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+FftPlan::FftPlan(int size) : size_(size) {
+  require(is_pow2(size), "FftPlan: size must be a power of two");
+  log2_size_ = 0;
+  while ((1 << log2_size_) < size_) ++log2_size_;
+
+  bit_reverse_.resize(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    int rev = 0;
+    for (int b = 0; b < log2_size_; ++b)
+      if (i & (1 << b)) rev |= 1 << (log2_size_ - 1 - b);
+    bit_reverse_[static_cast<std::size_t>(i)] = rev;
+  }
+
+  twiddle_forward_.resize(static_cast<std::size_t>(size_ / 2));
+  twiddle_inverse_.resize(static_cast<std::size_t>(size_ / 2));
+  for (int k = 0; k < size_ / 2; ++k) {
+    const double angle = -2.0 * M_PI * k / size_;
+    twiddle_forward_[static_cast<std::size_t>(k)] =
+        Complex(std::cos(angle), std::sin(angle));
+    twiddle_inverse_[static_cast<std::size_t>(k)] =
+        Complex(std::cos(angle), -std::sin(angle));
+  }
+}
+
+void FftPlan::transform(Complex* data, bool inverse) const {
+  // Bit-reversal permutation.
+  for (int i = 0; i < size_; ++i) {
+    const int j = bit_reverse_[static_cast<std::size_t>(i)];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const auto& twiddle = inverse ? twiddle_inverse_ : twiddle_forward_;
+  // Iterative Cooley-Tukey butterflies.
+  for (int len = 2; len <= size_; len <<= 1) {
+    const int half = len >> 1;
+    const int stride = size_ / len;
+    for (int start = 0; start < size_; start += len) {
+      for (int k = 0; k < half; ++k) {
+        const Complex w = twiddle[static_cast<std::size_t>(k * stride)];
+        Complex& a = data[start + k];
+        Complex& b = data[start + k + half];
+        const Complex t = w * b;
+        b = a - t;
+        a += t;
+      }
+    }
+  }
+}
+
+void FftPlan::forward(Complex* data) const { transform(data, false); }
+
+void FftPlan::inverse(Complex* data) const {
+  transform(data, true);
+  const double scale = 1.0 / size_;
+  for (int i = 0; i < size_; ++i) data[i] *= scale;
+}
+
+Fft2DPlan::Fft2DPlan(int height, int width)
+    : height_(height), width_(width), row_plan_(width), col_plan_(height) {}
+
+void Fft2DPlan::transform_rows(GridC& grid, bool inverse) const {
+  for (int y = 0; y < height_; ++y) {
+    Complex* row = grid.data() + static_cast<std::size_t>(y) * width_;
+    if (inverse)
+      row_plan_.inverse(row);
+    else
+      row_plan_.forward(row);
+  }
+}
+
+void Fft2DPlan::transform_cols(GridC& grid, bool inverse) const {
+  std::vector<Complex> column(static_cast<std::size_t>(height_));
+  for (int x = 0; x < width_; ++x) {
+    for (int y = 0; y < height_; ++y)
+      column[static_cast<std::size_t>(y)] = grid.at(y, x);
+    if (inverse)
+      col_plan_.inverse(column.data());
+    else
+      col_plan_.forward(column.data());
+    for (int y = 0; y < height_; ++y)
+      grid.at(y, x) = column[static_cast<std::size_t>(y)];
+  }
+}
+
+void Fft2DPlan::forward(GridC& grid) const {
+  require(grid.height() == height_ && grid.width() == width_,
+          "Fft2DPlan::forward: shape mismatch");
+  transform_rows(grid, false);
+  transform_cols(grid, false);
+}
+
+void Fft2DPlan::inverse(GridC& grid) const {
+  require(grid.height() == height_ && grid.width() == width_,
+          "Fft2DPlan::inverse: shape mismatch");
+  transform_rows(grid, true);
+  transform_cols(grid, true);
+}
+
+GridC to_complex(const GridF& real) {
+  GridC out(real.height(), real.width());
+  for (std::size_t i = 0; i < real.size(); ++i) out[i] = Complex(real[i], 0.0);
+  return out;
+}
+
+GridF real_part(const GridC& grid) {
+  GridF out(grid.height(), grid.width());
+  for (std::size_t i = 0; i < grid.size(); ++i) out[i] = grid[i].real();
+  return out;
+}
+
+void multiply_inplace(GridC& a, const GridC& b) {
+  require(a.same_shape(b), "multiply_inplace: shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+}
+
+void multiply_conj_inplace(GridC& a, const GridC& b) {
+  require(a.same_shape(b), "multiply_conj_inplace: shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= std::conj(b[i]);
+}
+
+}  // namespace ldmo::fft

@@ -1,0 +1,86 @@
+// Radix-2 fast Fourier transforms (1-D and 2-D).
+//
+// Hopkins imaging evaluates K convolutions of each mask with the SOCS
+// kernels per lithography forward pass, and the ILT gradient needs as many
+// again with flipped kernels; all of them run through this module as
+// frequency-domain products. Plans precompute bit-reversal tables and
+// twiddle factors once per size, since the same 2-D shape is transformed
+// thousands of times per ILT run.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/grid.h"
+
+namespace ldmo::fft {
+
+using Complex = std::complex<double>;
+using GridC = Grid<Complex>;
+
+/// Returns the smallest power of two >= n (n >= 1).
+int next_pow2(int n);
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(int n);
+
+/// Precomputed plan for 1-D transforms of a fixed power-of-two size.
+class FftPlan {
+ public:
+  explicit FftPlan(int size);
+
+  int size() const { return size_; }
+
+  /// In-place forward DFT (engineering sign convention, no scaling).
+  void forward(Complex* data) const;
+
+  /// In-place inverse DFT including the 1/N scaling.
+  void inverse(Complex* data) const;
+
+ private:
+  void transform(Complex* data, bool inverse) const;
+
+  int size_;
+  int log2_size_;
+  std::vector<int> bit_reverse_;
+  std::vector<Complex> twiddle_forward_;
+  std::vector<Complex> twiddle_inverse_;
+};
+
+/// Precomputed plan for 2-D transforms of a fixed power-of-two shape.
+class Fft2DPlan {
+ public:
+  Fft2DPlan(int height, int width);
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+
+  /// In-place 2-D forward DFT of a row-major grid.
+  void forward(GridC& grid) const;
+
+  /// In-place 2-D inverse DFT (scaled by 1/(H*W)).
+  void inverse(GridC& grid) const;
+
+ private:
+  void transform_rows(GridC& grid, bool inverse) const;
+  void transform_cols(GridC& grid, bool inverse) const;
+
+  int height_;
+  int width_;
+  FftPlan row_plan_;
+  FftPlan col_plan_;
+};
+
+/// Copies a real grid into a complex grid of the same shape.
+GridC to_complex(const GridF& real);
+
+/// Extracts the real part.
+GridF real_part(const GridC& grid);
+
+/// Pointwise product: a *= b. Shapes must match.
+void multiply_inplace(GridC& a, const GridC& b);
+
+/// Pointwise product with the conjugate of b: a *= conj(b).
+void multiply_conj_inplace(GridC& a, const GridC& b);
+
+}  // namespace ldmo::fft

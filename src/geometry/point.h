@@ -1,0 +1,34 @@
+// Integer lattice point in layout coordinates (1 unit = 1 nm).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ldmo::geometry {
+
+/// 2-D point with nanometer integer coordinates.
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Euclidean distance between two points, in nm.
+inline double distance(const Point& a, const Point& b) {
+  const double dx = static_cast<double>(a.x - b.x);
+  const double dy = static_cast<double>(a.y - b.y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// 2-D point with floating-point coordinates (sub-nm positions such as EPE
+/// checkpoints and printed-contour intersections).
+struct PointF {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+}  // namespace ldmo::geometry

@@ -1,0 +1,60 @@
+#include "geometry/rect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::geometry {
+
+Rect Rect::make(Point a, Point b) {
+  Rect r;
+  r.lo = {std::min(a.x, b.x), std::min(a.y, b.y)};
+  r.hi = {std::max(a.x, b.x), std::max(a.y, b.y)};
+  return r;
+}
+
+Rect Rect::from_size(Point lower_left, std::int64_t width,
+                     std::int64_t height) {
+  require(width >= 0 && height >= 0, "Rect::from_size: negative dimensions");
+  return {lower_left, {lower_left.x + width, lower_left.y + height}};
+}
+
+bool Rect::contains(const Point& p) const {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+}
+
+bool Rect::intersects(const Rect& other) const {
+  return lo.x <= other.hi.x && other.lo.x <= hi.x && lo.y <= other.hi.y &&
+         other.lo.y <= hi.y;
+}
+
+Rect Rect::inflated(std::int64_t margin) const {
+  Rect r{{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  if (r.lo.x > r.hi.x) r.lo.x = r.hi.x = (lo.x + hi.x) / 2;
+  if (r.lo.y > r.hi.y) r.lo.y = r.hi.y = (lo.y + hi.y) / 2;
+  return r;
+}
+
+Rect Rect::translated(const Point& delta) const {
+  return {lo + delta, hi + delta};
+}
+
+double rect_distance(const Rect& a, const Rect& b) {
+  // Gap along each axis; zero when projections overlap.
+  const std::int64_t dx =
+      std::max<std::int64_t>({a.lo.x - b.hi.x, b.lo.x - a.hi.x, 0});
+  const std::int64_t dy =
+      std::max<std::int64_t>({a.lo.y - b.hi.y, b.lo.y - a.hi.y, 0});
+  return std::sqrt(static_cast<double>(dx) * dx + static_cast<double>(dy) * dy);
+}
+
+double rect_point_distance(const Rect& r, const Point& p) {
+  const std::int64_t dx =
+      std::max<std::int64_t>({r.lo.x - p.x, p.x - r.hi.x, 0});
+  const std::int64_t dy =
+      std::max<std::int64_t>({r.lo.y - p.y, p.y - r.hi.y, 0});
+  return std::sqrt(static_cast<double>(dx) * dx + static_cast<double>(dy) * dy);
+}
+
+}  // namespace ldmo::geometry

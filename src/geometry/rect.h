@@ -1,0 +1,59 @@
+// Axis-aligned rectangle in nm layout coordinates.
+//
+// Contact patterns (the paper's workload: NanGate-like contact layers) are
+// rectangles, so Rect is the fundamental pattern shape of the whole
+// framework. Distances between rectangles drive pattern classification
+// (Eq. 6) and conflict-graph edge weights (Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/point.h"
+
+namespace ldmo::geometry {
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y] in nm.
+/// Invariant: lo.x <= hi.x and lo.y <= hi.y (enforced by make()).
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  /// Builds a rect from any two corners, normalizing the corner order.
+  static Rect make(Point a, Point b);
+
+  /// Builds a rect from lower-left corner and dimensions. Throws if w/h < 0.
+  static Rect from_size(Point lower_left, std::int64_t width,
+                        std::int64_t height);
+
+  std::int64_t width() const { return hi.x - lo.x; }
+  std::int64_t height() const { return hi.y - lo.y; }
+  std::int64_t area() const { return width() * height(); }
+
+  /// Geometric center (rounded toward lo for odd sizes).
+  Point center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+
+  /// True if `p` lies inside or on the boundary.
+  bool contains(const Point& p) const;
+
+  /// True if the two closed rectangles share any point (touching counts).
+  bool intersects(const Rect& other) const;
+
+  /// Rect grown by `margin` nm on every side (negative shrinks; the result
+  /// is clamped so it never inverts).
+  Rect inflated(std::int64_t margin) const;
+
+  /// Rect translated by `delta`.
+  Rect translated(const Point& delta) const;
+};
+
+/// Minimum Euclidean edge-to-edge distance between two rectangles in nm;
+/// 0 if they touch or overlap. This is the spacing measure used to classify
+/// patterns into SP/VP/NP (Eq. 6) and to weight conflict-graph edges.
+double rect_distance(const Rect& a, const Rect& b);
+
+/// Minimum distance from a point to the rectangle boundary-or-interior.
+double rect_point_distance(const Rect& r, const Point& p);
+
+}  // namespace ldmo::geometry

@@ -1,0 +1,71 @@
+#include "geometry/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::geometry {
+
+SpatialIndex::SpatialIndex(const Rect& world, std::int64_t cell_size)
+    : world_(world), cell_size_(cell_size) {
+  require(cell_size > 0, "SpatialIndex: cell_size must be positive");
+  nx_ = static_cast<int>((world.width() + cell_size - 1) / cell_size) + 1;
+  ny_ = static_cast<int>((world.height() + cell_size - 1) / cell_size) + 1;
+  cells_.resize(static_cast<std::size_t>(nx_) * ny_);
+}
+
+SpatialIndex::CellRange SpatialIndex::cells_for(const Rect& r) const {
+  auto clampi = [](std::int64_t v, int hi) {
+    return static_cast<int>(std::clamp<std::int64_t>(v, 0, hi));
+  };
+  CellRange range;
+  range.cx0 = clampi((r.lo.x - world_.lo.x) / cell_size_, nx_ - 1);
+  range.cy0 = clampi((r.lo.y - world_.lo.y) / cell_size_, ny_ - 1);
+  range.cx1 = clampi((r.hi.x - world_.lo.x) / cell_size_, nx_ - 1);
+  range.cy1 = clampi((r.hi.y - world_.lo.y) / cell_size_, ny_ - 1);
+  return range;
+}
+
+int SpatialIndex::insert(const Rect& rect) {
+  const int id = static_cast<int>(rects_.size());
+  rects_.push_back(rect);
+  const CellRange range = cells_for(rect);
+  for (int cy = range.cy0; cy <= range.cy1; ++cy)
+    for (int cx = range.cx0; cx <= range.cx1; ++cx)
+      cells_[static_cast<std::size_t>(cell_index(cx, cy))].push_back(id);
+  return id;
+}
+
+std::vector<int> SpatialIndex::query_within(const Rect& query, double radius,
+                                            int exclude_id) const {
+  const std::int64_t margin =
+      static_cast<std::int64_t>(std::ceil(std::max(radius, 0.0)));
+  const CellRange range = cells_for(query.inflated(margin));
+  std::vector<int> result;
+  for (int cy = range.cy0; cy <= range.cy1; ++cy) {
+    for (int cx = range.cx0; cx <= range.cx1; ++cx) {
+      for (int id : cells_[static_cast<std::size_t>(cell_index(cx, cy))]) {
+        if (id == exclude_id) continue;
+        if (rect_distance(rects_[static_cast<std::size_t>(id)], query) <=
+            radius)
+          result.push_back(id);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<int> SpatialIndex::query_intersecting(const Rect& query) const {
+  return query_within(query, 0.0);
+}
+
+const Rect& SpatialIndex::rect(int id) const {
+  require(id >= 0 && static_cast<std::size_t>(id) < rects_.size(),
+          "SpatialIndex::rect: id out of range");
+  return rects_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace ldmo::geometry

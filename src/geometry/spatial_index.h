@@ -1,0 +1,52 @@
+// Uniform-grid spatial index over rectangles.
+//
+// Neighbor queries (all patterns within nmax of a pattern) are the inner loop
+// of conflict-graph construction; the uniform grid makes them O(neighbors)
+// instead of O(n) per query, which matters for the 8000-layout corpus runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace ldmo::geometry {
+
+/// Grid index mapping rectangles (by caller-supplied id = insertion order)
+/// to buckets of a uniform grid covering a fixed world window.
+class SpatialIndex {
+ public:
+  /// `world` is the clip window all rects live in; `cell_size` the grid pitch
+  /// in nm (typically >= the largest query radius for best performance).
+  SpatialIndex(const Rect& world, std::int64_t cell_size);
+
+  /// Inserts a rect and returns its id (sequential from 0).
+  int insert(const Rect& rect);
+
+  /// Ids of all rects whose edge-to-edge distance to `query` is <= radius.
+  /// The query rect itself (by id) is excluded when `exclude_id` >= 0.
+  std::vector<int> query_within(const Rect& query, double radius,
+                                int exclude_id = -1) const;
+
+  /// Ids of all rects intersecting `query`.
+  std::vector<int> query_intersecting(const Rect& query) const;
+
+  std::size_t size() const { return rects_.size(); }
+  const Rect& rect(int id) const;
+
+ private:
+  struct CellRange {
+    int cx0, cy0, cx1, cy1;
+  };
+  CellRange cells_for(const Rect& r) const;
+  int cell_index(int cx, int cy) const { return cy * nx_ + cx; }
+
+  Rect world_;
+  std::int64_t cell_size_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<std::vector<int>> cells_;
+  std::vector<Rect> rects_;
+};
+
+}  // namespace ldmo::geometry

@@ -1,0 +1,257 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ldmo::graph {
+namespace {
+
+// Penalty contribution of one monochromatic edge: closer pairs (smaller
+// weight = spacing in nm) are worse. The +1 keeps touching patterns finite.
+double edge_penalty(const Edge& e) { return 1.0 / (e.weight + 1.0); }
+
+}  // namespace
+
+ColoringResult evaluate_coloring(const Graph& g, std::vector<int> color) {
+  require(static_cast<int>(color.size()) == g.vertex_count(),
+          "evaluate_coloring: size mismatch");
+  ColoringResult result;
+  result.color = std::move(color);
+  for (const Edge& e : g.edges()) {
+    if (result.color[static_cast<std::size_t>(e.u)] ==
+        result.color[static_cast<std::size_t>(e.v)]) {
+      ++result.conflict_count;
+      result.spacing_penalty += edge_penalty(e);
+    }
+  }
+  return result;
+}
+
+ColoringResult bipartite_or_greedy_coloring(const Graph& g) {
+  const int n = g.vertex_count();
+  std::vector<int> color(static_cast<std::size_t>(n), -1);
+  for (int start = 0; start < n; ++start) {
+    if (color[static_cast<std::size_t>(start)] != -1) continue;
+    color[static_cast<std::size_t>(start)] = 0;
+    std::queue<int> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      for (int nb : g.neighbors(v)) {
+        if (color[static_cast<std::size_t>(nb)] == -1) {
+          color[static_cast<std::size_t>(nb)] =
+              1 - color[static_cast<std::size_t>(v)];
+          frontier.push(nb);
+        }
+      }
+    }
+  }
+  return evaluate_coloring(g, std::move(color));
+}
+
+namespace {
+
+// One local-search sweep: flip any vertex whose flip strictly reduces
+// (conflicts, penalty) lexicographically. Returns true if anything flipped.
+// Vertices are visited in a seeded-random order: ids correlate with layout
+// position, and a deterministic id-order sweep would resolve balance ties
+// by spatially alternating masks — accidental proximity awareness the
+// modeled decomposers do not have.
+bool improve_by_flips(const Graph& g, std::vector<int>& color,
+                      bool prefer_balance, Rng& rng) {
+  bool changed = false;
+  const int n = g.vertex_count();
+  std::vector<int> mask_count = {0, 0};
+  if (prefer_balance)
+    for (int v = 0; v < n; ++v) ++mask_count[static_cast<std::size_t>(
+        color[static_cast<std::size_t>(v)])];
+
+  std::vector<int> visit_order(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) visit_order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(visit_order);
+
+  for (int v : visit_order) {
+    int same = 0;
+    int other = 0;
+    double same_pen = 0.0;
+    double other_pen = 0.0;
+    for (const Edge& e : g.edges()) {
+      int nb = -1;
+      if (e.u == v) nb = e.v;
+      else if (e.v == v) nb = e.u;
+      else continue;
+      if (color[static_cast<std::size_t>(nb)] ==
+          color[static_cast<std::size_t>(v)]) {
+        ++same;
+        same_pen += edge_penalty(e);
+      } else {
+        ++other;
+        other_pen += edge_penalty(e);
+      }
+    }
+    bool flip = false;
+    if (same > other || (same == other && same_pen > other_pen)) {
+      flip = true;
+    } else if (prefer_balance && same == other && same_pen == other_pen) {
+      const int c = color[static_cast<std::size_t>(v)];
+      if (mask_count[static_cast<std::size_t>(c)] >
+          mask_count[static_cast<std::size_t>(1 - c)] + 1)
+        flip = true;
+    }
+    if (flip) {
+      const int c = color[static_cast<std::size_t>(v)];
+      color[static_cast<std::size_t>(v)] = 1 - c;
+      if (prefer_balance) {
+        --mask_count[static_cast<std::size_t>(c)];
+        ++mask_count[static_cast<std::size_t>(1 - c)];
+      }
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+ColoringResult spacing_uniformity_coloring(const Graph& g, int max_passes,
+                                           std::uint64_t tiebreak_seed) {
+  ColoringResult best = bipartite_or_greedy_coloring(g);
+  std::vector<int> color = best.color;
+  Rng rng(tiebreak_seed);
+  // Arbitrary (seeded) choice for vertices the conflict graph does not
+  // constrain — isolated vertices get a coin flip, each connected
+  // component's orientation is flipped with probability 1/2.
+  {
+    const auto [component, count] = g.connected_components();
+    std::vector<int> flip(static_cast<std::size_t>(count));
+    for (int& f : flip) f = rng.bernoulli(0.5) ? 1 : 0;
+    for (int v = 0; v < g.vertex_count(); ++v)
+      color[static_cast<std::size_t>(v)] ^=
+          flip[static_cast<std::size_t>(component[static_cast<std::size_t>(v)])];
+    best = evaluate_coloring(g, color);
+  }
+  for (int pass = 0; pass < max_passes; ++pass) {
+    if (!improve_by_flips(g, color, /*prefer_balance=*/false, rng)) break;
+  }
+  ColoringResult refined = evaluate_coloring(g, std::move(color));
+  if (refined.conflict_count < best.conflict_count ||
+      (refined.conflict_count == best.conflict_count &&
+       refined.spacing_penalty < best.spacing_penalty))
+    return refined;
+  return best;
+}
+
+ColoringResult balanced_coloring(const Graph& g, int max_passes,
+                                 std::uint64_t tiebreak_seed) {
+  const int n = g.vertex_count();
+  Rng rng(tiebreak_seed);
+  std::vector<int> color(static_cast<std::size_t>(n), -1);
+  std::vector<int> mask_count = {0, 0};
+  // Greedy BFS coloring; isolated/first vertices go to the lighter mask,
+  // with equal counts broken randomly (the decomposer has no other signal).
+  for (int start = 0; start < n; ++start) {
+    if (color[static_cast<std::size_t>(start)] != -1) continue;
+    color[static_cast<std::size_t>(start)] =
+        mask_count[0] != mask_count[1]
+            ? (mask_count[0] < mask_count[1] ? 0 : 1)
+            : (rng.bernoulli(0.5) ? 1 : 0);
+    ++mask_count[static_cast<std::size_t>(
+        color[static_cast<std::size_t>(start)])];
+    std::queue<int> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      for (int nb : g.neighbors(v)) {
+        if (color[static_cast<std::size_t>(nb)] != -1) continue;
+        color[static_cast<std::size_t>(nb)] =
+            1 - color[static_cast<std::size_t>(v)];
+        ++mask_count[static_cast<std::size_t>(
+            color[static_cast<std::size_t>(nb)])];
+        frontier.push(nb);
+      }
+    }
+  }
+  for (int pass = 0; pass < max_passes; ++pass) {
+    if (!improve_by_flips(g, color, /*prefer_balance=*/true, rng)) break;
+  }
+  return evaluate_coloring(g, std::move(color));
+}
+
+ColoringResult greedy_k_coloring(const Graph& g, int k, int max_passes) {
+  require(k >= 1, "greedy_k_coloring: k must be >= 1");
+  const int n = g.vertex_count();
+  std::vector<int> color(static_cast<std::size_t>(n), 0);
+
+  // Decreasing-degree vertex order (stable for determinism).
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return g.degree(a) > g.degree(b); });
+
+  // Cost of giving vertex v color c under the current partial coloring:
+  // (conflicts, spacing penalty) over already-colored neighbors.
+  std::vector<bool> colored(static_cast<std::size_t>(n), false);
+  auto color_cost = [&](int v, int c) {
+    int conflicts = 0;
+    double penalty = 0.0;
+    for (const Edge& e : g.edges()) {
+      int nb = -1;
+      if (e.u == v) nb = e.v;
+      else if (e.v == v) nb = e.u;
+      else continue;
+      if (!colored[static_cast<std::size_t>(nb)]) continue;
+      if (color[static_cast<std::size_t>(nb)] == c) {
+        ++conflicts;
+        penalty += 1.0 / (e.weight + 1.0);
+      }
+    }
+    return std::pair<int, double>{conflicts, penalty};
+  };
+
+  for (int v : order) {
+    int best_color = 0;
+    std::pair<int, double> best_cost{1 << 30, 0.0};
+    for (int c = 0; c < k; ++c) {
+      const auto cost = color_cost(v, c);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_color = c;
+      }
+    }
+    color[static_cast<std::size_t>(v)] = best_color;
+    colored[static_cast<std::size_t>(v)] = true;
+  }
+
+  // Local repair: recolor any vertex whose best alternative strictly
+  // improves (conflicts, penalty).
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (int v = 0; v < n; ++v) {
+      const int current = color[static_cast<std::size_t>(v)];
+      auto best_cost = color_cost(v, current);
+      int best_color = current;
+      for (int c = 0; c < k; ++c) {
+        if (c == current) continue;
+        const auto cost = color_cost(v, c);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_color = c;
+        }
+      }
+      if (best_color != current) {
+        color[static_cast<std::size_t>(v)] = best_color;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return evaluate_coloring(g, std::move(color));
+}
+
+}  // namespace ldmo::graph

@@ -1,0 +1,57 @@
+// Two-coloring heuristics for conflict graphs.
+//
+// These back the *baseline* decomposers of Table I: flows [16]+[6] and
+// [17]+[6] pick one decomposition up front from graph structure alone
+// (no printability feedback), then hand it to mask optimization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ldmo::graph {
+
+/// Result of a two-coloring attempt.
+struct ColoringResult {
+  /// Color (0/1) per vertex.
+  std::vector<int> color;
+  /// Number of conflict edges whose endpoints share a color.
+  int conflict_count = 0;
+  /// Sum of 1/weight over monochromatic edges — the "spacing badness" the
+  /// SUALD-style baseline minimizes (closer same-mask pairs cost more).
+  double spacing_penalty = 0.0;
+};
+
+/// Exact bipartite 2-coloring via BFS when the graph is bipartite; otherwise
+/// colors greedily and reports the violated edges.
+ColoringResult bipartite_or_greedy_coloring(const Graph& g);
+
+/// Spacing-uniformity-aware coloring (SUALD-like, [16]): local search that
+/// starts from bipartite_or_greedy_coloring and flips vertices while the
+/// spacing penalty decreases. `max_passes` bounds the sweeps.
+/// Vertices unconstrained by the graph (isolated, or in components where
+/// both orientations are equivalent) are assigned from `tiebreak_seed`:
+/// the modeled decomposers know nothing beyond their conflict graph, so
+/// their choice among equivalent colorings is arbitrary, not clairvoyant.
+ColoringResult spacing_uniformity_coloring(const Graph& g, int max_passes = 8,
+                                           std::uint64_t tiebreak_seed = 16);
+
+/// Balance-aware coloring (Yu-Pan-like, [17]): greedy BFS coloring that
+/// breaks free choices toward equalizing per-mask vertex counts (random
+/// among equally-balanced options, same rationale as above), then repairs
+/// conflicts by flipping.
+ColoringResult balanced_coloring(const Graph& g, int max_passes = 8,
+                                 std::uint64_t tiebreak_seed = 17);
+
+/// Recomputes conflict_count / spacing_penalty for an existing coloring.
+ColoringResult evaluate_coloring(const Graph& g, std::vector<int> color);
+
+/// Greedy k-coloring with local repair: vertices are colored in
+/// decreasing-degree order with the least-conflicting color, then improved
+/// by single-vertex recolor passes. Exact on trees/bipartite inputs for
+/// k >= 2; heuristic otherwise. Conflict counting matches
+/// evaluate_coloring (colors compared for equality).
+ColoringResult greedy_k_coloring(const Graph& g, int k, int max_passes = 8);
+
+}  // namespace ldmo::graph

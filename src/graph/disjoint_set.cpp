@@ -1,0 +1,46 @@
+#include "graph/disjoint_set.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ldmo::graph {
+
+DisjointSet::DisjointSet(int n)
+    : parent_(static_cast<std::size_t>(n)),
+      rank_(static_cast<std::size_t>(n), 0),
+      set_count_(n) {
+  require(n >= 0, "DisjointSet: negative size");
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int DisjointSet::find(int x) {
+  require(x >= 0 && x < size(), "DisjointSet::find: out of range");
+  int root = x;
+  while (parent_[static_cast<std::size_t>(root)] != root)
+    root = parent_[static_cast<std::size_t>(root)];
+  while (parent_[static_cast<std::size_t>(x)] != root) {
+    const int next = parent_[static_cast<std::size_t>(x)];
+    parent_[static_cast<std::size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool DisjointSet::unite(int a, int b) {
+  int ra = find(a);
+  int rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[static_cast<std::size_t>(ra)] < rank_[static_cast<std::size_t>(rb)])
+    std::swap(ra, rb);
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  if (rank_[static_cast<std::size_t>(ra)] ==
+      rank_[static_cast<std::size_t>(rb)])
+    ++rank_[static_cast<std::size_t>(ra)];
+  --set_count_;
+  return true;
+}
+
+bool DisjointSet::connected(int a, int b) { return find(a) == find(b); }
+
+}  // namespace ldmo::graph

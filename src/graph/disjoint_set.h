@@ -1,0 +1,33 @@
+// Union-find with path compression and union by rank.
+#pragma once
+
+#include <vector>
+
+namespace ldmo::graph {
+
+/// Disjoint-set forest over elements 0..n-1.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int n);
+
+  /// Representative of the set containing `x` (with path compression).
+  int find(int x);
+
+  /// Merges the sets of `a` and `b`; returns true if they were distinct.
+  bool unite(int a, int b);
+
+  /// True if `a` and `b` are in the same set.
+  bool connected(int a, int b);
+
+  /// Number of disjoint sets remaining.
+  int set_count() const { return set_count_; }
+
+  int size() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  int set_count_;
+};
+
+}  // namespace ldmo::graph

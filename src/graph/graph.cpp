@@ -1,0 +1,56 @@
+#include "graph/graph.h"
+
+#include <queue>
+
+#include "common/error.h"
+
+namespace ldmo::graph {
+
+Graph::Graph(int vertex_count)
+    : vertex_count_(vertex_count),
+      adjacency_(static_cast<std::size_t>(vertex_count)) {
+  require(vertex_count >= 0, "Graph: negative vertex count");
+}
+
+void Graph::add_edge(int u, int v, double weight) {
+  require(u >= 0 && u < vertex_count_ && v >= 0 && v < vertex_count_,
+          "Graph::add_edge: vertex out of range");
+  require(u != v, "Graph::add_edge: self-loop");
+  edges_.push_back({u, v, weight});
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+const std::vector<int>& Graph::neighbors(int v) const {
+  require(v >= 0 && v < vertex_count_, "Graph::neighbors: out of range");
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+int Graph::degree(int v) const {
+  return static_cast<int>(neighbors(v).size());
+}
+
+std::pair<std::vector<int>, int> Graph::connected_components() const {
+  std::vector<int> label(static_cast<std::size_t>(vertex_count_), -1);
+  int count = 0;
+  for (int start = 0; start < vertex_count_; ++start) {
+    if (label[static_cast<std::size_t>(start)] != -1) continue;
+    std::queue<int> frontier;
+    frontier.push(start);
+    label[static_cast<std::size_t>(start)] = count;
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      for (int n : adjacency_[static_cast<std::size_t>(v)]) {
+        if (label[static_cast<std::size_t>(n)] == -1) {
+          label[static_cast<std::size_t>(n)] = count;
+          frontier.push(n);
+        }
+      }
+    }
+    ++count;
+  }
+  return {label, count};
+}
+
+}  // namespace ldmo::graph

@@ -1,0 +1,49 @@
+// Weighted undirected graph used for layout conflict graphs.
+//
+// Vertices are pattern ids; an edge (u, v, w) records that patterns u and v
+// interact, with w = their edge-to-edge spacing in nm (Fig. 3(a) of the
+// paper: closer patterns interact more strongly, so MST over these weights
+// separates the nearest pairs first).
+#pragma once
+
+#include <vector>
+
+namespace ldmo::graph {
+
+/// One weighted undirected edge.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double weight = 0.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Adjacency-list weighted undirected graph with a fixed vertex count.
+class Graph {
+ public:
+  explicit Graph(int vertex_count);
+
+  /// Adds an undirected edge. Self-loops are rejected.
+  void add_edge(int u, int v, double weight);
+
+  int vertex_count() const { return vertex_count_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbor vertex ids of `v`.
+  const std::vector<int>& neighbors(int v) const;
+
+  /// Vertex degree.
+  int degree(int v) const;
+
+  /// Labels vertices by connected component; returns (labels, count).
+  /// Labels are dense in [0, count) and assigned in BFS discovery order.
+  std::pair<std::vector<int>, int> connected_components() const;
+
+ private:
+  int vertex_count_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace ldmo::graph

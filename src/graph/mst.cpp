@@ -1,0 +1,75 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "common/error.h"
+#include "graph/disjoint_set.h"
+
+namespace ldmo::graph {
+
+MstResult minimum_spanning_forest(const Graph& g) {
+  MstResult result;
+  std::tie(result.component, result.component_count) =
+      g.connected_components();
+
+  // Sort edge *indices* by weight so equal weights keep input order.
+  std::vector<std::size_t> order(g.edges().size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return g.edges()[a].weight < g.edges()[b].weight;
+                   });
+
+  DisjointSet dsu(g.vertex_count());
+  for (std::size_t idx : order) {
+    const Edge& e = g.edges()[idx];
+    if (dsu.unite(e.u, e.v)) {
+      result.edges.push_back(e);
+      result.total_weight += e.weight;
+    }
+  }
+  return result;
+}
+
+std::vector<int> two_color_forest(int vertex_count,
+                                  const std::vector<Edge>& edges) {
+  std::vector<std::vector<int>> adjacency(
+      static_cast<std::size_t>(vertex_count));
+  for (const Edge& e : edges) {
+    require(e.u >= 0 && e.u < vertex_count && e.v >= 0 && e.v < vertex_count,
+            "two_color_forest: vertex out of range");
+    adjacency[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adjacency[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+
+  std::vector<int> color(static_cast<std::size_t>(vertex_count), -1);
+  int visited_edges = 0;
+  for (int start = 0; start < vertex_count; ++start) {
+    if (color[static_cast<std::size_t>(start)] != -1) continue;
+    color[static_cast<std::size_t>(start)] = 0;
+    std::queue<int> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      for (int n : adjacency[static_cast<std::size_t>(v)]) {
+        if (color[static_cast<std::size_t>(n)] == -1) {
+          color[static_cast<std::size_t>(n)] =
+              1 - color[static_cast<std::size_t>(v)];
+          frontier.push(n);
+          ++visited_edges;
+        }
+      }
+    }
+  }
+  // A forest has exactly one tree edge per non-root vertex; any extra edge
+  // means the input had a cycle.
+  require(visited_edges == static_cast<int>(edges.size()),
+          "two_color_forest: input edges contain a cycle");
+  return color;
+}
+
+}  // namespace ldmo::graph

@@ -1,0 +1,37 @@
+// Minimum spanning tree / forest (Kruskal).
+//
+// The paper solves MST per connected component of the separated-pattern (SP)
+// conflict graph (Fig. 3(b)); tree edges identify the closest pattern pairs
+// that must land on different masks, and the tree's 2-coloring gives the
+// relative mask relationship of all SP patterns in a component.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ldmo::graph {
+
+/// Result of minimum_spanning_forest().
+struct MstResult {
+  /// Selected tree edges (a forest when the graph is disconnected).
+  std::vector<Edge> edges;
+  /// Sum of selected edge weights.
+  double total_weight = 0.0;
+  /// Component label per vertex and component count (of the input graph).
+  std::vector<int> component;
+  int component_count = 0;
+};
+
+/// Kruskal's algorithm over all components of `g` (ties broken by input
+/// order, deterministic).
+MstResult minimum_spanning_forest(const Graph& g);
+
+/// Two-colors a forest: vertices joined by a forest edge get opposite colors
+/// (0/1). The lowest-indexed vertex of each tree gets color 0. Vertices with
+/// no forest edge get color 0. Throws if `edges` contain a cycle of odd or
+/// even length (i.e. are not a forest).
+std::vector<int> two_color_forest(int vertex_count,
+                                  const std::vector<Edge>& edges);
+
+}  // namespace ldmo::graph

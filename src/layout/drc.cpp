@@ -1,0 +1,63 @@
+#include "layout/drc.h"
+
+#include <algorithm>
+
+#include "geometry/spatial_index.h"
+
+namespace ldmo::layout {
+
+std::string DrcViolation::describe() const {
+  switch (kind) {
+    case DrcViolationKind::Spacing:
+      return "spacing " + std::to_string(measured_nm) + "nm between pattern " +
+             std::to_string(pattern_a) + " and " + std::to_string(pattern_b);
+    case DrcViolationKind::Width:
+      return "width " + std::to_string(measured_nm) + "nm on pattern " +
+             std::to_string(pattern_a);
+    case DrcViolationKind::Boundary:
+      return "boundary clearance " + std::to_string(measured_nm) +
+             "nm on pattern " + std::to_string(pattern_a);
+  }
+  return "unknown violation";
+}
+
+std::vector<DrcViolation> check_drc(const Layout& layout,
+                                    const DrcRules& rules) {
+  std::vector<DrcViolation> violations;
+
+  // Width and boundary rules.
+  for (const Pattern& p : layout.patterns) {
+    const auto w = std::min(p.shape.width(), p.shape.height());
+    if (w < rules.min_width_nm)
+      violations.push_back({DrcViolationKind::Width, p.id, -1,
+                            static_cast<double>(w)});
+    const std::int64_t clearance = std::min(
+        {p.shape.lo.x - layout.clip.lo.x, p.shape.lo.y - layout.clip.lo.y,
+         layout.clip.hi.x - p.shape.hi.x, layout.clip.hi.y - p.shape.hi.y});
+    if (clearance < rules.boundary_nm)
+      violations.push_back({DrcViolationKind::Boundary, p.id, -1,
+                            static_cast<double>(clearance)});
+  }
+
+  // Spacing rule via spatial index (each close pair reported once).
+  if (layout.pattern_count() > 1) {
+    geometry::SpatialIndex index(layout.clip,
+                                 std::max<std::int64_t>(rules.min_spacing_nm,
+                                                        64));
+    for (const Pattern& p : layout.patterns) index.insert(p.shape);
+    for (const Pattern& p : layout.patterns) {
+      const auto near = index.query_within(
+          p.shape, static_cast<double>(rules.min_spacing_nm), p.id);
+      for (int other : near) {
+        if (other <= p.id) continue;  // report each unordered pair once
+        const double d = geometry::rect_distance(
+            p.shape, layout.patterns[static_cast<std::size_t>(other)].shape);
+        if (d < static_cast<double>(rules.min_spacing_nm))
+          violations.push_back({DrcViolationKind::Spacing, p.id, other, d});
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace ldmo::layout

@@ -1,0 +1,39 @@
+// Design-rule checking for contact layouts (Calibre substitute).
+//
+// The paper verifies its generated designs with Mentor Calibre; we implement
+// the three rules that matter for a single contact layer: minimum spacing,
+// exact/minimum contact width, and clip-boundary clearance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/layout.h"
+
+namespace ldmo::layout {
+
+/// Rules applied by check_drc().
+struct DrcRules {
+  std::int64_t min_spacing_nm = 70;  ///< min edge-to-edge contact spacing
+  std::int64_t min_width_nm = 60;    ///< min contact width/height
+  std::int64_t boundary_nm = 20;     ///< min clearance to the clip boundary
+};
+
+/// Kinds of violation check_drc() reports.
+enum class DrcViolationKind { Spacing, Width, Boundary };
+
+/// One DRC violation: offending pattern(s) and measured value.
+struct DrcViolation {
+  DrcViolationKind kind = DrcViolationKind::Spacing;
+  int pattern_a = -1;
+  int pattern_b = -1;  ///< -1 for single-pattern rules
+  double measured_nm = 0.0;
+  std::string describe() const;
+};
+
+/// Checks all rules; returns every violation found (empty = clean).
+std::vector<DrcViolation> check_drc(const Layout& layout,
+                                    const DrcRules& rules);
+
+}  // namespace ldmo::layout

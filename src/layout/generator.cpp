@@ -1,0 +1,151 @@
+#include "layout/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "layout/drc.h"
+
+namespace ldmo::layout {
+
+LayoutGenerator::LayoutGenerator(GeneratorConfig config)
+    : config_(config) {
+  require(config_.clip_size_nm > 0 && config_.contact_size_nm > 0,
+          "LayoutGenerator: non-positive dimensions");
+  require(config_.min_contacts >= 1 &&
+              config_.max_contacts >= config_.min_contacts,
+          "LayoutGenerator: bad contact count range");
+  require(config_.min_spacing_nm < config_.nmin_nm,
+          "LayoutGenerator: DRC spacing must be below nmin for SP pairs "
+          "to exist");
+}
+
+Layout LayoutGenerator::generate_attempt(Rng& rng, int target_contacts) const {
+  const auto& c = config_;
+  Layout layout;
+  layout.clip = geometry::Rect::from_size({0, 0}, c.clip_size_nm,
+                                          c.clip_size_nm);
+
+  // Standard-cell-like structure: horizontal contact rows (gate and
+  // diffusion contacts) at 2-3 distinct track heights.
+  const int row_count = rng.uniform_int(2, 3);
+  const std::int64_t usable =
+      c.clip_size_nm - 2 * c.clip_margin_nm - c.contact_size_nm;
+  std::vector<std::int64_t> row_y;
+  // Rows are spaced at least min_spacing apart; usually beyond nmax so
+  // vertical interactions are rare but possible (as in real cells where
+  // poly and diffusion contact rows come close).
+  {
+    std::int64_t y = c.clip_margin_nm +
+                     static_cast<std::int64_t>(rng.uniform(0.0, 60.0));
+    for (int r = 0; r < row_count; ++r) {
+      if (y > c.clip_margin_nm + usable) break;
+      row_y.push_back(y);
+      const double gap =
+          rng.bernoulli(0.25)
+              ? rng.uniform(static_cast<double>(c.min_spacing_nm),
+                            static_cast<double>(c.nmax_nm))
+              : rng.uniform(static_cast<double>(c.nmax_nm) * 1.1,
+                            static_cast<double>(c.nmax_nm) * 2.2);
+      y += c.contact_size_nm + static_cast<std::int64_t>(gap);
+    }
+  }
+
+  // Fill rows left-to-right until the contact budget is used.
+  int remaining = target_contacts;
+  for (std::size_t r = 0; r < row_y.size() && remaining > 0; ++r) {
+    // Budget per row: split roughly evenly with slack for the last row.
+    const int rows_left = static_cast<int>(row_y.size() - r);
+    const int row_budget =
+        std::max(1, remaining / rows_left + rng.uniform_int(0, 1));
+    std::int64_t x = c.clip_margin_nm +
+                     static_cast<std::int64_t>(rng.uniform(0.0, 80.0));
+    int placed = 0;
+    while (placed < row_budget && remaining > 0 &&
+           x + c.contact_size_nm <= c.clip_size_nm - c.clip_margin_nm) {
+      // Small vertical jitter models gate vs. diffusion contact offsets.
+      const std::int64_t jitter =
+          static_cast<std::int64_t>(rng.uniform(-8.0, 8.0));
+      const std::int64_t y = std::clamp(
+          row_y[r] + jitter, c.clip_margin_nm,
+          c.clip_size_nm - c.clip_margin_nm - c.contact_size_nm);
+      layout.add_pattern(
+          geometry::Rect::from_size({x, y}, c.contact_size_nm,
+                                    c.contact_size_nm));
+      ++placed;
+      --remaining;
+      // Next pitch: conflict-range spacing with the configured probability,
+      // otherwise a relaxed spacing. Occasional large gaps model cell
+      // boundaries between transistor groups.
+      double spacing;
+      if (rng.bernoulli(c.conflict_pair_fraction)) {
+        spacing = rng.uniform(static_cast<double>(c.min_spacing_nm),
+                              static_cast<double>(c.nmin_nm));
+      } else if (rng.bernoulli(0.5)) {
+        spacing = rng.uniform(static_cast<double>(c.nmin_nm),
+                              static_cast<double>(c.nmax_nm));
+      } else {
+        spacing = rng.uniform(static_cast<double>(c.nmax_nm),
+                              static_cast<double>(c.nmax_nm) * 2.0);
+      }
+      x += c.contact_size_nm + static_cast<std::int64_t>(spacing);
+    }
+  }
+  return layout;
+}
+
+Layout LayoutGenerator::generate(std::uint64_t seed) const {
+  Rng rng(seed ^ 0xC0FFEE123456789AULL);
+  const DrcRules rules{config_.min_spacing_nm, config_.contact_size_nm,
+                       config_.clip_margin_nm / 2};
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int target =
+        rng.uniform_int(config_.min_contacts, config_.max_contacts);
+    Layout candidate = generate_attempt(rng, target);
+    if (candidate.pattern_count() < config_.min_contacts) continue;
+    if (!check_drc(candidate, rules).empty()) continue;
+    candidate.name = "clip_" + std::to_string(seed);
+    return candidate;
+  }
+  raise("LayoutGenerator::generate: no DRC-clean layout after 64 attempts");
+}
+
+std::vector<Layout> LayoutGenerator::generate_corpus(
+    int count, std::uint64_t seed0) const {
+  require(count >= 0, "generate_corpus: negative count");
+  std::vector<Layout> corpus;
+  corpus.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    corpus.push_back(generate(seed0 + static_cast<std::uint64_t>(i)));
+  return corpus;
+}
+
+Layout LayoutGenerator::generate_cell(const std::string& cell_name) const {
+  // Deterministic cell-like instances sized after the named NanGate cells:
+  // BUF_X1 is a 2-transistor buffer (few contacts), NAND3_X2 a 6-transistor
+  // gate, AOI211_X1 a 6-transistor complex gate with denser contact packing.
+  GeneratorConfig cfg = config_;
+  std::uint64_t seed = 0;
+  if (cell_name == "BUF_X1") {
+    cfg.min_contacts = 6;
+    cfg.max_contacts = 7;
+    seed = 101;
+  } else if (cell_name == "NAND3_X2") {
+    cfg.min_contacts = 10;
+    cfg.max_contacts = 11;
+    seed = 202;
+  } else if (cell_name == "AOI211_X1") {
+    cfg.min_contacts = 12;
+    cfg.max_contacts = 13;
+    cfg.conflict_pair_fraction = 0.55;
+    seed = 303;
+  } else {
+    raise("LayoutGenerator::generate_cell: unknown cell " + cell_name);
+  }
+  LayoutGenerator sub(cfg);
+  Layout cell = sub.generate(seed);
+  cell.name = cell_name;
+  return cell;
+}
+
+}  // namespace ldmo::layout

@@ -1,0 +1,59 @@
+// Synthetic contact-layout generator (NanGate FreePDK45 substitute).
+//
+// The paper evaluates on 8000 manually generated contact layouts that
+// "resemble NAND gate 45nm library" cells, verified with Calibre DRC. We do
+// not have that library or Calibre, so this generator produces statistically
+// similar clips: square contacts of NanGate-like size placed on a standard-
+// cell-like row/column structure, with pitches randomized across exactly the
+// range where the paper's classification thresholds (nmin = 80nm,
+// nmax = 98nm) bite, and every emitted layout passing our own DRC
+// (see drc.h). This substitution is documented in DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "layout/layout.h"
+
+namespace ldmo::layout {
+
+/// Generator knobs. Defaults model a 45nm contact layer in a 1024nm clip.
+struct GeneratorConfig {
+  std::int64_t clip_size_nm = 1024;  ///< square clip edge length
+  std::int64_t contact_size_nm = 65;  ///< NanGate 45nm contact edge
+  std::int64_t clip_margin_nm = 64;  ///< keep-out from clip boundary
+  std::int64_t min_spacing_nm = 70;  ///< DRC minimum contact spacing
+  int min_contacts = 6;
+  int max_contacts = 14;
+  /// Fraction of neighbor pitches drawn below nmin (conflict pairs that
+  /// *must* be split across masks). The remainder spreads over (nmin, ~2x].
+  double conflict_pair_fraction = 0.45;
+  std::int64_t nmin_nm = 80;  ///< paper's SP threshold, used to shape pitches
+  std::int64_t nmax_nm = 98;  ///< paper's VP threshold
+};
+
+/// Generates standard-cell-like contact layouts.
+class LayoutGenerator {
+ public:
+  explicit LayoutGenerator(GeneratorConfig config = {});
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// One DRC-clean layout from `seed`; deterministic per (config, seed).
+  Layout generate(std::uint64_t seed) const;
+
+  /// A corpus of `count` layouts with consecutive seeds starting at `seed0`.
+  std::vector<Layout> generate_corpus(int count, std::uint64_t seed0) const;
+
+  /// Named cell-like layouts for the Fig. 7 comparison: BUF_X1-like (small),
+  /// NAND3_X2-like (medium), AOI211_X1-like (large). Deterministic.
+  Layout generate_cell(const std::string& cell_name) const;
+
+ private:
+  Layout generate_attempt(Rng& rng, int target_contacts) const;
+
+  GeneratorConfig config_;
+};
+
+}  // namespace ldmo::layout

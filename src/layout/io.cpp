@@ -1,0 +1,64 @@
+#include "layout/io.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ldmo::layout {
+
+void write_pgm(const GridF& grid, const std::string& path, double lo,
+               double hi) {
+  require(hi > lo, "write_pgm: hi must exceed lo");
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "write_pgm: cannot open " + path);
+  out << "P5\n" << grid.width() << " " << grid.height() << "\n255\n";
+  for (int y = grid.height() - 1; y >= 0; --y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      const double v = std::clamp((grid.at(y, x) - lo) / (hi - lo), 0.0, 1.0);
+      out.put(static_cast<char>(static_cast<unsigned char>(v * 255.0 + 0.5)));
+    }
+  }
+  require(out.good(), "write_pgm: write failed for " + path);
+}
+
+void write_layout_text(const Layout& layout, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "write_layout_text: cannot open " + path);
+  out << "name " << (layout.name.empty() ? "unnamed" : layout.name) << "\n";
+  out << "clip " << layout.clip.lo.x << " " << layout.clip.lo.y << " "
+      << layout.clip.hi.x << " " << layout.clip.hi.y << "\n";
+  for (const Pattern& p : layout.patterns)
+    out << "rect " << p.shape.lo.x << " " << p.shape.lo.y << " "
+        << p.shape.hi.x << " " << p.shape.hi.y << "\n";
+  require(out.good(), "write_layout_text: write failed for " + path);
+}
+
+Layout read_layout_text(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_layout_text: cannot open " + path);
+  Layout layout;
+  std::string token;
+  bool have_clip = false;
+  while (in >> token) {
+    if (token == "name") {
+      in >> layout.name;
+    } else if (token == "clip") {
+      geometry::Point lo, hi;
+      in >> lo.x >> lo.y >> hi.x >> hi.y;
+      layout.clip = geometry::Rect::make(lo, hi);
+      have_clip = true;
+    } else if (token == "rect") {
+      geometry::Point lo, hi;
+      in >> lo.x >> lo.y >> hi.x >> hi.y;
+      layout.add_pattern(geometry::Rect::make(lo, hi));
+    } else {
+      raise("read_layout_text: unknown token '" + token + "' in " + path);
+    }
+    require(!in.fail(), "read_layout_text: parse error in " + path);
+  }
+  require(have_clip, "read_layout_text: missing clip line in " + path);
+  return layout;
+}
+
+}  // namespace ldmo::layout

@@ -1,0 +1,24 @@
+// Image and layout file output (PGM dumps for the Fig. 7 comparison and
+// debugging, plus a simple text serialization for layouts).
+#pragma once
+
+#include <string>
+
+#include "common/grid.h"
+#include "layout/layout.h"
+
+namespace ldmo::layout {
+
+/// Writes a real grid to a binary PGM (P5), mapping [lo, hi] to [0, 255].
+/// Rows are flipped so +y in layout space is up in the image.
+void write_pgm(const GridF& grid, const std::string& path, double lo = 0.0,
+               double hi = 1.0);
+
+/// Writes a layout as a human-readable text file:
+///   name <name>\n clip <x0> <y0> <x1> <y1>\n rect <x0> <y0> <x1> <y1>...
+void write_layout_text(const Layout& layout, const std::string& path);
+
+/// Reads back a layout written by write_layout_text. Throws on parse errors.
+Layout read_layout_text(const std::string& path);
+
+}  // namespace ldmo::layout

@@ -1,0 +1,48 @@
+#include "layout/layout.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace ldmo::layout {
+
+int Layout::add_pattern(const geometry::Rect& shape) {
+  const int id = pattern_count();
+  patterns.push_back({id, shape});
+  return id;
+}
+
+double Layout::nearest_distance(int id) const {
+  require(id >= 0 && id < pattern_count(),
+          "Layout::nearest_distance: id out of range");
+  double best = std::numeric_limits<double>::infinity();
+  for (const Pattern& other : patterns) {
+    if (other.id == id) continue;
+    best = std::min(best, geometry::rect_distance(
+                              patterns[static_cast<std::size_t>(id)].shape,
+                              other.shape));
+  }
+  return best;
+}
+
+Assignment canonicalize(Assignment assignment) {
+  if (assignment.empty() || assignment[0] == 0) return assignment;
+  for (int& v : assignment) v = 1 - v;
+  return assignment;
+}
+
+Assignment canonicalize_k(Assignment assignment, int mask_count) {
+  require(mask_count >= 1, "canonicalize_k: mask_count must be >= 1");
+  std::vector<int> relabel(static_cast<std::size_t>(mask_count), -1);
+  int next = 0;
+  for (int& v : assignment) {
+    require(v >= 0 && v < mask_count,
+            "canonicalize_k: mask id out of range");
+    if (relabel[static_cast<std::size_t>(v)] == -1)
+      relabel[static_cast<std::size_t>(v)] = next++;
+    v = relabel[static_cast<std::size_t>(v)];
+  }
+  return assignment;
+}
+
+}  // namespace ldmo::layout

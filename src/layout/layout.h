@@ -1,0 +1,54 @@
+// Layout data model: a clip window plus the contact patterns inside it.
+//
+// The paper's workload is the contact layer of NanGate-45nm-like standard
+// cells: each pattern is a square contact, and a layout is one cell clip.
+// Pattern ids are dense indices (0-based) used consistently by the conflict
+// graph, the decomposition assignment vectors and the covering arrays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace ldmo::layout {
+
+/// One contact pattern. `id` equals its index in Layout::patterns.
+struct Pattern {
+  int id = 0;
+  geometry::Rect shape;
+};
+
+/// A layout clip: named window with contact patterns.
+struct Layout {
+  std::string name;
+  geometry::Rect clip;
+  std::vector<Pattern> patterns;
+
+  int pattern_count() const { return static_cast<int>(patterns.size()); }
+
+  /// Appends a pattern, assigning the next id. Returns the new id.
+  int add_pattern(const geometry::Rect& shape);
+
+  /// Minimum edge-to-edge distance from pattern `id` to any other pattern;
+  /// +infinity for a single-pattern layout.
+  double nearest_distance(int id) const;
+};
+
+/// A decomposition: mask assignment (0 -> M1, 1 -> M2) per pattern id.
+using Assignment = std::vector<int>;
+
+/// Canonicalizes mask symmetry: the two masks are unordered, so an
+/// assignment and its complement describe the same decomposition (Fig. 4(c)).
+/// Following the paper we pin pattern 0 ("pattern numbered 1") to mask M1:
+/// if assignment[0] == 1 every value is flipped. Empty assignments pass
+/// through.
+Assignment canonicalize(Assignment assignment);
+
+/// k-mask generalization (triple patterning and beyond): masks are
+/// relabeled in order of first appearance, so any permutation of mask ids
+/// maps to the same canonical assignment. Equivalent to canonicalize()
+/// for mask_count == 2. Values must lie in [0, mask_count).
+Assignment canonicalize_k(Assignment assignment, int mask_count);
+
+}  // namespace ldmo::layout

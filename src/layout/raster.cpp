@@ -1,0 +1,80 @@
+#include "layout/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::layout {
+namespace {
+
+// Adds `level` times the covered-area fraction of `rect` to `grid`,
+// clamping accumulated values to `level` (patterns on the same mask can
+// overlap only at rounding edges).
+void splat_rect(GridF& grid, const RasterTransform& transform,
+                const geometry::Rect& rect, double level) {
+  const double px0 = transform.to_px_x(static_cast<double>(rect.lo.x));
+  const double px1 = transform.to_px_x(static_cast<double>(rect.hi.x));
+  const double py0 = transform.to_px_y(static_cast<double>(rect.lo.y));
+  const double py1 = transform.to_px_y(static_cast<double>(rect.hi.y));
+
+  const int ix0 = std::max(0, static_cast<int>(std::floor(px0)));
+  const int ix1 = std::min(grid.width() - 1,
+                           static_cast<int>(std::ceil(px1)) - 1);
+  const int iy0 = std::max(0, static_cast<int>(std::floor(py0)));
+  const int iy1 = std::min(grid.height() - 1,
+                           static_cast<int>(std::ceil(py1)) - 1);
+
+  for (int y = iy0; y <= iy1; ++y) {
+    const double cover_y = std::min(py1, static_cast<double>(y + 1)) -
+                           std::max(py0, static_cast<double>(y));
+    if (cover_y <= 0.0) continue;
+    for (int x = ix0; x <= ix1; ++x) {
+      const double cover_x = std::min(px1, static_cast<double>(x + 1)) -
+                             std::max(px0, static_cast<double>(x));
+      if (cover_x <= 0.0) continue;
+      double& cell = grid.at(y, x);
+      cell = std::min(level, cell + level * cover_x * cover_y);
+    }
+  }
+}
+
+}  // namespace
+
+GridF rasterize_mask(const Layout& layout, const Assignment& assignment,
+                     int mask, int grid_size) {
+  require(grid_size > 0, "rasterize_mask: grid_size must be positive");
+  require(assignment.empty() ||
+              static_cast<int>(assignment.size()) == layout.pattern_count(),
+          "rasterize_mask: assignment size mismatch");
+  GridF grid(grid_size, grid_size, 0.0);
+  const RasterTransform transform{layout.clip, grid_size};
+  for (const Pattern& p : layout.patterns) {
+    if (!assignment.empty() &&
+        assignment[static_cast<std::size_t>(p.id)] != mask)
+      continue;
+    splat_rect(grid, transform, p.shape, 1.0);
+  }
+  return grid;
+}
+
+GridF rasterize_target(const Layout& layout, int grid_size) {
+  return rasterize_mask(layout, {}, 0, grid_size);
+}
+
+GridF decomposition_image(const Layout& layout, const Assignment& assignment,
+                          int image_size) {
+  require(static_cast<int>(assignment.size()) == layout.pattern_count(),
+          "decomposition_image: assignment size mismatch");
+  const Assignment canon = canonicalize(assignment);
+  GridF image(image_size, image_size, 0.0);
+  const RasterTransform transform{layout.clip, image_size};
+  for (const Pattern& p : layout.patterns) {
+    const double level =
+        canon[static_cast<std::size_t>(p.id)] == 0 ? 1.0 : 0.5;
+    splat_rect(image, transform, p.shape, level);
+  }
+  return image;
+}
+
+}  // namespace ldmo::layout

@@ -1,0 +1,56 @@
+// Rasterization of layouts to pixel grids.
+//
+// Two consumers with different needs:
+//  - the lithography simulator wants per-mask real-valued grids with exact
+//    area-coverage anti-aliasing (sub-pixel pattern edges drive sub-pixel
+//    EPE measurements);
+//  - the CNN wants the paper's 224x224 grayscale decomposition image where
+//    the gray level encodes which mask a pattern sits on.
+#pragma once
+
+#include "common/grid.h"
+#include "layout/layout.h"
+
+namespace ldmo::layout {
+
+/// Maps between nm layout coordinates and a square pixel grid covering the
+/// clip. Pixel (0,0) covers the clip's lower-left corner; y grows upward.
+struct RasterTransform {
+  geometry::Rect clip;
+  int grid_size = 0;
+
+  double nm_per_pixel() const {
+    return static_cast<double>(clip.width()) / grid_size;
+  }
+  /// Continuous pixel coordinate of an nm position.
+  double to_px_x(double nm_x) const {
+    return (nm_x - static_cast<double>(clip.lo.x)) / nm_per_pixel();
+  }
+  double to_px_y(double nm_y) const {
+    return (nm_y - static_cast<double>(clip.lo.y)) / nm_per_pixel();
+  }
+  double to_nm_x(double px) const {
+    return static_cast<double>(clip.lo.x) + px * nm_per_pixel();
+  }
+  double to_nm_y(double px) const {
+    return static_cast<double>(clip.lo.y) + px * nm_per_pixel();
+  }
+};
+
+/// Rasterizes the subset of patterns with `assignment[id] == mask` into a
+/// grid_size x grid_size grid; each pixel holds its covered-area fraction
+/// in [0, 1]. An empty assignment selects *all* patterns (the target image).
+GridF rasterize_mask(const Layout& layout, const Assignment& assignment,
+                     int mask, int grid_size);
+
+/// Rasterizes the full layout (all patterns) — the ILT target image T'.
+GridF rasterize_target(const Layout& layout, int grid_size);
+
+/// The paper's CNN input: one grayscale image where mask-M1 patterns render
+/// at gray level 1.0 and mask-M2 patterns at 0.5, background 0. The
+/// assignment is canonicalized first so dual decompositions map to the same
+/// image (Fig. 4(c)).
+GridF decomposition_image(const Layout& layout, const Assignment& assignment,
+                          int image_size);
+
+}  // namespace ldmo::layout

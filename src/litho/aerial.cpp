@@ -1,0 +1,71 @@
+#include "litho/aerial.h"
+
+#include "common/error.h"
+
+namespace ldmo::litho {
+
+AerialSimulator::AerialSimulator(const SocsKernels& kernels)
+    : kernels_(kernels),
+      plan_(kernels.config.grid_size, kernels.config.grid_size) {
+  require(!kernels.kernel_ffts.empty(), "AerialSimulator: no kernels");
+}
+
+AerialFields AerialSimulator::intensity_with_fields(const GridF& mask) const {
+  const int n = grid_size();
+  require(mask.height() == n && mask.width() == n,
+          "AerialSimulator: mask shape mismatch");
+
+  fft::GridC mask_freq = fft::to_complex(mask);
+  plan_.forward(mask_freq);
+
+  AerialFields out;
+  out.intensity = GridF(n, n, 0.0);
+  out.fields.reserve(kernels_.kernel_ffts.size());
+  for (std::size_t k = 0; k < kernels_.kernel_ffts.size(); ++k) {
+    fft::GridC field = mask_freq;
+    fft::multiply_inplace(field, kernels_.kernel_ffts[k]);
+    plan_.inverse(field);
+    const double w = kernels_.weights[k];
+    for (std::size_t i = 0; i < field.size(); ++i)
+      out.intensity[i] += w * std::norm(field[i]);
+    out.fields.push_back(std::move(field));
+  }
+  return out;
+}
+
+GridF AerialSimulator::intensity(const GridF& mask) const {
+  return intensity_with_fields(mask).intensity;
+}
+
+GridF AerialSimulator::backpropagate(const GridF& dldi,
+                                     const AerialFields& fields) const {
+  const int n = grid_size();
+  require(dldi.height() == n && dldi.width() == n,
+          "backpropagate: gradient shape mismatch");
+  require(fields.fields.size() == kernels_.kernel_ffts.size(),
+          "backpropagate: field count mismatch");
+
+  // dL/dM(x') = sum_k 2 w_k Re[ sum_x G(x) E_k(x) conj(h_k(x - x')) ], i.e.
+  // the correlation of G * E_k with conj(h_k(-x)), whose spectrum is
+  // conj(h_hat). Accumulate sum_k w_k FFT(G * E_k) * conj(h_hat_k) in the
+  // frequency domain, then one inverse FFT.
+  fft::GridC accum(n, n, {0.0, 0.0});
+  fft::GridC scratch(n, n);
+  for (std::size_t k = 0; k < fields.fields.size(); ++k) {
+    const fft::GridC& field = fields.fields[k];
+    for (std::size_t i = 0; i < scratch.size(); ++i)
+      scratch[i] = dldi[i] * field[i];
+    plan_.forward(scratch);
+    const double w = kernels_.weights[k];
+    const fft::GridC& kernel = kernels_.kernel_ffts[k];
+    for (std::size_t i = 0; i < accum.size(); ++i)
+      accum[i] += w * scratch[i] * std::conj(kernel[i]);
+  }
+  plan_.inverse(accum);
+  GridF grad(n, n);
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    grad[i] = 2.0 * accum[i].real();
+  return grad;
+}
+
+}  // namespace ldmo::litho

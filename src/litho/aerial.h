@@ -1,0 +1,49 @@
+// Aerial image computation: mask -> intensity via the SOCS expansion.
+//
+// The simulator owns the FFT plan and scratch buffers so repeated calls
+// (every ILT iteration, every candidate evaluation) allocate nothing. The
+// per-kernel complex fields E_k = M conv h_k can be retained for the ILT
+// gradient, which reuses them to avoid recomputing the forward pass.
+#pragma once
+
+#include <vector>
+
+#include "fft/fft.h"
+#include "litho/kernels.h"
+
+namespace ldmo::litho {
+
+/// Forward-pass byproducts needed by the ILT gradient.
+struct AerialFields {
+  /// Per-kernel space-domain fields E_k = M conv h_k.
+  std::vector<fft::GridC> fields;
+  /// Resulting intensity I = sum_k w_k |E_k|^2.
+  GridF intensity;
+};
+
+/// FFT-based Hopkins/SOCS aerial image simulator for one optical model.
+class AerialSimulator {
+ public:
+  /// Keeps a reference to `kernels`; the caller must keep them alive
+  /// (cached_kernels() returns process-lifetime storage).
+  explicit AerialSimulator(const SocsKernels& kernels);
+
+  const SocsKernels& kernels() const { return kernels_; }
+  int grid_size() const { return kernels_.config.grid_size; }
+
+  /// Intensity only (forward pass).
+  GridF intensity(const GridF& mask) const;
+
+  /// Intensity plus the per-kernel fields (for gradient reuse).
+  AerialFields intensity_with_fields(const GridF& mask) const;
+
+  /// ILT adjoint: given dL/dI and the forward fields of the same mask,
+  /// returns dL/dM = sum_k 2 w_k Re[ (dLdI * conj(E_k)) conv flip(h_k) ].
+  GridF backpropagate(const GridF& dldi, const AerialFields& fields) const;
+
+ private:
+  const SocsKernels& kernels_;
+  fft::Fft2DPlan plan_;
+};
+
+}  // namespace ldmo::litho

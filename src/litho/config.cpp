@@ -1,0 +1,45 @@
+#include "litho/config.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "fft/fft.h"
+
+namespace ldmo::litho {
+
+void LithoConfig::validate() const {
+  require(fft::is_pow2(grid_size), "LithoConfig: grid_size must be 2^k");
+  require(pixel_nm > 0.0, "LithoConfig: pixel_nm must be positive");
+  require(wavelength_nm > 0.0, "LithoConfig: wavelength must be positive");
+  require(numerical_aperture > 0.0 && numerical_aperture < 1.5,
+          "LithoConfig: NA out of range");
+  require(sigma_inner >= 0.0 && sigma_inner < sigma_outer &&
+              sigma_outer <= 1.0,
+          "LithoConfig: need 0 <= sigma_inner < sigma_outer <= 1");
+  require(kernel_count >= 1, "LithoConfig: kernel_count must be >= 1");
+  require(theta_z > 0.0, "LithoConfig: theta_z must be positive");
+  require(intensity_threshold > 0.0 && intensity_threshold < 1.0,
+          "LithoConfig: intensity threshold out of (0,1)");
+  require(epe_threshold_nm > 0.0, "LithoConfig: EPE threshold must be > 0");
+  require(calibration_feature_nm >= 2.0 * pixel_nm,
+          "LithoConfig: calibration feature below two pixels");
+  require(calibration_feature_nm < field_nm() / 2.0,
+          "LithoConfig: calibration feature too large for the field");
+  // The pupil must contain at least a few frequency samples or the model
+  // degenerates to a single DC kernel.
+  const double pupil_radius_px = cutoff_frequency() * field_nm();
+  require(pupil_radius_px >= 2.0,
+          "LithoConfig: pupil radius below 2 frequency samples; enlarge the "
+          "field or NA");
+}
+
+std::string LithoConfig::kernel_cache_key() const {
+  std::ostringstream key;
+  key << grid_size << ":" << pixel_nm << ":" << wavelength_nm << ":"
+      << numerical_aperture << ":" << sigma_inner << ":" << sigma_outer << ":"
+      << defocus_nm << ":" << kernel_count << ":" << intensity_threshold
+      << ":" << calibration_feature_nm;
+  return key.str();
+}
+
+}  // namespace ldmo::litho

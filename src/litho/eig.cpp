@@ -1,0 +1,174 @@
+#include "litho/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ldmo::litho {
+namespace {
+
+double off_diagonal_norm(const std::vector<double>& a, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      sum += a[static_cast<std::size_t>(i) * n + j] *
+             a[static_cast<std::size_t>(i) * n + j];
+  return std::sqrt(2.0 * sum);
+}
+
+}  // namespace
+
+SymmetricEig jacobi_eigendecompose(const std::vector<double>& matrix, int n,
+                                   int max_sweeps) {
+  require(n >= 1, "jacobi: empty matrix");
+  require(matrix.size() == static_cast<std::size_t>(n) * n,
+          "jacobi: size mismatch");
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      require(std::abs(matrix[static_cast<std::size_t>(i) * n + j] -
+                       matrix[static_cast<std::size_t>(j) * n + i]) <
+                  1e-9 * (1.0 + std::abs(matrix[static_cast<std::size_t>(i) *
+                                                    n +
+                                                j])),
+              "jacobi: matrix not symmetric");
+
+  std::vector<double> a = matrix;
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i) * n + i] = 1.0;
+
+  const double initial_off = off_diagonal_norm(a, n);
+  const double tol = std::max(1e-14, 1e-12 * initial_off);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm(a, n) <= tol) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a[static_cast<std::size_t>(p) * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[static_cast<std::size_t>(p) * n + p];
+        const double aqq = a[static_cast<std::size_t>(q) * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation G(p, q, theta) on both sides of A.
+        for (int k = 0; k < n; ++k) {
+          const double akp = a[static_cast<std::size_t>(k) * n + p];
+          const double akq = a[static_cast<std::size_t>(k) * n + q];
+          a[static_cast<std::size_t>(k) * n + p] = c * akp - s * akq;
+          a[static_cast<std::size_t>(k) * n + q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a[static_cast<std::size_t>(p) * n + k];
+          const double aqk = a[static_cast<std::size_t>(q) * n + k];
+          a[static_cast<std::size_t>(p) * n + k] = c * apk - s * aqk;
+          a[static_cast<std::size_t>(q) * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors (columns of V).
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<std::size_t>(k) * n + p];
+          const double vkq = v[static_cast<std::size_t>(k) * n + q];
+          v[static_cast<std::size_t>(k) * n + p] = c * vkp - s * vkq;
+          v[static_cast<std::size_t>(k) * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+    return a[static_cast<std::size_t>(x) * n + x] >
+           a[static_cast<std::size_t>(y) * n + y];
+  });
+
+  SymmetricEig result;
+  result.eigenvalues.reserve(static_cast<std::size_t>(n));
+  result.eigenvectors.reserve(static_cast<std::size_t>(n));
+  for (int idx : order) {
+    result.eigenvalues.push_back(a[static_cast<std::size_t>(idx) * n + idx]);
+    std::vector<double> vec(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k)
+      vec[static_cast<std::size_t>(k)] =
+          v[static_cast<std::size_t>(k) * n + idx];
+    result.eigenvectors.push_back(std::move(vec));
+  }
+  return result;
+}
+
+HermitianEig hermitian_eigendecompose(
+    const std::vector<std::complex<double>>& matrix, int n, int max_sweeps) {
+  require(n >= 1, "hermitian eig: empty matrix");
+  require(matrix.size() == static_cast<std::size_t>(n) * n,
+          "hermitian eig: size mismatch");
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      require(std::abs(matrix[static_cast<std::size_t>(i) * n + j] -
+                       std::conj(matrix[static_cast<std::size_t>(j) * n + i])) <
+                  1e-9,
+              "hermitian eig: matrix not Hermitian");
+
+  // Real embedding: H = A + iB (A symmetric, B antisymmetric) maps to the
+  // 2n x 2n symmetric matrix [[A, -B], [B, A]]. Each complex eigenpair
+  // (lambda, x + iy) of H yields two embedded eigenpairs with the same
+  // lambda: (x; y) and (-y; x).
+  const int m = 2 * n;
+  std::vector<double> embedded(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const std::complex<double> h = matrix[static_cast<std::size_t>(i) * n + j];
+      embedded[static_cast<std::size_t>(i) * m + j] = h.real();
+      embedded[static_cast<std::size_t>(i) * m + (j + n)] = -h.imag();
+      embedded[static_cast<std::size_t>(i + n) * m + j] = h.imag();
+      embedded[static_cast<std::size_t>(i + n) * m + (j + n)] = h.real();
+    }
+  }
+
+  const SymmetricEig real_eig = jacobi_eigendecompose(embedded, m, max_sweeps);
+
+  // Convert embedded vectors back to complex and drop the duplicate of each
+  // pair via Gram-Schmidt under the complex inner product.
+  HermitianEig result;
+  for (int k = 0; k < m && static_cast<int>(result.eigenvalues.size()) < n;
+       ++k) {
+    std::vector<std::complex<double>> candidate(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      candidate[static_cast<std::size_t>(i)] = std::complex<double>(
+          real_eig.eigenvectors[static_cast<std::size_t>(k)]
+                               [static_cast<std::size_t>(i)],
+          real_eig.eigenvectors[static_cast<std::size_t>(k)]
+                               [static_cast<std::size_t>(i + n)]);
+    // Project out already-accepted vectors with (numerically) equal
+    // eigenvalues; if nothing is left, this was the duplicate copy.
+    for (std::size_t prev = 0; prev < result.eigenvectors.size(); ++prev) {
+      if (std::abs(result.eigenvalues[prev] -
+                   real_eig.eigenvalues[static_cast<std::size_t>(k)]) >
+          1e-6 * (1.0 + std::abs(result.eigenvalues[prev])))
+        continue;
+      std::complex<double> dot(0, 0);
+      for (int i = 0; i < n; ++i)
+        dot += std::conj(result.eigenvectors[prev][static_cast<std::size_t>(i)]) *
+               candidate[static_cast<std::size_t>(i)];
+      for (int i = 0; i < n; ++i)
+        candidate[static_cast<std::size_t>(i)] -=
+            dot * result.eigenvectors[prev][static_cast<std::size_t>(i)];
+    }
+    double norm_sq = 0.0;
+    for (const auto& c : candidate) norm_sq += std::norm(c);
+    if (norm_sq < 1e-12) continue;  // duplicate of an accepted eigenvector
+    const double inv_norm = 1.0 / std::sqrt(norm_sq);
+    for (auto& c : candidate) c *= inv_norm;
+    result.eigenvalues.push_back(
+        real_eig.eigenvalues[static_cast<std::size_t>(k)]);
+    result.eigenvectors.push_back(std::move(candidate));
+  }
+  LDMO_ASSERT(static_cast<int>(result.eigenvalues.size()) == n);
+  return result;
+}
+
+}  // namespace ldmo::litho

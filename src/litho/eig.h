@@ -1,0 +1,41 @@
+// Dense symmetric / Hermitian eigendecomposition (cyclic Jacobi).
+//
+// The transmission cross coefficient (TCC) operator of Hopkins imaging is a
+// positive semi-definite Hermitian matrix over in-band frequency samples;
+// its leading eigenpairs are the SOCS kernels. Matrices here are small
+// (a few hundred rows), so the cubic but unconditionally stable Jacobi
+// iteration is the right tool — no external LAPACK needed.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ldmo::litho {
+
+/// Eigendecomposition result, eigenvalues sorted descending.
+struct SymmetricEig {
+  std::vector<double> eigenvalues;
+  /// eigenvectors[k] is the unit eigenvector for eigenvalues[k].
+  std::vector<std::vector<double>> eigenvectors;
+};
+
+struct HermitianEig {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<std::complex<double>>> eigenvectors;
+};
+
+/// Jacobi eigendecomposition of a real symmetric matrix given in row-major
+/// order (n x n). `max_sweeps` cyclic sweeps; converges long before the
+/// default for our sizes. Throws on non-square/asymmetric input.
+SymmetricEig jacobi_eigendecompose(const std::vector<double>& matrix, int n,
+                                   int max_sweeps = 30);
+
+/// Hermitian eigendecomposition via the real embedding
+/// [[Re, -Im], [Im, Re]]: each complex eigenpair appears twice in the
+/// embedding; duplicates are removed by complex-Gram-Schmidt filtering.
+/// Input is row-major n x n, must be Hermitian.
+HermitianEig hermitian_eigendecompose(
+    const std::vector<std::complex<double>>& matrix, int n,
+    int max_sweeps = 30);
+
+}  // namespace ldmo::litho

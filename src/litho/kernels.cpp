@@ -1,0 +1,110 @@
+#include "litho/kernels.h"
+
+#include <map>
+#include <memory>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "layout/raster.h"
+#include "litho/aerial.h"
+#include "litho/eig.h"
+#include "litho/metrics.h"
+#include "litho/tcc.h"
+
+namespace ldmo::litho {
+namespace {
+
+// Raw (uncalibrated) kernels from the TCC eigendecomposition.
+SocsKernels decompose(const LithoConfig& config) {
+  const TccResult tcc = build_tcc(config);
+  const int dim = tcc.dimension();
+  const HermitianEig eig = hermitian_eigendecompose(tcc.matrix, dim);
+
+  double trace = 0.0;
+  for (double v : eig.eigenvalues) trace += std::max(v, 0.0);
+
+  SocsKernels kernels;
+  kernels.config = config;
+  const int n = config.grid_size;
+  const int keep = std::min(config.kernel_count, dim);
+  double captured = 0.0;
+  for (int k = 0; k < keep; ++k) {
+    const double value = eig.eigenvalues[static_cast<std::size_t>(k)];
+    if (value <= 0.0) break;  // PSD spectrum exhausted
+    captured += value;
+    fft::GridC freq(n, n, {0.0, 0.0});
+    for (int i = 0; i < dim; ++i) {
+      const auto [kx, ky] = tcc.support[static_cast<std::size_t>(i)];
+      // Lattice offset -> FFT bin with wraparound.
+      const int bx = (kx + n) % n;
+      const int by = (ky + n) % n;
+      freq.at(by, bx) =
+          eig.eigenvectors[static_cast<std::size_t>(k)]
+                          [static_cast<std::size_t>(i)];
+    }
+    kernels.kernel_ffts.push_back(std::move(freq));
+    kernels.weights.push_back(value);
+  }
+  require(!kernels.weights.empty(), "SOCS: no positive eigenvalues");
+  kernels.captured_energy = trace > 0.0 ? captured / trace : 1.0;
+  return kernels;
+}
+
+// Rescales weights so an isolated contact-sized square prints exactly on
+// target: its aerial intensity at the edge midpoint equals the resist
+// threshold. This anchors the exposure dose to the workload's feature size
+// the way a contact-layer process is dosed.
+void calibrate(SocsKernels& kernels) {
+  const LithoConfig& cfg = kernels.config;
+  const int n = cfg.grid_size;
+  const double field = cfg.field_nm();
+  const double size = cfg.calibration_feature_nm;
+
+  layout::Layout probe;
+  probe.clip = geometry::Rect::from_size(
+      {0, 0}, static_cast<std::int64_t>(field),
+      static_cast<std::int64_t>(field));
+  const auto lo = static_cast<std::int64_t>((field - size) / 2.0);
+  probe.add_pattern(geometry::Rect::from_size(
+      {lo, lo}, static_cast<std::int64_t>(size),
+      static_cast<std::int64_t>(size)));
+
+  AerialSimulator aerial(kernels);
+  const GridF intensity = aerial.intensity(layout::rasterize_target(probe, n));
+
+  // Edge midpoint of the probe square, sampled with sub-pixel accuracy.
+  const layout::RasterTransform transform{probe.clip, n};
+  const double edge_x = static_cast<double>(lo) + size;  // right edge
+  const double mid_y = static_cast<double>(lo) + size / 2.0;
+  const double edge = sample_bilinear(intensity, transform.to_px_x(edge_x),
+                                      transform.to_px_y(mid_y));
+  require(edge > 1e-9, "SOCS calibration: degenerate edge intensity");
+  const double scale = cfg.intensity_threshold / edge;
+  for (double& w : kernels.weights) w *= scale;
+  kernels.calibration_scale = scale;
+}
+
+}  // namespace
+
+SocsKernels build_socs_kernels(const LithoConfig& config) {
+  config.validate();
+  SocsKernels kernels = decompose(config);
+  calibrate(kernels);
+  log_debug("SOCS kernels built: ", kernels.kernel_count(), " kernels, ",
+            kernels.captured_energy * 100.0, "% energy captured");
+  return kernels;
+}
+
+const SocsKernels& cached_kernels(const LithoConfig& config) {
+  static std::map<std::string, std::unique_ptr<SocsKernels>> cache;
+  const std::string key = config.kernel_cache_key();
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<SocsKernels>(
+                                build_socs_kernels(config)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace ldmo::litho

@@ -1,0 +1,123 @@
+#include "litho/meef.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "layout/raster.h"
+#include "litho/metrics.h"
+
+namespace ldmo::litho {
+
+GridF bias_mask(const GridF& mask, int pixels) {
+  require(pixels == 1 || pixels == -1, "bias_mask: bias must be +/- 1 px");
+  const int h = mask.height(), w = mask.width();
+  GridF out(h, w);
+  const bool grow = pixels > 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // 4-neighborhood max (dilate) or min (erode); edges clamp.
+      double v = mask.at(y, x);
+      const int ys[2] = {std::max(0, y - 1), std::min(h - 1, y + 1)};
+      const int xs[2] = {std::max(0, x - 1), std::min(w - 1, x + 1)};
+      for (int yy : ys)
+        v = grow ? std::max(v, mask.at(yy, x)) : std::min(v, mask.at(yy, x));
+      for (int xx : xs)
+        v = grow ? std::max(v, mask.at(y, xx)) : std::min(v, mask.at(y, xx));
+      out.at(y, x) = v;
+    }
+  }
+  return out;
+}
+
+std::vector<double> measure_printed_cds(const LithoSimulator& simulator,
+                                        const GridF& response,
+                                        const layout::Layout& layout) {
+  const layout::RasterTransform transform = simulator.transform_for(layout);
+  std::vector<double> cds;
+  cds.reserve(static_cast<std::size_t>(layout.pattern_count()));
+  for (const layout::Pattern& p : layout.patterns) {
+    const double cy = transform.to_px_y(
+        (static_cast<double>(p.shape.lo.y) + p.shape.hi.y) / 2.0);
+    const double cx = transform.to_px_x(
+        (static_cast<double>(p.shape.lo.x) + p.shape.hi.x) / 2.0);
+    // The pattern prints if the response at its center clears threshold.
+    if (sample_bilinear(response, cx, cy) < 0.5) {
+      cds.push_back(-1.0);
+      continue;
+    }
+    // March left and right from the center to the 0.5 contour.
+    const double step = 0.25;  // pixels
+    const double limit = transform.to_px_x(static_cast<double>(
+                             p.shape.width())) /
+                         transform.nm_per_pixel();  // pattern width in px
+    auto contour = [&](double direction) {
+      double prev = cx;
+      double prev_v = sample_bilinear(response, prev, cy);
+      for (double d = step; d < 2.0 * limit + 8.0; d += step) {
+        const double x = cx + direction * d;
+        const double v = sample_bilinear(response, x, cy);
+        if (v < 0.5) {
+          const double frac = (prev_v - 0.5) / (prev_v - v);
+          return prev + direction * frac * step - cx;
+        }
+        prev = x;
+        prev_v = v;
+      }
+      return direction * (2.0 * limit + 8.0);  // never crossed (bridged)
+    };
+    const double left = contour(-1.0);
+    const double right = contour(1.0);
+    cds.push_back((right - left) * transform.nm_per_pixel());
+  }
+  return cds;
+}
+
+MeefReport measure_meef(const LithoSimulator& simulator, const GridF& mask1,
+                        const GridF& mask2, const layout::Layout& layout) {
+  // Nominal / grown / shrunk prints. A one-pixel isotropic bias changes
+  // each mask CD by 2 pixels (both edges move).
+  const double mask_cd_delta_nm = 2.0 * simulator.config().pixel_nm;
+  const GridF nominal = simulator.print(mask1, mask2);
+  const GridF grown =
+      simulator.print(bias_mask(mask1, 1), bias_mask(mask2, 1));
+  const GridF shrunk =
+      simulator.print(bias_mask(mask1, -1), bias_mask(mask2, -1));
+
+  const std::vector<double> cd_nominal =
+      measure_printed_cds(simulator, nominal, layout);
+  const std::vector<double> cd_grown =
+      measure_printed_cds(simulator, grown, layout);
+  const std::vector<double> cd_shrunk =
+      measure_printed_cds(simulator, shrunk, layout);
+
+  MeefReport report;
+  double sum = 0.0;
+  int valid = 0;
+  for (int i = 0; i < layout.pattern_count(); ++i) {
+    MeefEntry entry;
+    entry.pattern_id = i;
+    entry.nominal_cd_nm = cd_nominal[static_cast<std::size_t>(i)];
+    const double g = cd_grown[static_cast<std::size_t>(i)];
+    const double s = cd_shrunk[static_cast<std::size_t>(i)];
+    if (entry.nominal_cd_nm > 0.0 && g > 0.0) {
+      if (s > 0.0) {
+        // Central difference across the +/- 1 px mask bias.
+        entry.meef = (g - s) / (2.0 * mask_cd_delta_nm);
+      } else {
+        // The eroded mask no longer prints (coarse grids: 1 px is a large
+        // CD step near the resolution limit) — forward difference.
+        entry.meef = (g - entry.nominal_cd_nm) / mask_cd_delta_nm;
+      }
+      entry.valid = true;
+      sum += entry.meef;
+      report.max_meef = std::max(report.max_meef, entry.meef);
+      ++valid;
+    }
+    report.entries.push_back(entry);
+  }
+  if (valid > 0) report.mean_meef = sum / valid;
+  return report;
+}
+
+}  // namespace ldmo::litho

@@ -1,0 +1,50 @@
+// Mask error enhancement factor (MEEF) analysis.
+//
+// MEEF = d(wafer CD) / d(mask CD): how much a mask-dimension error is
+// amplified on the wafer. Near the resolution limit MEEF rises well above
+// 1 and is a standard manufacturability metric for contact layers —
+// a natural companion to the EPE metrology when qualifying the masks the
+// LDMO flow produces.
+//
+// Measurement: the masks are morphologically biased by one pixel
+// (isotropic grow/shrink), the printed contact CDs are re-measured through
+// the full optical model, and MEEF is the CD delta ratio.
+#pragma once
+
+#include <vector>
+
+#include "layout/layout.h"
+#include "litho/simulator.h"
+
+namespace ldmo::litho {
+
+/// Per-pattern MEEF measurement.
+struct MeefEntry {
+  int pattern_id = -1;
+  double nominal_cd_nm = 0.0;  ///< printed CD at nominal mask
+  double meef = 0.0;           ///< d(wafer CD) / d(mask CD)
+  bool valid = false;  ///< false when the pattern failed to print somewhere
+};
+
+struct MeefReport {
+  std::vector<MeefEntry> entries;
+  double mean_meef = 0.0;  ///< over valid entries
+  double max_meef = 0.0;
+};
+
+/// Morphological bias of a binary mask grid by +/- 1 pixel (4-neighbor
+/// dilation for +1, erosion for -1). Exposed for tests.
+GridF bias_mask(const GridF& mask, int pixels);
+
+/// Measures the printed horizontal CD of each pattern (contour-to-contour
+/// distance through the pattern center along x, sub-pixel). Returns -1 for
+/// patterns that do not print. Exposed for tests.
+std::vector<double> measure_printed_cds(const LithoSimulator& simulator,
+                                        const GridF& response,
+                                        const layout::Layout& layout);
+
+/// Full MEEF analysis of a mask pair against a layout.
+MeefReport measure_meef(const LithoSimulator& simulator, const GridF& mask1,
+                        const GridF& mask2, const layout::Layout& layout);
+
+}  // namespace ldmo::litho

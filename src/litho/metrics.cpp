@@ -1,0 +1,225 @@
+#include "litho/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+
+namespace ldmo::litho {
+namespace {
+
+// Adds checkpoints along one edge from (x0,y0) to (x1,y1) with outward
+// normal (nx, ny).
+void add_edge_checkpoints(std::vector<EpeCheckpoint>& out, int pattern_id,
+                          double x0, double y0, double x1, double y1,
+                          double nx, double ny, double interval_nm) {
+  const double length = std::hypot(x1 - x0, y1 - y0);
+  int count = 1;
+  if (length >= 1.5 * interval_nm)
+    count = static_cast<int>(std::floor(length / interval_nm));
+  for (int i = 0; i < count; ++i) {
+    const double t = (i + 0.5) / count;
+    out.push_back({x0 + t * (x1 - x0), y0 + t * (y1 - y0), nx, ny,
+                   pattern_id});
+  }
+}
+
+}  // namespace
+
+std::vector<EpeCheckpoint> make_checkpoints(const layout::Layout& layout,
+                                            double interval_nm) {
+  require(interval_nm > 0.0, "make_checkpoints: interval must be positive");
+  std::vector<EpeCheckpoint> checkpoints;
+  for (const layout::Pattern& p : layout.patterns) {
+    const double x0 = static_cast<double>(p.shape.lo.x);
+    const double y0 = static_cast<double>(p.shape.lo.y);
+    const double x1 = static_cast<double>(p.shape.hi.x);
+    const double y1 = static_cast<double>(p.shape.hi.y);
+    add_edge_checkpoints(checkpoints, p.id, x0, y0, x1, y0, 0, -1,
+                         interval_nm);  // bottom
+    add_edge_checkpoints(checkpoints, p.id, x0, y1, x1, y1, 0, 1,
+                         interval_nm);  // top
+    add_edge_checkpoints(checkpoints, p.id, x0, y0, x0, y1, -1, 0,
+                         interval_nm);  // left
+    add_edge_checkpoints(checkpoints, p.id, x1, y0, x1, y1, 1, 0,
+                         interval_nm);  // right
+  }
+  return checkpoints;
+}
+
+double sample_bilinear(const GridF& grid, double px, double py) {
+  // Pixel-center convention: value at center (x + 0.5, y + 0.5).
+  const double fx = std::clamp(px - 0.5, 0.0,
+                               static_cast<double>(grid.width() - 1));
+  const double fy = std::clamp(py - 0.5, 0.0,
+                               static_cast<double>(grid.height() - 1));
+  const int x0 = std::min(static_cast<int>(fx), grid.width() - 1);
+  const int y0 = std::min(static_cast<int>(fy), grid.height() - 1);
+  const int x1 = std::min(x0 + 1, grid.width() - 1);
+  const int y1 = std::min(y0 + 1, grid.height() - 1);
+  const double tx = fx - x0;
+  const double ty = fy - y0;
+  const double top = grid.at(y1, x0) * (1 - tx) + grid.at(y1, x1) * tx;
+  const double bottom = grid.at(y0, x0) * (1 - tx) + grid.at(y0, x1) * tx;
+  return bottom * (1 - ty) + top * ty;
+}
+
+EpeReport measure_epe(const GridF& response, const layout::Layout& layout,
+                      const layout::RasterTransform& transform,
+                      const LithoConfig& config) {
+  EpeReport report;
+  const std::vector<EpeCheckpoint> checkpoints = make_checkpoints(layout);
+  const double range = config.epe_search_range_nm;
+  const double step = std::min(1.0, transform.nm_per_pixel() / 4.0);
+  double epe_sum = 0.0;
+
+  for (const EpeCheckpoint& cp : checkpoints) {
+    // Sample the resist response along the normal: s < 0 inside the
+    // pattern, s > 0 outside. The printed contour is T = 0.5.
+    EpeMeasurement m;
+    m.checkpoint = cp;
+
+    double prev_s = -range;
+    double prev_t = sample_bilinear(
+        response, transform.to_px_x(cp.x_nm + cp.normal_x * prev_s),
+        transform.to_px_y(cp.y_nm + cp.normal_y * prev_s));
+    double best_crossing = std::numeric_limits<double>::infinity();
+    for (double s = -range + step; s <= range + 1e-9; s += step) {
+      const double t = sample_bilinear(
+          response, transform.to_px_x(cp.x_nm + cp.normal_x * s),
+          transform.to_px_y(cp.y_nm + cp.normal_y * s));
+      if ((prev_t - 0.5) * (t - 0.5) <= 0.0 && prev_t != t) {
+        // Linear interpolation for the sub-step crossing position.
+        const double frac = (0.5 - prev_t) / (t - prev_t);
+        const double crossing = prev_s + frac * (s - prev_s);
+        if (std::abs(crossing) < std::abs(best_crossing))
+          best_crossing = crossing;
+      }
+      prev_s = s;
+      prev_t = t;
+    }
+
+    if (std::isfinite(best_crossing)) {
+      m.contour_found = true;
+      m.epe_nm = std::abs(best_crossing);
+    } else {
+      // No contour within range: the pattern is either entirely missing
+      // (response below threshold everywhere) or bridged deep into its
+      // neighborhood. Either way the displacement exceeds the range.
+      m.contour_found = false;
+      m.epe_nm = range;
+    }
+    m.violation = m.epe_nm > config.epe_threshold_nm;
+    if (m.violation) ++report.violation_count;
+    report.max_epe_nm = std::max(report.max_epe_nm, m.epe_nm);
+    epe_sum += m.epe_nm;
+    report.measurements.push_back(m);
+  }
+  if (!report.measurements.empty())
+    report.mean_epe_nm = epe_sum / static_cast<double>(report.measurements.size());
+  return report;
+}
+
+double l2_error(const GridF& response, const GridF& target) {
+  require(response.same_shape(target), "l2_error: shape mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    const double d = response[i] - target[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+ViolationReport detect_print_violations(
+    const GridU8& printed, const layout::Layout& layout,
+    const layout::RasterTransform& transform) {
+  ViolationReport report;
+  const int h = printed.height();
+  const int w = printed.width();
+
+  // Label 4-connected printed components.
+  Grid<int> label(h, w, -1);
+  int component_count = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (printed.at(y, x) == 0 || label.at(y, x) != -1) continue;
+      std::queue<std::pair<int, int>> frontier;
+      frontier.push({y, x});
+      label.at(y, x) = component_count;
+      while (!frontier.empty()) {
+        const auto [cy, cx] = frontier.front();
+        frontier.pop();
+        const int dy[4] = {1, -1, 0, 0};
+        const int dx[4] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          const int ny = cy + dy[d];
+          const int nx = cx + dx[d];
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
+          if (printed.at(ny, nx) == 0 || label.at(ny, nx) != -1) continue;
+          label.at(ny, nx) = component_count;
+          frontier.push({ny, nx});
+        }
+      }
+      ++component_count;
+    }
+  }
+
+  // Per-pattern printed coverage and per-component pattern contacts.
+  std::vector<std::vector<int>> component_patterns(
+      static_cast<std::size_t>(component_count));
+  std::vector<int> component_area(static_cast<std::size_t>(component_count),
+                                  0);
+  std::vector<bool> component_touches_pattern(
+      static_cast<std::size_t>(component_count), false);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      if (label.at(y, x) >= 0)
+        ++component_area[static_cast<std::size_t>(label.at(y, x))];
+
+  for (const layout::Pattern& p : layout.patterns) {
+    const int px0 = std::max(
+        0, static_cast<int>(std::floor(
+               transform.to_px_x(static_cast<double>(p.shape.lo.x)))));
+    const int px1 = std::min(
+        w - 1, static_cast<int>(std::ceil(transform.to_px_x(
+                   static_cast<double>(p.shape.hi.x)))) - 1);
+    const int py0 = std::max(
+        0, static_cast<int>(std::floor(
+               transform.to_px_y(static_cast<double>(p.shape.lo.y)))));
+    const int py1 = std::min(
+        h - 1, static_cast<int>(std::ceil(transform.to_px_y(
+                   static_cast<double>(p.shape.hi.y)))) - 1);
+    int covered = 0;
+    int total = 0;
+    for (int y = py0; y <= py1; ++y) {
+      for (int x = px0; x <= px1; ++x) {
+        ++total;
+        const int c = label.at(y, x);
+        if (c >= 0) {
+          ++covered;
+          auto& patterns = component_patterns[static_cast<std::size_t>(c)];
+          if (patterns.empty() || patterns.back() != p.id)
+            patterns.push_back(p.id);
+          component_touches_pattern[static_cast<std::size_t>(c)] = true;
+        }
+      }
+    }
+    if (total == 0 || covered < total * 3 / 10) ++report.missing;
+  }
+
+  for (int c = 0; c < component_count; ++c) {
+    auto& patterns = component_patterns[static_cast<std::size_t>(c)];
+    std::sort(patterns.begin(), patterns.end());
+    patterns.erase(std::unique(patterns.begin(), patterns.end()),
+                   patterns.end());
+    if (patterns.size() >= 2)
+      report.bridges += static_cast<int>(patterns.size()) - 1;
+    if (!component_touches_pattern[static_cast<std::size_t>(c)] &&
+        component_area[static_cast<std::size_t>(c)] >= 4)
+      ++report.extra;
+  }
+  return report;
+}
+
+}  // namespace ldmo::litho

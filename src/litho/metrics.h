@@ -1,0 +1,84 @@
+// Printability metrology: EPE (Definition 1), L2 error (Definition 2) and
+// print-violation detection.
+//
+// EPE is measured the ICCAD-contest way: checkpoints are placed on the
+// target pattern edges, and at each checkpoint the printed contour (resist
+// response = 0.5, equivalently intensity = I_th) is located along the edge
+// normal with sub-pixel bilinear interpolation. A checkpoint whose contour
+// displacement exceeds the threshold (10nm in the paper) is an EPE
+// violation.
+//
+// Print violations are the catastrophic failures the LDMO flow checks every
+// three ILT iterations: target patterns that fail to print (missing),
+// distinct patterns whose prints merge (bridging), and spurious printing
+// away from any pattern (extra).
+#pragma once
+
+#include <vector>
+
+#include "common/grid.h"
+#include "layout/layout.h"
+#include "layout/raster.h"
+#include "litho/config.h"
+
+namespace ldmo::litho {
+
+/// One EPE measurement site: a point on a target edge plus outward normal.
+struct EpeCheckpoint {
+  double x_nm = 0.0;
+  double y_nm = 0.0;
+  double normal_x = 0.0;  ///< unit outward normal
+  double normal_y = 0.0;
+  int pattern_id = -1;
+};
+
+/// Checkpoints for every pattern edge. Edges shorter than 1.5 * interval get
+/// a single midpoint checkpoint (the contact case); longer edges are sampled
+/// every `interval_nm`.
+std::vector<EpeCheckpoint> make_checkpoints(const layout::Layout& layout,
+                                            double interval_nm = 40.0);
+
+/// Result at one checkpoint. `epe_nm` is the unsigned contour displacement,
+/// clamped to the search range when the contour is not found (missing or
+/// bridged print).
+struct EpeMeasurement {
+  EpeCheckpoint checkpoint;
+  double epe_nm = 0.0;
+  bool violation = false;
+  bool contour_found = false;
+};
+
+struct EpeReport {
+  std::vector<EpeMeasurement> measurements;
+  int violation_count = 0;
+  double max_epe_nm = 0.0;
+  double mean_epe_nm = 0.0;
+};
+
+/// Bilinear sample of a grid at continuous pixel coordinates, pixel-center
+/// convention: grid.at(y, x) lives at (x + 0.5, y + 0.5). Clamped at edges.
+double sample_bilinear(const GridF& grid, double px, double py);
+
+/// Measures EPE of the combined resist response against the layout.
+EpeReport measure_epe(const GridF& response, const layout::Layout& layout,
+                      const layout::RasterTransform& transform,
+                      const LithoConfig& config);
+
+/// L2 error between the (continuous) printed image and the target raster:
+/// ||T - T'||_2^2 (Definition 2).
+double l2_error(const GridF& response, const GridF& target);
+
+/// Print-violation classification.
+struct ViolationReport {
+  int missing = 0;  ///< target patterns with < 30% printed coverage
+  int bridges = 0;  ///< excess pattern-pairs merged into one printed blob
+  int extra = 0;    ///< printed blobs (>= 4 px) touching no pattern
+  int total() const { return missing + bridges + extra; }
+};
+
+/// Classifies violations from a binarized print.
+ViolationReport detect_print_violations(
+    const GridU8& printed, const layout::Layout& layout,
+    const layout::RasterTransform& transform);
+
+}  // namespace ldmo::litho

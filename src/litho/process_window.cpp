@@ -1,0 +1,80 @@
+#include "litho/process_window.h"
+
+#include "common/error.h"
+#include "layout/raster.h"
+#include "litho/resist.h"
+
+namespace ldmo::litho {
+
+std::vector<ProcessCorner> standard_corners(double defocus_nm,
+                                            double dose_delta) {
+  return {
+      {0.0, 1.0},                        // nominal
+      {defocus_nm, 1.0 - dose_delta},    // defocused underdose
+      {0.0, 1.0 + dose_delta},           // focused overdose
+  };
+}
+
+ProcessWindowAnalyzer::ProcessWindowAnalyzer(const LithoConfig& base)
+    : base_(base) {
+  base_.validate();
+}
+
+const SocsKernels& ProcessWindowAnalyzer::kernels_for(
+    double defocus_nm) const {
+  LithoConfig cfg = base_;
+  cfg.defocus_nm = defocus_nm;
+  return cached_kernels(cfg);
+}
+
+GridF ProcessWindowAnalyzer::print_at(const GridF& mask1, const GridF& mask2,
+                                      const ProcessCorner& corner) const {
+  require(corner.dose > 0.0, "ProcessWindowAnalyzer: dose must be positive");
+  AerialSimulator aerial(kernels_for(corner.defocus_nm));
+  GridF i1 = aerial.intensity(mask1);
+  GridF i2 = aerial.intensity(mask2);
+  for (std::size_t i = 0; i < i1.size(); ++i) {
+    i1[i] *= corner.dose;
+    i2[i] *= corner.dose;
+  }
+  return combine_exposures(resist_response(i1, base_),
+                           resist_response(i2, base_));
+}
+
+ProcessWindowReport ProcessWindowAnalyzer::analyze(
+    const GridF& mask1, const GridF& mask2, const layout::Layout& layout,
+    const std::vector<ProcessCorner>& corners) const {
+  require(!corners.empty(), "ProcessWindowAnalyzer: no corners");
+  const LithoSimulator nominal(base_);
+  const layout::RasterTransform transform = nominal.transform_for(layout);
+  const GridF target = layout::rasterize_target(layout, base_.grid_size);
+
+  ProcessWindowReport report;
+  report.corners = corners;
+  // Track per-pixel printed-at-any / printed-at-all for the PV band.
+  GridU8 printed_any(base_.grid_size, base_.grid_size, 0);
+  GridU8 printed_all(base_.grid_size, base_.grid_size, 1);
+
+  for (const ProcessCorner& corner : corners) {
+    const GridF response = print_at(mask1, mask2, corner);
+    PrintabilityReport corner_report;
+    corner_report.l2 = l2_error(response, target);
+    corner_report.epe = measure_epe(response, layout, transform, base_);
+    const GridU8 printed = binarize(response);
+    corner_report.violations =
+        detect_print_violations(printed, layout, transform);
+    report.total_epe_violations += corner_report.epe.violation_count;
+    report.worst_corner_epe = std::max(report.worst_corner_epe,
+                                       corner_report.epe.violation_count);
+    for (std::size_t i = 0; i < printed.size(); ++i) {
+      printed_any[i] = static_cast<unsigned char>(printed_any[i] | printed[i]);
+      printed_all[i] = static_cast<unsigned char>(printed_all[i] & printed[i]);
+    }
+    report.reports.push_back(std::move(corner_report));
+  }
+  for (std::size_t i = 0; i < printed_any.size(); ++i)
+    if (printed_any[i] && !printed_all[i]) ++report.pv_band_pixels;
+  return report;
+}
+
+}  // namespace ldmo::litho

@@ -1,0 +1,68 @@
+// Process-window analysis (extension beyond the paper's nominal-condition
+// evaluation; the baselines it compares against — MOSAIC [6], Su et al.
+// [9] — are process-window-aware, so a credible release must measure it).
+//
+// A process corner is a (defocus, dose) pair. The printed image at a
+// corner uses defocused SOCS kernels and a scaled intensity threshold;
+// the process window report aggregates EPE across corners and derives the
+// PV (process-variation) band — the area printed at some corners but not
+// all, the standard manufacturing-robustness metric.
+#pragma once
+
+#include <vector>
+
+#include "layout/layout.h"
+#include "litho/simulator.h"
+
+namespace ldmo::litho {
+
+/// One process corner: absolute defocus in nm and relative dose.
+struct ProcessCorner {
+  double defocus_nm = 0.0;
+  double dose = 1.0;  ///< multiplies the aerial intensity
+
+  friend bool operator==(const ProcessCorner&, const ProcessCorner&) = default;
+};
+
+/// The standard 3-corner window: nominal, defocused underdose (worst
+/// contact shrink), focused overdose (worst bridge risk).
+std::vector<ProcessCorner> standard_corners(double defocus_nm = 40.0,
+                                            double dose_delta = 0.05);
+
+/// Per-corner printability plus aggregate robustness numbers.
+struct ProcessWindowReport {
+  std::vector<ProcessCorner> corners;
+  std::vector<PrintabilityReport> reports;  ///< aligned with `corners`
+  /// Sum of EPE violations across all corners.
+  int total_epe_violations = 0;
+  /// Worst single-corner EPE violation count.
+  int worst_corner_epe = 0;
+  /// PV band area in pixels: printed in >= 1 corner but not in all.
+  int pv_band_pixels = 0;
+};
+
+/// Evaluates fixed masks across process corners. The same LithoConfig is
+/// re-kerneled per defocus value (cached process-wide), and dose scales
+/// the intensity before the resist model.
+class ProcessWindowAnalyzer {
+ public:
+  /// `base` must be the configuration the masks were optimized for.
+  explicit ProcessWindowAnalyzer(const LithoConfig& base);
+
+  /// Printed response of a mask pair at one corner.
+  GridF print_at(const GridF& mask1, const GridF& mask2,
+                 const ProcessCorner& corner) const;
+
+  /// Full multi-corner evaluation of a mask pair against a layout.
+  ProcessWindowReport analyze(const GridF& mask1, const GridF& mask2,
+                              const layout::Layout& layout,
+                              const std::vector<ProcessCorner>& corners =
+                                  standard_corners()) const;
+
+ private:
+  const SocsKernels& kernels_for(double defocus_nm) const;
+
+  LithoConfig base_;
+};
+
+}  // namespace ldmo::litho

@@ -1,0 +1,63 @@
+#include "litho/resist.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::litho {
+
+double sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+GridF resist_response(const GridF& intensity, const LithoConfig& config) {
+  GridF t(intensity.height(), intensity.width());
+  for (std::size_t i = 0; i < intensity.size(); ++i)
+    t[i] = sigmoid(config.theta_z * (intensity[i] - config.intensity_threshold));
+  return t;
+}
+
+GridF resist_derivative(const GridF& response, const LithoConfig& config) {
+  GridF d(response.height(), response.width());
+  for (std::size_t i = 0; i < response.size(); ++i)
+    d[i] = config.theta_z * response[i] * (1.0 - response[i]);
+  return d;
+}
+
+GridF combine_exposures(const GridF& t1, const GridF& t2) {
+  require(t1.same_shape(t2), "combine_exposures: shape mismatch");
+  GridF t(t1.height(), t1.width());
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = std::min(t1[i] + t2[i], 1.0);
+  return t;
+}
+
+GridF combine_exposures_n(const std::vector<GridF>& responses) {
+  require(!responses.empty(), "combine_exposures_n: no exposures");
+  GridF t = responses.front();
+  for (std::size_t e = 1; e < responses.size(); ++e) {
+    require(t.same_shape(responses[e]), "combine_exposures_n: shape mismatch");
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] += responses[e][i];
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = std::min(t[i], 1.0);
+  return t;
+}
+
+GridF combine_gradient_mask(const GridF& t1, const GridF& t2) {
+  require(t1.same_shape(t2), "combine_gradient_mask: shape mismatch");
+  GridF mask(t1.height(), t1.width());
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    mask[i] = (t1[i] + t2[i] < 1.0) ? 1.0 : 0.0;
+  return mask;
+}
+
+GridU8 binarize(const GridF& response, double threshold) {
+  GridU8 b(response.height(), response.width());
+  for (std::size_t i = 0; i < response.size(); ++i)
+    b[i] = response[i] >= threshold ? 1 : 0;
+  return b;
+}
+
+}  // namespace ldmo::litho

@@ -1,0 +1,76 @@
+#include "litho/simulator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "layout/raster.h"
+#include "litho/resist.h"
+
+namespace ldmo::litho {
+
+LithoSimulator::LithoSimulator(const LithoConfig& config)
+    : config_(config), aerial_(cached_kernels(config)) {}
+
+layout::RasterTransform LithoSimulator::transform_for(
+    const layout::Layout& layout) const {
+  const double field = config_.field_nm();
+  require(std::abs(static_cast<double>(layout.clip.width()) - field) < 1e-6 &&
+              std::abs(static_cast<double>(layout.clip.height()) - field) <
+                  1e-6,
+          "LithoSimulator: layout clip does not match the simulation field (" +
+              std::to_string(field) + "nm)");
+  return {layout.clip, config_.grid_size};
+}
+
+GridF LithoSimulator::expose(const GridF& mask) const {
+  return resist_response(aerial_.intensity(mask), config_);
+}
+
+GridF LithoSimulator::print(const GridF& mask1, const GridF& mask2) const {
+  return combine_exposures(expose(mask1), expose(mask2));
+}
+
+GridF LithoSimulator::print_masks(const std::vector<GridF>& masks) const {
+  require(!masks.empty(), "print_masks: no masks");
+  std::vector<GridF> responses;
+  responses.reserve(masks.size());
+  for (const GridF& mask : masks) responses.push_back(expose(mask));
+  return combine_exposures_n(responses);
+}
+
+GridF LithoSimulator::print_decomposition(
+    const layout::Layout& layout, const layout::Assignment& assignment) const {
+  transform_for(layout);  // validates geometry compatibility
+  const GridF m1 =
+      layout::rasterize_mask(layout, assignment, 0, config_.grid_size);
+  const GridF m2 =
+      layout::rasterize_mask(layout, assignment, 1, config_.grid_size);
+  return print(m1, m2);
+}
+
+GridF LithoSimulator::print_decomposition_k(
+    const layout::Layout& layout, const layout::Assignment& assignment,
+    int mask_count) const {
+  require(mask_count >= 1, "print_decomposition_k: bad mask count");
+  transform_for(layout);
+  std::vector<GridF> masks;
+  masks.reserve(static_cast<std::size_t>(mask_count));
+  for (int m = 0; m < mask_count; ++m)
+    masks.push_back(
+        layout::rasterize_mask(layout, assignment, m, config_.grid_size));
+  return print_masks(masks);
+}
+
+PrintabilityReport LithoSimulator::evaluate(
+    const GridF& response, const layout::Layout& layout) const {
+  const layout::RasterTransform transform = transform_for(layout);
+  PrintabilityReport report;
+  report.l2 =
+      l2_error(response, layout::rasterize_target(layout, config_.grid_size));
+  report.epe = measure_epe(response, layout, transform, config_);
+  report.violations =
+      detect_print_violations(binarize(response), layout, transform);
+  return report;
+}
+
+}  // namespace ldmo::litho

@@ -1,0 +1,102 @@
+#include "litho/tcc.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::litho {
+
+std::complex<double> pupil_value(const LithoConfig& config, double fx,
+                                 double fy) {
+  const double f2 = fx * fx + fy * fy;
+  const double cutoff = config.cutoff_frequency();
+  if (f2 > cutoff * cutoff) return {0.0, 0.0};
+  if (config.defocus_nm == 0.0) return {1.0, 0.0};
+  // Fresnel defocus phase: phi = -pi * lambda * z * |f|^2.
+  const double phase = -M_PI * config.wavelength_nm * config.defocus_nm * f2;
+  return {std::cos(phase), std::sin(phase)};
+}
+
+bool source_contains(const LithoConfig& config, double fx, double fy) {
+  const double cutoff = config.cutoff_frequency();
+  const double r2 = fx * fx + fy * fy;
+  const double inner = config.sigma_inner * cutoff;
+  const double outer = config.sigma_outer * cutoff;
+  return r2 >= inner * inner && r2 <= outer * outer;
+}
+
+TccResult build_tcc(const LithoConfig& config, int source_supersample) {
+  config.validate();
+  require(source_supersample >= 1, "build_tcc: bad supersample");
+
+  const int n = config.grid_size;
+  const double df = 1.0 / config.field_nm();
+  const double cutoff = config.cutoff_frequency();
+  const double band = (1.0 + config.sigma_outer) * cutoff;
+
+  TccResult result;
+  // In-band lattice points: |f| <= band. Deterministic scan order.
+  for (int ky = -n / 2; ky < n / 2; ++ky) {
+    for (int kx = -n / 2; kx < n / 2; ++kx) {
+      const double fx = kx * df;
+      const double fy = ky * df;
+      if (fx * fx + fy * fy <= band * band)
+        result.support.emplace_back(kx, ky);
+    }
+  }
+  const int dim = result.dimension();
+  require(dim >= 1, "build_tcc: empty band");
+
+  // Source sample points on a supersampled lattice over the annulus;
+  // weights normalized so sum J = 1 (open-frame intensity = TCC(0,0) = 1
+  // when sigma_outer <= 1, i.e. the whole source passes the pupil).
+  struct SourcePoint {
+    double fx, fy;
+  };
+  std::vector<SourcePoint> source;
+  const double sdf = df / source_supersample;
+  const int s_extent =
+      static_cast<int>(std::ceil(config.sigma_outer * cutoff / sdf)) + 1;
+  for (int sy = -s_extent; sy <= s_extent; ++sy) {
+    for (int sx = -s_extent; sx <= s_extent; ++sx) {
+      const double fx = sx * sdf;
+      const double fy = sy * sdf;
+      if (source_contains(config, fx, fy)) source.push_back({fx, fy});
+    }
+  }
+  require(!source.empty(),
+          "build_tcc: no source samples; increase supersampling");
+  const double j_weight = 1.0 / static_cast<double>(source.size());
+
+  // Cache pupil values P(s + f_i) per source point, then form the rank-1
+  // accumulation TCC += J(s) p p^H. Only the upper triangle is computed.
+  result.matrix.assign(static_cast<std::size_t>(dim) * dim, {0.0, 0.0});
+  std::vector<std::complex<double>> p(static_cast<std::size_t>(dim));
+  for (const SourcePoint& s : source) {
+    bool any = false;
+    for (int i = 0; i < dim; ++i) {
+      const auto [kx, ky] = result.support[static_cast<std::size_t>(i)];
+      p[static_cast<std::size_t>(i)] =
+          pupil_value(config, s.fx + kx * df, s.fy + ky * df);
+      if (p[static_cast<std::size_t>(i)] != std::complex<double>(0.0, 0.0))
+        any = true;
+    }
+    if (!any) continue;
+    for (int i = 0; i < dim; ++i) {
+      if (p[static_cast<std::size_t>(i)] == std::complex<double>(0.0, 0.0))
+        continue;
+      const std::complex<double> pi = j_weight * p[static_cast<std::size_t>(i)];
+      for (int j = i; j < dim; ++j)
+        result.matrix[static_cast<std::size_t>(i) * dim + j] +=
+            pi * std::conj(p[static_cast<std::size_t>(j)]);
+    }
+  }
+  // Mirror to the lower triangle (Hermitian).
+  for (int i = 0; i < dim; ++i)
+    for (int j = i + 1; j < dim; ++j)
+      result.matrix[static_cast<std::size_t>(j) * dim + i] =
+          std::conj(result.matrix[static_cast<std::size_t>(i) * dim + j]);
+  return result;
+}
+
+}  // namespace ldmo::litho

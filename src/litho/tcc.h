@@ -1,0 +1,46 @@
+// Transmission cross coefficients (TCC) of Hopkins partially coherent
+// imaging, assembled over the discrete frequency lattice of the simulation
+// field.
+//
+// TCC(f1, f2) = sum_s J(s) P(s + f1) conj(P(s + f2))
+//
+// where J is the (annular) illumination source and P the projection pupil.
+// Because the simulation field is periodic, mask spectra live exactly on the
+// lattice f = k / field, so restricting TCC to lattice points inside the
+// imaging band |f| <= (1 + sigma_outer) * NA / lambda is exact, not an
+// approximation. The source integral is evaluated on a finer off-lattice
+// grid (P is analytic, so source points need not be lattice points).
+#pragma once
+
+#include <complex>
+#include <utility>
+#include <vector>
+
+#include "litho/config.h"
+
+namespace ldmo::litho {
+
+/// TCC restricted to the in-band frequency lattice.
+struct TccResult {
+  /// Lattice offsets (kx, ky) in [-N/2, N/2) of the in-band samples;
+  /// index i of this list is row/column i of `matrix`.
+  std::vector<std::pair<int, int>> support;
+  /// Row-major Hermitian PSD matrix, size support.size()^2.
+  std::vector<std::complex<double>> matrix;
+
+  int dimension() const { return static_cast<int>(support.size()); }
+};
+
+/// Pupil transmission at spatial frequency (fx, fy) in 1/nm: 1 inside the
+/// NA circle (with defocus phase when configured), 0 outside.
+std::complex<double> pupil_value(const LithoConfig& config, double fx,
+                                 double fy);
+
+/// True if (fx, fy) lies inside the annular source.
+bool source_contains(const LithoConfig& config, double fx, double fy);
+
+/// Assembles the TCC matrix. `source_supersample` subdivides the lattice
+/// pitch for the source integral (4 is plenty for our annuli).
+TccResult build_tcc(const LithoConfig& config, int source_supersample = 4);
+
+}  // namespace ldmo::litho

@@ -1,0 +1,61 @@
+#include "mpl/baselines.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "graph/coloring.h"
+
+namespace ldmo::mpl {
+namespace {
+
+// Conflict graph over ALL patterns with edges up to nmin only: the
+// rule-based decomposers of [16] and [17] resolve design-rule *conflicts*
+// (sub-nmin spacings). Sub-resolution proximity in the VP band (nmin-nmax)
+// is invisible to them — exactly the blind spot the paper's learned
+// selection exploits.
+graph::Graph full_conflict_graph(const layout::Layout& layout,
+                                 const ClassifyConfig& config) {
+  std::vector<int> all_ids(static_cast<std::size_t>(layout.pattern_count()));
+  std::iota(all_ids.begin(), all_ids.end(), 0);
+  return build_conflict_graph(layout, all_ids, config.nmin_nm);
+}
+
+}  // namespace
+
+layout::Assignment SpacingUniformityDecomposer::decompose(
+    const layout::Layout& layout) const {
+  require(layout.pattern_count() > 0, "decompose: empty layout");
+  const graph::Graph g = full_conflict_graph(layout, config_);
+  const graph::ColoringResult coloring = graph::spacing_uniformity_coloring(g);
+  return layout::canonicalize(coloring.color);
+}
+
+layout::Assignment BalancedDecomposer::decompose(
+    const layout::Layout& layout) const {
+  require(layout.pattern_count() > 0, "decompose: empty layout");
+  const graph::Graph g = full_conflict_graph(layout, config_);
+  const graph::ColoringResult coloring = graph::balanced_coloring(g);
+  return layout::canonicalize(coloring.color);
+}
+
+std::vector<layout::Assignment> enumerate_all_decompositions(
+    const layout::Layout& layout, int max_patterns) {
+  const int n = layout.pattern_count();
+  require(n >= 1, "enumerate_all_decompositions: empty layout");
+  require(n <= max_patterns,
+          "enumerate_all_decompositions: too many patterns (" +
+              std::to_string(n) + " > " + std::to_string(max_patterns) + ")");
+  std::vector<layout::Assignment> all;
+  const std::size_t count = std::size_t{1} << (n - 1);  // pattern 0 pinned
+  all.reserve(count);
+  for (std::size_t bits = 0; bits < count; ++bits) {
+    layout::Assignment assignment(static_cast<std::size_t>(n), 0);
+    for (int p = 1; p < n; ++p)
+      assignment[static_cast<std::size_t>(p)] =
+          static_cast<int>((bits >> (p - 1)) & 1u);
+    all.push_back(std::move(assignment));
+  }
+  return all;
+}
+
+}  // namespace ldmo::mpl

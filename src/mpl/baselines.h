@@ -1,0 +1,52 @@
+// Baseline layout decomposers for the Table I comparison flows.
+//
+// Both pick ONE decomposition from graph structure alone — no printability
+// feedback — which is exactly the deficiency the paper's learned selection
+// addresses:
+//  - SpacingUniformityDecomposer models the flow of [16] (SUALD): color the
+//    conflict graph, then locally improve spacing uniformity (avoid close
+//    same-mask pairs).
+//  - BalancedDecomposer models the flow of [17] (Yu-Pan): color the conflict
+//    graph while balancing pattern counts across masks.
+//  - ExhaustiveDecomposer enumerates all 2^(n-1) canonical assignments —
+//    usable as an oracle on small layouts (tests, ablations).
+#pragma once
+
+#include <vector>
+
+#include "layout/layout.h"
+#include "mpl/classify.h"
+
+namespace ldmo::mpl {
+
+/// SUALD-like single-shot decomposer.
+class SpacingUniformityDecomposer {
+ public:
+  explicit SpacingUniformityDecomposer(ClassifyConfig config = {})
+      : config_(config) {}
+
+  /// Returns the canonicalized chosen assignment.
+  layout::Assignment decompose(const layout::Layout& layout) const;
+
+ private:
+  ClassifyConfig config_;
+};
+
+/// Yu-Pan-like balanced single-shot decomposer.
+class BalancedDecomposer {
+ public:
+  explicit BalancedDecomposer(ClassifyConfig config = {})
+      : config_(config) {}
+
+  layout::Assignment decompose(const layout::Layout& layout) const;
+
+ private:
+  ClassifyConfig config_;
+};
+
+/// All canonical assignments of a layout (2^(n-1)). Throws beyond
+/// `max_patterns` to prevent accidental blowups.
+std::vector<layout::Assignment> enumerate_all_decompositions(
+    const layout::Layout& layout, int max_patterns = 16);
+
+}  // namespace ldmo::mpl

@@ -1,0 +1,49 @@
+#include "mpl/classify.h"
+
+#include "common/error.h"
+#include "geometry/spatial_index.h"
+
+namespace ldmo::mpl {
+
+PatternClassification classify_patterns(const layout::Layout& layout,
+                                        const ClassifyConfig& config) {
+  require(config.nmin_nm > 0.0 && config.nmax_nm > config.nmin_nm,
+          "classify_patterns: need 0 < nmin < nmax");
+  PatternClassification result;
+  result.classes.resize(static_cast<std::size_t>(layout.pattern_count()));
+  for (const layout::Pattern& p : layout.patterns) {
+    const double d = layout.nearest_distance(p.id);
+    PatternClass cls;
+    if (d <= config.nmin_nm)
+      cls = PatternClass::Separated;
+    else if (d <= config.nmax_nm)
+      cls = PatternClass::Violated;
+    else
+      cls = PatternClass::Normal;
+    result.classes[static_cast<std::size_t>(p.id)] = cls;
+    switch (cls) {
+      case PatternClass::Separated: result.sp.push_back(p.id); break;
+      case PatternClass::Violated: result.vp.push_back(p.id); break;
+      case PatternClass::Normal: result.np.push_back(p.id); break;
+    }
+  }
+  return result;
+}
+
+graph::Graph build_conflict_graph(const layout::Layout& layout,
+                                  const std::vector<int>& ids,
+                                  double max_distance_nm) {
+  graph::Graph g(static_cast<int>(ids.size()));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      const double d = geometry::rect_distance(
+          layout.patterns[static_cast<std::size_t>(ids[i])].shape,
+          layout.patterns[static_cast<std::size_t>(ids[j])].shape);
+      if (d <= max_distance_nm)
+        g.add_edge(static_cast<int>(i), static_cast<int>(j), d);
+    }
+  }
+  return g;
+}
+
+}  // namespace ldmo::mpl

@@ -1,0 +1,49 @@
+// Pattern classification (paper Eq. 6) and conflict-graph construction.
+//
+// Every pattern is classified by the distance d to its nearest neighbor:
+//   d <= nmin          -> SP (separated pattern: printing next to its
+//                          neighbor on one mask violates)
+//   nmin < d <= nmax   -> VP (violated pattern: printability declines)
+//   nmax < d           -> NP (normal pattern: negligible interaction)
+// with the paper's nmin = 80nm, nmax = 98nm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "layout/layout.h"
+
+namespace ldmo::mpl {
+
+enum class PatternClass { Separated, Violated, Normal };
+
+/// Classification thresholds (paper Section III-A).
+struct ClassifyConfig {
+  double nmin_nm = 80.0;
+  double nmax_nm = 98.0;
+};
+
+/// Result of classify_patterns().
+struct PatternClassification {
+  /// Class per pattern id.
+  std::vector<PatternClass> classes;
+  /// Pattern ids per class, ascending.
+  std::vector<int> sp;
+  std::vector<int> vp;
+  std::vector<int> np;
+};
+
+/// Applies Eq. 6 to every pattern.
+PatternClassification classify_patterns(const layout::Layout& layout,
+                                        const ClassifyConfig& config = {});
+
+/// Conflict graph over the pattern subset `ids`: vertices are indices into
+/// `ids` (not pattern ids), and an edge connects every pair of subset
+/// patterns with edge-to-edge distance <= max_distance_nm, weighted by that
+/// distance (Fig. 3(a)).
+graph::Graph build_conflict_graph(const layout::Layout& layout,
+                                  const std::vector<int>& ids,
+                                  double max_distance_nm);
+
+}  // namespace ldmo::mpl

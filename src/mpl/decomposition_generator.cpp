@@ -1,0 +1,119 @@
+#include "mpl/decomposition_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "coverage/covering_array.h"
+
+namespace ldmo::mpl {
+namespace {
+
+using Row = std::vector<std::uint8_t>;
+
+// Canonicalizes a covering-array row by its first factor (flip the whole row
+// when factor 0 is on mask 2 — the per-array version of Fig. 4(c)) and
+// deduplicates, preserving first-seen order.
+std::vector<Row> merge_rows(std::vector<Row> rows, bool canonicalize) {
+  std::vector<Row> merged;
+  std::set<Row> seen;
+  for (Row& row : rows) {
+    if (canonicalize && !row.empty() && row[0] == 1)
+      for (auto& v : row) v = 1 - v;
+    if (seen.insert(row).second) merged.push_back(std::move(row));
+  }
+  return merged;
+}
+
+}  // namespace
+
+GenerationResult generate_decompositions(const layout::Layout& layout,
+                                         const GenerationConfig& config) {
+  require(layout.pattern_count() > 0,
+          "generate_decompositions: empty layout");
+  require(config.max_candidates >= 1,
+          "generate_decompositions: max_candidates must be >= 1");
+
+  GenerationResult result;
+  result.classification = classify_patterns(layout, config.classify);
+  const auto& sp = result.classification.sp;
+  const auto& vp = result.classification.vp;
+  const auto& np = result.classification.np;
+
+  // MST over the SP conflict graph; adjacent tree vertices must separate.
+  const graph::Graph sp_graph =
+      build_conflict_graph(layout, sp, config.classify.nmin_nm);
+  result.sp_mst = graph::minimum_spanning_forest(sp_graph);
+  result.sp_component = result.sp_mst.component;
+  result.sp_component_count = result.sp_mst.component_count;
+  const std::vector<int> sp_color = graph::two_color_forest(
+      static_cast<int>(sp.size()), result.sp_mst.edges);
+
+  // Factor layout: Arrs1 = one orientation factor per SP component followed
+  // by one factor per VP pattern (three-wise); Arrs2 = NP patterns
+  // (pairwise).
+  const int factors1 =
+      result.sp_component_count + static_cast<int>(vp.size());
+  const int factors2 = static_cast<int>(np.size());
+
+  coverage::GeneratorOptions options1;
+  options1.seed = config.seed;
+  coverage::GeneratorOptions options2;
+  options2.seed = config.seed + 1;
+  const coverage::CoveringArray arr1 = coverage::generate_covering_array(
+      factors1, config.strength_sp_vp, options1);
+  const coverage::CoveringArray arr2 = coverage::generate_covering_array(
+      factors2, config.strength_np, options2);
+
+  const std::vector<Row> merged1 = merge_rows(arr1.rows, true);
+  const std::vector<Row> merged2 = merge_rows(arr2.rows, false);
+  result.arrs1_rows = merged1.size();
+  result.arrs2_rows = merged2.size();
+
+  // Expand the Cartesian product of the merged arrays to full assignments.
+  std::set<layout::Assignment> seen;
+  for (const Row& row1 : merged1) {
+    for (const Row& row2 : merged2) {
+      layout::Assignment assignment(
+          static_cast<std::size_t>(layout.pattern_count()), 0);
+      for (std::size_t i = 0; i < sp.size(); ++i) {
+        const int orientation =
+            row1[static_cast<std::size_t>(result.sp_component[i])];
+        assignment[static_cast<std::size_t>(sp[i])] =
+            sp_color[i] ^ orientation;
+      }
+      for (std::size_t i = 0; i < vp.size(); ++i)
+        assignment[static_cast<std::size_t>(vp[i])] =
+            row1[static_cast<std::size_t>(result.sp_component_count) + i];
+      for (std::size_t i = 0; i < np.size(); ++i)
+        assignment[static_cast<std::size_t>(np[i])] = row2[i];
+
+      // Global dual canonicalization (pattern 0 on M1) + dedup: the
+      // per-array merge removes most duplicates, this removes the rest.
+      assignment = layout::canonicalize(std::move(assignment));
+      if (seen.insert(assignment).second) {
+        result.candidates.push_back(std::move(assignment));
+        if (static_cast<int>(result.candidates.size()) >=
+            config.max_candidates)
+          return result;
+      }
+    }
+  }
+  LDMO_ASSERT(!result.candidates.empty());
+  return result;
+}
+
+bool respects_mst_separation(const GenerationResult& result,
+                             const layout::Assignment& assignment) {
+  const auto& sp = result.classification.sp;
+  for (const graph::Edge& e : result.sp_mst.edges) {
+    const int pattern_u = sp[static_cast<std::size_t>(e.u)];
+    const int pattern_v = sp[static_cast<std::size_t>(e.v)];
+    if (assignment[static_cast<std::size_t>(pattern_u)] ==
+        assignment[static_cast<std::size_t>(pattern_v)])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace ldmo::mpl

@@ -1,0 +1,67 @@
+// Decomposition candidate generation (paper Algorithm 1 / Section III-A).
+//
+// Pipeline:
+//  1. Classify patterns into SP / VP / NP (Eq. 6).
+//  2. Build the SP conflict graph (pairs closer than nmin), solve the MST
+//     per connected component (Fig. 3), and 2-color each tree: MST-adjacent
+//     patterns land on opposite masks, so each component contributes ONE
+//     binary degree of freedom (its orientation) instead of one per pattern.
+//  3. Factors for the covering arrays: one per SP component plus one per VP
+//     pattern -> three-wise array (Arrs1); NP patterns -> pairwise array
+//     (Arrs2). n-wise keeps the candidate count near-minimal while every
+//     local combination of up to n interacting patterns still appears.
+//  4. Expand factor rows to full assignments, canonicalize the mask-symmetry
+//     dual (pattern 0 pinned to M1, Fig. 4(c)) and deduplicate. The final
+//     candidate list is the Cartesian product of the merged arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/mst.h"
+#include "layout/layout.h"
+#include "mpl/classify.h"
+
+namespace ldmo::mpl {
+
+/// Generation knobs. Strengths follow the paper (3-wise for SP components +
+/// VP, 2-wise for NP).
+struct GenerationConfig {
+  ClassifyConfig classify;
+  int strength_sp_vp = 3;
+  int strength_np = 2;
+  /// Seed for the covering-array generator (candidates are deterministic).
+  std::uint64_t seed = 7;
+  /// Hard cap on emitted candidates (safety valve for dense layouts; the
+  /// paper's n-wise construction keeps counts far below this anyway).
+  int max_candidates = 4096;
+};
+
+/// Everything generate_decompositions() learned about the layout.
+struct GenerationResult {
+  PatternClassification classification;
+  /// MST solution of the SP conflict graph.
+  graph::MstResult sp_mst;
+  /// Component label per SP pattern (aligned with classification.sp).
+  std::vector<int> sp_component;
+  int sp_component_count = 0;
+  /// Deduplicated, canonicalized candidate assignments.
+  std::vector<layout::Assignment> candidates;
+  /// Array sizes before combination (paper: candidate count should be
+  /// |mergedArrs1| x |mergedArrs2| up to global dual dedup).
+  std::size_t arrs1_rows = 0;
+  std::size_t arrs2_rows = 0;
+};
+
+/// Runs Algorithm 1 on a layout. Always returns at least one candidate
+/// (layouts with no conflicts yield the all-on-M1-orientation candidates of
+/// the NP array alone).
+GenerationResult generate_decompositions(const layout::Layout& layout,
+                                         const GenerationConfig& config = {});
+
+/// True if `assignment` separates every SP-MST edge (the hard constraint
+/// all generated candidates satisfy by construction).
+bool respects_mst_separation(const GenerationResult& result,
+                             const layout::Assignment& assignment);
+
+}  // namespace ldmo::mpl

@@ -1,0 +1,124 @@
+#include "mpl/tpl.h"
+
+#include <array>
+#include <set>
+#include <tuple>
+
+#include "common/error.h"
+#include "coverage/covering_array.h"
+
+namespace ldmo::mpl {
+namespace {
+
+// The 6 permutations of {0, 1, 2}, indexed by a 6-level factor.
+constexpr std::array<std::array<int, 3>, 6> kPermutations = {{
+    {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}};
+
+int factorial(int k) {
+  int f = 1;
+  for (int i = 2; i <= k; ++i) f *= i;
+  return f;
+}
+
+}  // namespace
+
+TplGenerationResult generate_tpl_decompositions(
+    const layout::Layout& layout, const TplGenerationConfig& config) {
+  require(layout.pattern_count() > 0,
+          "generate_tpl_decompositions: empty layout");
+  require(config.mask_count == 3,
+          "generate_tpl_decompositions: only mask_count == 3 is supported "
+          "(permutation factors are hardcoded for 3 masks)");
+  require(config.max_candidates >= 1,
+          "generate_tpl_decompositions: bad max_candidates");
+
+  TplGenerationResult result;
+  result.classification = classify_patterns(layout, config.classify);
+  const auto& sp = result.classification.sp;
+  const auto& vp = result.classification.vp;
+  const auto& np = result.classification.np;
+
+  // Base k-coloring of the SP conflict graph; components enumerate the
+  // orientation (permutation) degrees of freedom.
+  const graph::Graph sp_graph =
+      build_conflict_graph(layout, sp, config.classify.nmin_nm);
+  result.sp_coloring = graph::greedy_k_coloring(sp_graph, config.mask_count);
+  std::tie(result.sp_component, result.sp_component_count) =
+      sp_graph.connected_components();
+
+  // Mixed-arity factors: one 6-level permutation factor per SP component,
+  // then ternary factors for VP patterns (Arrs1, three-wise); ternary
+  // factors for NP patterns (Arrs2, pairwise).
+  std::vector<int> arities1(
+      static_cast<std::size_t>(result.sp_component_count),
+      factorial(config.mask_count));
+  arities1.insert(arities1.end(), vp.size(), config.mask_count);
+  const std::vector<int> arities2(np.size(), config.mask_count);
+
+  coverage::GeneratorOptions options1;
+  options1.seed = config.seed;
+  coverage::GeneratorOptions options2;
+  options2.seed = config.seed + 1;
+  const coverage::CoveringArray arr1 = coverage::generate_covering_array_mixed(
+      arities1, config.strength_sp_vp, options1);
+  const coverage::CoveringArray arr2 = coverage::generate_covering_array_mixed(
+      arities2, config.strength_np, options2);
+
+  std::set<layout::Assignment> seen;
+  for (const auto& row1 : arr1.rows) {
+    for (const auto& row2 : arr2.rows) {
+      layout::Assignment assignment(
+          static_cast<std::size_t>(layout.pattern_count()), 0);
+      for (std::size_t i = 0; i < sp.size(); ++i) {
+        const int perm = row1[static_cast<std::size_t>(
+            result.sp_component[i])];
+        assignment[static_cast<std::size_t>(sp[i])] =
+            kPermutations[static_cast<std::size_t>(perm)]
+                         [static_cast<std::size_t>(
+                             result.sp_coloring.color[i])];
+      }
+      for (std::size_t i = 0; i < vp.size(); ++i)
+        assignment[static_cast<std::size_t>(vp[i])] =
+            row1[static_cast<std::size_t>(result.sp_component_count) + i];
+      for (std::size_t i = 0; i < np.size(); ++i)
+        assignment[static_cast<std::size_t>(np[i])] = row2[i];
+
+      assignment = layout::canonicalize_k(std::move(assignment),
+                                          config.mask_count);
+      if (seen.insert(assignment).second) {
+        result.candidates.push_back(std::move(assignment));
+        if (static_cast<int>(result.candidates.size()) >=
+            config.max_candidates)
+          return result;
+      }
+    }
+  }
+  LDMO_ASSERT(!result.candidates.empty());
+  return result;
+}
+
+bool respects_tpl_separation(const TplGenerationResult& result,
+                             const layout::Layout& layout,
+                             const layout::Assignment& assignment,
+                             double nmin_nm) {
+  const auto& sp = result.classification.sp;
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    for (std::size_t j = i + 1; j < sp.size(); ++j) {
+      const double d = geometry::rect_distance(
+          layout.patterns[static_cast<std::size_t>(sp[i])].shape,
+          layout.patterns[static_cast<std::size_t>(sp[j])].shape);
+      if (d > nmin_nm) continue;
+      // Conflict pair: separated in the candidate iff the base coloring
+      // separated it (permutations preserve equality structure).
+      const bool base_separated =
+          result.sp_coloring.color[i] != result.sp_coloring.color[j];
+      const bool candidate_separated =
+          assignment[static_cast<std::size_t>(sp[i])] !=
+          assignment[static_cast<std::size_t>(sp[j])];
+      if (base_separated != candidate_separated) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ldmo::mpl

@@ -1,0 +1,56 @@
+// Triple-patterning decomposition generation (MPL extension).
+//
+// The paper's Algorithm 1 generalizes naturally: the SP conflict graph is
+// k-colored per connected component (k = 3), each component contributes a
+// color-permutation factor (3! = 6 orientations of its base coloring), and
+// VP / NP patterns contribute ternary factors. Candidates come from
+// mixed-arity covering arrays (three-wise for SP components + VP, pairwise
+// for NP) and are canonicalized under mask-permutation symmetry.
+//
+// TPL resolves layouts double patterning cannot: an odd cycle of
+// conflicts (e.g. a triangle of mutually-sub-nmin contacts) is
+// 2-uncolorable but 3-colorable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coloring.h"
+#include "layout/layout.h"
+#include "mpl/classify.h"
+
+namespace ldmo::mpl {
+
+struct TplGenerationConfig {
+  ClassifyConfig classify;
+  int mask_count = 3;
+  int strength_sp_vp = 3;
+  int strength_np = 2;
+  std::uint64_t seed = 7;
+  int max_candidates = 4096;
+};
+
+struct TplGenerationResult {
+  PatternClassification classification;
+  /// Base k-coloring of the SP conflict graph (indexed like
+  /// classification.sp) and its residual conflicts.
+  graph::ColoringResult sp_coloring;
+  /// Component id per SP pattern and component count.
+  std::vector<int> sp_component;
+  int sp_component_count = 0;
+  /// Canonicalized unique candidates; values in [0, mask_count).
+  std::vector<layout::Assignment> candidates;
+};
+
+/// Generalized Algorithm 1 for k masks.
+TplGenerationResult generate_tpl_decompositions(
+    const layout::Layout& layout, const TplGenerationConfig& config = {});
+
+/// True if `assignment` separates every SP conflict edge that the base
+/// coloring separates (the invariant the permutation factors preserve).
+bool respects_tpl_separation(const TplGenerationResult& result,
+                             const layout::Layout& layout,
+                             const layout::Assignment& assignment,
+                             double nmin_nm = 80.0);
+
+}  // namespace ldmo::mpl

@@ -1,0 +1,155 @@
+#include "nn/conv.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+#include "nn/gemm.h"
+
+namespace ldmo::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel_size, int stride,
+               int padding, bool bias, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias) {
+  require(in_channels > 0 && out_channels > 0 && kernel_size > 0 &&
+              stride > 0 && padding >= 0,
+          "Conv2d: invalid configuration");
+  const int fan_in = in_channels * kernel_size * kernel_size;
+  weight_ = Parameter({out_channels, fan_in});
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (std::size_t i = 0; i < weight_.value.size(); ++i)
+    weight_.value[i] = static_cast<float>(rng.normal(0.0, stddev));
+  if (has_bias_) bias_ = Parameter({out_channels});
+}
+
+void Conv2d::im2col(const Tensor& input, int sample, float* columns) const {
+  // columns: [in_c * k * k, out_h * out_w]
+  const int H = input.dim(2);
+  const int W = input.dim(3);
+  const int cols = out_h_ * out_w_;
+  for (int c = 0; c < in_channels_; ++c) {
+    for (int ky = 0; ky < kernel_size_; ++ky) {
+      for (int kx = 0; kx < kernel_size_; ++kx) {
+        float* row = columns +
+                     static_cast<std::size_t>((c * kernel_size_ + ky) *
+                                              kernel_size_ + kx) * cols;
+        for (int oy = 0; oy < out_h_; ++oy) {
+          const int iy = oy * stride_ - padding_ + ky;
+          if (iy < 0 || iy >= H) {
+            std::memset(row + static_cast<std::size_t>(oy) * out_w_, 0,
+                        static_cast<std::size_t>(out_w_) * sizeof(float));
+            continue;
+          }
+          for (int ox = 0; ox < out_w_; ++ox) {
+            const int ix = ox * stride_ - padding_ + kx;
+            row[static_cast<std::size_t>(oy) * out_w_ + ox] =
+                (ix >= 0 && ix < W) ? input.at4(sample, c, iy, ix) : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* columns, Tensor& grad_input,
+                    int sample) const {
+  const int H = grad_input.dim(2);
+  const int W = grad_input.dim(3);
+  const int cols = out_h_ * out_w_;
+  for (int c = 0; c < in_channels_; ++c) {
+    for (int ky = 0; ky < kernel_size_; ++ky) {
+      for (int kx = 0; kx < kernel_size_; ++kx) {
+        const float* row = columns +
+                           static_cast<std::size_t>((c * kernel_size_ + ky) *
+                                                    kernel_size_ + kx) * cols;
+        for (int oy = 0; oy < out_h_; ++oy) {
+          const int iy = oy * stride_ - padding_ + ky;
+          if (iy < 0 || iy >= H) continue;
+          for (int ox = 0; ox < out_w_; ++ox) {
+            const int ix = ox * stride_ - padding_ + kx;
+            if (ix >= 0 && ix < W)
+              grad_input.at4(sample, c, iy, ix) +=
+                  row[static_cast<std::size_t>(oy) * out_w_ + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  require(input.rank() == 4 && input.dim(1) == in_channels_,
+          "Conv2d::forward: bad input shape");
+  cached_input_ = input;
+  const int N = input.dim(0);
+  out_h_ = output_size(input.dim(2));
+  out_w_ = output_size(input.dim(3));
+  require(out_h_ > 0 && out_w_ > 0, "Conv2d::forward: output collapsed");
+
+  const int fan_in = in_channels_ * kernel_size_ * kernel_size_;
+  const int cols = out_h_ * out_w_;
+  Tensor output({N, out_channels_, out_h_, out_w_});
+  std::vector<float> columns(static_cast<std::size_t>(fan_in) * cols);
+  for (int n = 0; n < N; ++n) {
+    im2col(input, n, columns.data());
+    float* out = output.data() +
+                 static_cast<std::size_t>(n) * out_channels_ * cols;
+    gemm(weight_.value.data(), columns.data(), out, out_channels_, fan_in,
+         cols);
+    if (has_bias_) {
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        const float b = bias_.value[static_cast<std::size_t>(oc)];
+        float* channel = out + static_cast<std::size_t>(oc) * cols;
+        for (int i = 0; i < cols; ++i) channel[i] += b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const int N = cached_input_.dim(0);
+  const int fan_in = in_channels_ * kernel_size_ * kernel_size_;
+  const int cols = out_h_ * out_w_;
+  require(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_ &&
+              grad_output.dim(2) == out_h_ && grad_output.dim(3) == out_w_,
+          "Conv2d::backward: bad gradient shape");
+
+  Tensor grad_input(cached_input_.shape());
+  std::vector<float> columns(static_cast<std::size_t>(fan_in) * cols);
+  std::vector<float> grad_columns(columns.size());
+  for (int n = 0; n < N; ++n) {
+    const float* gout = grad_output.data() +
+                        static_cast<std::size_t>(n) * out_channels_ * cols;
+    // dW += dY * col^T
+    im2col(cached_input_, n, columns.data());
+    gemm_a_bt_accumulate(gout, columns.data(), weight_.grad.data(),
+                         out_channels_, cols, fan_in);
+    // dcol = W^T * dY
+    std::memset(grad_columns.data(), 0, grad_columns.size() * sizeof(float));
+    gemm_at_b_accumulate(weight_.value.data(), gout, grad_columns.data(),
+                         fan_in, out_channels_, cols);
+    col2im(grad_columns.data(), grad_input, n);
+    if (has_bias_) {
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        const float* channel = gout + static_cast<std::size_t>(oc) * cols;
+        float acc = 0.0f;
+        for (int i = 0; i < cols; ++i) acc += channel[i];
+        bias_.grad[static_cast<std::size_t>(oc)] += acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace ldmo::nn

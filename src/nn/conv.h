@@ -1,0 +1,50 @@
+// 2-D convolution via im2col + GEMM.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace ldmo::nn {
+
+/// Conv2d with square kernels, stride and zero padding. Weights are
+/// Kaiming-He initialized; bias optional (ResNet convs are bias-free since
+/// batch norm follows).
+class Conv2d : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel_size, int stride,
+         int padding, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "conv2d"; }
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+
+  /// Output spatial size for a given input size.
+  int output_size(int input_size) const {
+    return (input_size + 2 * padding_ - kernel_size_) / stride_ + 1;
+  }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  void im2col(const Tensor& input, int sample, float* columns) const;
+  void col2im(const float* columns, Tensor& grad_input, int sample) const;
+
+  int in_channels_;
+  int out_channels_;
+  int kernel_size_;
+  int stride_;
+  int padding_;
+  bool has_bias_;
+  Parameter weight_;  ///< [out_c, in_c * k * k]
+  Parameter bias_;    ///< [out_c] (empty when bias disabled)
+
+  Tensor cached_input_;
+  int out_h_ = 0;
+  int out_w_ = 0;
+};
+
+}  // namespace ldmo::nn

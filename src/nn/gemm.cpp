@@ -1,0 +1,67 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ldmo::nn {
+namespace {
+constexpr int kBlock = 64;  // fits three blocks in L1/L2 comfortably
+}
+
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  for (int i0 = 0; i0 < m; i0 += kBlock) {
+    const int i1 = std::min(i0 + kBlock, m);
+    for (int p0 = 0; p0 < k; p0 += kBlock) {
+      const int p1 = std::min(p0 + kBlock, k);
+      for (int j0 = 0; j0 < n; j0 += kBlock) {
+        const int j1 = std::min(j0 + kBlock, n);
+        for (int i = i0; i < i1; ++i) {
+          float* crow = c + static_cast<std::size_t>(i) * n;
+          for (int p = p0; p < p1; ++p) {
+            const float av = a[static_cast<std::size_t>(i) * k + p];
+            const float* brow = b + static_cast<std::size_t>(p) * n;
+            for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, int m, int k, int n) {
+  std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
+  gemm_accumulate(a, b, c, m, k, n);
+}
+
+void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n) {
+  // C[i][j] += sum_p A[p][i] * B[p][j]
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a + static_cast<std::size_t>(p) * m;
+    const float* brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n) {
+  // C[i][j] += sum_p A[i][p] * B[j][p]
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace ldmo::nn

@@ -1,0 +1,29 @@
+// Single-precision matrix multiplication for the CNN stack.
+//
+// All convolution and linear layers funnel their heavy lifting through
+// these three routines (forward, and the two transposed products needed by
+// backward). The implementation is a cache-blocked triple loop with the
+// k-loop innermost-but-one ordering that autovectorizes well — no external
+// BLAS, per the from-scratch substrate rule.
+#pragma once
+
+#include <cstddef>
+
+namespace ldmo::nn {
+
+/// C[m x n] += A[m x k] * B[k x n]   (row-major, C NOT cleared)
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
+                     int n);
+
+/// C[m x n] = A[m x k] * B[k x n]    (row-major, C cleared first)
+void gemm(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// C[m x n] += A^T * B where A is [k x m], B is [k x n].
+void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n);
+
+/// C[m x n] += A * B^T where A is [m x k], B is [n x k].
+void gemm_a_bt_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n);
+
+}  // namespace ldmo::nn

@@ -1,0 +1,58 @@
+#include "nn/layers.h"
+
+#include "common/error.h"
+
+namespace ldmo::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bool positive = input[i] > 0.0f;
+    mask_[i] = positive ? 1.0f : 0.0f;
+    out[i] = positive ? input[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  require(grad_output.same_shape(mask_), "ReLU::backward: shape mismatch");
+  Tensor grad(grad_output.shape());
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    grad[i] = grad_output[i] * mask_[i];
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  require(input.rank() >= 2, "Flatten: need rank >= 2");
+  input_shape_ = input.shape();
+  const int n = input.dim(0);
+  const int features = static_cast<int>(input.size()) / n;
+  return input.reshaped({n, features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(input_shape_);
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_)
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace ldmo::nn

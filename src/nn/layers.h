@@ -1,0 +1,91 @@
+// Layer abstraction and the simple stateless layers (ReLU, Flatten,
+// Sequential container).
+//
+// Design: classic explicit-backward layers. forward() caches whatever the
+// matching backward() needs; backward() consumes the upstream gradient and
+// returns the input gradient while accumulating parameter gradients.
+// No autograd graph — every gradient is hand-derived and unit-tested
+// against finite differences.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ldmo::nn {
+
+/// Base class for all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `training` toggles batch-norm statistics behaviour.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backward pass for the most recent forward() call.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers). Pointers remain
+  /// owned by the layer.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Human-readable layer id used in serialization sanity checks.
+  virtual std::string name() const = 0;
+};
+
+/// Elementwise max(0, x).
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// [N, C, H, W] -> [N, C*H*W].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<int> input_shape_;
+};
+
+/// Ordered container running layers front-to-back (and back-to-front on
+/// backward). Owns its children.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a borrowed pointer for configuration.
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void append(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "sequential"; }
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace ldmo::nn

@@ -1,0 +1,31 @@
+// Fully connected layer.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace ldmo::nn {
+
+/// Linear: y = x W^T + b over [N, in] -> [N, out].
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "linear"; }
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Parameter weight_;  ///< [out, in]
+  Parameter bias_;    ///< [out]
+  Tensor cached_input_;
+};
+
+}  // namespace ldmo::nn

@@ -1,0 +1,38 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::nn {
+
+LossResult mae_loss(const Tensor& predictions, const Tensor& targets) {
+  require(predictions.same_shape(targets), "mae_loss: shape mismatch");
+  require(predictions.size() > 0, "mae_loss: empty input");
+  LossResult result;
+  result.grad = Tensor(predictions.shape());
+  const double inv_n = 1.0 / static_cast<double>(predictions.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - targets[i];
+    result.value += std::abs(d) * inv_n;
+    result.grad[i] =
+        static_cast<float>((d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)) * inv_n);
+  }
+  return result;
+}
+
+LossResult mse_loss(const Tensor& predictions, const Tensor& targets) {
+  require(predictions.same_shape(targets), "mse_loss: shape mismatch");
+  require(predictions.size() > 0, "mse_loss: empty input");
+  LossResult result;
+  result.grad = Tensor(predictions.shape());
+  const double inv_n = 1.0 / static_cast<double>(predictions.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - targets[i];
+    result.value += d * d * inv_n;
+    result.grad[i] = static_cast<float>(2.0 * d * inv_n);
+  }
+  return result;
+}
+
+}  // namespace ldmo::nn

@@ -1,0 +1,23 @@
+// Regression losses: mean absolute error (the paper's noise-robust training
+// loss, Eq. 10) and mean squared error.
+#pragma once
+
+#include <utility>
+
+#include "nn/tensor.h"
+
+namespace ldmo::nn {
+
+/// Loss value plus d(loss)/d(predictions), both averaged over the batch.
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;
+};
+
+/// MAE = mean |y_hat - y| (paper Eq. 10). Subgradient 0 at exact equality.
+LossResult mae_loss(const Tensor& predictions, const Tensor& targets);
+
+/// MSE = mean (y_hat - y)^2.
+LossResult mse_loss(const Tensor& predictions, const Tensor& targets);
+
+}  // namespace ldmo::nn

@@ -1,0 +1,50 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::nn {
+
+Adam::Adam(std::vector<Parameter*> parameters, AdamConfig config)
+    : parameters_(std::move(parameters)), config_(config) {
+  require(!parameters_.empty(), "Adam: no parameters");
+  require(config_.learning_rate > 0.0, "Adam: bad learning rate");
+  m_.reserve(parameters_.size());
+  v_.reserve(parameters_.size());
+  for (Parameter* p : parameters_) {
+    require(p != nullptr, "Adam: null parameter");
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, step_count_);
+  const double bias2 = 1.0 - std::pow(config_.beta2, step_count_);
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    Parameter& p = *parameters_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      double g = p.grad[j];
+      if (config_.weight_decay > 0.0) g += config_.weight_decay * p.value[j];
+      m[j] = static_cast<float>(config_.beta1 * m[j] +
+                                (1.0 - config_.beta1) * g);
+      v[j] = static_cast<float>(config_.beta2 * v[j] +
+                                (1.0 - config_.beta2) * g * g);
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
+      p.value[j] -= static_cast<float>(
+          config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon));
+    }
+    p.zero_grad();
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : parameters_) p->zero_grad();
+}
+
+}  // namespace ldmo::nn

@@ -1,0 +1,42 @@
+// Adam optimizer (paper Section IV-C: "the Adam optimizer is selected ...
+// Adam computes individual adaptive learning rates").
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ldmo::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  ///< L2 penalty added to gradients
+};
+
+/// Adam over a fixed parameter list. Parameter pointers must stay valid for
+/// the optimizer's lifetime; first/second-moment state is kept per entry.
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> parameters, AdamConfig config = {});
+
+  /// Applies one update from the accumulated gradients, then clears them.
+  void step();
+
+  /// Clears accumulated gradients without updating.
+  void zero_grad();
+
+  int step_count() const { return step_count_; }
+  AdamConfig& config() { return config_; }
+
+ private:
+  std::vector<Parameter*> parameters_;
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int step_count_ = 0;
+};
+
+}  // namespace ldmo::nn

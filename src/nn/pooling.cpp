@@ -1,0 +1,102 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace ldmo::nn {
+
+MaxPool2d::MaxPool2d(int kernel_size, int stride, int padding)
+    : kernel_size_(kernel_size), stride_(stride), padding_(padding) {
+  require(kernel_size > 0 && stride > 0 && padding >= 0,
+          "MaxPool2d: invalid configuration");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  require(input.rank() == 4, "MaxPool2d: need NCHW input");
+  input_shape_ = input.shape();
+  const int N = input.dim(0), C = input.dim(1), H = input.dim(2),
+            W = input.dim(3);
+  const int oh = output_size(H);
+  const int ow = output_size(W);
+  require(oh > 0 && ow > 0, "MaxPool2d: output collapsed");
+
+  Tensor output({N, C, oh, ow});
+  argmax_.assign(output.size(), -1);
+  std::size_t out_idx = 0;
+  for (int n = 0; n < N; ++n) {
+    for (int c = 0; c < C; ++c) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = -1;
+          for (int ky = 0; ky < kernel_size_; ++ky) {
+            const int iy = oy * stride_ - padding_ + ky;
+            if (iy < 0 || iy >= H) continue;
+            for (int kx = 0; kx < kernel_size_; ++kx) {
+              const int ix = ox * stride_ - padding_ + kx;
+              if (ix < 0 || ix >= W) continue;
+              const float v = input.at4(n, c, iy, ix);
+              if (v > best) {
+                best = v;
+                best_idx =
+                    ((n * C + c) * H + iy) * W + ix;
+              }
+            }
+          }
+          // A window fully in padding can only happen with absurd configs;
+          // guard anyway.
+          output[out_idx] = best_idx >= 0 ? best : 0.0f;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  require(grad_output.size() == argmax_.size(),
+          "MaxPool2d::backward: shape mismatch");
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i)
+    if (argmax_[i] >= 0)
+      grad_input[static_cast<std::size_t>(argmax_[i])] += grad_output[i];
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  require(input.rank() == 4, "GlobalAvgPool: need NCHW input");
+  input_shape_ = input.shape();
+  const int N = input.dim(0), C = input.dim(1), H = input.dim(2),
+            W = input.dim(3);
+  Tensor output({N, C});
+  const float scale = 1.0f / static_cast<float>(H * W);
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c) {
+      float acc = 0.0f;
+      for (int h = 0; h < H; ++h)
+        for (int w = 0; w < W; ++w) acc += input.at4(n, c, h, w);
+      output.at2(n, c) = acc * scale;
+    }
+  return output;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  const int N = input_shape_[0], C = input_shape_[1], H = input_shape_[2],
+            W = input_shape_[3];
+  require(grad_output.rank() == 2 && grad_output.dim(0) == N &&
+              grad_output.dim(1) == C,
+          "GlobalAvgPool::backward: shape mismatch");
+  Tensor grad_input(input_shape_);
+  const float scale = 1.0f / static_cast<float>(H * W);
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c) {
+      const float g = grad_output.at2(n, c) * scale;
+      for (int h = 0; h < H; ++h)
+        for (int w = 0; w < W; ++w) grad_input.at4(n, c, h, w) = g;
+    }
+  return grad_input;
+}
+
+}  // namespace ldmo::nn

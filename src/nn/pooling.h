@@ -1,0 +1,41 @@
+// Spatial pooling layers: max pooling and global average pooling.
+#pragma once
+
+#include "nn/layers.h"
+
+namespace ldmo::nn {
+
+/// MaxPool2d with square window, stride and zero padding (padding cells
+/// never win the max since they are treated as -inf).
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(int kernel_size, int stride, int padding);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "maxpool2d"; }
+
+  int output_size(int input_size) const {
+    return (input_size + 2 * padding_ - kernel_size_) / stride_ + 1;
+  }
+
+ private:
+  int kernel_size_;
+  int stride_;
+  int padding_;
+  std::vector<int> argmax_;  ///< winning flat input index per output cell
+  std::vector<int> input_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "gap"; }
+
+ private:
+  std::vector<int> input_shape_;
+};
+
+}  // namespace ldmo::nn

@@ -1,0 +1,56 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ldmo::nn {
+namespace {
+constexpr std::uint32_t kMagic = 0x4C444D4F;  // "LDMO"
+}
+
+void save_parameters(const std::vector<Parameter*>& parameters,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "save_parameters: cannot open " + path);
+  const std::uint32_t magic = kMagic;
+  const std::uint64_t count = parameters.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Parameter* p : parameters) {
+    require(p != nullptr, "save_parameters: null parameter");
+    const std::uint64_t elements = p->value.size();
+    out.write(reinterpret_cast<const char*>(&elements), sizeof(elements));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(elements * sizeof(float)));
+  }
+  require(out.good(), "save_parameters: write failed for " + path);
+}
+
+void load_parameters(const std::vector<Parameter*>& parameters,
+                     const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "load_parameters: cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  require(in.good() && magic == kMagic,
+          "load_parameters: not an LDMO weight file: " + path);
+  require(count == parameters.size(),
+          "load_parameters: parameter count mismatch (file has " +
+              std::to_string(count) + ", network has " +
+              std::to_string(parameters.size()) + ")");
+  for (Parameter* p : parameters) {
+    std::uint64_t elements = 0;
+    in.read(reinterpret_cast<char*>(&elements), sizeof(elements));
+    require(in.good() && elements == p->value.size(),
+            "load_parameters: parameter size mismatch");
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(elements * sizeof(float)));
+    require(in.good(), "load_parameters: truncated file " + path);
+  }
+}
+
+}  // namespace ldmo::nn

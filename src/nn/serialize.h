@@ -1,0 +1,24 @@
+// Binary weight serialization.
+//
+// Format: magic, parameter count, then per parameter its element count and
+// raw float payload. Loading validates the parameter layout matches the
+// network it is loaded into, so architecture mismatches fail loudly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ldmo::nn {
+
+/// Writes all parameter values to `path`. Throws on I/O failure.
+void save_parameters(const std::vector<Parameter*>& parameters,
+                     const std::string& path);
+
+/// Loads parameter values from `path` into the given (already constructed)
+/// parameter list. Throws on I/O failure or layout mismatch.
+void load_parameters(const std::vector<Parameter*>& parameters,
+                     const std::string& path);
+
+}  // namespace ldmo::nn

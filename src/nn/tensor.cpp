@@ -1,0 +1,66 @@
+#include "nn/tensor.h"
+
+#include "common/error.h"
+
+namespace ldmo::nn {
+
+std::size_t shape_size(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    require(d >= 0, "shape_size: negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  require(i >= 0 && i < rank(), "Tensor::dim: index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at4(int n, int c, int h, int w) {
+  LDMO_ASSERT(rank() == 4);
+  const int C = shape_[1], H = shape_[2], W = shape_[3];
+  LDMO_ASSERT(n >= 0 && n < shape_[0] && c >= 0 && c < C && h >= 0 && h < H &&
+              w >= 0 && w < W);
+  return data_[((static_cast<std::size_t>(n) * C + c) * H + h) * W + w];
+}
+
+float Tensor::at4(int n, int c, int h, int w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+float& Tensor::at2(int n, int f) {
+  LDMO_ASSERT(rank() == 2);
+  LDMO_ASSERT(n >= 0 && n < shape_[0] && f >= 0 && f < shape_[1]);
+  return data_[static_cast<std::size_t>(n) * shape_[1] + f];
+}
+
+float Tensor::at2(int n, int f) const {
+  return const_cast<Tensor*>(this)->at2(n, f);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  require(shape_size(new_shape) == size(),
+          "Tensor::reshaped: element count mismatch");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+}  // namespace ldmo::nn

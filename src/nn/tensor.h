@@ -1,0 +1,77 @@
+// Dense float tensor with NCHW semantics for the CNN stack.
+//
+// The network code treats 4-D tensors as [batch, channels, height, width]
+// and 2-D tensors as [batch, features]. Storage is a flat row-major float
+// vector; all shape bookkeeping is explicit (no views, no broadcasting —
+// layers do their own indexing, which keeps backward passes auditable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ldmo::nn {
+
+/// Flat float tensor with an explicit shape.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  /// All entries drawn i.i.d. normal(0, stddev).
+  static Tensor randn(std::vector<int> shape, Rng& rng, float stddev = 1.0f);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const;
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// NCHW accessor for rank-4 tensors.
+  float& at4(int n, int c, int h, int w);
+  float at4(int n, int c, int h, int w) const;
+
+  /// [N, F] accessor for rank-2 tensors.
+  float& at2(int n, int f);
+  float at2(int n, int f) const;
+
+  void fill(float value);
+
+  /// Reinterprets the flat data with a new shape of identical element count.
+  Tensor reshaped(std::vector<int> new_shape) const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+std::size_t shape_size(const std::vector<int>& shape);
+
+/// A trainable parameter: value and accumulated gradient, same shape.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(std::vector<int> shape = {})
+      : value(shape), grad(std::move(shape)) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+}  // namespace ldmo::nn

@@ -1,0 +1,89 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ldmo::nn {
+namespace {
+
+// Stacks examples[indices[first..last)] into a [B, 1, S, S] batch plus
+// [B, 1] targets.
+std::pair<Tensor, Tensor> make_batch(const std::vector<Example>& examples,
+                                     const std::vector<std::size_t>& order,
+                                     std::size_t first, std::size_t last,
+                                     int input_size) {
+  const int batch = static_cast<int>(last - first);
+  Tensor images({batch, 1, input_size, input_size});
+  Tensor targets({batch, 1});
+  const std::size_t stride =
+      static_cast<std::size_t>(input_size) * input_size;
+  for (int b = 0; b < batch; ++b) {
+    const Example& ex = examples[order[first + static_cast<std::size_t>(b)]];
+    require(ex.image.size() == stride, "make_batch: image size mismatch");
+    for (std::size_t i = 0; i < stride; ++i)
+      images[static_cast<std::size_t>(b) * stride + i] = ex.image[i];
+    targets.at2(b, 0) = ex.label;
+  }
+  return {std::move(images), std::move(targets)};
+}
+
+}  // namespace
+
+std::vector<EpochStats> train_regressor(
+    ResNetRegressor& model, const std::vector<Example>& examples,
+    const TrainerConfig& config,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  require(!examples.empty(), "train_regressor: no examples");
+  require(config.epochs >= 1 && config.batch_size >= 1,
+          "train_regressor: bad trainer config");
+
+  Adam optimizer(model.parameters(), config.adam);
+  Rng rng(config.shuffle_seed);
+  const int input_size = model.config().input_size;
+
+  std::vector<std::size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    int batches = 0;
+    for (std::size_t first = 0; first < order.size();
+         first += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t last = std::min(
+          order.size(), first + static_cast<std::size_t>(config.batch_size));
+      auto [images, targets] =
+          make_batch(examples, order, first, last, input_size);
+      optimizer.zero_grad();
+      const Tensor predictions = model.forward(images, /*training=*/true);
+      const LossResult loss = config.use_mae
+                                  ? mae_loss(predictions, targets)
+                                  : mse_loss(predictions, targets);
+      model.backward(loss.grad);
+      optimizer.step();
+      loss_sum += loss.value;
+      ++batches;
+    }
+    EpochStats stats{epoch + 1, loss_sum / std::max(1, batches)};
+    history.push_back(stats);
+    if (on_epoch) on_epoch(stats);
+    optimizer.config().learning_rate *= config.lr_decay_per_epoch;
+  }
+  return history;
+}
+
+double evaluate_mae(ResNetRegressor& model,
+                    const std::vector<Example>& examples) {
+  require(!examples.empty(), "evaluate_mae: no examples");
+  double sum = 0.0;
+  for (const Example& ex : examples)
+    sum += std::abs(model.predict_one(ex.image) -
+                    static_cast<double>(ex.label));
+  return sum / static_cast<double>(examples.size());
+}
+
+}  // namespace ldmo::nn

@@ -1,0 +1,235 @@
+#include "opc/ilt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "layout/raster.h"
+#include "litho/resist.h"
+
+namespace ldmo::opc {
+namespace {
+
+// Elementwise |max| of a grid.
+double max_abs(const GridF& g) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    m = std::max(m, std::abs(g[i]));
+  return m;
+}
+
+}  // namespace
+
+IltEngine::IltEngine(const litho::LithoSimulator& simulator, IltConfig config)
+    : simulator_(simulator), config_(config) {
+  require(config_.theta_m > 0.0, "IltEngine: theta_m must be positive");
+  require(config_.max_iterations >= 1, "IltEngine: need >= 1 iteration");
+  require(config_.violation_check_interval >= 1,
+          "IltEngine: check interval must be >= 1");
+  require(config_.step_size > 0.0 && config_.step_decay > 0.0 &&
+              config_.step_decay <= 1.0,
+          "IltEngine: bad step schedule");
+  require(config_.theta_m_anneal >= 1.0, "IltEngine: anneal factor < 1");
+  require(config_.violation_check_warmup >= 0,
+          "IltEngine: negative check warmup");
+  require(!config_.binarize_thresholds.empty(),
+          "IltEngine: need at least one binarization threshold");
+}
+
+GridF IltEngine::mask_of(const GridF& p, double theta_m) const {
+  GridF m(p.height(), p.width());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    m[i] = litho::sigmoid(theta_m * p[i]);
+  return m;
+}
+
+GridF IltEngine::binarize_parameters(const GridF& p, double threshold) const {
+  GridF m(p.height(), p.width());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    m[i] = p[i] >= threshold ? 1.0 : 0.0;
+  return m;
+}
+
+IltState IltEngine::init_state(const layout::Layout& layout,
+                               const layout::Assignment& assignment) const {
+  require(static_cast<int>(assignment.size()) == layout.pattern_count(),
+          "IltEngine::init_state: assignment size mismatch");
+  const int n = simulator_.grid_size();
+  simulator_.transform_for(layout);  // validates clip/field agreement
+
+  IltState state;
+  state.current_step = config_.step_size;
+  state.current_theta_m = config_.theta_m;
+  const GridF r1 = layout::rasterize_mask(layout, assignment, 0, n);
+  const GridF r2 = layout::rasterize_mask(layout, assignment, 1, n);
+  state.p1 = GridF(n, n);
+  state.p2 = GridF(n, n);
+  for (std::size_t i = 0; i < state.p1.size(); ++i) {
+    state.p1[i] = config_.initial_p * (2.0 * r1[i] - 1.0);
+    state.p2[i] = config_.initial_p * (2.0 * r2[i] - 1.0);
+  }
+  if (config_.edge_weight > 0.0) {
+    // Edge map of the target: any pixel whose 4-neighborhood spans both
+    // inside and outside gets the extra loss weight.
+    const GridF target = layout::rasterize_target(layout, n);
+    state.loss_weights = GridF(n, n, 1.0);
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        double lo = target.at(y, x), hi = lo;
+        if (y > 0) { lo = std::min(lo, target.at(y - 1, x)); hi = std::max(hi, target.at(y - 1, x)); }
+        if (y + 1 < n) { lo = std::min(lo, target.at(y + 1, x)); hi = std::max(hi, target.at(y + 1, x)); }
+        if (x > 0) { lo = std::min(lo, target.at(y, x - 1)); hi = std::max(hi, target.at(y, x - 1)); }
+        if (x + 1 < n) { lo = std::min(lo, target.at(y, x + 1)); hi = std::max(hi, target.at(y, x + 1)); }
+        if (hi > 0.0 && lo < 1.0 && hi != lo)
+          state.loss_weights.at(y, x) = 1.0 + config_.edge_weight;
+      }
+    }
+  }
+  return state;
+}
+
+GridF IltEngine::response_of(const IltState& state) const {
+  return simulator_.print(mask_of(state.p1, state.current_theta_m),
+                          mask_of(state.p2, state.current_theta_m));
+}
+
+void IltEngine::step(IltState& state, const GridF& target) const {
+  const litho::LithoConfig& litho_cfg = simulator_.config();
+  const litho::AerialSimulator& aerial = simulator_.aerial();
+
+  // Forward pass, retaining per-kernel fields for the adjoint.
+  const GridF m1 = mask_of(state.p1, state.current_theta_m);
+  const GridF m2 = mask_of(state.p2, state.current_theta_m);
+  const litho::AerialFields f1 = aerial.intensity_with_fields(m1);
+  const litho::AerialFields f2 = aerial.intensity_with_fields(m2);
+  const GridF t1 = litho::resist_response(f1.intensity, litho_cfg);
+  const GridF t2 = litho::resist_response(f2.intensity, litho_cfg);
+  const GridF t = litho::combine_exposures(t1, t2);
+
+  // Loss and dL/dT = 2 w (T - T') with optional per-pixel edge weights.
+  const bool weighted = !state.loss_weights.empty();
+  double loss = 0.0;
+  GridF dldt(t.height(), t.width());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double w = weighted ? state.loss_weights[i] : 1.0;
+    const double d = t[i] - target[i];
+    loss += w * d * d;
+    dldt[i] = 2.0 * w * d;
+  }
+  state.last_loss = loss;
+
+  // Through the min(): gradient flows only where T1 + T2 < 1.
+  const GridF gate = litho::combine_gradient_mask(t1, t2);
+  // Through the resist sigmoid: dT_i/dI_i = theta_z T_i (1 - T_i).
+  const GridF dt1 = litho::resist_derivative(t1, litho_cfg);
+  const GridF dt2 = litho::resist_derivative(t2, litho_cfg);
+  GridF dldi1(t.height(), t.width());
+  GridF dldi2(t.height(), t.width());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double upstream = dldt[i] * gate[i];
+    dldi1[i] = upstream * dt1[i];
+    dldi2[i] = upstream * dt2[i];
+  }
+
+  // Through the optics (adjoint convolution), then the mask sigmoid.
+  GridF g1 = aerial.backpropagate(dldi1, f1);
+  GridF g2 = aerial.backpropagate(dldi2, f2);
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    g1[i] *= state.current_theta_m * m1[i] * (1.0 - m1[i]);
+    g2[i] *= state.current_theta_m * m2[i] * (1.0 - m2[i]);
+  }
+
+  // Max-normalized descent: the largest parameter moves exactly
+  // current_step, which keeps the update scale-free w.r.t. the loss
+  // magnitude and decays geometrically for convergence.
+  const double g_max = std::max(max_abs(g1), max_abs(g2));
+  if (g_max > 1e-300) {
+    const double scale = state.current_step / g_max;
+    for (std::size_t i = 0; i < g1.size(); ++i) {
+      state.p1[i] -= scale * g1[i];
+      state.p2[i] -= scale * g2[i];
+    }
+  }
+  state.current_step *= config_.step_decay;
+  state.current_theta_m *= config_.theta_m_anneal;
+  ++state.iteration;
+}
+
+litho::PrintabilityReport IltEngine::evaluate(
+    const IltState& state, const layout::Layout& layout) const {
+  const GridF response = simulator_.print(binarize_parameters(state.p1),
+                                          binarize_parameters(state.p2));
+  return simulator_.evaluate(response, layout);
+}
+
+IltResult IltEngine::optimize(const layout::Layout& layout,
+                              const layout::Assignment& assignment,
+                              bool abort_on_violation,
+                              bool record_trajectory) const {
+  const GridF target =
+      layout::rasterize_target(layout, simulator_.grid_size());
+  IltState state = init_state(layout, assignment);
+
+  IltResult result;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    step(state, target);
+
+    const bool check_now =
+        (iter + 1 > config_.violation_check_warmup &&
+         (iter + 1) % config_.violation_check_interval == 0) ||
+        iter + 1 == config_.max_iterations;
+    litho::ViolationReport violations;
+    if (check_now || record_trajectory) {
+      const GridF response = response_of(state);
+      violations = litho::detect_print_violations(
+          litho::binarize(response), layout, simulator_.transform_for(layout));
+      if (record_trajectory) {
+        const litho::PrintabilityReport continuous =
+            simulator_.evaluate(response, layout);
+        result.trajectory.push_back({state.iteration, continuous.l2,
+                                     continuous.epe.violation_count,
+                                     violations.total()});
+      }
+    }
+
+    result.iterations_run = state.iteration;
+    if (abort_on_violation && check_now && violations.total() > 0) {
+      result.aborted_on_violation = true;
+      break;
+    }
+  }
+
+  IltResult finalized = finalize(state, layout);
+  finalized.trajectory = std::move(result.trajectory);
+  finalized.iterations_run = result.iterations_run;
+  finalized.aborted_on_violation = result.aborted_on_violation;
+  return finalized;
+}
+
+IltResult IltEngine::finalize(const IltState& state,
+                              const layout::Layout& layout) const {
+  // Final binarization: try the configured thresholds (a cheap mask-bias
+  // retarget) and keep the best-scoring manufactured mask.
+  IltResult result;
+  result.iterations_run = state.iteration;
+  bool first = true;
+  double best_score = 0.0;
+  for (double threshold : config_.binarize_thresholds) {
+    GridF m1 = binarize_parameters(state.p1, threshold);
+    GridF m2 = binarize_parameters(state.p2, threshold);
+    GridF response = simulator_.print(m1, m2);
+    litho::PrintabilityReport report = simulator_.evaluate(response, layout);
+    const double score = report.score();
+    if (first || score < best_score) {
+      first = false;
+      best_score = score;
+      result.mask1 = std::move(m1);
+      result.mask2 = std::move(m2);
+      result.response = std::move(response);
+      result.report = std::move(report);
+    }
+  }
+  return result;
+}
+
+}  // namespace ldmo::opc

@@ -1,0 +1,209 @@
+#include "opc/mpl_ilt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "layout/raster.h"
+#include "litho/resist.h"
+
+namespace ldmo::opc {
+namespace {
+
+double max_abs(const GridF& g) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    m = std::max(m, std::abs(g[i]));
+  return m;
+}
+
+}  // namespace
+
+MplIltEngine::MplIltEngine(const litho::LithoSimulator& simulator,
+                           int mask_count, IltConfig config)
+    : simulator_(simulator), mask_count_(mask_count), config_(config) {
+  require(mask_count >= 2, "MplIltEngine: need at least two masks");
+  require(config_.theta_m > 0.0 && config_.max_iterations >= 1 &&
+              config_.violation_check_interval >= 1 &&
+              config_.step_size > 0.0 && config_.step_decay > 0.0 &&
+              config_.step_decay <= 1.0 && config_.theta_m_anneal >= 1.0 &&
+              !config_.binarize_thresholds.empty(),
+          "MplIltEngine: invalid configuration");
+}
+
+GridF MplIltEngine::mask_of(const GridF& p, double theta_m) const {
+  GridF m(p.height(), p.width());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    m[i] = litho::sigmoid(theta_m * p[i]);
+  return m;
+}
+
+MplIltState MplIltEngine::init_state(
+    const layout::Layout& layout,
+    const layout::Assignment& assignment) const {
+  require(static_cast<int>(assignment.size()) == layout.pattern_count(),
+          "MplIltEngine::init_state: assignment size mismatch");
+  for (int v : assignment)
+    require(v >= 0 && v < mask_count_,
+            "MplIltEngine::init_state: mask id out of range");
+  simulator_.transform_for(layout);
+  const int n = simulator_.grid_size();
+
+  MplIltState state;
+  state.current_step = config_.step_size;
+  state.current_theta_m = config_.theta_m;
+  state.p.reserve(static_cast<std::size_t>(mask_count_));
+  for (int m = 0; m < mask_count_; ++m) {
+    const GridF raster = layout::rasterize_mask(layout, assignment, m, n);
+    GridF p(n, n);
+    for (std::size_t i = 0; i < p.size(); ++i)
+      p[i] = config_.initial_p * (2.0 * raster[i] - 1.0);
+    state.p.push_back(std::move(p));
+  }
+  return state;
+}
+
+GridF MplIltEngine::response_of(const MplIltState& state) const {
+  std::vector<GridF> masks;
+  masks.reserve(state.p.size());
+  for (const GridF& p : state.p)
+    masks.push_back(mask_of(p, state.current_theta_m));
+  return simulator_.print_masks(masks);
+}
+
+void MplIltEngine::step(MplIltState& state, const GridF& target) const {
+  const litho::LithoConfig& litho_cfg = simulator_.config();
+  const litho::AerialSimulator& aerial = simulator_.aerial();
+  const int k = mask_count_;
+
+  // Forward pass per mask, retaining the fields for the adjoint.
+  std::vector<GridF> masks;
+  std::vector<litho::AerialFields> fields;
+  std::vector<GridF> responses;
+  masks.reserve(static_cast<std::size_t>(k));
+  fields.reserve(static_cast<std::size_t>(k));
+  responses.reserve(static_cast<std::size_t>(k));
+  for (int m = 0; m < k; ++m) {
+    masks.push_back(mask_of(state.p[static_cast<std::size_t>(m)],
+                            state.current_theta_m));
+    fields.push_back(aerial.intensity_with_fields(masks.back()));
+    responses.push_back(
+        litho::resist_response(fields.back().intensity, litho_cfg));
+  }
+  const GridF t = litho::combine_exposures_n(responses);
+
+  double loss = 0.0;
+  GridF upstream(t.height(), t.width());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double d = t[i] - target[i];
+    loss += d * d;
+    // Gradient of min(sum, 1): flows only where the sum is unsaturated.
+    double total = 0.0;
+    for (const GridF& r : responses) total += r[i];
+    upstream[i] = total < 1.0 ? 2.0 * d : 0.0;
+  }
+  state.last_loss = loss;
+
+  // Per-mask adjoint and max-normalized update (normalized jointly over
+  // all masks so the relative scaling between masks is preserved).
+  std::vector<GridF> grads;
+  grads.reserve(static_cast<std::size_t>(k));
+  double g_max = 0.0;
+  for (int m = 0; m < k; ++m) {
+    const GridF dt = litho::resist_derivative(
+        responses[static_cast<std::size_t>(m)], litho_cfg);
+    GridF dldi(t.height(), t.width());
+    for (std::size_t i = 0; i < t.size(); ++i)
+      dldi[i] = upstream[i] * dt[i];
+    GridF g = aerial.backpropagate(dldi, fields[static_cast<std::size_t>(m)]);
+    const GridF& mask = masks[static_cast<std::size_t>(m)];
+    for (std::size_t i = 0; i < g.size(); ++i)
+      g[i] *= state.current_theta_m * mask[i] * (1.0 - mask[i]);
+    g_max = std::max(g_max, max_abs(g));
+    grads.push_back(std::move(g));
+  }
+  if (g_max > 1e-300) {
+    const double scale = state.current_step / g_max;
+    for (int m = 0; m < k; ++m)
+      for (std::size_t i = 0; i < grads[static_cast<std::size_t>(m)].size();
+           ++i)
+        state.p[static_cast<std::size_t>(m)][i] -=
+            scale * grads[static_cast<std::size_t>(m)][i];
+  }
+  state.current_step *= config_.step_decay;
+  state.current_theta_m *= config_.theta_m_anneal;
+  ++state.iteration;
+}
+
+MplIltResult MplIltEngine::finalize(const MplIltState& state,
+                                    const layout::Layout& layout) const {
+  MplIltResult result;
+  result.iterations_run = state.iteration;
+  bool first = true;
+  double best_score = 0.0;
+  for (double threshold : config_.binarize_thresholds) {
+    std::vector<GridF> masks;
+    masks.reserve(state.p.size());
+    for (const GridF& p : state.p) {
+      GridF m(p.height(), p.width());
+      for (std::size_t i = 0; i < p.size(); ++i)
+        m[i] = p[i] >= threshold ? 1.0 : 0.0;
+      masks.push_back(std::move(m));
+    }
+    GridF response = simulator_.print_masks(masks);
+    litho::PrintabilityReport report = simulator_.evaluate(response, layout);
+    const double score = report.score();
+    if (first || score < best_score) {
+      first = false;
+      best_score = score;
+      result.masks = std::move(masks);
+      result.response = std::move(response);
+      result.report = std::move(report);
+    }
+  }
+  return result;
+}
+
+MplIltResult MplIltEngine::optimize(const layout::Layout& layout,
+                                    const layout::Assignment& assignment,
+                                    bool abort_on_violation,
+                                    bool record_trajectory) const {
+  const GridF target =
+      layout::rasterize_target(layout, simulator_.grid_size());
+  MplIltState state = init_state(layout, assignment);
+
+  MplIltResult result;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    step(state, target);
+    const bool check_now =
+        (iter + 1 > config_.violation_check_warmup &&
+         (iter + 1) % config_.violation_check_interval == 0) ||
+        iter + 1 == config_.max_iterations;
+    litho::ViolationReport violations;
+    if (check_now || record_trajectory) {
+      const GridF response = response_of(state);
+      violations = litho::detect_print_violations(
+          litho::binarize(response), layout, simulator_.transform_for(layout));
+      if (record_trajectory) {
+        const litho::PrintabilityReport continuous =
+            simulator_.evaluate(response, layout);
+        result.trajectory.push_back({state.iteration, continuous.l2,
+                                     continuous.epe.violation_count,
+                                     violations.total()});
+      }
+    }
+    result.iterations_run = state.iteration;
+    if (abort_on_violation && check_now && violations.total() > 0) {
+      result.aborted_on_violation = true;
+      break;
+    }
+  }
+
+  MplIltResult finalized = finalize(state, layout);
+  finalized.trajectory = std::move(result.trajectory);
+  finalized.iterations_run = result.iterations_run;
+  finalized.aborted_on_violation = result.aborted_on_violation;
+  return finalized;
+}
+
+}  // namespace ldmo::opc

@@ -1,0 +1,85 @@
+#include "sampling/decomposition_sampling.h"
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "coverage/covering_array.h"
+#include "graph/mst.h"
+#include "mpl/classify.h"
+
+namespace ldmo::sampling {
+
+std::vector<layout::Assignment> sample_decompositions(
+    const layout::Layout& layout,
+    const DecompositionSamplingConfig& config) {
+  require(layout.pattern_count() > 0, "sample_decompositions: empty layout");
+  require(config.max_samples >= 1, "sample_decompositions: bad max_samples");
+
+  // Single-threshold split: SP = patterns with a neighbor closer than nmin.
+  std::vector<int> sp;
+  std::vector<int> np;
+  for (const layout::Pattern& p : layout.patterns) {
+    if (layout.nearest_distance(p.id) <= config.nmin_nm)
+      sp.push_back(p.id);
+    else
+      np.push_back(p.id);
+  }
+
+  const graph::Graph sp_graph =
+      mpl::build_conflict_graph(layout, sp, config.nmin_nm);
+  const graph::MstResult mst = graph::minimum_spanning_forest(sp_graph);
+  const std::vector<int> sp_color =
+      graph::two_color_forest(static_cast<int>(sp.size()), mst.edges);
+
+  // One 3-wise array over component orientations + NP patterns.
+  const int factors = mst.component_count + static_cast<int>(np.size());
+  coverage::GeneratorOptions options;
+  options.seed = config.seed;
+  const coverage::CoveringArray array =
+      coverage::generate_covering_array(factors, config.strength, options);
+
+  std::set<layout::Assignment> seen;
+  std::vector<layout::Assignment> samples;
+  for (const auto& row : array.rows) {
+    layout::Assignment assignment(
+        static_cast<std::size_t>(layout.pattern_count()), 0);
+    for (std::size_t i = 0; i < sp.size(); ++i)
+      assignment[static_cast<std::size_t>(sp[i])] =
+          sp_color[i] ^
+          row[static_cast<std::size_t>(mst.component[i])];
+    for (std::size_t i = 0; i < np.size(); ++i)
+      assignment[static_cast<std::size_t>(np[i])] =
+          row[static_cast<std::size_t>(mst.component_count) + i];
+    assignment = layout::canonicalize(std::move(assignment));
+    if (seen.insert(assignment).second) {
+      samples.push_back(std::move(assignment));
+      if (static_cast<int>(samples.size()) >= config.max_samples) break;
+    }
+  }
+  LDMO_ASSERT(!samples.empty());
+  return samples;
+}
+
+std::vector<layout::Assignment> random_decompositions(
+    const layout::Layout& layout, int count, std::uint64_t seed) {
+  require(layout.pattern_count() > 0 && count >= 1,
+          "random_decompositions: bad arguments");
+  Rng rng(seed);
+  std::set<layout::Assignment> seen;
+  std::vector<layout::Assignment> samples;
+  // Bounded retries: tiny layouts can exhaust their assignment space.
+  for (int attempt = 0; attempt < count * 20 &&
+                        static_cast<int>(samples.size()) < count;
+       ++attempt) {
+    layout::Assignment assignment(
+        static_cast<std::size_t>(layout.pattern_count()), 0);
+    for (int& v : assignment) v = rng.bernoulli(0.5) ? 1 : 0;
+    assignment = layout::canonicalize(std::move(assignment));
+    if (seen.insert(assignment).second)
+      samples.push_back(std::move(assignment));
+  }
+  return samples;
+}
+
+}  // namespace ldmo::sampling

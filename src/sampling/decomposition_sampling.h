@@ -1,0 +1,37 @@
+// Decomposition sampling for training-set construction (Section IV-B).
+//
+// A layout with n patterns has 2^(n-1) decompositions — far too many to
+// label with full ILT runs. The paper's strategy: classify with a single
+// threshold (patterns with a neighbor closer than nmin form SP, everything
+// else NP — labeling is so expensive that the finer VP split is skipped),
+// solve the SP MST, and build ONE three-wise array over the component
+// orientations plus the NP patterns. Any sub-region of three interacting
+// patterns then has all its combinations represented in the training set,
+// which is what a translation-invariant CNN needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.h"
+
+namespace ldmo::sampling {
+
+struct DecompositionSamplingConfig {
+  double nmin_nm = 80.0;
+  int strength = 3;  ///< "setting n to 3 is a trade-off" (Section IV-B)
+  std::uint64_t seed = 13;
+  int max_samples = 512;
+};
+
+/// Our sampling strategy: MST + 3-wise, canonicalized and deduplicated.
+std::vector<layout::Assignment> sample_decompositions(
+    const layout::Layout& layout,
+    const DecompositionSamplingConfig& config = {});
+
+/// The Fig. 8 baseline: `count` uniform random canonical assignments
+/// (deduplicated, so fewer may come back for tiny layouts).
+std::vector<layout::Assignment> random_decompositions(
+    const layout::Layout& layout, int count, std::uint64_t seed);
+
+}  // namespace ldmo::sampling

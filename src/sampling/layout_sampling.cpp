@@ -1,0 +1,65 @@
+#include "sampling/layout_sampling.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "layout/raster.h"
+
+namespace ldmo::sampling {
+
+LayoutSamplingResult sample_layouts(const std::vector<layout::Layout>& corpus,
+                                    const LayoutSamplingConfig& config) {
+  require(!corpus.empty(), "sample_layouts: empty corpus");
+  require(config.clusters >= 1 && config.per_cluster >= 1,
+          "sample_layouts: bad sampling configuration");
+  const int n = static_cast<int>(corpus.size());
+  const int clusters = std::min(config.clusters, n);
+
+  // SIFT features of each layout's raster.
+  std::vector<std::vector<vision::SiftFeature>> features;
+  features.reserve(corpus.size());
+  for (const layout::Layout& l : corpus)
+    features.push_back(vision::detect_sift(
+        layout::rasterize_target(l, config.raster_size), config.sift));
+
+  // Pairwise layout distances (Alg. 2) and k-medoids clustering.
+  const std::vector<double> distances =
+      vision::distance_matrix(features, config.similarity);
+  vision::KMedoidsConfig kconfig;
+  kconfig.clusters = clusters;
+  kconfig.seed = config.seed;
+  LayoutSamplingResult result;
+  result.clustering = vision::kmedoids(distances, n, kconfig);
+
+  // Random draw per cluster (each cluster contributes up to per_cluster).
+  Rng rng(config.seed ^ 0xA5A5A5A5ULL);
+  for (int cluster = 0; cluster < clusters; ++cluster) {
+    std::vector<int> members;
+    for (int i = 0; i < n; ++i)
+      if (result.clustering.assignment[static_cast<std::size_t>(i)] ==
+          cluster)
+        members.push_back(i);
+    rng.shuffle(members);
+    const int take =
+        std::min<int>(config.per_cluster, static_cast<int>(members.size()));
+    for (int t = 0; t < take; ++t) result.selected.push_back(members[t]);
+  }
+  std::sort(result.selected.begin(), result.selected.end());
+  return result;
+}
+
+std::vector<int> random_layout_indices(int corpus_size, int count,
+                                       std::uint64_t seed) {
+  require(corpus_size >= 1 && count >= 1,
+          "random_layout_indices: bad arguments");
+  std::vector<int> all(static_cast<std::size_t>(corpus_size));
+  for (int i = 0; i < corpus_size; ++i) all[static_cast<std::size_t>(i)] = i;
+  Rng rng(seed);
+  rng.shuffle(all);
+  all.resize(static_cast<std::size_t>(std::min(count, corpus_size)));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace ldmo::sampling

@@ -1,0 +1,46 @@
+// Layout sampling (paper Section IV-A).
+//
+// The layout corpus is effectively unbounded, so the training set should
+// cover its *shape*, not its volume: rasterize each layout, extract SIFT
+// features, compute pairwise layout distances (Alg. 2), cluster with
+// k-medoids (robust medoid centers, SLD objective), and randomly draw a few
+// layouts per cluster. The paper uses m = 50 clusters, c = 60 distance
+// terms and 5 layouts per cluster at its 8000-layout scale; defaults here
+// scale those down proportionally for CI-sized corpora.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.h"
+#include "vision/kmedoids.h"
+#include "vision/sift.h"
+#include "vision/similarity.h"
+
+namespace ldmo::sampling {
+
+struct LayoutSamplingConfig {
+  int raster_size = 128;  ///< raster resolution for SIFT
+  vision::SiftConfig sift;
+  vision::SimilarityConfig similarity;
+  int clusters = 8;        ///< m (50 in the paper at full corpus scale)
+  int per_cluster = 2;     ///< layouts drawn per cluster (5 in the paper)
+  std::uint64_t seed = 11;
+};
+
+struct LayoutSamplingResult {
+  /// Indices into the input corpus, selected for training.
+  std::vector<int> selected;
+  /// Clustering diagnostics.
+  vision::KMedoidsResult clustering;
+};
+
+/// Our sampling strategy: SIFT + k-medoids + per-cluster draws.
+LayoutSamplingResult sample_layouts(const std::vector<layout::Layout>& corpus,
+                                    const LayoutSamplingConfig& config = {});
+
+/// The Fig. 8 baseline: uniform random draw of the same count.
+std::vector<int> random_layout_indices(int corpus_size, int count,
+                                       std::uint64_t seed);
+
+}  // namespace ldmo::sampling

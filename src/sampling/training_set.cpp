@@ -1,0 +1,124 @@
+#include "sampling/training_set.h"
+
+#include "common/error.h"
+#include "layout/raster.h"
+
+namespace ldmo::sampling {
+
+nn::Tensor decomposition_tensor(const layout::Layout& layout,
+                                const layout::Assignment& assignment,
+                                int image_size) {
+  const GridF image =
+      layout::decomposition_image(layout, assignment, image_size);
+  nn::Tensor tensor({1, image_size, image_size});
+  for (std::size_t i = 0; i < image.size(); ++i)
+    tensor[i] = static_cast<float>(image[i]);
+  return tensor;
+}
+
+TrainingSet build_training_set(
+    const std::vector<layout::Layout>& layouts,
+    const std::vector<std::vector<layout::Assignment>>& decompositions,
+    const opc::IltEngine& engine, const TrainingSetConfig& config,
+    const std::function<void(int, int)>& progress) {
+  require(layouts.size() == decompositions.size(),
+          "build_training_set: layouts / decompositions size mismatch");
+  require(config.image_size >= 16, "build_training_set: image too small");
+
+  int total = 0;
+  for (const auto& list : decompositions)
+    total += static_cast<int>(list.size());
+  require(total > 0, "build_training_set: nothing to label");
+
+  TrainingSet set;
+  set.labeled.reserve(static_cast<std::size_t>(total));
+  int done = 0;
+  for (std::size_t li = 0; li < layouts.size(); ++li) {
+    for (const layout::Assignment& assignment : decompositions[li]) {
+      const opc::IltResult result =
+          engine.optimize(layouts[li], assignment);
+      LabeledDecomposition labeled;
+      labeled.layout_index = static_cast<int>(li);
+      labeled.assignment = assignment;
+      labeled.report = result.report;
+      labeled.raw_score = result.report.score(config.score_weights);
+      set.labeled.push_back(std::move(labeled));
+      ++done;
+      if (progress) progress(done, total);
+    }
+  }
+
+  std::vector<double> raw;
+  raw.reserve(set.labeled.size());
+  for (const auto& l : set.labeled) raw.push_back(l.raw_score);
+  set.normalizer.fit(raw);
+
+  // Per-layout normalizers (used only when configured).
+  std::vector<ZScoreNormalizer> per_layout(layouts.size());
+  if (config.per_layout_zscore) {
+    for (std::size_t li = 0; li < layouts.size(); ++li) {
+      std::vector<double> scores;
+      for (const auto& l : set.labeled)
+        if (l.layout_index == static_cast<int>(li))
+          scores.push_back(l.raw_score);
+      if (!scores.empty()) per_layout[li].fit(scores);
+    }
+  }
+
+  set.examples.reserve(set.labeled.size());
+  for (const auto& l : set.labeled) {
+    nn::Example example;
+    example.image = decomposition_tensor(
+        layouts[static_cast<std::size_t>(l.layout_index)], l.assignment,
+        config.image_size);
+    const ZScoreNormalizer& norm =
+        config.per_layout_zscore
+            ? per_layout[static_cast<std::size_t>(l.layout_index)]
+            : set.normalizer;
+    example.label = static_cast<float>(norm.transform(l.raw_score));
+    set.examples.push_back(std::move(example));
+  }
+  return set;
+}
+
+namespace {
+
+// Transforms a [1, S, S] image by one of the 8 dihedral symmetries.
+nn::Tensor transform_image(const nn::Tensor& image, int symmetry) {
+  const int s = image.dim(1);
+  nn::Tensor out({1, s, s});
+  for (int y = 0; y < s; ++y) {
+    for (int x = 0; x < s; ++x) {
+      int sy = y, sx = x;
+      if (symmetry & 4) sx = s - 1 - sx;       // mirror
+      switch (symmetry & 3) {                  // rotation
+        case 0: break;
+        case 1: { const int t = sy; sy = sx; sx = s - 1 - t; break; }
+        case 2: sy = s - 1 - sy; sx = s - 1 - sx; break;
+        case 3: { const int t = sy; sy = s - 1 - sx; sx = t; break; }
+      }
+      out[static_cast<std::size_t>(y) * s + x] =
+          image[static_cast<std::size_t>(sy) * s + sx];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<nn::Example> augment_with_symmetries(
+    const std::vector<nn::Example>& examples) {
+  std::vector<nn::Example> augmented;
+  augmented.reserve(examples.size() * 8);
+  for (const nn::Example& example : examples) {
+    require(example.image.rank() == 3 &&
+                example.image.dim(1) == example.image.dim(2),
+            "augment_with_symmetries: need square [1, S, S] images");
+    for (int symmetry = 0; symmetry < 8; ++symmetry)
+      augmented.push_back(
+          {transform_image(example.image, symmetry), example.label});
+  }
+  return augmented;
+}
+
+}  // namespace ldmo::sampling

@@ -1,0 +1,71 @@
+// Training-set construction: label decompositions with full ILT runs and
+// package them as normalized CNN examples (Fig. 5 pipeline, right half).
+//
+// Each (layout, decomposition) pair is optimized with the ILT engine and
+// scored with Eq. 9 (alpha L2 + beta #EPE + gamma #violations); the raw
+// scores are z-score normalized across the whole set (the paper's "z-score
+// regularization ... to make the score comparable") and the decomposition
+// image becomes the CNN input.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "layout/layout.h"
+#include "litho/simulator.h"
+#include "nn/trainer.h"
+#include "opc/ilt.h"
+
+namespace ldmo::sampling {
+
+struct TrainingSetConfig {
+  int image_size = 64;  ///< CNN input side (224 in the paper)
+  litho::ScoreWeights score_weights;  ///< Eq. 9 coefficients
+  /// false: one global z-score over all labels (the paper's Eq. 9 text).
+  /// true: z-score per source layout. Candidate selection only ever
+  /// compares decompositions of the SAME layout, and per-layout
+  /// normalization stops the network from spending capacity on predicting
+  /// between-layout score offsets that never matter at inference time.
+  bool per_layout_zscore = false;
+};
+
+/// One labeled decomposition before normalization.
+struct LabeledDecomposition {
+  int layout_index = 0;
+  layout::Assignment assignment;
+  double raw_score = 0.0;
+  litho::PrintabilityReport report;
+};
+
+/// The packaged result.
+struct TrainingSet {
+  std::vector<LabeledDecomposition> labeled;
+  ZScoreNormalizer normalizer;  ///< fitted on the raw scores
+  std::vector<nn::Example> examples;  ///< normalized labels, CNN images
+};
+
+/// Converts a decomposition to the CNN input tensor ([1, S, S], gray levels
+/// 1.0 / 0.5 per mask as in the paper's grayscale encoding).
+nn::Tensor decomposition_tensor(const layout::Layout& layout,
+                                const layout::Assignment& assignment,
+                                int image_size);
+
+/// Labels every (layout, candidate) pair by running full ILT, fits the
+/// z-score normalizer and builds the example list. `progress` (optional) is
+/// called after each labeled pair with (done, total).
+TrainingSet build_training_set(
+    const std::vector<layout::Layout>& layouts,
+    const std::vector<std::vector<layout::Assignment>>& decompositions,
+    const opc::IltEngine& engine, const TrainingSetConfig& config = {},
+    const std::function<void(int, int)>& progress = nullptr);
+
+/// Expands a training set with the dihedral symmetries of the optical
+/// model (8x: rotations by 90 degrees and mirror images). The annular
+/// source and circular pupil are rotation- and reflection-invariant, so a
+/// transformed decomposition image has exactly the same printability —
+/// free, physically exact data augmentation.
+std::vector<nn::Example> augment_with_symmetries(
+    const std::vector<nn::Example>& examples);
+
+}  // namespace ldmo::sampling

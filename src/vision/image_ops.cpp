@@ -1,0 +1,110 @@
+#include "vision/image_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ldmo::vision {
+
+GridF gaussian_blur(const GridF& image, double sigma) {
+  require(sigma > 0.0, "gaussian_blur: sigma must be positive");
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    kernel[static_cast<std::size_t>(i + radius)] =
+        std::exp(-0.5 * i * i / (sigma * sigma));
+    sum += kernel[static_cast<std::size_t>(i + radius)];
+  }
+  for (double& k : kernel) k /= sum;
+
+  const int h = image.height(), w = image.width();
+  GridF horizontal(h, w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        const int sx = std::clamp(x + i, 0, w - 1);
+        acc += kernel[static_cast<std::size_t>(i + radius)] * image.at(y, sx);
+      }
+      horizontal.at(y, x) = acc;
+    }
+  }
+  GridF result(h, w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        const int sy = std::clamp(y + i, 0, h - 1);
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               horizontal.at(sy, x);
+      }
+      result.at(y, x) = acc;
+    }
+  }
+  return result;
+}
+
+GridF downsample2(const GridF& image) {
+  const int h = std::max(1, image.height() / 2);
+  const int w = std::max(1, image.width() / 2);
+  GridF result(h, w);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) result.at(y, x) = image.at(2 * y, 2 * x);
+  return result;
+}
+
+GradientField gradients(const GridF& image) {
+  const int h = image.height(), w = image.width();
+  GradientField g{GridF(h, w), GridF(h, w)};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int xm = std::max(0, x - 1), xp = std::min(w - 1, x + 1);
+      const int ym = std::max(0, y - 1), yp = std::min(h - 1, y + 1);
+      g.dx.at(y, x) = (image.at(y, xp) - image.at(y, xm)) /
+                      static_cast<double>(xp - xm == 0 ? 1 : xp - xm);
+      g.dy.at(y, x) = (image.at(yp, x) - image.at(ym, x)) /
+                      static_cast<double>(yp - ym == 0 ? 1 : yp - ym);
+    }
+  }
+  return g;
+}
+
+GridF subtract(const GridF& a, const GridF& b) {
+  require(a.same_shape(b), "subtract: shape mismatch");
+  GridF result(a.height(), a.width());
+  for (std::size_t i = 0; i < a.size(); ++i) result[i] = a[i] - b[i];
+  return result;
+}
+
+GridF resize(const GridF& image, int new_height, int new_width) {
+  require(new_height > 0 && new_width > 0, "resize: bad target shape");
+  GridF result(new_height, new_width);
+  const double sy =
+      static_cast<double>(image.height()) / static_cast<double>(new_height);
+  const double sx =
+      static_cast<double>(image.width()) / static_cast<double>(new_width);
+  for (int y = 0; y < new_height; ++y) {
+    for (int x = 0; x < new_width; ++x) {
+      const double fy = std::min((y + 0.5) * sy - 0.5,
+                                 static_cast<double>(image.height() - 1));
+      const double fx = std::min((x + 0.5) * sx - 0.5,
+                                 static_cast<double>(image.width() - 1));
+      const int y0 = std::max(0, static_cast<int>(std::floor(fy)));
+      const int x0 = std::max(0, static_cast<int>(std::floor(fx)));
+      const int y1 = std::min(image.height() - 1, y0 + 1);
+      const int x1 = std::min(image.width() - 1, x0 + 1);
+      const double ty = std::clamp(fy - y0, 0.0, 1.0);
+      const double tx = std::clamp(fx - x0, 0.0, 1.0);
+      result.at(y, x) =
+          image.at(y0, x0) * (1 - ty) * (1 - tx) +
+          image.at(y0, x1) * (1 - ty) * tx +
+          image.at(y1, x0) * ty * (1 - tx) + image.at(y1, x1) * ty * tx;
+    }
+  }
+  return result;
+}
+
+}  // namespace ldmo::vision

@@ -1,0 +1,27 @@
+// Grayscale image operations backing the SIFT pipeline.
+#pragma once
+
+#include "common/grid.h"
+
+namespace ldmo::vision {
+
+/// Separable Gaussian blur with kernel radius ceil(3 sigma), edge-clamped.
+GridF gaussian_blur(const GridF& image, double sigma);
+
+/// 2x downsampling by taking every second pixel (after appropriate blur).
+GridF downsample2(const GridF& image);
+
+/// Central-difference gradients; border pixels use one-sided differences.
+struct GradientField {
+  GridF dx;
+  GridF dy;
+};
+GradientField gradients(const GridF& image);
+
+/// Per-pixel a - b (shapes must match).
+GridF subtract(const GridF& a, const GridF& b);
+
+/// Bilinear upscale/downscale to an arbitrary size.
+GridF resize(const GridF& image, int new_height, int new_width);
+
+}  // namespace ldmo::vision

@@ -1,0 +1,126 @@
+#include "vision/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ldmo::vision {
+namespace {
+
+// Assigns every element to its nearest medoid; returns total distance.
+double assign_all(const std::vector<double>& distances, int n,
+                  const std::vector<int>& medoids,
+                  std::vector<int>& assignment) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_cluster = 0;
+    for (std::size_t m = 0; m < medoids.size(); ++m) {
+      const double d =
+          distances[static_cast<std::size_t>(i) * n + medoids[m]];
+      if (d < best) {
+        best = d;
+        best_cluster = static_cast<int>(m);
+      }
+    }
+    assignment[static_cast<std::size_t>(i)] = best_cluster;
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+double sum_of_layout_distance(const std::vector<double>& distances, int n,
+                              const std::vector<int>& medoids,
+                              const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i)
+    total += distances[static_cast<std::size_t>(i) * n +
+                       medoids[static_cast<std::size_t>(
+                           assignment[static_cast<std::size_t>(i)])]];
+  return total;
+}
+
+KMedoidsResult kmedoids(const std::vector<double>& distances, int n,
+                        const KMedoidsConfig& config) {
+  require(n >= 1, "kmedoids: empty input");
+  require(distances.size() == static_cast<std::size_t>(n) * n,
+          "kmedoids: distance matrix size mismatch");
+  require(config.clusters >= 1 && config.clusters <= n,
+          "kmedoids: cluster count out of range");
+
+  // k-medoids++-style greedy initialization: first medoid is the element
+  // with the lowest total distance (the corpus "center"), each next medoid
+  // the element farthest from its current nearest medoid (deterministic,
+  // with the seed only breaking exact ties).
+  Rng rng(config.seed);
+  KMedoidsResult result;
+  {
+    int best = 0;
+    double best_sum = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j)
+        sum += distances[static_cast<std::size_t>(i) * n + j];
+      if (sum < best_sum) {
+        best_sum = sum;
+        best = i;
+      }
+    }
+    result.medoids.push_back(best);
+  }
+  while (static_cast<int>(result.medoids.size()) < config.clusters) {
+    int farthest = -1;
+    double farthest_distance = -1.0;
+    for (int i = 0; i < n; ++i) {
+      if (std::find(result.medoids.begin(), result.medoids.end(), i) !=
+          result.medoids.end())
+        continue;
+      double nearest = std::numeric_limits<double>::infinity();
+      for (int m : result.medoids)
+        nearest =
+            std::min(nearest, distances[static_cast<std::size_t>(i) * n + m]);
+      if (nearest > farthest_distance ||
+          (nearest == farthest_distance && rng.bernoulli(0.5))) {
+        farthest_distance = nearest;
+        farthest = i;
+      }
+    }
+    LDMO_ASSERT(farthest >= 0);
+    result.medoids.push_back(farthest);
+  }
+
+  result.assignment.assign(static_cast<std::size_t>(n), 0);
+  result.sld = assign_all(distances, n, result.medoids, result.assignment);
+
+  // PAM swap phase: try replacing each medoid with each non-medoid; accept
+  // the first improving swap per round, stop when no swap improves.
+  std::vector<int> trial_assignment(static_cast<std::size_t>(n), 0);
+  for (int iteration = 0; iteration < config.max_iterations; ++iteration) {
+    ++result.iterations;
+    bool improved = false;
+    for (std::size_t m = 0; m < result.medoids.size() && !improved; ++m) {
+      for (int candidate = 0; candidate < n && !improved; ++candidate) {
+        if (std::find(result.medoids.begin(), result.medoids.end(),
+                      candidate) != result.medoids.end())
+          continue;
+        std::vector<int> trial_medoids = result.medoids;
+        trial_medoids[m] = candidate;
+        const double trial_sld =
+            assign_all(distances, n, trial_medoids, trial_assignment);
+        if (trial_sld + 1e-12 < result.sld) {
+          result.medoids = std::move(trial_medoids);
+          result.assignment = trial_assignment;
+          result.sld = trial_sld;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace ldmo::vision

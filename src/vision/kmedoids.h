@@ -1,0 +1,39 @@
+// k-medoids clustering (PAM) over a precomputed distance matrix.
+//
+// The paper clusters the layout corpus with k-medoids because medoids are
+// real layouts (usable as training inputs) and the method is robust to
+// outlier layouts (Section IV-A). Quality is the sum of layout distances
+// from each member to its cluster medoid (SLD, Eq. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ldmo::vision {
+
+struct KMedoidsConfig {
+  int clusters = 8;        ///< m in the paper (50 at corpus scale)
+  int max_iterations = 50; ///< PAM swap rounds
+  std::uint64_t seed = 5;  ///< initialization seed
+};
+
+struct KMedoidsResult {
+  std::vector<int> medoids;      ///< element indices chosen as centers
+  std::vector<int> assignment;   ///< cluster index per element
+  double sld = 0.0;              ///< Eq. 8 objective at convergence
+  int iterations = 0;
+};
+
+/// Runs PAM on an n x n row-major distance matrix. Requires
+/// clusters <= n; distances must be symmetric with zero diagonal.
+KMedoidsResult kmedoids(const std::vector<double>& distances, int n,
+                        const KMedoidsConfig& config = {});
+
+/// Recomputes the SLD (Eq. 8) of an assignment — test/diagnostic helper.
+double sum_of_layout_distance(const std::vector<double>& distances, int n,
+                              const std::vector<int>& medoids,
+                              const std::vector<int>& assignment);
+
+}  // namespace ldmo::vision

@@ -1,0 +1,212 @@
+#include "vision/sift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "vision/image_ops.h"
+
+namespace ldmo::vision {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+// Candidate keypoint before orientation/descriptor assignment.
+struct Candidate {
+  int octave;
+  int level;   // DoG level within the octave
+  int x, y;    // coordinates within the octave image
+  double response;
+};
+
+// Gaussian pyramid for one octave: scales_per_octave + 3 blurred images.
+std::vector<GridF> build_octave(const GridF& base, double base_sigma,
+                                int levels) {
+  std::vector<GridF> gaussians;
+  gaussians.reserve(static_cast<std::size_t>(levels));
+  const double k = std::pow(2.0, 1.0 / (levels - 3));
+  gaussians.push_back(gaussian_blur(base, base_sigma));
+  for (int i = 1; i < levels; ++i) {
+    // Incremental blur: sigma_i^2 = sigma_{i-1}^2 + delta^2.
+    const double prev = base_sigma * std::pow(k, i - 1);
+    const double next = base_sigma * std::pow(k, i);
+    const double delta = std::sqrt(std::max(1e-12, next * next - prev * prev));
+    gaussians.push_back(gaussian_blur(gaussians.back(), delta));
+  }
+  return gaussians;
+}
+
+bool is_extremum(const std::vector<GridF>& dog, int level, int y, int x) {
+  const double v = dog[static_cast<std::size_t>(level)].at(y, x);
+  const bool is_max = v > 0.0;
+  for (int dl = -1; dl <= 1; ++dl) {
+    const GridF& layer = dog[static_cast<std::size_t>(level + dl)];
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dl == 0 && dy == 0 && dx == 0) continue;
+        const double n = layer.at(y + dy, x + dx);
+        if (is_max ? (n >= v) : (n <= v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Rejects elongated (edge-like) responses via the DoG Hessian trace/det
+// ratio test.
+bool passes_edge_test(const GridF& dog, int y, int x, double edge_ratio) {
+  const double dxx = dog.at(y, x + 1) + dog.at(y, x - 1) - 2.0 * dog.at(y, x);
+  const double dyy = dog.at(y + 1, x) + dog.at(y - 1, x) - 2.0 * dog.at(y, x);
+  const double dxy = 0.25 * (dog.at(y + 1, x + 1) - dog.at(y + 1, x - 1) -
+                             dog.at(y - 1, x + 1) + dog.at(y - 1, x - 1));
+  const double trace = dxx + dyy;
+  const double det = dxx * dyy - dxy * dxy;
+  if (det <= 0.0) return false;
+  const double r = edge_ratio;
+  return trace * trace / det < (r + 1.0) * (r + 1.0) / r;
+}
+
+// Dominant gradient orientation in a window around (x, y).
+double dominant_orientation(const GradientField& grad, int y, int x,
+                            double sigma) {
+  constexpr int kBins = 36;
+  std::array<double, kBins> histogram{};
+  const int radius = std::max(2, static_cast<int>(std::lround(3.0 * sigma)));
+  const GridF& dx = grad.dx;
+  const GridF& dy = grad.dy;
+  for (int oy = -radius; oy <= radius; ++oy) {
+    for (int ox = -radius; ox <= radius; ++ox) {
+      const int py = y + oy, px = x + ox;
+      if (!dx.in_bounds(py, px)) continue;
+      const double gx = dx.at(py, px);
+      const double gy = dy.at(py, px);
+      const double magnitude = std::hypot(gx, gy);
+      if (magnitude < 1e-12) continue;
+      const double weight =
+          std::exp(-0.5 * (oy * oy + ox * ox) / (sigma * sigma * 2.25));
+      double angle = std::atan2(gy, gx);
+      if (angle < 0.0) angle += kTwoPi;
+      const int bin =
+          std::min(kBins - 1, static_cast<int>(angle / kTwoPi * kBins));
+      histogram[static_cast<std::size_t>(bin)] += magnitude * weight;
+    }
+  }
+  int best = 0;
+  for (int b = 1; b < kBins; ++b)
+    if (histogram[static_cast<std::size_t>(b)] >
+        histogram[static_cast<std::size_t>(best)])
+      best = b;
+  return (best + 0.5) * kTwoPi / kBins;
+}
+
+// Classic 128-d descriptor: 4x4 spatial cells x 8 orientation bins sampled
+// in the keypoint's rotated frame, trilinear-free (nearest-cell) binning.
+std::array<float, 128> compute_descriptor(const GradientField& grad, int y,
+                                          int x, double scale,
+                                          double orientation) {
+  std::array<float, 128> desc{};
+  const double cell = 3.0 * scale;                 // pixels per spatial cell
+  const int radius = static_cast<int>(std::lround(cell * 2.5));
+  const double cos_o = std::cos(-orientation);
+  const double sin_o = std::sin(-orientation);
+  for (int oy = -radius; oy <= radius; ++oy) {
+    for (int ox = -radius; ox <= radius; ++ox) {
+      const int py = y + oy, px = x + ox;
+      if (!grad.dx.in_bounds(py, px)) continue;
+      // Rotate the offset into the keypoint frame.
+      const double rx = (cos_o * ox - sin_o * oy) / cell;
+      const double ry = (sin_o * ox + cos_o * oy) / cell;
+      const double cx = rx + 2.0;  // cell coordinates in [0, 4)
+      const double cy = ry + 2.0;
+      if (cx < 0.0 || cx >= 4.0 || cy < 0.0 || cy >= 4.0) continue;
+      const double gx = grad.dx.at(py, px);
+      const double gy = grad.dy.at(py, px);
+      const double magnitude = std::hypot(gx, gy);
+      if (magnitude < 1e-12) continue;
+      double angle = std::atan2(gy, gx) - orientation;
+      while (angle < 0.0) angle += kTwoPi;
+      while (angle >= kTwoPi) angle -= kTwoPi;
+      const int obin = std::min(7, static_cast<int>(angle / kTwoPi * 8.0));
+      const int cyi = std::min(3, static_cast<int>(cy));
+      const int cxi = std::min(3, static_cast<int>(cx));
+      const double weight =
+          std::exp(-0.5 * (rx * rx + ry * ry) / (2.0 * 2.0));
+      desc[static_cast<std::size_t>((cyi * 4 + cxi) * 8 + obin)] +=
+          static_cast<float>(magnitude * weight);
+    }
+  }
+  // Normalize, clip at 0.2 (illumination robustness), renormalize.
+  auto normalize = [&desc] {
+    double norm = 0.0;
+    for (float v : desc) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12)
+      for (float& v : desc) v = static_cast<float>(v / norm);
+  };
+  normalize();
+  for (float& v : desc) v = std::min(v, 0.2f);
+  normalize();
+  return desc;
+}
+
+}  // namespace
+
+std::vector<SiftFeature> detect_sift(const GridF& image,
+                                     const SiftConfig& config) {
+  require(config.octaves >= 1 && config.scales_per_octave >= 1,
+          "detect_sift: bad pyramid configuration");
+  require(image.height() >= 16 && image.width() >= 16,
+          "detect_sift: image too small");
+
+  const int levels = config.scales_per_octave + 3;
+  std::vector<SiftFeature> features;
+
+  GridF octave_base = image;
+  double octave_scale = 1.0;  // input pixels per octave pixel
+  for (int octave = 0; octave < config.octaves; ++octave) {
+    if (octave_base.height() < 16 || octave_base.width() < 16) break;
+    const std::vector<GridF> gaussians =
+        build_octave(octave_base, config.base_sigma, levels);
+    std::vector<GridF> dog;
+    dog.reserve(gaussians.size() - 1);
+    for (std::size_t i = 0; i + 1 < gaussians.size(); ++i)
+      dog.push_back(subtract(gaussians[i + 1], gaussians[i]));
+
+    // Per-level gradient fields of the Gaussian images (descriptor source).
+    std::vector<GradientField> grads;
+    grads.reserve(gaussians.size());
+    for (const GridF& g : gaussians) grads.push_back(gradients(g));
+
+    const double k = std::pow(2.0, 1.0 / config.scales_per_octave);
+    for (int level = 1; level + 1 < static_cast<int>(dog.size()); ++level) {
+      const GridF& layer = dog[static_cast<std::size_t>(level)];
+      for (int y = 1; y < layer.height() - 1; ++y) {
+        for (int x = 1; x < layer.width() - 1; ++x) {
+          if (std::abs(layer.at(y, x)) < config.contrast_threshold) continue;
+          if (!is_extremum(dog, level, y, x)) continue;
+          if (!passes_edge_test(layer, y, x, config.edge_ratio)) continue;
+          const double sigma = config.base_sigma * std::pow(k, level);
+          const GradientField& grad = grads[static_cast<std::size_t>(level)];
+          SiftFeature feature;
+          feature.x = x * octave_scale;
+          feature.y = y * octave_scale;
+          feature.scale = sigma * octave_scale;
+          feature.orientation = dominant_orientation(grad, y, x, sigma);
+          feature.descriptor =
+              compute_descriptor(grad, y, x, sigma, feature.orientation);
+          features.push_back(std::move(feature));
+        }
+      }
+    }
+    octave_base = downsample2(gaussians[static_cast<std::size_t>(
+        config.scales_per_octave)]);
+    octave_scale *= 2.0;
+  }
+
+  // Keep the strongest features when over budget (stable order otherwise).
+  if (static_cast<int>(features.size()) > config.max_features)
+    features.resize(static_cast<std::size_t>(config.max_features));
+  return features;
+}
+
+}  // namespace ldmo::vision

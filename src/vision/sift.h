@@ -1,0 +1,44 @@
+// Scale-invariant feature transform (Lowe 1999), the paper's layout
+// feature extractor (Section IV-A).
+//
+// Implementation: Gaussian scale-space pyramid, difference-of-Gaussians
+// extrema detection with contrast and edge-response rejection, dominant
+// gradient-orientation assignment, and the classic 4x4 x 8-bin = 128-d
+// descriptor (rotated to the keypoint orientation, normalized, clipped at
+// 0.2, renormalized). Sub-pixel refinement is omitted — layout rasters are
+// synthetic and noise-free, so integer-located extrema are stable, which is
+// all the layout-similarity metric needs.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/grid.h"
+
+namespace ldmo::vision {
+
+/// One detected feature: position (in input-image pixels), scale,
+/// orientation and the 128-d unit descriptor.
+struct SiftFeature {
+  double x = 0.0;
+  double y = 0.0;
+  double scale = 0.0;
+  double orientation = 0.0;  ///< radians
+  std::array<float, 128> descriptor{};
+};
+
+struct SiftConfig {
+  int octaves = 4;
+  int scales_per_octave = 3;   ///< DoG layers inspected per octave
+  double base_sigma = 1.6;
+  double contrast_threshold = 0.015;  ///< |DoG| below this is rejected
+  double edge_ratio = 10.0;    ///< Hessian eigenvalue ratio limit
+  int max_features = 256;      ///< keep the strongest features
+};
+
+/// Detects keypoints and computes descriptors on a grayscale image with
+/// values in [0, 1].
+std::vector<SiftFeature> detect_sift(const GridF& image,
+                                     const SiftConfig& config = {});
+
+}  // namespace ldmo::vision

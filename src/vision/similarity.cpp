@@ -1,0 +1,81 @@
+#include "vision/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ldmo::vision {
+
+double feature_distance(const SiftFeature& p, const SiftFeature& q,
+                        double match_threshold) {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < p.descriptor.size(); ++i) {
+    const double d = static_cast<double>(p.descriptor[i]) - q.descriptor[i];
+    sq += d * d;
+  }
+  const double distance = std::sqrt(sq);
+  return distance <= match_threshold ? distance : 1.0;
+}
+
+double layout_similarity(const std::vector<SiftFeature>& features_w,
+                         const std::vector<SiftFeature>& features_s,
+                         const SimilarityConfig& config) {
+  require(config.truncate_count > 0, "layout_similarity: bad truncate count");
+  std::vector<bool> matched(features_s.size(), false);
+  std::vector<double> dws;
+  dws.reserve(features_w.size());
+
+  for (const SiftFeature& pw : features_w) {
+    // Nearest unmatched feature of L_s.
+    double best = 1.0;
+    int best_index = -1;
+    for (std::size_t j = 0; j < features_s.size(); ++j) {
+      if (matched[j]) continue;
+      const double d =
+          feature_distance(pw, features_s[j], config.match_threshold);
+      if (d < best) {
+        best = d;
+        best_index = static_cast<int>(j);
+      }
+    }
+    if (best_index >= 0 && best <= config.match_threshold) {
+      matched[static_cast<std::size_t>(best_index)] = true;
+      dws.push_back(best);
+    } else {
+      dws.push_back(1.0);  // unmatched penalty
+    }
+  }
+
+  std::sort(dws.begin(), dws.end());
+  double sum = 0.0;
+  const std::size_t c = static_cast<std::size_t>(config.truncate_count);
+  for (std::size_t k = 0; k < c; ++k)
+    // Fewer than c entries: missing correspondences cost the full penalty,
+    // keeping distances comparable across layouts with different feature
+    // counts (the purpose of the truncation in Alg. 2).
+    sum += k < dws.size() ? dws[k] : 1.0;
+  return sum;
+}
+
+std::vector<double> distance_matrix(
+    const std::vector<std::vector<SiftFeature>>& feature_sets,
+    const SimilarityConfig& config) {
+  const std::size_t n = feature_sets.size();
+  std::vector<double> matrix(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Greedy matching is mildly asymmetric; symmetrize by averaging.
+      const double dij =
+          layout_similarity(feature_sets[i], feature_sets[j], config);
+      const double dji =
+          layout_similarity(feature_sets[j], feature_sets[i], config);
+      const double d = 0.5 * (dij + dji);
+      matrix[i * n + j] = d;
+      matrix[j * n + i] = d;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace ldmo::vision

@@ -1,0 +1,39 @@
+// Layout similarity from SIFT feature matching (paper Eq. 7 + Algorithm 2).
+//
+// Feature-point distance (Eq. 7): the Euclidean distance between the two
+// unit descriptors when they match (distance <= Dth), otherwise the
+// unmatched penalty 1. Layout distance (Alg. 2): greedily match each
+// feature of layout w to its nearest unmatched feature of layout s, collect
+// the distances, sort ascending and sum the first c — so two layouts are
+// close when their c best feature correspondences are tight.
+#pragma once
+
+#include <vector>
+
+#include "vision/sift.h"
+
+namespace ldmo::vision {
+
+struct SimilarityConfig {
+  double match_threshold = 0.7;  ///< Dth of Eq. 7
+  int truncate_count = 60;       ///< c of Algorithm 2
+};
+
+/// Eq. 7: descriptor distance, or 1 when the pair does not match.
+double feature_distance(const SiftFeature& p, const SiftFeature& q,
+                        double match_threshold);
+
+/// Algorithm 2: S(L_w, L_s). Symmetric inputs give (approximately, greedy
+/// matching is order-dependent) symmetric outputs; an empty feature list
+/// contributes only unmatched penalties.
+double layout_similarity(const std::vector<SiftFeature>& features_w,
+                         const std::vector<SiftFeature>& features_s,
+                         const SimilarityConfig& config = {});
+
+/// Pairwise distance matrix over a feature-set collection (row-major n x n,
+/// zero diagonal). This feeds k-medoids clustering.
+std::vector<double> distance_matrix(
+    const std::vector<std::vector<SiftFeature>>& feature_sets,
+    const SimilarityConfig& config = {});
+
+}  // namespace ldmo::vision

@@ -1,0 +1,200 @@
+// Unit tests for the common module: errors, RNG, timers, stats, grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/grid.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+
+namespace ldmo {
+namespace {
+
+TEST(Error, RaiseThrowsWithMessage) {
+  try {
+    raise("boom");
+    FAIL() << "raise did not throw";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(Error, RequirePassesOnTrue) { EXPECT_NO_THROW(require(true, "ok")); }
+
+TEST(Error, RequireThrowsOnFalse) {
+  EXPECT_THROW(require(false, "bad"), Error);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen, (std::set<int>{2, 3, 4, 5}));
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 2), Error);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(3);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(ZScore, TransformStandardizes) {
+  ZScoreNormalizer z;
+  z.fit({2, 4, 6, 8});
+  EXPECT_NEAR(z.transform(5.0), 0.0, 1e-12);
+  // Round trip.
+  EXPECT_NEAR(z.inverse(z.transform(7.3)), 7.3, 1e-12);
+}
+
+TEST(ZScore, DegenerateFitMapsToZero) {
+  ZScoreNormalizer z;
+  z.fit({5, 5, 5});
+  EXPECT_DOUBLE_EQ(z.transform(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(z.transform(100.0), 0.0);
+}
+
+TEST(ZScore, TransformBeforeFitThrows) {
+  ZScoreNormalizer z;
+  EXPECT_THROW(z.transform(1.0), Error);
+}
+
+TEST(ZScore, FitEmptyThrows) {
+  ZScoreNormalizer z;
+  EXPECT_THROW(z.fit({}), Error);
+}
+
+TEST(PhaseTimer, AccumulatesAndFractions) {
+  PhaseTimer timer;
+  timer.add("ds", 3.0);
+  timer.add("mo", 1.0);
+  timer.add("ds", 1.0);
+  EXPECT_DOUBLE_EQ(timer.get("ds"), 4.0);
+  EXPECT_DOUBLE_EQ(timer.total(), 5.0);
+  EXPECT_DOUBLE_EQ(timer.fraction("ds"), 0.8);
+  EXPECT_DOUBLE_EQ(timer.get("missing"), 0.0);
+}
+
+TEST(PhaseTimer, EmptyTotalsZero) {
+  PhaseTimer timer;
+  EXPECT_DOUBLE_EQ(timer.total(), 0.0);
+  EXPECT_DOUBLE_EQ(timer.fraction("x"), 0.0);
+}
+
+TEST(Timer, MeasuresNonNegativeElapsed) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Grid, ShapeAndFill) {
+  GridF g(3, 4, 1.5);
+  EXPECT_EQ(g.height(), 3);
+  EXPECT_EQ(g.width(), 4);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_DOUBLE_EQ(g.at(2, 3), 1.5);
+  g.fill(0.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 0.0);
+}
+
+TEST(Grid, RowMajorLinearAccess) {
+  GridF g(2, 3);
+  g.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(g[1 * 3 + 2], 7.0);
+}
+
+TEST(Grid, InBounds) {
+  GridF g(2, 2);
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(1, 1));
+  EXPECT_FALSE(g.in_bounds(2, 0));
+  EXPECT_FALSE(g.in_bounds(0, -1));
+}
+
+TEST(Grid, SameShapeComparison) {
+  GridF a(2, 3), b(2, 3), c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+}  // namespace
+}  // namespace ldmo

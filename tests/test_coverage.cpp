@@ -1,0 +1,159 @@
+// Unit + property tests for the covering-array generator (PICT substitute).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "coverage/covering_array.h"
+
+namespace ldmo::coverage {
+namespace {
+
+TEST(CoveringArray, ZeroFactorsYieldsSingleEmptyRow) {
+  const CoveringArray a = generate_covering_array(0, 3);
+  EXPECT_EQ(a.rows.size(), 1u);
+  EXPECT_TRUE(a.rows[0].empty());
+  EXPECT_TRUE(verify_coverage(a));
+}
+
+TEST(CoveringArray, StrengthAtLeastFactorsIsCartesianProduct) {
+  const CoveringArray a = generate_covering_array(3, 3);
+  EXPECT_EQ(a.rows.size(), 8u);
+  std::set<std::vector<std::uint8_t>> unique(a.rows.begin(), a.rows.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_TRUE(verify_coverage(a));
+}
+
+TEST(CoveringArray, StrengthAboveFactorsAlsoCartesian) {
+  const CoveringArray a = generate_covering_array(2, 5);
+  EXPECT_EQ(a.rows.size(), 4u);
+}
+
+TEST(CoveringArray, RejectsBadArguments) {
+  EXPECT_THROW(generate_covering_array(-1, 2), ldmo::Error);
+  EXPECT_THROW(generate_covering_array(4, 0), ldmo::Error);
+  EXPECT_THROW(generate_covering_array(63, 2), ldmo::Error);
+}
+
+TEST(CoveringArray, PairwiseFourFactorsSmall) {
+  // The paper's example: pairwise over 4 binary factors needs ~5 rows.
+  const CoveringArray a = generate_covering_array(4, 2);
+  EXPECT_TRUE(verify_coverage(a));
+  EXPECT_LE(a.rows.size(), 8u);  // greedy bound; optimal is 5
+  EXPECT_GE(a.rows.size(), 5u);  // information-theoretic lower bound
+}
+
+TEST(CoveringArray, DeterministicPerSeed) {
+  GeneratorOptions opt;
+  opt.seed = 99;
+  const CoveringArray a = generate_covering_array(8, 2, opt);
+  const CoveringArray b = generate_covering_array(8, 2, opt);
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+TEST(CoveringArray, RequiredTupleCount) {
+  EXPECT_EQ(required_tuple_count(4, 2), 6u * 4u);   // C(4,2)*4
+  EXPECT_EQ(required_tuple_count(5, 3), 10u * 8u);  // C(5,3)*8
+  EXPECT_EQ(required_tuple_count(2, 5), 1u * 4u);   // clamped strength
+}
+
+TEST(CoveringArray, VerifyDetectsMissingCoverage) {
+  CoveringArray broken;
+  broken.factor_count = 3;
+  broken.strength = 2;
+  broken.rows = {{0, 0, 0}, {1, 1, 1}};  // (0,1) combos missing everywhere
+  EXPECT_FALSE(verify_coverage(broken));
+}
+
+// Property sweep: coverage holds for all factor counts and strengths we use
+// in the decomposition generator, and arrays stay far below 2^factors.
+class CoverageSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CoverageSweep, CoversAndStaysCompact) {
+  const auto [factors, strength] = GetParam();
+  const CoveringArray a = generate_covering_array(factors, strength);
+  EXPECT_TRUE(verify_coverage(a))
+      << "factors=" << factors << " strength=" << strength;
+  for (const auto& row : a.rows)
+    EXPECT_EQ(row.size(), static_cast<std::size_t>(factors));
+  if (factors > strength + 2) {
+    const std::size_t exhaustive = std::size_t{1} << factors;
+    EXPECT_LT(a.rows.size(), exhaustive / 2)
+        << "array not compact for factors=" << factors;
+  }
+  // Growth is logarithmic-ish in factors: 16 binary factors pairwise should
+  // need far fewer than 40 rows even with a greedy generator.
+  if (strength == 2) {
+    EXPECT_LE(a.rows.size(), 40u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoverageSweep,
+    ::testing::Combine(::testing::Values(3, 4, 5, 6, 8, 10, 12, 16),
+                       ::testing::Values(2, 3)));
+
+TEST(CoveringArray, ThreeWiseTwelveFactorsCompact) {
+  const CoveringArray a = generate_covering_array(12, 3);
+  EXPECT_TRUE(verify_coverage(a));
+  EXPECT_LT(a.rows.size(), 120u);  // full product would be 4096
+}
+
+// ----------------------------------------------------- mixed arity (TPL) --
+
+TEST(MixedArity, TernaryPairwiseCovers) {
+  // Triple-patterning factors: 8 ternary masks, pairwise coverage.
+  const CoveringArray a =
+      generate_covering_array_mixed(std::vector<int>(8, 3), 2);
+  EXPECT_TRUE(verify_coverage(a));
+  // Lower bound 9 (3x3 combos must all appear); greedy stays well under
+  // the 6561-row product.
+  EXPECT_GE(a.rows.size(), 9u);
+  EXPECT_LT(a.rows.size(), 40u);
+  for (const auto& row : a.rows)
+    for (auto v : row) EXPECT_LT(v, 3);
+}
+
+TEST(MixedArity, HeterogeneousFactors) {
+  // Mixed factor levels (component-permutation factor of arity 6 plus
+  // ternary pattern factors).
+  const CoveringArray a = generate_covering_array_mixed({6, 3, 3, 2, 3}, 2);
+  EXPECT_TRUE(verify_coverage(a));
+  for (const auto& row : a.rows) {
+    EXPECT_LT(row[0], 6);
+    EXPECT_LT(row[3], 2);
+  }
+}
+
+TEST(MixedArity, CartesianFallbackForHighStrength) {
+  const CoveringArray a = generate_covering_array_mixed({3, 2, 3}, 3);
+  EXPECT_EQ(a.rows.size(), 18u);  // 3*2*3
+  std::set<std::vector<std::uint8_t>> unique(a.rows.begin(), a.rows.end());
+  EXPECT_EQ(unique.size(), 18u);
+}
+
+TEST(MixedArity, RejectsBadArity) {
+  EXPECT_THROW(generate_covering_array_mixed({3, 1}, 2), ldmo::Error);
+}
+
+TEST(MixedArity, TernaryThreeWiseCovers) {
+  const CoveringArray a =
+      generate_covering_array_mixed(std::vector<int>(6, 3), 3);
+  EXPECT_TRUE(verify_coverage(a));
+  EXPECT_GE(a.rows.size(), 27u);   // 3^3 combos per column triple
+  EXPECT_LT(a.rows.size(), 200u);  // far below 729
+}
+
+TEST(MixedArity, DeterministicPerSeed) {
+  GeneratorOptions opt;
+  opt.seed = 5;
+  const CoveringArray a =
+      generate_covering_array_mixed(std::vector<int>(7, 3), 2, opt);
+  const CoveringArray b =
+      generate_covering_array_mixed(std::vector<int>(7, 3), 2, opt);
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+}  // namespace
+}  // namespace ldmo::coverage

@@ -1,0 +1,187 @@
+// Unit tests for geometry: rect math, distances, spatial index.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/spatial_index.h"
+
+namespace ldmo::geometry {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{3, 4};
+  const Point b{1, 2};
+  EXPECT_EQ(a + b, (Point{4, 6}));
+  EXPECT_EQ(a - b, (Point{2, 2}));
+}
+
+TEST(Point, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Rect, MakeNormalizesCorners) {
+  const Rect r = Rect::make({5, 1}, {2, 7});
+  EXPECT_EQ(r.lo, (Point{2, 1}));
+  EXPECT_EQ(r.hi, (Point{5, 7}));
+}
+
+TEST(Rect, FromSizeAndAccessors) {
+  const Rect r = Rect::from_size({10, 20}, 30, 40);
+  EXPECT_EQ(r.width(), 30);
+  EXPECT_EQ(r.height(), 40);
+  EXPECT_EQ(r.area(), 1200);
+  EXPECT_EQ(r.center(), (Point{25, 40}));
+}
+
+TEST(Rect, FromSizeRejectsNegative) {
+  EXPECT_THROW(Rect::from_size({0, 0}, -1, 5), Error);
+}
+
+TEST(Rect, ContainsIncludesBoundary) {
+  const Rect r = Rect::from_size({0, 0}, 10, 10);
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 10}));
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_FALSE(r.contains({11, 5}));
+}
+
+TEST(Rect, IntersectsIncludesTouching) {
+  const Rect a = Rect::from_size({0, 0}, 10, 10);
+  EXPECT_TRUE(a.intersects(Rect::from_size({10, 0}, 5, 5)));  // share edge
+  EXPECT_TRUE(a.intersects(Rect::from_size({5, 5}, 10, 10)));
+  EXPECT_FALSE(a.intersects(Rect::from_size({11, 0}, 5, 5)));
+}
+
+TEST(Rect, InflateAndDeflate) {
+  const Rect r = Rect::from_size({10, 10}, 10, 10);
+  EXPECT_EQ(r.inflated(5), Rect::from_size({5, 5}, 20, 20));
+  EXPECT_EQ(r.inflated(-2), Rect::from_size({12, 12}, 6, 6));
+}
+
+TEST(Rect, OverDeflateCollapsesToCenter) {
+  const Rect r = Rect::from_size({0, 0}, 10, 10);
+  const Rect collapsed = r.inflated(-20);
+  EXPECT_EQ(collapsed.width(), 0);
+  EXPECT_EQ(collapsed.height(), 0);
+}
+
+TEST(Rect, Translated) {
+  const Rect r = Rect::from_size({0, 0}, 4, 4).translated({3, -2});
+  EXPECT_EQ(r.lo, (Point{3, -2}));
+  EXPECT_EQ(r.hi, (Point{7, 2}));
+}
+
+TEST(RectDistance, OverlappingIsZero) {
+  const Rect a = Rect::from_size({0, 0}, 10, 10);
+  const Rect b = Rect::from_size({5, 5}, 10, 10);
+  EXPECT_DOUBLE_EQ(rect_distance(a, b), 0.0);
+}
+
+TEST(RectDistance, TouchingIsZero) {
+  const Rect a = Rect::from_size({0, 0}, 10, 10);
+  const Rect b = Rect::from_size({10, 0}, 10, 10);
+  EXPECT_DOUBLE_EQ(rect_distance(a, b), 0.0);
+}
+
+TEST(RectDistance, AxisAlignedGap) {
+  const Rect a = Rect::from_size({0, 0}, 10, 10);
+  const Rect b = Rect::from_size({17, 0}, 10, 10);
+  EXPECT_DOUBLE_EQ(rect_distance(a, b), 7.0);
+}
+
+TEST(RectDistance, DiagonalGapIsEuclidean) {
+  const Rect a = Rect::from_size({0, 0}, 10, 10);
+  const Rect b = Rect::from_size({13, 14}, 10, 10);
+  EXPECT_DOUBLE_EQ(rect_distance(a, b), 5.0);  // gap (3, 4)
+}
+
+TEST(RectDistance, Symmetric) {
+  const Rect a = Rect::from_size({0, 0}, 5, 5);
+  const Rect b = Rect::from_size({20, 11}, 3, 3);
+  EXPECT_DOUBLE_EQ(rect_distance(a, b), rect_distance(b, a));
+}
+
+TEST(RectPointDistance, InsideIsZeroOutsideEuclidean) {
+  const Rect r = Rect::from_size({0, 0}, 10, 10);
+  EXPECT_DOUBLE_EQ(rect_point_distance(r, {5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(rect_point_distance(r, {13, 14}), 5.0);
+}
+
+class SpatialIndexTest : public ::testing::Test {
+ protected:
+  SpatialIndexTest()
+      : index_(Rect::from_size({0, 0}, 1000, 1000), 100) {}
+  SpatialIndex index_;
+};
+
+TEST_F(SpatialIndexTest, InsertAssignsSequentialIds) {
+  EXPECT_EQ(index_.insert(Rect::from_size({0, 0}, 10, 10)), 0);
+  EXPECT_EQ(index_.insert(Rect::from_size({50, 50}, 10, 10)), 1);
+  EXPECT_EQ(index_.size(), 2u);
+}
+
+TEST_F(SpatialIndexTest, QueryWithinFindsNeighbors) {
+  const int a = index_.insert(Rect::from_size({100, 100}, 10, 10));
+  const int b = index_.insert(Rect::from_size({150, 100}, 10, 10));  // 40 gap
+  const int c = index_.insert(Rect::from_size({400, 400}, 10, 10));
+  (void)b;
+  (void)c;
+  const auto near = index_.query_within(index_.rect(a), 45.0, a);
+  EXPECT_EQ(near, (std::vector<int>{1}));
+}
+
+TEST_F(SpatialIndexTest, QueryRadiusBoundaryInclusive) {
+  const int a = index_.insert(Rect::from_size({100, 100}, 10, 10));
+  index_.insert(Rect::from_size({140, 100}, 10, 10));  // 30nm gap
+  EXPECT_EQ(index_.query_within(index_.rect(a), 30.0, a).size(), 1u);
+  EXPECT_EQ(index_.query_within(index_.rect(a), 29.0, a).size(), 0u);
+}
+
+TEST_F(SpatialIndexTest, QueryAcrossCellBoundaries) {
+  // Rects straddling grid cells must still be found exactly once.
+  const int a = index_.insert(Rect::from_size({95, 95}, 10, 10));
+  const auto hits = index_.query_within(
+      Rect::from_size({90, 90}, 30, 30), 0.0);
+  EXPECT_EQ(hits, (std::vector<int>{a}));
+}
+
+TEST_F(SpatialIndexTest, QueryIntersecting) {
+  index_.insert(Rect::from_size({0, 0}, 50, 50));
+  index_.insert(Rect::from_size({60, 60}, 50, 50));
+  const auto hits = index_.query_intersecting(Rect::from_size({40, 40}, 25, 25));
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(SpatialIndexTest, RectOutOfRangeThrows) {
+  EXPECT_THROW(index_.rect(0), ldmo::Error);
+}
+
+TEST(SpatialIndex, RejectsNonPositiveCellSize) {
+  EXPECT_THROW(SpatialIndex(Rect::from_size({0, 0}, 10, 10), 0), ldmo::Error);
+}
+
+TEST(SpatialIndex, ManyRectsMatchBruteForce) {
+  const Rect world = Rect::from_size({0, 0}, 2000, 2000);
+  SpatialIndex index(world, 128);
+  std::vector<Rect> rects;
+  // Deterministic pseudo-grid of rects with varied sizes.
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t x = (i * 131) % 1900;
+    const std::int64_t y = (i * 197) % 1900;
+    const Rect r = Rect::from_size({x, y}, 20 + (i % 30), 20 + (i % 17));
+    rects.push_back(r);
+    index.insert(r);
+  }
+  const Rect query = Rect::from_size({900, 900}, 60, 60);
+  const double radius = 150.0;
+  std::vector<int> expected;
+  for (int i = 0; i < 200; ++i)
+    if (rect_distance(rects[static_cast<std::size_t>(i)], query) <= radius)
+      expected.push_back(i);
+  EXPECT_EQ(index.query_within(query, radius), expected);
+}
+
+}  // namespace
+}  // namespace ldmo::geometry

@@ -1,0 +1,207 @@
+// Unit tests for graph: union-find, MST/forest, two-coloring heuristics.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "graph/coloring.h"
+#include "graph/disjoint_set.h"
+#include "graph/graph.h"
+#include "graph/mst.h"
+
+namespace ldmo::graph {
+namespace {
+
+TEST(DisjointSet, StartsFullyDisjoint) {
+  DisjointSet dsu(4);
+  EXPECT_EQ(dsu.set_count(), 4);
+  EXPECT_FALSE(dsu.connected(0, 1));
+}
+
+TEST(DisjointSet, UniteMergesOnce) {
+  DisjointSet dsu(4);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.connected(0, 1));
+  EXPECT_EQ(dsu.set_count(), 3);
+}
+
+TEST(DisjointSet, TransitiveConnectivity) {
+  DisjointSet dsu(5);
+  dsu.unite(0, 1);
+  dsu.unite(1, 2);
+  dsu.unite(3, 4);
+  EXPECT_TRUE(dsu.connected(0, 2));
+  EXPECT_FALSE(dsu.connected(2, 3));
+  EXPECT_EQ(dsu.set_count(), 2);
+}
+
+TEST(DisjointSet, FindOutOfRangeThrows) {
+  DisjointSet dsu(2);
+  EXPECT_THROW(dsu.find(2), ldmo::Error);
+  EXPECT_THROW(dsu.find(-1), ldmo::Error);
+}
+
+TEST(Graph, AddEdgeUpdatesAdjacency) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.neighbors(0), (std::vector<int>{1}));
+  EXPECT_EQ(g.edges().size(), 2u);
+}
+
+TEST(Graph, RejectsSelfLoopAndOutOfRange) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), ldmo::Error);
+  EXPECT_THROW(g.add_edge(0, 2, 1.0), ldmo::Error);
+}
+
+TEST(Graph, ConnectedComponentsLabels) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto [labels, count] = g.connected_components();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[2], labels[3]);
+}
+
+TEST(Mst, PathGraphKeepsAllEdges) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const MstResult mst = minimum_spanning_forest(g);
+  EXPECT_EQ(mst.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, 6.0);
+}
+
+TEST(Mst, DropsHeaviestCycleEdge) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 10.0);
+  const MstResult mst = minimum_spanning_forest(g);
+  EXPECT_EQ(mst.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, 3.0);
+}
+
+TEST(Mst, ForestOverDisconnectedComponents) {
+  // Mirrors Fig. 3: two components solved independently.
+  Graph g(6);
+  g.add_edge(0, 1, 75.0);
+  g.add_edge(1, 2, 78.0);
+  g.add_edge(0, 2, 60.0);
+  g.add_edge(3, 4, 76.0);
+  g.add_edge(4, 5, 60.0);
+  const MstResult mst = minimum_spanning_forest(g);
+  EXPECT_EQ(mst.component_count, 2);
+  EXPECT_EQ(mst.edges.size(), 4u);
+  // Component 1 keeps 60 + 75 (drops 78), component 2 keeps both.
+  EXPECT_DOUBLE_EQ(mst.total_weight, 60.0 + 75.0 + 76.0 + 60.0);
+}
+
+TEST(Mst, DeterministicTieBreaking) {
+  Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 5.0);
+  g.add_edge(0, 2, 5.0);
+  const MstResult a = minimum_spanning_forest(g);
+  const MstResult b = minimum_spanning_forest(g);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.edges.size(), 2u);
+  // Input order wins ties: first two edges are kept.
+  EXPECT_EQ(a.edges[0].u, 0);
+  EXPECT_EQ(a.edges[1].u, 1);
+}
+
+TEST(TwoColorForest, AlternatesAlongTree) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}};
+  const auto color = two_color_forest(4, edges);
+  EXPECT_EQ(color[0], 0);
+  EXPECT_EQ(color[1], 1);
+  EXPECT_EQ(color[2], 0);
+  EXPECT_EQ(color[3], 1);
+}
+
+TEST(TwoColorForest, IsolatedVerticesGetZero) {
+  const auto color = two_color_forest(3, {});
+  EXPECT_EQ(color, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(TwoColorForest, RejectsCycles) {
+  const std::vector<Edge> cycle = {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+  EXPECT_THROW(two_color_forest(3, cycle), ldmo::Error);
+}
+
+TEST(Coloring, BipartiteGraphColorsCleanly) {
+  Graph g(4);
+  g.add_edge(0, 1, 80.0);
+  g.add_edge(1, 2, 80.0);
+  g.add_edge(2, 3, 80.0);
+  const ColoringResult r = bipartite_or_greedy_coloring(g);
+  EXPECT_EQ(r.conflict_count, 0);
+  EXPECT_NE(r.color[0], r.color[1]);
+  EXPECT_NE(r.color[1], r.color[2]);
+}
+
+TEST(Coloring, OddCycleHasAtLeastOneConflict) {
+  Graph g(3);
+  g.add_edge(0, 1, 70.0);
+  g.add_edge(1, 2, 70.0);
+  g.add_edge(0, 2, 70.0);
+  const ColoringResult r = bipartite_or_greedy_coloring(g);
+  EXPECT_GE(r.conflict_count, 1);
+}
+
+TEST(Coloring, EvaluateCountsMonochromaticEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 9.0);
+  g.add_edge(1, 2, 9.0);
+  const ColoringResult r = evaluate_coloring(g, {0, 0, 0});
+  EXPECT_EQ(r.conflict_count, 2);
+  EXPECT_NEAR(r.spacing_penalty, 2.0 / 10.0, 1e-12);
+}
+
+TEST(Coloring, EvaluateRejectsSizeMismatch) {
+  Graph g(3);
+  EXPECT_THROW(evaluate_coloring(g, {0, 1}), ldmo::Error);
+}
+
+TEST(Coloring, SpacingUniformityNeverWorseThanGreedy) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.uniform_int(4, 12);
+    Graph g(n);
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        if (rng.bernoulli(0.3)) g.add_edge(u, v, rng.uniform(60.0, 100.0));
+    const ColoringResult greedy = bipartite_or_greedy_coloring(g);
+    const ColoringResult refined = spacing_uniformity_coloring(g);
+    EXPECT_LE(refined.conflict_count, greedy.conflict_count);
+  }
+}
+
+TEST(Coloring, BalancedColoringBalancesIsolatedVertices) {
+  Graph g(6);  // no edges: free to balance 3/3
+  const ColoringResult r = balanced_coloring(g);
+  int ones = 0;
+  for (int c : r.color) ones += c;
+  EXPECT_EQ(ones, 3);
+  EXPECT_EQ(r.conflict_count, 0);
+}
+
+TEST(Coloring, BalancedRespectsConflictsFirst) {
+  Graph g(4);
+  g.add_edge(0, 1, 70.0);
+  g.add_edge(2, 3, 70.0);
+  const ColoringResult r = balanced_coloring(g);
+  EXPECT_EQ(r.conflict_count, 0);
+  EXPECT_NE(r.color[0], r.color[1]);
+  EXPECT_NE(r.color[2], r.color[3]);
+}
+
+}  // namespace
+}  // namespace ldmo::graph

@@ -1,0 +1,348 @@
+// Unit tests for layout: data model, generator statistics, DRC, raster, IO.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "layout/drc.h"
+#include "layout/generator.h"
+#include "layout/io.h"
+#include "layout/layout.h"
+#include "layout/raster.h"
+
+namespace ldmo::layout {
+namespace {
+
+Layout two_contact_layout(std::int64_t gap) {
+  Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({100, 100}, 65, 65));
+  l.add_pattern(geometry::Rect::from_size({165 + gap, 100}, 65, 65));
+  return l;
+}
+
+TEST(Layout, AddPatternAssignsSequentialIds) {
+  Layout l = two_contact_layout(80);
+  EXPECT_EQ(l.pattern_count(), 2);
+  EXPECT_EQ(l.patterns[0].id, 0);
+  EXPECT_EQ(l.patterns[1].id, 1);
+}
+
+TEST(Layout, NearestDistance) {
+  Layout l = two_contact_layout(77);
+  EXPECT_DOUBLE_EQ(l.nearest_distance(0), 77.0);
+  EXPECT_DOUBLE_EQ(l.nearest_distance(1), 77.0);
+}
+
+TEST(Layout, NearestDistanceSinglePatternIsInfinite) {
+  Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 100, 100);
+  l.add_pattern(geometry::Rect::from_size({10, 10}, 20, 20));
+  EXPECT_TRUE(std::isinf(l.nearest_distance(0)));
+}
+
+TEST(Layout, CanonicalizePinsFirstPatternToMaskOne) {
+  EXPECT_EQ(canonicalize({0, 1, 0}), (Assignment{0, 1, 0}));
+  EXPECT_EQ(canonicalize({1, 0, 1}), (Assignment{0, 1, 0}));
+  EXPECT_EQ(canonicalize({}), (Assignment{}));
+}
+
+TEST(Generator, ProducesDrcCleanLayouts) {
+  LayoutGenerator gen;
+  const DrcRules rules{gen.config().min_spacing_nm,
+                       gen.config().contact_size_nm,
+                       gen.config().clip_margin_nm / 2};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Layout l = gen.generate(seed);
+    EXPECT_GE(l.pattern_count(), gen.config().min_contacts);
+    EXPECT_LE(l.pattern_count(), gen.config().max_contacts);
+    EXPECT_TRUE(check_drc(l, rules).empty()) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  LayoutGenerator gen;
+  const Layout a = gen.generate(7);
+  const Layout b = gen.generate(7);
+  ASSERT_EQ(a.pattern_count(), b.pattern_count());
+  for (int i = 0; i < a.pattern_count(); ++i)
+    EXPECT_EQ(a.patterns[static_cast<std::size_t>(i)].shape,
+              b.patterns[static_cast<std::size_t>(i)].shape);
+}
+
+TEST(Generator, CorpusHasConflictPairs) {
+  // The whole point of decomposition: a healthy fraction of layouts must
+  // contain pattern pairs closer than nmin (SP pairs).
+  LayoutGenerator gen;
+  int layouts_with_conflicts = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Layout l = gen.generate(seed);
+    bool found = false;
+    for (int i = 0; i < l.pattern_count() && !found; ++i)
+      if (l.nearest_distance(i) < static_cast<double>(gen.config().nmin_nm))
+        found = true;
+    if (found) ++layouts_with_conflicts;
+  }
+  EXPECT_GE(layouts_with_conflicts, 15);
+}
+
+TEST(Generator, GenerateCorpusCount) {
+  LayoutGenerator gen;
+  const auto corpus = gen.generate_corpus(5, 100);
+  EXPECT_EQ(corpus.size(), 5u);
+}
+
+TEST(Generator, NamedCellsHaveExpectedSizes) {
+  LayoutGenerator gen;
+  const Layout buf = gen.generate_cell("BUF_X1");
+  const Layout nand3 = gen.generate_cell("NAND3_X2");
+  const Layout aoi = gen.generate_cell("AOI211_X1");
+  EXPECT_EQ(buf.name, "BUF_X1");
+  EXPECT_LT(buf.pattern_count(), nand3.pattern_count());
+  EXPECT_LE(nand3.pattern_count(), aoi.pattern_count());
+}
+
+TEST(Generator, UnknownCellThrows) {
+  LayoutGenerator gen;
+  EXPECT_THROW(gen.generate_cell("XOR9_X9"), ldmo::Error);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig cfg;
+  cfg.min_spacing_nm = 90;  // >= nmin: no SP pairs possible
+  EXPECT_THROW(LayoutGenerator{cfg}, ldmo::Error);
+}
+
+TEST(Drc, DetectsSpacingViolation) {
+  const Layout l = two_contact_layout(50);
+  const auto v = check_drc(l, DrcRules{70, 60, 20});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, DrcViolationKind::Spacing);
+  EXPECT_DOUBLE_EQ(v[0].measured_nm, 50.0);
+  EXPECT_FALSE(v[0].describe().empty());
+}
+
+TEST(Drc, CleanLayoutPasses) {
+  const Layout l = two_contact_layout(80);
+  EXPECT_TRUE(check_drc(l, DrcRules{70, 60, 20}).empty());
+}
+
+TEST(Drc, DetectsWidthViolation) {
+  Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({100, 100}, 40, 65));
+  const auto v = check_drc(l, DrcRules{70, 60, 20});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, DrcViolationKind::Width);
+}
+
+TEST(Drc, DetectsBoundaryViolation) {
+  Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({5, 100}, 65, 65));
+  const auto v = check_drc(l, DrcRules{70, 60, 20});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, DrcViolationKind::Boundary);
+}
+
+TEST(Drc, ReportsEachPairOnce) {
+  const Layout l = two_contact_layout(10);
+  const auto v = check_drc(l, DrcRules{70, 60, 20});
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(Raster, TargetCoversPatternArea) {
+  Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 512, 512);
+  l.add_pattern(geometry::Rect::from_size({128, 128}, 128, 128));
+  const GridF g = rasterize_target(l, 128);  // 4nm per pixel
+  // Pattern covers pixels [32, 64) x [32, 64) exactly.
+  EXPECT_DOUBLE_EQ(g.at(40, 40), 1.0);
+  EXPECT_DOUBLE_EQ(g.at(31, 40), 0.0);
+  EXPECT_DOUBLE_EQ(g.at(40, 64), 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) sum += g[i];
+  EXPECT_NEAR(sum, 32.0 * 32.0, 1e-9);
+}
+
+TEST(Raster, SubPixelEdgeGetsFractionalCoverage) {
+  Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 512, 512);
+  l.add_pattern(geometry::Rect::from_size({130, 128}, 128, 128));
+  const GridF g = rasterize_target(l, 128);
+  // Left edge at 130nm = pixel 32.5: pixel 32 half covered.
+  EXPECT_NEAR(g.at(40, 32), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(g.at(40, 33), 1.0);
+}
+
+TEST(Raster, MaskSelectionFollowsAssignment) {
+  Layout l = two_contact_layout(100);
+  const Assignment assign = {0, 1};
+  const GridF m1 = rasterize_mask(l, assign, 0, 128);
+  const GridF m2 = rasterize_mask(l, assign, 1, 128);
+  double s1 = 0.0, s2 = 0.0;
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    s1 += m1[i];
+    s2 += m2[i];
+  }
+  EXPECT_GT(s1, 0.0);
+  EXPECT_GT(s2, 0.0);
+  // Masks partition the target.
+  const GridF target = rasterize_target(l, 128);
+  double st = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) st += target[i];
+  EXPECT_NEAR(s1 + s2, st, 1e-9);
+}
+
+TEST(Raster, AssignmentSizeMismatchThrows) {
+  Layout l = two_contact_layout(100);
+  EXPECT_THROW(rasterize_mask(l, {0}, 0, 64), ldmo::Error);
+}
+
+TEST(Raster, DecompositionImageLevelsAndDuality) {
+  Layout l = two_contact_layout(100);
+  const GridF img_a = decomposition_image(l, {0, 1}, 224);
+  const GridF img_b = decomposition_image(l, {1, 0}, 224);  // dual
+  EXPECT_EQ(img_a, img_b);  // Fig. 4(c): dual decompositions, same image
+  double max_v = 0.0;
+  for (std::size_t i = 0; i < img_a.size(); ++i)
+    max_v = std::max(max_v, img_a[i]);
+  EXPECT_DOUBLE_EQ(max_v, 1.0);
+}
+
+TEST(Raster, TransformRoundTrip) {
+  const RasterTransform t{geometry::Rect::from_size({0, 0}, 1024, 1024), 128};
+  EXPECT_DOUBLE_EQ(t.nm_per_pixel(), 8.0);
+  EXPECT_DOUBLE_EQ(t.to_nm_x(t.to_px_x(300.0)), 300.0);
+  EXPECT_DOUBLE_EQ(t.to_px_y(t.to_nm_y(64.0)), 64.0);
+}
+
+// Property sweep: for any generated layout, rasterized area equals the
+// summed pattern area (no pattern overlaps in DRC-clean layouts), at any
+// grid resolution.
+class RasterAreaSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(RasterAreaSweep, CoverageMatchesGeometry) {
+  const auto [seed, grid] = GetParam();
+  LayoutGenerator gen;
+  const Layout l = gen.generate(seed);
+  const GridF raster = rasterize_target(l, grid);
+  double raster_area_px = 0.0;
+  for (std::size_t i = 0; i < raster.size(); ++i) raster_area_px += raster[i];
+  double geometry_area_nm2 = 0.0;
+  for (const Pattern& p : l.patterns)
+    geometry_area_nm2 += static_cast<double>(p.shape.area());
+  const double nm_per_px = static_cast<double>(l.clip.width()) / grid;
+  EXPECT_NEAR(raster_area_px * nm_per_px * nm_per_px, geometry_area_nm2,
+              1e-6 * geometry_area_nm2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RasterAreaSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(64, 128, 224)));
+
+// Mask partition property: for any assignment, per-mask rasters sum to the
+// target raster pixel-for-pixel.
+class RasterPartitionSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RasterPartitionSweep, MasksPartitionTarget) {
+  LayoutGenerator gen;
+  const Layout l = gen.generate(GetParam());
+  Assignment a(static_cast<std::size_t>(l.pattern_count()), 0);
+  for (int i = 0; i < l.pattern_count(); ++i)
+    a[static_cast<std::size_t>(i)] = (i * 7 + 3) % 2;
+  const GridF m1 = rasterize_mask(l, a, 0, 96);
+  const GridF m2 = rasterize_mask(l, a, 1, 96);
+  const GridF target = rasterize_target(l, 96);
+  for (std::size_t i = 0; i < target.size(); ++i)
+    EXPECT_NEAR(m1[i] + m2[i], target[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RasterPartitionSweep,
+                         ::testing::Values(10, 20, 30, 40));
+
+TEST(Io, PgmValueMapping) {
+  GridF g(1, 3);
+  g.at(0, 0) = 0.0;
+  g.at(0, 1) = 0.5;
+  g.at(0, 2) = 1.0;
+  const std::string path = "test_pgm_values.pgm";
+  write_pgm(g, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxval;
+  in >> magic >> w >> h >> maxval;
+  in.get();  // single whitespace after header
+  unsigned char bytes[3];
+  in.read(reinterpret_cast<char*>(bytes), 3);
+  EXPECT_EQ(bytes[0], 0);
+  EXPECT_EQ(bytes[1], 128);  // 0.5 * 255 + 0.5 rounds to 128
+  EXPECT_EQ(bytes[2], 255);
+  std::remove(path.c_str());
+}
+
+TEST(Io, PgmClampsOutOfRange) {
+  GridF g(1, 2);
+  g.at(0, 0) = -3.0;
+  g.at(0, 1) = 42.0;
+  const std::string path = "test_pgm_clamp.pgm";
+  write_pgm(g, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxval;
+  in >> magic >> w >> h >> maxval;
+  in.get();
+  unsigned char bytes[2];
+  in.read(reinterpret_cast<char*>(bytes), 2);
+  EXPECT_EQ(bytes[0], 0);
+  EXPECT_EQ(bytes[1], 255);
+  std::remove(path.c_str());
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(IoTest, LayoutTextRoundTrip) {
+  const Layout original = two_contact_layout(88);
+  const std::string path = "test_layout_roundtrip.txt";
+  cleanup_.push_back(path);
+  write_layout_text(original, path);
+  const Layout loaded = read_layout_text(path);
+  EXPECT_EQ(loaded.clip, original.clip);
+  ASSERT_EQ(loaded.pattern_count(), original.pattern_count());
+  for (int i = 0; i < loaded.pattern_count(); ++i)
+    EXPECT_EQ(loaded.patterns[static_cast<std::size_t>(i)].shape,
+              original.patterns[static_cast<std::size_t>(i)].shape);
+}
+
+TEST_F(IoTest, PgmWriteProducesValidHeader) {
+  GridF g(4, 4, 0.5);
+  const std::string path = "test_io.pgm";
+  cleanup_.push_back(path);
+  write_pgm(g, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxval, 255);
+}
+
+TEST_F(IoTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_layout_text("/nonexistent/nowhere.txt"), ldmo::Error);
+}
+
+}  // namespace
+}  // namespace ldmo::layout

@@ -1,0 +1,146 @@
+// Tests for MEEF analysis and the edge-weighted ILT loss extension.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "layout/generator.h"
+#include "layout/raster.h"
+#include "litho/meef.h"
+#include "opc/ilt.h"
+
+namespace ldmo::litho {
+namespace {
+
+LithoConfig fast_litho() {
+  LithoConfig cfg;
+  cfg.grid_size = 64;
+  cfg.pixel_nm = 16.0;
+  cfg.kernel_count = 4;
+  return cfg;
+}
+
+const LithoSimulator& simulator() {
+  static LithoSimulator sim(fast_litho());
+  return sim;
+}
+
+layout::Layout isolated_contact() {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({480, 480}, 65, 65));
+  return l;
+}
+
+TEST(BiasMask, GrowAndShrinkByOnePixel) {
+  GridF mask(8, 8, 0.0);
+  for (int y = 3; y <= 5; ++y)
+    for (int x = 3; x <= 5; ++x) mask.at(y, x) = 1.0;
+  const GridF grown = bias_mask(mask, 1);
+  EXPECT_DOUBLE_EQ(grown.at(2, 4), 1.0);   // extended upward
+  EXPECT_DOUBLE_EQ(grown.at(2, 2), 0.0);   // diagonal NOT extended (4-conn)
+  const GridF shrunk = bias_mask(mask, -1);
+  EXPECT_DOUBLE_EQ(shrunk.at(4, 4), 1.0);  // center survives
+  EXPECT_DOUBLE_EQ(shrunk.at(3, 4), 0.0);  // boundary eroded
+}
+
+TEST(BiasMask, RejectsLargeBias) {
+  EXPECT_THROW(bias_mask(GridF(4, 4, 0.0), 2), ldmo::Error);
+}
+
+TEST(BiasMask, ErodeThenDilateIsContractive) {
+  // Opening never adds pixels.
+  GridF mask(16, 16, 0.0);
+  for (int y = 5; y <= 10; ++y)
+    for (int x = 5; x <= 10; ++x) mask.at(y, x) = 1.0;
+  mask.at(2, 2) = 1.0;  // isolated pixel: removed by opening
+  const GridF opened = bias_mask(bias_mask(mask, -1), 1);
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    EXPECT_LE(opened[i], mask[i]);
+  EXPECT_DOUBLE_EQ(opened.at(2, 2), 0.0);
+}
+
+TEST(MeasureCds, NominalContactPrintsNearTargetCd) {
+  const layout::Layout l = isolated_contact();
+  const int n = simulator().grid_size();
+  const GridF mask = layout::rasterize_target(l, n);
+  const GridF response = simulator().print(mask, GridF(n, n, 0.0));
+  const auto cds = measure_printed_cds(simulator(), response, l);
+  ASSERT_EQ(cds.size(), 1u);
+  // Calibration puts the contour at the contact edge: CD ~ 65nm.
+  EXPECT_NEAR(cds[0], 65.0, 8.0);
+}
+
+TEST(MeasureCds, MissingPatternReportsNegative) {
+  const layout::Layout l = isolated_contact();
+  const int n = simulator().grid_size();
+  const GridF empty(n, n, 0.0);
+  const GridF response = simulator().print(empty, empty);
+  const auto cds = measure_printed_cds(simulator(), response, l);
+  EXPECT_DOUBLE_EQ(cds[0], -1.0);
+}
+
+TEST(Meef, ContactNearResolutionLimitHasElevatedMeef) {
+  const layout::Layout l = isolated_contact();
+  const int n = simulator().grid_size();
+  const GridF mask = layout::rasterize_target(l, n);
+  const MeefReport report =
+      measure_meef(simulator(), mask, GridF(n, n, 0.0), l);
+  ASSERT_EQ(report.entries.size(), 1u);
+  ASSERT_TRUE(report.entries[0].valid);
+  // k1 ~ 0.25 contact: mask errors amplify (MEEF > 1), but the model must
+  // stay physical (finite, positive).
+  EXPECT_GT(report.mean_meef, 1.0);
+  EXPECT_LT(report.mean_meef, 20.0);
+  EXPECT_DOUBLE_EQ(report.max_meef, report.entries[0].meef);
+}
+
+TEST(Meef, InvalidEntriesExcludedFromAggregates) {
+  // Two contacts, only one printed (the other's mask is empty).
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({300, 480}, 65, 65));
+  l.add_pattern(geometry::Rect::from_size({660, 480}, 65, 65));
+  const int n = simulator().grid_size();
+  const GridF mask1 = layout::rasterize_mask(l, {0, 1}, 0, n);
+  const MeefReport report =
+      measure_meef(simulator(), mask1, GridF(n, n, 0.0), l);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_TRUE(report.entries[0].valid);
+  EXPECT_FALSE(report.entries[1].valid);
+  EXPECT_DOUBLE_EQ(report.mean_meef, report.entries[0].meef);
+}
+
+TEST(EdgeWeightedIlt, WeightsMarkTargetEdgesOnly) {
+  opc::IltConfig cfg;
+  cfg.edge_weight = 2.0;
+  opc::IltEngine engine(simulator(), cfg);
+  const layout::Layout l = isolated_contact();
+  const opc::IltState state = engine.init_state(l, {0});
+  ASSERT_FALSE(state.loss_weights.empty());
+  const layout::RasterTransform t = simulator().transform_for(l);
+  const int cy = static_cast<int>(t.to_px_y(512));
+  const int cx = static_cast<int>(t.to_px_x(512));
+  EXPECT_DOUBLE_EQ(state.loss_weights.at(2, 2), 1.0);     // far background
+  EXPECT_DOUBLE_EQ(state.loss_weights.at(cy, cx), 1.0);   // pattern interior
+  const int edge_x = static_cast<int>(t.to_px_x(480));    // left edge
+  EXPECT_GT(state.loss_weights.at(cy, edge_x), 1.0);
+}
+
+TEST(EdgeWeightedIlt, DisabledByDefault) {
+  opc::IltEngine engine(simulator());
+  const opc::IltState state = engine.init_state(isolated_contact(), {0});
+  EXPECT_TRUE(state.loss_weights.empty());
+}
+
+TEST(EdgeWeightedIlt, ConvergesOnIsolatedContact) {
+  opc::IltConfig cfg;
+  cfg.max_iterations = 12;
+  cfg.theta_m_anneal = 1.2;
+  cfg.edge_weight = 3.0;
+  opc::IltEngine engine(simulator(), cfg);
+  const opc::IltResult result = engine.optimize(isolated_contact(), {0});
+  EXPECT_EQ(result.report.violations.total(), 0);
+  EXPECT_LE(result.report.epe.violation_count, 1);
+}
+
+}  // namespace
+}  // namespace ldmo::litho

@@ -1,0 +1,221 @@
+// Tests for the mpl module: Eq. 6 classification, conflict graphs, MST +
+// n-wise decomposition generation (Algorithm 1) and the baseline
+// decomposers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "layout/generator.h"
+#include "mpl/baselines.h"
+#include "mpl/classify.h"
+#include "mpl/decomposition_generator.h"
+
+namespace ldmo::mpl {
+namespace {
+
+// Layout with a known class structure: A-B at 75nm (both SP), C at 90nm
+// from B (VP), D isolated (NP).
+layout::Layout classed_layout() {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({100, 100}, 65, 65));   // A
+  l.add_pattern(geometry::Rect::from_size({240, 100}, 65, 65));   // B: 75 from A
+  l.add_pattern(geometry::Rect::from_size({395, 100}, 65, 65));   // C: 90 from B
+  l.add_pattern(geometry::Rect::from_size({700, 700}, 65, 65));   // D: isolated
+  return l;
+}
+
+TEST(Classify, AppliesEquationSix) {
+  const PatternClassification c = classify_patterns(classed_layout());
+  EXPECT_EQ(c.classes[0], PatternClass::Separated);
+  EXPECT_EQ(c.classes[1], PatternClass::Separated);
+  EXPECT_EQ(c.classes[2], PatternClass::Violated);
+  EXPECT_EQ(c.classes[3], PatternClass::Normal);
+  EXPECT_EQ(c.sp, (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.vp, (std::vector<int>{2}));
+  EXPECT_EQ(c.np, (std::vector<int>{3}));
+}
+
+TEST(Classify, BoundaryDistancesAreInclusive) {
+  // Exactly nmin -> SP; exactly nmax -> VP (Eq. 6 uses <=).
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({100, 100}, 65, 65));
+  l.add_pattern(geometry::Rect::from_size({245, 100}, 65, 65));  // 80nm
+  PatternClassification c = classify_patterns(l);
+  EXPECT_EQ(c.classes[0], PatternClass::Separated);
+
+  layout::Layout l2;
+  l2.clip = l.clip;
+  l2.add_pattern(geometry::Rect::from_size({100, 100}, 65, 65));
+  l2.add_pattern(geometry::Rect::from_size({263, 100}, 65, 65));  // 98nm
+  c = classify_patterns(l2);
+  EXPECT_EQ(c.classes[0], PatternClass::Violated);
+}
+
+TEST(Classify, RejectsBadThresholds) {
+  ClassifyConfig bad;
+  bad.nmax_nm = bad.nmin_nm;
+  EXPECT_THROW(classify_patterns(classed_layout(), bad), ldmo::Error);
+}
+
+TEST(ConflictGraph, EdgesWithinRangeOnly) {
+  const layout::Layout l = classed_layout();
+  const graph::Graph g = build_conflict_graph(l, {0, 1, 2}, 80.0);
+  // Only A-B (75nm) qualifies at 80nm range.
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 75.0);
+
+  const graph::Graph g2 = build_conflict_graph(l, {0, 1, 2}, 98.0);
+  EXPECT_EQ(g2.edges().size(), 2u);  // A-B and B-C
+}
+
+TEST(Generator, CandidatesSeparateMstPairs) {
+  const layout::Layout l = classed_layout();
+  const GenerationResult r = generate_decompositions(l);
+  ASSERT_FALSE(r.candidates.empty());
+  for (const auto& candidate : r.candidates) {
+    EXPECT_TRUE(respects_mst_separation(r, candidate));
+    // A and B are MST-adjacent SP patterns: always split.
+    EXPECT_NE(candidate[0], candidate[1]);
+  }
+}
+
+TEST(Generator, CandidatesAreCanonicalAndUnique) {
+  const layout::Layout l = classed_layout();
+  const GenerationResult r = generate_decompositions(l);
+  std::set<layout::Assignment> unique(r.candidates.begin(),
+                                      r.candidates.end());
+  EXPECT_EQ(unique.size(), r.candidates.size());
+  for (const auto& candidate : r.candidates)
+    EXPECT_EQ(candidate[0], 0);  // pattern 0 pinned to M1
+}
+
+TEST(Generator, CoversAllVpNpCombinations) {
+  // With 1 VP and 1 NP factor the product must contain every (VP, NP)
+  // combination given the pinned SP orientation.
+  const layout::Layout l = classed_layout();
+  const GenerationResult r = generate_decompositions(l);
+  std::set<std::pair<int, int>> combos;
+  for (const auto& candidate : r.candidates)
+    combos.insert({candidate[2], candidate[3]});
+  EXPECT_EQ(combos.size(), 4u);
+}
+
+TEST(Generator, SingleCandidateForLonePattern) {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({480, 480}, 65, 65));
+  const GenerationResult r = generate_decompositions(l);
+  ASSERT_EQ(r.candidates.size(), 1u);
+  EXPECT_EQ(r.candidates[0], (layout::Assignment{0}));
+}
+
+TEST(Generator, CandidateCountStaysFarBelowExhaustive) {
+  // n-wise is the whole point: candidates grow slowly, not as 2^(n-1).
+  layout::LayoutGenerator gen;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const layout::Layout l = gen.generate(seed);
+    const GenerationResult r = generate_decompositions(l);
+    const std::size_t exhaustive =
+        std::size_t{1} << (l.pattern_count() - 1);
+    EXPECT_LT(r.candidates.size(), exhaustive)
+        << "seed " << seed << ", " << l.pattern_count() << " patterns";
+    EXPECT_GE(r.candidates.size(), 2u) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const layout::Layout l = classed_layout();
+  const GenerationResult a = generate_decompositions(l);
+  const GenerationResult b = generate_decompositions(l);
+  EXPECT_EQ(a.candidates, b.candidates);
+}
+
+TEST(Generator, MaxCandidatesCapRespected) {
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(3);
+  GenerationConfig config;
+  config.max_candidates = 3;
+  const GenerationResult r = generate_decompositions(l, config);
+  EXPECT_EQ(r.candidates.size(), 3u);
+}
+
+TEST(Generator, MstComponentsSolvedIndependently) {
+  // Two separate SP chains -> two components, each pinned internally but
+  // with independent orientations covered across candidates.
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({100, 100}, 65, 65));
+  l.add_pattern(geometry::Rect::from_size({240, 100}, 65, 65));  // 75 from #0
+  l.add_pattern(geometry::Rect::from_size({100, 700}, 65, 65));
+  l.add_pattern(geometry::Rect::from_size({240, 700}, 65, 65));  // 75 from #2
+  const GenerationResult r = generate_decompositions(l);
+  EXPECT_EQ(r.sp_component_count, 2);
+  std::set<std::pair<int, int>> orientations;
+  for (const auto& c : r.candidates) {
+    EXPECT_NE(c[0], c[1]);
+    EXPECT_NE(c[2], c[3]);
+    orientations.insert({c[0], c[2]});
+  }
+  // Pattern 0 pinned: component 2's orientation must take both values.
+  EXPECT_EQ(orientations.size(), 2u);
+}
+
+TEST(Baselines, SpacingUniformitySplitsConflicts) {
+  const layout::Layout l = classed_layout();
+  const layout::Assignment a = SpacingUniformityDecomposer().decompose(l);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_NE(a[0], a[1]);  // the 75nm pair must split
+  EXPECT_EQ(a[0], 0);     // canonical
+}
+
+TEST(Baselines, BalancedDecomposerSplitsConflictsAndBalances) {
+  const layout::Layout l = classed_layout();
+  const layout::Assignment a = BalancedDecomposer().decompose(l);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_NE(a[0], a[1]);
+  int ones = 0;
+  for (int v : a) ones += v;
+  EXPECT_GE(ones, 1);  // not everything dumped on one mask
+  EXPECT_LE(ones, 3);
+}
+
+TEST(Baselines, ExhaustiveEnumeratesAllCanonical) {
+  const auto all = enumerate_all_decompositions(classed_layout());
+  EXPECT_EQ(all.size(), 8u);  // 2^(4-1)
+  std::set<layout::Assignment> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const auto& a : all) EXPECT_EQ(a[0], 0);
+}
+
+TEST(Baselines, ExhaustiveRejectsHugeLayouts) {
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(1);
+  EXPECT_THROW(enumerate_all_decompositions(l, 4), ldmo::Error);
+}
+
+// Property sweep over generated layouts: every candidate from Algorithm 1
+// respects MST separation and canonical form.
+class GeneratorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSweep, InvariantsHold) {
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(GetParam());
+  const GenerationResult r = generate_decompositions(l);
+  std::set<layout::Assignment> seen;
+  for (const auto& candidate : r.candidates) {
+    EXPECT_EQ(candidate.size(),
+              static_cast<std::size_t>(l.pattern_count()));
+    EXPECT_EQ(candidate[0], 0);
+    EXPECT_TRUE(respects_mst_separation(r, candidate));
+    EXPECT_TRUE(seen.insert(candidate).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, GeneratorSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace ldmo::mpl

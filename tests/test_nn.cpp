@@ -1,0 +1,525 @@
+// Tests for the CNN substrate. Every layer's backward pass is validated
+// against central finite differences, both for input gradients and
+// parameter gradients; the ResNet regressor is checked end-to-end and shown
+// to actually fit data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/gemm.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "nn/resnet.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+
+namespace ldmo::nn {
+namespace {
+
+// Scalar loss L = sum 0.5 * y_i^2 used by all gradient checks.
+double half_square_sum(const Tensor& t) {
+  double l = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i)
+    l += 0.5 * static_cast<double>(t[i]) * t[i];
+  return l;
+}
+
+Tensor loss_grad(const Tensor& t) {
+  Tensor g(t.shape());
+  for (std::size_t i = 0; i < t.size(); ++i) g[i] = t[i];
+  return g;
+}
+
+// Checks d(half_square_sum(layer(x)))/dx against finite differences at a
+// few probe positions, and likewise for every parameter.
+void check_layer_gradients(Layer& layer, Tensor input, double tol = 2e-2,
+                           bool training = true) {
+  Tensor out = layer.forward(input, training);
+  for (Parameter* p : layer.parameters()) p->zero_grad();
+  const Tensor grad_input = layer.backward(loss_grad(out));
+
+  const float eps = 1e-2f;  // float32 forward: bigger eps, central diff
+  auto loss_with_input = [&](const Tensor& x) {
+    return half_square_sum(layer.forward(x, training));
+  };
+
+  // Probe a handful of input positions.
+  const std::size_t stride = std::max<std::size_t>(1, input.size() / 7);
+  for (std::size_t i = 0; i < input.size(); i += stride) {
+    Tensor plus = input;
+    plus[i] += eps;
+    Tensor minus = input;
+    minus[i] -= eps;
+    const double numeric =
+        (loss_with_input(plus) - loss_with_input(minus)) / (2.0 * eps);
+    EXPECT_NEAR(grad_input[i], numeric, tol * (1.0 + std::abs(numeric)))
+        << "input position " << i;
+  }
+
+  // Probe each parameter tensor.
+  int param_index = 0;
+  for (Parameter* p : layer.parameters()) {
+    const std::size_t pstride = std::max<std::size_t>(1, p->value.size() / 5);
+    for (std::size_t i = 0; i < p->value.size(); i += pstride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const double lp = loss_with_input(input);
+      p->value[i] = saved - eps;
+      const double lm = loss_with_input(input);
+      p->value[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tol * (1.0 + std::abs(numeric)))
+          << "parameter " << param_index << " position " << i;
+    }
+    ++param_index;
+  }
+}
+
+// ------------------------------------------------------------------ gemm --
+
+TEST(Gemm, MatchesNaiveReference) {
+  Rng rng(1);
+  const int m = 9, k = 7, n = 11;
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (int i = 0; i < m; ++i)
+    for (int p = 0; p < k; ++p)
+      for (int j = 0; j < n; ++j) ref[i * n + j] += a[i * k + p] * b[p * n + j];
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+TEST(Gemm, TransposedVariantsMatch) {
+  Rng rng(2);
+  const int m = 6, k = 8, n = 5;
+  std::vector<float> at(k * m), a(m * k), b(k * n), bt(n * k);
+  for (int p = 0; p < k; ++p)
+    for (int i = 0; i < m; ++i) {
+      const float v = static_cast<float>(rng.normal());
+      at[p * m + i] = v;
+      a[i * k + p] = v;
+    }
+  for (int p = 0; p < k; ++p)
+    for (int j = 0; j < n; ++j) {
+      const float v = static_cast<float>(rng.normal());
+      b[p * n + j] = v;
+      bt[j * k + p] = v;
+    }
+  std::vector<float> c1(m * n, 0.0f), c2(m * n, 0.0f), c3(m * n, 0.0f);
+  gemm(a.data(), b.data(), c1.data(), m, k, n);
+  gemm_at_b_accumulate(at.data(), b.data(), c2.data(), m, k, n);
+  gemm_a_bt_accumulate(a.data(), bt.data(), c3.data(), m, k, n);
+  for (int i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-4);
+    EXPECT_NEAR(c1[i], c3[i], 1e-4);
+  }
+}
+
+TEST(Gemm, LargeBlockedMatchesSmallPath) {
+  Rng rng(3);
+  const int m = 130, k = 70, n = 90;  // exceeds the 64 block size
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (int i = 0; i < m; ++i)
+    for (int p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      for (int j = 0; j < n; ++j) ref[i * n + j] += av * b[p * n + j];
+    }
+  double max_err = 0.0;
+  for (int i = 0; i < m * n; ++i)
+    max_err = std::max(max_err, std::abs(static_cast<double>(c[i]) - ref[i]));
+  EXPECT_LT(max_err, 1e-3);
+}
+
+// ---------------------------------------------------------------- tensor --
+
+TEST(TensorTest, ShapeAndAccessors) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 120u);
+  t.at4(1, 2, 3, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(t[119], 7.0f);
+  Tensor flat = t.reshaped({2, 60});
+  EXPECT_FLOAT_EQ(flat.at2(1, 59), 7.0f);
+}
+
+TEST(TensorTest, ReshapeRejectsCountMismatch) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({4, 2}), ldmo::Error);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(4);
+  Tensor t = Tensor::randn({1, 1, 64, 64}, rng, 0.5f);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  EXPECT_NEAR(sum / static_cast<double>(t.size()), 0.0, 0.05);
+  EXPECT_NEAR(sq / static_cast<double>(t.size()), 0.25, 0.05);
+}
+
+// ---------------------------------------------------------------- layers --
+
+TEST(ReluLayer, ForwardAndGradient) {
+  ReLU relu;
+  Tensor x({1, 1, 2, 2});
+  x[0] = -1.0f;
+  x[1] = 2.0f;
+  x[2] = 0.0f;
+  x[3] = 3.0f;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  const Tensor g = relu.backward(loss_grad(y));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 2.0f);
+}
+
+TEST(ConvLayer, KnownConvolution) {
+  Rng rng(5);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  conv.weight().value.fill(1.0f);  // 3x3 box filter
+  Tensor x({1, 1, 3, 3});
+  x.fill(1.0f);
+  const Tensor y = conv.forward(x, true);
+  // Center sees all 9 ones, corner sees 4.
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 4.0f);
+}
+
+TEST(ConvLayer, StrideAndPaddingShapes) {
+  Rng rng(6);
+  Conv2d conv(2, 4, 3, 2, 1, true, rng);
+  Tensor x = Tensor::randn({2, 2, 8, 8}, rng);
+  const Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 4, 4, 4}));
+}
+
+TEST(ConvLayer, GradientsMatchFiniteDifference) {
+  Rng rng(7);
+  Conv2d conv(2, 3, 3, 1, 1, true, rng);
+  check_layer_gradients(conv, Tensor::randn({2, 2, 5, 5}, rng, 0.5f));
+}
+
+TEST(ConvLayer, StridedGradientsMatchFiniteDifference) {
+  Rng rng(8);
+  Conv2d conv(1, 2, 3, 2, 1, false, rng);
+  check_layer_gradients(conv, Tensor::randn({1, 1, 6, 6}, rng, 0.5f));
+}
+
+TEST(BatchNormLayer, NormalizesBatchInTraining) {
+  BatchNorm2d bn(2);
+  Rng rng(9);
+  Tensor x = Tensor::randn({4, 2, 3, 3}, rng, 2.0f);
+  const Tensor y = bn.forward(x, true);
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int n = 0; n < 4; ++n)
+      for (int h = 0; h < 3; ++h)
+        for (int w = 0; w < 3; ++w) {
+          sum += y.at4(n, c, h, w);
+          sq += static_cast<double>(y.at4(n, c, h, w)) * y.at4(n, c, h, w);
+        }
+    EXPECT_NEAR(sum / 36.0, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 36.0, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormLayer, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  Rng rng(10);
+  // Train on a few batches to move the running stats.
+  for (int i = 0; i < 20; ++i) {
+    Tensor x = Tensor::randn({4, 1, 4, 4}, rng, 3.0f);
+    for (std::size_t j = 0; j < x.size(); ++j) x[j] += 5.0f;
+    bn.forward(x, true);
+  }
+  Tensor probe({1, 1, 1, 1});
+  probe[0] = 5.0f;  // at the running mean -> normalized to ~0
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0f, 0.3f);
+}
+
+TEST(BatchNormLayer, GradientsMatchFiniteDifference) {
+  Rng rng(11);
+  BatchNorm2d bn(2);
+  check_layer_gradients(bn, Tensor::randn({3, 2, 3, 3}, rng, 1.0f), 3e-2);
+}
+
+TEST(MaxPoolLayer, ForwardPicksMaxAndRoutesGradient) {
+  MaxPool2d pool(2, 2, 0);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 5.0f;
+  x[2] = 3.0f;
+  x[3] = 2.0f;
+  const Tensor y = pool.forward(x, true);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  Tensor g({1, 1, 1, 1});
+  g[0] = 1.0f;
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+}
+
+TEST(MaxPoolLayer, GradientsMatchFiniteDifference) {
+  Rng rng(12);
+  MaxPool2d pool(3, 2, 1);
+  check_layer_gradients(pool, Tensor::randn({2, 2, 6, 6}, rng, 1.0f));
+}
+
+TEST(GapLayer, AveragesAndBackpropagates) {
+  GlobalAvgPool gap;
+  Tensor x({1, 2, 2, 2});
+  for (int i = 0; i < 4; ++i) x[static_cast<std::size_t>(i)] = i + 1.0f;
+  for (int i = 0; i < 4; ++i) x[static_cast<std::size_t>(4 + i)] = 10.0f;
+  const Tensor y = gap.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 10.0f);
+  Tensor g({1, 2});
+  g[0] = 4.0f;
+  g[1] = 8.0f;
+  const Tensor gx = gap.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);
+  EXPECT_FLOAT_EQ(gx[5], 2.0f);
+}
+
+TEST(LinearLayer, KnownAffineTransform) {
+  Rng rng(13);
+  Linear fc(2, 1, rng);
+  fc.weight().value[0] = 2.0f;
+  fc.weight().value[1] = -1.0f;
+  fc.bias().value[0] = 0.5f;
+  Tensor x({1, 2});
+  x[0] = 3.0f;
+  x[1] = 4.0f;
+  const Tensor y = fc.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 2.0f * 3.0f - 4.0f + 0.5f);
+}
+
+TEST(LinearLayer, GradientsMatchFiniteDifference) {
+  Rng rng(14);
+  Linear fc(6, 4, rng);
+  check_layer_gradients(fc, Tensor::randn({3, 6}, rng, 1.0f));
+}
+
+TEST(BasicBlockLayer, IdentityShortcutGradients) {
+  Rng rng(15);
+  BasicBlock block(4, 4, 1, rng);
+  check_layer_gradients(block, Tensor::randn({2, 4, 4, 4}, rng, 0.5f), 4e-2);
+}
+
+TEST(BasicBlockLayer, ProjectionShortcutGradients) {
+  Rng rng(16);
+  BasicBlock block(3, 6, 2, rng);
+  // Composite block in float32 with batch-norm statistics: finite
+  // differences are noisier than for single layers, hence the wider band
+  // (each constituent layer is tightly checked above).
+  check_layer_gradients(block, Tensor::randn({2, 3, 6, 6}, rng, 0.5f), 7e-2);
+}
+
+// ------------------------------------------------------------------ loss --
+
+TEST(Loss, MaeValueAndGradient) {
+  Tensor pred({2, 1}), target({2, 1});
+  pred[0] = 1.0f;
+  pred[1] = -2.0f;
+  target[0] = 0.0f;
+  target[1] = 0.0f;
+  const LossResult r = mae_loss(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, 1.5);
+  EXPECT_FLOAT_EQ(r.grad[0], 0.5f);
+  EXPECT_FLOAT_EQ(r.grad[1], -0.5f);
+}
+
+TEST(Loss, MseValueAndGradient) {
+  Tensor pred({1, 1}), target({1, 1});
+  pred[0] = 3.0f;
+  target[0] = 1.0f;
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, 4.0);
+  EXPECT_FLOAT_EQ(r.grad[0], 4.0f);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  EXPECT_THROW(mae_loss(Tensor({1, 2}), Tensor({2, 1})), ldmo::Error);
+}
+
+// ------------------------------------------------------------------ adam --
+
+TEST(AdamOptimizer, DrivesQuadraticToMinimum) {
+  // Minimize (w - 3)^2 with Adam: w must approach 3.
+  Parameter w({1});
+  w.value[0] = 0.0f;
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1;
+  Adam adam({&w}, cfg);
+  for (int i = 0; i < 200; ++i) {
+    w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 0.05f);
+}
+
+TEST(AdamOptimizer, StepClearsGradients) {
+  Parameter w({2});
+  Adam adam({&w});
+  w.grad[0] = 1.0f;
+  adam.step();
+  EXPECT_FLOAT_EQ(w.grad[0], 0.0f);
+}
+
+// ---------------------------------------------------------------- resnet --
+
+ResNetConfig tiny_config() {
+  ResNetConfig cfg;
+  cfg.input_size = 32;
+  cfg.width_multiplier = 0.125;
+  return cfg;
+}
+
+TEST(ResNet, ForwardShapeAndDeterminism) {
+  ResNetRegressor net(tiny_config());
+  Rng rng(17);
+  Tensor x = Tensor::randn({2, 1, 32, 32}, rng, 1.0f);
+  const Tensor y1 = net.forward(x, false);
+  const Tensor y2 = net.forward(x, false);
+  EXPECT_EQ(y1.shape(), (std::vector<int>{2, 1}));
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(ResNet, RejectsWrongInputSize) {
+  ResNetRegressor net(tiny_config());
+  Rng rng(18);
+  Tensor bad = Tensor::randn({1, 1, 16, 16}, rng);
+  EXPECT_THROW(net.forward(bad, false), ldmo::Error);
+}
+
+TEST(ResNet, ParameterCountScalesWithWidth) {
+  ResNetConfig slim = tiny_config();
+  ResNetConfig wide = tiny_config();
+  wide.width_multiplier = 0.25;
+  ResNetRegressor a(slim), b(wide);
+  EXPECT_GT(b.parameter_count(), 2 * a.parameter_count());
+}
+
+TEST(ResNet, PaperConfigBuilds) {
+  // Full ResNet18 at 224x224: construct + one forward (no training here,
+  // it is the paper's architecture but too slow to train in unit tests).
+  ResNetRegressor net(ResNetConfig::paper_resnet18());
+  EXPECT_GT(net.parameter_count(), 10'000'000u);  // ~11M like ResNet18
+}
+
+TEST(ResNet, OverfitsTinyDataset) {
+  // Four distinguishable images with distinct labels: a working training
+  // stack must drive training MAE well below the label spread.
+  ResNetRegressor net(tiny_config());
+  Rng rng(19);
+  std::vector<Example> data;
+  for (int i = 0; i < 4; ++i) {
+    Tensor img({1, 32, 32});
+    for (int h = 0; h < 32; ++h)
+      for (int w = 0; w < 32; ++w)
+        img[static_cast<std::size_t>(h) * 32 + w] =
+            (h / 8 == i || w / 8 == i) ? 1.0f : 0.0f;
+    data.push_back({std::move(img), static_cast<float>(i) - 1.5f});
+  }
+  TrainerConfig tcfg;
+  tcfg.epochs = 60;
+  tcfg.batch_size = 4;
+  tcfg.adam.learning_rate = 3e-3;
+  const auto history = train_regressor(net, data, tcfg);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_LT(evaluate_mae(net, data), 0.5);
+}
+
+TEST(Trainer, LrDecayReducesStepSizes) {
+  // With aggressive decay the parameters barely move in late epochs.
+  ResNetRegressor net_a(tiny_config());
+  ResNetRegressor net_b(tiny_config());
+  Rng rng(21);
+  std::vector<Example> data;
+  for (int i = 0; i < 4; ++i)
+    data.push_back({Tensor::randn({1, 32, 32}, rng, 0.3f),
+                    static_cast<float>(i)});
+  TrainerConfig slow;
+  slow.epochs = 6;
+  slow.lr_decay_per_epoch = 0.1;  // effectively stops after 2 epochs
+  TrainerConfig steady;
+  steady.epochs = 6;
+  steady.lr_decay_per_epoch = 1.0;
+  const auto ha = train_regressor(net_a, data, slow);
+  const auto hb = train_regressor(net_b, data, steady);
+  ASSERT_EQ(ha.size(), 6u);
+  // Decayed training changes less between the last two epochs.
+  const double delta_a = std::abs(ha[5].mean_loss - ha[4].mean_loss);
+  const double delta_b = std::abs(hb[5].mean_loss - hb[4].mean_loss);
+  EXPECT_LE(delta_a, delta_b + 1e-6);
+}
+
+TEST(SequentialContainer, AggregatesParametersInOrder) {
+  Rng rng(22);
+  Sequential seq;
+  auto* conv = seq.emplace<Conv2d>(1, 2, 3, 1, 1, true, rng);
+  seq.emplace<ReLU>();
+  auto* fc = seq.emplace<Linear>(2, 1, rng);
+  const auto params = seq.parameters();
+  ASSERT_EQ(params.size(), 4u);  // conv w+b, linear w+b
+  EXPECT_EQ(params[0], &conv->weight());
+  EXPECT_EQ(params[1], &conv->bias());
+  EXPECT_EQ(params[2], &fc->weight());
+  EXPECT_EQ(params[3], &fc->bias());
+}
+
+// ------------------------------------------------------------- serialize --
+
+TEST(Serialize, RoundTripRestoresPredictions) {
+  const std::string path = "test_nn_weights.bin";
+  ResNetRegressor a(tiny_config());
+  Rng rng(20);
+  Tensor x = Tensor::randn({1, 1, 32, 32}, rng);
+  // Perturb a's weights so it differs from a fresh net with the same seed.
+  for (Parameter* p : a.parameters())
+    for (std::size_t i = 0; i < p->value.size(); i += 3) p->value[i] += 0.1f;
+  const Tensor ya = a.forward(x, false);
+  save_parameters(a.parameters(), path);
+
+  ResNetRegressor b(tiny_config());
+  const Tensor yb_before = b.forward(x, false);
+  EXPECT_NE(ya[0], yb_before[0]);
+  load_parameters(b.parameters(), path);
+  const Tensor yb = b.forward(x, false);
+  EXPECT_FLOAT_EQ(ya[0], yb[0]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ArchitectureMismatchThrows) {
+  const std::string path = "test_nn_mismatch.bin";
+  ResNetRegressor a(tiny_config());
+  save_parameters(a.parameters(), path);
+  ResNetConfig other = tiny_config();
+  other.width_multiplier = 0.25;
+  ResNetRegressor b(other);
+  EXPECT_THROW(load_parameters(b.parameters(), path), ldmo::Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  ResNetRegressor a(tiny_config());
+  EXPECT_THROW(load_parameters(a.parameters(), "/nonexistent/weights.bin"),
+               ldmo::Error);
+}
+
+}  // namespace
+}  // namespace ldmo::nn

@@ -1,0 +1,235 @@
+// Tests for the ILT engine: initialization, loss descent, convergence on
+// printable decompositions, violation-triggered aborts and trajectories.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "layout/raster.h"
+#include "litho/resist.h"
+#include "opc/ilt.h"
+
+namespace ldmo::opc {
+namespace {
+
+litho::LithoConfig test_litho_config() {
+  litho::LithoConfig cfg;
+  cfg.grid_size = 64;
+  cfg.pixel_nm = 16.0;
+  cfg.kernel_count = 5;
+  return cfg;
+}
+
+const litho::LithoSimulator& shared_simulator() {
+  static litho::LithoSimulator sim(test_litho_config());
+  return sim;
+}
+
+layout::Layout isolated_contact() {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({480, 480}, 65, 65));
+  return l;
+}
+
+layout::Layout contact_pair(std::int64_t gap) {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({430, 480}, 65, 65));
+  l.add_pattern(geometry::Rect::from_size({495 + gap, 480}, 65, 65));
+  return l;
+}
+
+TEST(IltConfigTest, RejectsBadParameters) {
+  IltConfig bad;
+  bad.max_iterations = 0;
+  EXPECT_THROW(IltEngine(shared_simulator(), bad), ldmo::Error);
+  bad = IltConfig{};
+  bad.step_decay = 1.5;
+  EXPECT_THROW(IltEngine(shared_simulator(), bad), ldmo::Error);
+  bad = IltConfig{};
+  bad.violation_check_interval = 0;
+  EXPECT_THROW(IltEngine(shared_simulator(), bad), ldmo::Error);
+}
+
+TEST(IltInit, ParameterSignsFollowAssignment) {
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = contact_pair(120);
+  const IltState state = engine.init_state(l, {0, 1});
+  const layout::RasterTransform t{l.clip, shared_simulator().grid_size()};
+  // Center pixel of pattern 0 (mask 1): p1 positive, p2 negative.
+  const int cx0 = static_cast<int>(t.to_px_x(430 + 32));
+  const int cy0 = static_cast<int>(t.to_px_y(480 + 32));
+  EXPECT_GT(state.p1.at(cy0, cx0), 0.0);
+  EXPECT_LT(state.p2.at(cy0, cx0), 0.0);
+  // Background: both negative.
+  EXPECT_LT(state.p1.at(2, 2), 0.0);
+  EXPECT_LT(state.p2.at(2, 2), 0.0);
+}
+
+TEST(IltInit, AssignmentSizeMismatchThrows) {
+  IltEngine engine(shared_simulator());
+  EXPECT_THROW(engine.init_state(isolated_contact(), {0, 1}), ldmo::Error);
+}
+
+TEST(IltStep, LossDecreasesOverOptimization) {
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = contact_pair(120);
+  const GridF target =
+      layout::rasterize_target(l, shared_simulator().grid_size());
+  IltState state = engine.init_state(l, {0, 1});
+  engine.step(state, target);
+  const double first_loss = state.last_loss;
+  for (int i = 0; i < 14; ++i) engine.step(state, target);
+  engine.step(state, target);
+  EXPECT_LT(state.last_loss, first_loss);
+}
+
+TEST(IltOptimize, IsolatedContactConverges) {
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = isolated_contact();
+  const IltResult result = engine.optimize(l, {0});
+  EXPECT_EQ(result.report.violations.total(), 0);
+  EXPECT_EQ(result.report.epe.violation_count, 0)
+      << "max EPE " << result.report.epe.max_epe_nm;
+  EXPECT_FALSE(result.aborted_on_violation);
+  EXPECT_EQ(result.iterations_run, engine.config().max_iterations);
+}
+
+TEST(IltOptimize, ImprovesVpPairOverRawPrint) {
+  // Two contacts in the VP interaction band (gap between nmin and nmax) on
+  // the same mask: printable, but with proximity distortion ILT must reduce.
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = contact_pair(90);
+  const layout::Assignment same_mask = {0, 0};
+
+  const GridF raw = shared_simulator().print_decomposition(l, same_mask);
+  const litho::PrintabilityReport raw_report =
+      shared_simulator().evaluate(raw, l);
+
+  const IltResult optimized = engine.optimize(l, same_mask);
+  EXPECT_LE(optimized.report.score(), raw_report.score());
+}
+
+TEST(IltOptimize, SplitConflictPairConverges) {
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = contact_pair(72);  // below nmin
+  const IltResult result = engine.optimize(l, {0, 1});
+  EXPECT_EQ(result.report.violations.total(), 0);
+  EXPECT_EQ(result.report.epe.violation_count, 0)
+      << "max EPE " << result.report.epe.max_epe_nm;
+}
+
+TEST(IltOptimize, AbortsOnViolatingDecomposition) {
+  // Same-mask conflict pair: the print violation fires at an early periodic
+  // check and the abort flag comes back set.
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = contact_pair(72);
+  const IltResult result =
+      engine.optimize(l, {0, 0}, /*abort_on_violation=*/true);
+  if (result.aborted_on_violation) {
+    EXPECT_LT(result.iterations_run, engine.config().max_iterations);
+    EXPECT_EQ(result.iterations_run % engine.config().violation_check_interval,
+              0);
+  } else {
+    // If ILT somehow rescued it, the final report must then be clean.
+    EXPECT_EQ(result.report.violations.total(), 0);
+  }
+}
+
+TEST(IltOptimize, TrajectoryRecordsEveryIteration) {
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = isolated_contact();
+  const IltResult result =
+      engine.optimize(l, {0}, /*abort_on_violation=*/false,
+                      /*record_trajectory=*/true);
+  ASSERT_EQ(result.trajectory.size(),
+            static_cast<std::size_t>(engine.config().max_iterations));
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i)
+    EXPECT_EQ(result.trajectory[i].iteration, static_cast<int>(i) + 1);
+  // Final trajectory point agrees with a from-scratch evaluation direction:
+  // EPE count at the end should be no worse than at the start.
+  EXPECT_LE(result.trajectory.back().epe_violations,
+            result.trajectory.front().epe_violations);
+}
+
+TEST(IltOptimize, DeterministicAcrossRuns) {
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = contact_pair(100);
+  const IltResult a = engine.optimize(l, {0, 1});
+  const IltResult b = engine.optimize(l, {0, 1});
+  EXPECT_EQ(a.report.epe.violation_count, b.report.epe.violation_count);
+  EXPECT_DOUBLE_EQ(a.report.l2, b.report.l2);
+  EXPECT_EQ(a.mask1, b.mask1);
+}
+
+TEST(IltFinalize, MatchesOptimizeTail) {
+  // finalize(state) after manually stepping must agree with the report an
+  // optimize() run produces for the same schedule.
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = isolated_contact();
+  const GridF target =
+      layout::rasterize_target(l, shared_simulator().grid_size());
+  IltState state = engine.init_state(l, {0});
+  for (int i = 0; i < engine.config().max_iterations; ++i)
+    engine.step(state, target);
+  const IltResult via_finalize = engine.finalize(state, l);
+  const IltResult via_optimize = engine.optimize(l, {0});
+  EXPECT_EQ(via_finalize.report.epe.violation_count,
+            via_optimize.report.epe.violation_count);
+  EXPECT_DOUBLE_EQ(via_finalize.report.l2, via_optimize.report.l2);
+  EXPECT_EQ(via_finalize.mask1, via_optimize.mask1);
+}
+
+TEST(IltFinalize, PicksBestThreshold) {
+  // With a deliberately bad threshold in front, the search must not return
+  // a worse result than the plain 0.0 threshold.
+  IltConfig cfg;
+  cfg.max_iterations = 6;
+  cfg.binarize_thresholds = {0.9, 0.0};  // 0.9 wipes out most of the mask
+  IltEngine engine(shared_simulator(), cfg);
+  IltConfig plain = cfg;
+  plain.binarize_thresholds = {0.0};
+  IltEngine plain_engine(shared_simulator(), plain);
+  const layout::Layout l = isolated_contact();
+  EXPECT_LE(engine.optimize(l, {0}).report.score(),
+            plain_engine.optimize(l, {0}).report.score());
+}
+
+TEST(IltState, ThetaAnnealGrowsPerStep) {
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = isolated_contact();
+  const GridF target =
+      layout::rasterize_target(l, shared_simulator().grid_size());
+  IltState state = engine.init_state(l, {0});
+  const double theta0 = state.current_theta_m;
+  engine.step(state, target);
+  EXPECT_NEAR(state.current_theta_m,
+              theta0 * engine.config().theta_m_anneal, 1e-12);
+}
+
+TEST(IltBinarize, ThresholdsAtZero) {
+  IltEngine engine(shared_simulator());
+  GridF p(1, 3);
+  p.at(0, 0) = -0.4;
+  p.at(0, 1) = 0.0;
+  p.at(0, 2) = 0.7;
+  const GridF m = engine.binarize_parameters(p);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 1.0);
+}
+
+TEST(IltOptimize, MasksStayWithinGrid) {
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = isolated_contact();
+  const IltResult result = engine.optimize(l, {0});
+  const int n = shared_simulator().grid_size();
+  EXPECT_EQ(result.mask1.height(), n);
+  EXPECT_EQ(result.mask1.width(), n);
+  for (std::size_t i = 0; i < result.mask1.size(); ++i) {
+    EXPECT_TRUE(result.mask1[i] == 0.0 || result.mask1[i] == 1.0);
+    EXPECT_TRUE(result.mask2[i] == 0.0 || result.mask2[i] == 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ldmo::opc

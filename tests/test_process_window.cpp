@@ -1,0 +1,132 @@
+// Tests for process-window analysis: corner printing, PV band, and the
+// physical monotonicities (defocus hurts, dose moves contour outward).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "layout/generator.h"
+#include "layout/raster.h"
+#include "litho/process_window.h"
+#include "litho/resist.h"
+#include "opc/ilt.h"
+
+namespace ldmo::litho {
+namespace {
+
+LithoConfig fast_litho() {
+  LithoConfig cfg;
+  cfg.grid_size = 64;
+  cfg.pixel_nm = 16.0;
+  cfg.kernel_count = 4;
+  return cfg;
+}
+
+const LithoSimulator& simulator() {
+  static LithoSimulator sim(fast_litho());
+  return sim;
+}
+
+layout::Layout isolated_contact() {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({480, 480}, 65, 65));
+  return l;
+}
+
+// Optimized masks for the isolated contact (computed once).
+const opc::IltResult& optimized_contact() {
+  static const opc::IltResult result = [] {
+    opc::IltConfig cfg;
+    cfg.max_iterations = 12;
+    cfg.theta_m_anneal = 1.2;
+    return opc::IltEngine(simulator(), cfg).optimize(isolated_contact(), {0});
+  }();
+  return result;
+}
+
+TEST(ProcessWindow, StandardCornersWellFormed) {
+  const auto corners = standard_corners(40.0, 0.05);
+  ASSERT_EQ(corners.size(), 3u);
+  EXPECT_EQ(corners[0], (ProcessCorner{0.0, 1.0}));
+  EXPECT_DOUBLE_EQ(corners[1].defocus_nm, 40.0);
+  EXPECT_DOUBLE_EQ(corners[1].dose, 0.95);
+  EXPECT_DOUBLE_EQ(corners[2].dose, 1.05);
+}
+
+TEST(ProcessWindow, NominalCornerMatchesSimulator) {
+  const ProcessWindowAnalyzer analyzer(fast_litho());
+  const auto& masks = optimized_contact();
+  const GridF via_analyzer =
+      analyzer.print_at(masks.mask1, masks.mask2, {0.0, 1.0});
+  const GridF via_simulator = simulator().print(masks.mask1, masks.mask2);
+  ASSERT_TRUE(via_analyzer.same_shape(via_simulator));
+  for (std::size_t i = 0; i < via_analyzer.size(); ++i)
+    EXPECT_NEAR(via_analyzer[i], via_simulator[i], 1e-12);
+}
+
+TEST(ProcessWindow, OverdoseGrowsPrintedArea) {
+  const ProcessWindowAnalyzer analyzer(fast_litho());
+  const auto& masks = optimized_contact();
+  auto printed_area = [&](const ProcessCorner& corner) {
+    const GridU8 printed =
+        litho::binarize(analyzer.print_at(masks.mask1, masks.mask2, corner));
+    int area = 0;
+    for (std::size_t i = 0; i < printed.size(); ++i) area += printed[i];
+    return area;
+  };
+  const int under = printed_area({0.0, 0.9});
+  const int nominal = printed_area({0.0, 1.0});
+  const int over = printed_area({0.0, 1.1});
+  EXPECT_LT(under, nominal);
+  EXPECT_LT(nominal, over);
+}
+
+TEST(ProcessWindow, AnalyzeAggregatesCorners) {
+  const ProcessWindowAnalyzer analyzer(fast_litho());
+  const auto& masks = optimized_contact();
+  const ProcessWindowReport report =
+      analyzer.analyze(masks.mask1, masks.mask2, isolated_contact());
+  ASSERT_EQ(report.reports.size(), 3u);
+  int sum = 0, worst = 0;
+  for (const auto& r : report.reports) {
+    sum += r.epe.violation_count;
+    worst = std::max(worst, r.epe.violation_count);
+  }
+  EXPECT_EQ(report.total_epe_violations, sum);
+  EXPECT_EQ(report.worst_corner_epe, worst);
+  // Dose variation moves the contour, so the PV band is non-empty.
+  EXPECT_GT(report.pv_band_pixels, 0);
+}
+
+TEST(ProcessWindow, PvBandZeroForSingleCorner) {
+  const ProcessWindowAnalyzer analyzer(fast_litho());
+  const auto& masks = optimized_contact();
+  const ProcessWindowReport report = analyzer.analyze(
+      masks.mask1, masks.mask2, isolated_contact(), {{0.0, 1.0}});
+  EXPECT_EQ(report.pv_band_pixels, 0);
+}
+
+TEST(ProcessWindow, DefocusWorsensWorstCorner) {
+  const ProcessWindowAnalyzer analyzer(fast_litho());
+  const auto& masks = optimized_contact();
+  const ProcessWindowReport mild = analyzer.analyze(
+      masks.mask1, masks.mask2, isolated_contact(),
+      standard_corners(20.0, 0.03));
+  const ProcessWindowReport harsh = analyzer.analyze(
+      masks.mask1, masks.mask2, isolated_contact(),
+      standard_corners(120.0, 0.10));
+  EXPECT_GE(harsh.total_epe_violations, mild.total_epe_violations);
+  EXPECT_GE(harsh.pv_band_pixels, mild.pv_band_pixels);
+}
+
+TEST(ProcessWindow, RejectsBadInput) {
+  const ProcessWindowAnalyzer analyzer(fast_litho());
+  const auto& masks = optimized_contact();
+  EXPECT_THROW(
+      analyzer.print_at(masks.mask1, masks.mask2, {0.0, 0.0}), ldmo::Error);
+  EXPECT_THROW(
+      analyzer.analyze(masks.mask1, masks.mask2, isolated_contact(), {}),
+      ldmo::Error);
+}
+
+}  // namespace
+}  // namespace ldmo::litho

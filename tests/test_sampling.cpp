@@ -1,0 +1,189 @@
+// Tests for sampling: layout sampling (SIFT + k-medoids), decomposition
+// sampling (MST + 3-wise), ILT labeling and z-score packaging.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "layout/generator.h"
+#include "sampling/decomposition_sampling.h"
+#include "sampling/layout_sampling.h"
+#include "sampling/training_set.h"
+
+namespace ldmo::sampling {
+namespace {
+
+litho::LithoConfig fast_litho() {
+  litho::LithoConfig cfg;
+  cfg.grid_size = 64;
+  cfg.pixel_nm = 16.0;
+  cfg.kernel_count = 4;
+  return cfg;
+}
+
+const litho::LithoSimulator& shared_simulator() {
+  static litho::LithoSimulator sim(fast_litho());
+  return sim;
+}
+
+std::vector<layout::Layout> small_corpus(int count) {
+  layout::LayoutGenerator gen;
+  return gen.generate_corpus(count, 500);
+}
+
+TEST(LayoutSampling, SelectsFromEveryNonEmptyCluster) {
+  const auto corpus = small_corpus(12);
+  LayoutSamplingConfig config;
+  config.clusters = 3;
+  config.per_cluster = 2;
+  const LayoutSamplingResult result = sample_layouts(corpus, config);
+  EXPECT_GE(result.selected.size(), 3u);
+  EXPECT_LE(result.selected.size(), 6u);
+  for (int idx : result.selected) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 12);
+  }
+  // No duplicates.
+  std::set<int> unique(result.selected.begin(), result.selected.end());
+  EXPECT_EQ(unique.size(), result.selected.size());
+}
+
+TEST(LayoutSampling, ClusterCountClampedToCorpus) {
+  const auto corpus = small_corpus(3);
+  LayoutSamplingConfig config;
+  config.clusters = 10;
+  config.per_cluster = 1;
+  const LayoutSamplingResult result = sample_layouts(corpus, config);
+  EXPECT_EQ(result.selected.size(), 3u);
+}
+
+TEST(LayoutSampling, DeterministicPerSeed) {
+  const auto corpus = small_corpus(8);
+  LayoutSamplingConfig config;
+  config.clusters = 3;
+  const auto a = sample_layouts(corpus, config).selected;
+  const auto b = sample_layouts(corpus, config).selected;
+  EXPECT_EQ(a, b);
+}
+
+TEST(LayoutSampling, RandomBaselineDrawsRequestedCount) {
+  const auto indices = random_layout_indices(20, 7, 42);
+  EXPECT_EQ(indices.size(), 7u);
+  std::set<int> unique(indices.begin(), indices.end());
+  EXPECT_EQ(unique.size(), 7u);
+  for (int i : indices) EXPECT_LT(i, 20);
+}
+
+TEST(LayoutSampling, RandomBaselineClampsToCorpus) {
+  EXPECT_EQ(random_layout_indices(3, 10, 1).size(), 3u);
+}
+
+TEST(DecompositionSampling, SamplesAreCanonicalUniqueAndSeparating) {
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(9);
+  const auto samples = sample_decompositions(l);
+  EXPECT_GE(samples.size(), 2u);
+  std::set<layout::Assignment> unique(samples.begin(), samples.end());
+  EXPECT_EQ(unique.size(), samples.size());
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(l.pattern_count()));
+    EXPECT_EQ(s[0], 0);
+  }
+}
+
+TEST(DecompositionSampling, ConflictPairsAlwaysSplit) {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({100, 100}, 65, 65));
+  l.add_pattern(geometry::Rect::from_size({240, 100}, 65, 65));  // 75nm
+  l.add_pattern(geometry::Rect::from_size({700, 700}, 65, 65));
+  for (const auto& s : sample_decompositions(l)) EXPECT_NE(s[0], s[1]);
+}
+
+TEST(DecompositionSampling, StaysFarBelowExhaustive) {
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(14);
+  const auto samples = sample_decompositions(l);
+  EXPECT_LT(samples.size(),
+            (std::size_t{1} << (l.pattern_count() - 1)) / 2);
+}
+
+TEST(DecompositionSampling, RandomBaselineRespectsCanonicalForm) {
+  layout::LayoutGenerator gen;
+  const layout::Layout l = gen.generate(2);
+  const auto samples = random_decompositions(l, 10, 3);
+  EXPECT_GE(samples.size(), 5u);
+  std::set<layout::Assignment> unique(samples.begin(), samples.end());
+  EXPECT_EQ(unique.size(), samples.size());
+  for (const auto& s : samples) EXPECT_EQ(s[0], 0);
+}
+
+TEST(DecompositionSampling, RandomBaselineTinyLayoutExhaustsSpace) {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({100, 100}, 65, 65));
+  l.add_pattern(geometry::Rect::from_size({400, 400}, 65, 65));
+  const auto samples = random_decompositions(l, 50, 4);
+  EXPECT_EQ(samples.size(), 2u);  // only 2 canonical assignments exist
+}
+
+TEST(TrainingSet, DecompositionTensorEncodesMaskLevels) {
+  layout::Layout l;
+  l.clip = geometry::Rect::from_size({0, 0}, 1024, 1024);
+  l.add_pattern(geometry::Rect::from_size({128, 448}, 128, 128));
+  l.add_pattern(geometry::Rect::from_size({704, 448}, 128, 128));
+  const nn::Tensor t = decomposition_tensor(l, {0, 1}, 32);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 32, 32}));
+  float max_v = 0.0f, mid_v = 0.0f;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    max_v = std::max(max_v, t[i]);
+    if (t[i] > 0.3f && t[i] < 0.7f) mid_v = t[i];
+  }
+  EXPECT_FLOAT_EQ(max_v, 1.0f);   // mask-1 gray level
+  EXPECT_FLOAT_EQ(mid_v, 0.5f);   // mask-2 gray level
+}
+
+TEST(TrainingSet, BuildLabelsAndNormalizes) {
+  layout::LayoutGenerator gen;
+  std::vector<layout::Layout> layouts = {gen.generate(20)};
+  // Two decompositions per layout keeps the ILT labeling cost tiny.
+  DecompositionSamplingConfig dcfg;
+  dcfg.max_samples = 2;
+  std::vector<std::vector<layout::Assignment>> decomps = {
+      sample_decompositions(layouts[0], dcfg)};
+
+  opc::IltConfig ilt_cfg;
+  ilt_cfg.max_iterations = 5;  // labeling speed over quality in tests
+  opc::IltEngine engine(shared_simulator(), ilt_cfg);
+
+  TrainingSetConfig tcfg;
+  tcfg.image_size = 32;
+  int progress_calls = 0;
+  const TrainingSet set = build_training_set(
+      layouts, decomps, engine, tcfg,
+      [&](int done, int total) {
+        ++progress_calls;
+        EXPECT_LE(done, total);
+      });
+
+  ASSERT_EQ(set.examples.size(), decomps[0].size());
+  EXPECT_EQ(progress_calls, static_cast<int>(decomps[0].size()));
+  EXPECT_TRUE(set.normalizer.fitted());
+  // Normalized labels have mean ~0 when more than one distinct score.
+  double sum = 0.0;
+  for (const auto& e : set.examples) sum += e.label;
+  EXPECT_NEAR(sum / static_cast<double>(set.examples.size()), 0.0, 1e-5);
+  // Raw scores round-trip through the normalizer.
+  for (std::size_t i = 0; i < set.labeled.size(); ++i)
+    EXPECT_NEAR(set.normalizer.inverse(set.examples[i].label),
+                set.labeled[i].raw_score,
+                1e-3 * (1.0 + std::abs(set.labeled[i].raw_score)));
+}
+
+TEST(TrainingSet, RejectsMismatchedInput) {
+  opc::IltEngine engine(shared_simulator());
+  EXPECT_THROW(build_training_set({}, {{}}, engine), ldmo::Error);
+}
+
+}  // namespace
+}  // namespace ldmo::sampling

@@ -1,0 +1,319 @@
+// Tests for the vision substrate: image ops, SIFT invariances, the layout
+// similarity metric (Eq. 7 / Alg. 2), and k-medoids clustering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "vision/image_ops.h"
+#include "vision/kmedoids.h"
+#include "vision/sift.h"
+#include "vision/similarity.h"
+
+namespace ldmo::vision {
+namespace {
+
+// Synthetic "layout raster": a few bright squares on black background.
+GridF squares_image(const std::vector<std::pair<int, int>>& positions,
+                    int size = 128, int square = 10) {
+  GridF image(size, size, 0.0);
+  for (const auto& [cy, cx] : positions)
+    for (int y = cy; y < cy + square && y < size; ++y)
+      for (int x = cx; x < cx + square && x < size; ++x)
+        image.at(y, x) = 1.0;
+  return image;
+}
+
+GridF translate(const GridF& image, int dy, int dx) {
+  GridF out(image.height(), image.width(), 0.0);
+  for (int y = 0; y < image.height(); ++y)
+    for (int x = 0; x < image.width(); ++x) {
+      const int sy = y - dy, sx = x - dx;
+      if (sy >= 0 && sy < image.height() && sx >= 0 && sx < image.width())
+        out.at(y, x) = image.at(sy, sx);
+    }
+  return out;
+}
+
+// ------------------------------------------------------------- image ops --
+
+TEST(ImageOps, GaussianBlurPreservesMass) {
+  GridF image(32, 32, 0.0);
+  image.at(16, 16) = 1.0;
+  const GridF blurred = gaussian_blur(image, 2.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < blurred.size(); ++i) sum += blurred[i];
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_LT(blurred.at(16, 16), 1.0);
+  EXPECT_GT(blurred.at(16, 18), 0.0);
+}
+
+TEST(ImageOps, GaussianBlurIsSymmetric) {
+  GridF image(33, 33, 0.0);
+  image.at(16, 16) = 1.0;
+  const GridF blurred = gaussian_blur(image, 1.5);
+  EXPECT_NEAR(blurred.at(16, 12), blurred.at(16, 20), 1e-12);
+  EXPECT_NEAR(blurred.at(12, 16), blurred.at(20, 16), 1e-12);
+}
+
+TEST(ImageOps, DownsampleHalvesShape) {
+  GridF image(32, 48, 0.5);
+  const GridF small = downsample2(image);
+  EXPECT_EQ(small.height(), 16);
+  EXPECT_EQ(small.width(), 24);
+}
+
+TEST(ImageOps, GradientsOfRamp) {
+  GridF image(8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) image.at(y, x) = 2.0 * x + 3.0 * y;
+  const GradientField g = gradients(image);
+  EXPECT_NEAR(g.dx.at(4, 4), 2.0, 1e-12);
+  EXPECT_NEAR(g.dy.at(4, 4), 3.0, 1e-12);
+  // One-sided at borders, still the right slope for a linear ramp.
+  EXPECT_NEAR(g.dx.at(4, 0), 2.0, 1e-12);
+}
+
+TEST(ImageOps, ResizeIdentityAndScale) {
+  Rng rng(1);
+  GridF image(16, 16);
+  for (std::size_t i = 0; i < image.size(); ++i) image[i] = rng.uniform();
+  const GridF same = resize(image, 16, 16);
+  for (std::size_t i = 0; i < image.size(); ++i)
+    EXPECT_NEAR(same[i], image[i], 1e-9);
+  const GridF bigger = resize(image, 32, 32);
+  EXPECT_EQ(bigger.height(), 32);
+}
+
+// ----------------------------------------------------------------- sift --
+
+TEST(Sift, DetectsFeaturesOnStructuredImage) {
+  const GridF image = squares_image({{30, 30}, {30, 80}, {80, 50}});
+  const auto features = detect_sift(image);
+  EXPECT_GE(features.size(), 4u);
+  for (const auto& f : features) {
+    double norm = 0.0;
+    for (float v : f.descriptor) norm += static_cast<double>(v) * v;
+    EXPECT_NEAR(norm, 1.0, 1e-3);  // unit descriptors
+  }
+}
+
+TEST(Sift, BlankImageHasNoFeatures) {
+  const GridF blank(64, 64, 0.3);
+  EXPECT_TRUE(detect_sift(blank).empty());
+}
+
+TEST(Sift, TranslationMovesFeaturesNotDescriptors) {
+  // The paper's rationale for SIFT: layout movement should not change the
+  // extracted local features (Fig. 6).
+  const GridF a = squares_image({{30, 30}, {30, 80}, {80, 50}});
+  const GridF b = translate(a, 8, 12);
+  const auto fa = detect_sift(a);
+  const auto fb = detect_sift(b);
+  ASSERT_GE(fa.size(), 3u);
+  ASSERT_GE(fb.size(), 3u);
+  // Each feature of a should find a near-zero-distance partner in b.
+  int matched = 0;
+  for (const auto& f : fa) {
+    for (const auto& g : fb) {
+      if (feature_distance(f, g, 0.7) < 0.3) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(matched, static_cast<int>(fa.size() * 2 / 3));
+}
+
+TEST(Sift, RespectsMaxFeatureBudget) {
+  SiftConfig config;
+  config.max_features = 5;
+  // A grid of many squares produces plenty of corners.
+  std::vector<std::pair<int, int>> positions;
+  for (int y = 10; y < 110; y += 25)
+    for (int x = 10; x < 110; x += 25) positions.push_back({y, x});
+  const auto features = detect_sift(squares_image(positions), config);
+  EXPECT_LE(features.size(), 5u);
+}
+
+TEST(Sift, RejectsTinyImages) {
+  EXPECT_THROW(detect_sift(GridF(8, 8, 0.0)), ldmo::Error);
+}
+
+// ------------------------------------------------------------ similarity --
+
+TEST(Similarity, IdenticalLayoutsScoreLowest) {
+  const GridF a = squares_image({{30, 30}, {30, 80}, {80, 50}});
+  const GridF b = squares_image({{40, 20}, {90, 90}});
+  const auto fa = detect_sift(a);
+  const auto fb = detect_sift(b);
+  SimilarityConfig config;
+  config.truncate_count = 10;
+  const double self = layout_similarity(fa, fa, config);
+  const double cross = layout_similarity(fa, fb, config);
+  EXPECT_LT(self, cross);
+}
+
+TEST(Similarity, TranslatedLayoutIsCloserThanDifferentLayout) {
+  const GridF a = squares_image({{30, 30}, {30, 80}, {80, 50}});
+  const GridF shifted = translate(a, 6, 10);
+  const GridF different = squares_image({{15, 15}, {60, 100}, {100, 20},
+                                         {55, 55}});
+  const auto fa = detect_sift(a);
+  SimilarityConfig config;
+  config.truncate_count = 10;
+  const double d_shift = layout_similarity(fa, detect_sift(shifted), config);
+  const double d_diff = layout_similarity(fa, detect_sift(different), config);
+  EXPECT_LT(d_shift, d_diff);
+}
+
+TEST(Similarity, UnmatchedFeaturesCostFullPenalty) {
+  const GridF a = squares_image({{30, 30}, {80, 80}});
+  const auto fa = detect_sift(a);
+  SimilarityConfig config;
+  config.truncate_count = 5;
+  // Empty other side: everything unmatched -> c * 1.0.
+  EXPECT_DOUBLE_EQ(layout_similarity(fa, {}, config), 5.0);
+  EXPECT_DOUBLE_EQ(layout_similarity({}, fa, config), 5.0);
+}
+
+TEST(Similarity, FeatureDistanceThresholdBehaviour) {
+  SiftFeature p, q;
+  p.descriptor[0] = 1.0f;
+  q.descriptor[0] = 1.0f;
+  EXPECT_DOUBLE_EQ(feature_distance(p, q, 0.7), 0.0);
+  q.descriptor[0] = 0.0f;
+  q.descriptor[1] = 1.0f;  // distance sqrt(2) > 0.7 -> unmatched
+  EXPECT_DOUBLE_EQ(feature_distance(p, q, 0.7), 1.0);
+}
+
+TEST(Similarity, DistanceMatrixSymmetricZeroDiagonal) {
+  std::vector<std::vector<SiftFeature>> sets;
+  sets.push_back(detect_sift(squares_image({{30, 30}, {80, 80}})));
+  sets.push_back(detect_sift(squares_image({{20, 60}, {90, 40}})));
+  sets.push_back(detect_sift(squares_image({{50, 50}})));
+  const auto matrix = distance_matrix(sets);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i * 3 + i], 0.0);
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(matrix[i * 3 + j], matrix[j * 3 + i]);
+  }
+}
+
+TEST(Similarity, SelfDistanceZeroWhenEnoughMatches) {
+  // A layout matched against itself: every feature pairs at distance ~0,
+  // so with c below the feature count the Alg. 2 sum vanishes.
+  const GridF a = squares_image({{30, 30}, {30, 80}, {80, 50}, {90, 95}});
+  const auto fa = detect_sift(a);
+  ASSERT_GE(fa.size(), 4u);
+  SimilarityConfig config;
+  config.truncate_count = static_cast<int>(fa.size()) - 1;
+  EXPECT_NEAR(layout_similarity(fa, fa, config), 0.0, 1e-9);
+}
+
+TEST(Similarity, TriangleInequalityHoldsApproximately) {
+  // Alg. 2 is not a metric, but on real layout rasters gross violations
+  // of d(a,c) <= d(a,b) + d(b,c) + slack would indicate a broken matcher.
+  const auto fa = detect_sift(squares_image({{30, 30}, {80, 80}}));
+  const auto fb = detect_sift(squares_image({{35, 40}, {85, 75}}));
+  const auto fc = detect_sift(squares_image({{90, 20}, {20, 90}}));
+  SimilarityConfig config;
+  config.truncate_count = 8;
+  const double ab = layout_similarity(fa, fb, config);
+  const double bc = layout_similarity(fb, fc, config);
+  const double ac = layout_similarity(fa, fc, config);
+  EXPECT_LE(ac, ab + bc + 2.0);
+}
+
+// -------------------------------------------------------------- kmedoids --
+
+// Distance matrix with two obvious groups: {0,1,2} tight, {3,4,5} tight,
+// large inter-group distance.
+std::vector<double> two_cluster_matrix() {
+  const int n = 6;
+  std::vector<double> d(n * n, 0.0);
+  auto set = [&](int i, int j, double v) {
+    d[static_cast<std::size_t>(i) * n + j] = v;
+    d[static_cast<std::size_t>(j) * n + i] = v;
+  };
+  for (int i = 0; i < 3; ++i)
+    for (int j = i + 1; j < 3; ++j) set(i, j, 1.0);
+  for (int i = 3; i < 6; ++i)
+    for (int j = i + 1; j < 6; ++j) set(i, j, 1.0);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 3; j < 6; ++j) set(i, j, 10.0);
+  return d;
+}
+
+TEST(KMedoids, RecoversTwoClusters) {
+  KMedoidsConfig config;
+  config.clusters = 2;
+  const KMedoidsResult r = kmedoids(two_cluster_matrix(), 6, config);
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[1], r.assignment[2]);
+  EXPECT_EQ(r.assignment[3], r.assignment[4]);
+  EXPECT_EQ(r.assignment[4], r.assignment[5]);
+  EXPECT_NE(r.assignment[0], r.assignment[3]);
+  EXPECT_DOUBLE_EQ(r.sld, 4.0);  // 2 members x distance 1 per cluster
+}
+
+TEST(KMedoids, SldMatchesRecomputation) {
+  KMedoidsConfig config;
+  config.clusters = 2;
+  const auto matrix = two_cluster_matrix();
+  const KMedoidsResult r = kmedoids(matrix, 6, config);
+  EXPECT_DOUBLE_EQ(
+      r.sld, sum_of_layout_distance(matrix, 6, r.medoids, r.assignment));
+}
+
+TEST(KMedoids, OneClusterPicksCorpusCenter) {
+  // Line metric 0-1-2-3-4: element 2 minimizes total distance.
+  const int n = 5;
+  std::vector<double> d(n * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      d[static_cast<std::size_t>(i) * n + j] = std::abs(i - j);
+  KMedoidsConfig config;
+  config.clusters = 1;
+  const KMedoidsResult r = kmedoids(d, n, config);
+  EXPECT_EQ(r.medoids[0], 2);
+  EXPECT_DOUBLE_EQ(r.sld, 6.0);
+}
+
+TEST(KMedoids, ClustersEqualElementsGivesZeroSld) {
+  KMedoidsConfig config;
+  config.clusters = 6;
+  const KMedoidsResult r = kmedoids(two_cluster_matrix(), 6, config);
+  EXPECT_DOUBLE_EQ(r.sld, 0.0);
+}
+
+TEST(KMedoids, RejectsBadArguments) {
+  KMedoidsConfig config;
+  config.clusters = 7;
+  EXPECT_THROW(kmedoids(two_cluster_matrix(), 6, config), ldmo::Error);
+  EXPECT_THROW(kmedoids({0.0, 1.0}, 2, {}), ldmo::Error);
+}
+
+TEST(KMedoids, SwapPhaseNeverIncreasesSld) {
+  // Random symmetric matrix; PAM must end at or below its initial SLD.
+  Rng rng(42);
+  const int n = 12;
+  std::vector<double> d(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double v = rng.uniform(0.5, 5.0);
+      d[static_cast<std::size_t>(i) * n + j] = v;
+      d[static_cast<std::size_t>(j) * n + i] = v;
+    }
+  KMedoidsConfig config;
+  config.clusters = 3;
+  config.max_iterations = 1;  // heavily truncated
+  const KMedoidsResult truncated = kmedoids(d, n, config);
+  config.max_iterations = 50;
+  const KMedoidsResult full = kmedoids(d, n, config);
+  EXPECT_LE(full.sld, truncated.sld + 1e-12);
+}
+
+}  // namespace
+}  // namespace ldmo::vision
