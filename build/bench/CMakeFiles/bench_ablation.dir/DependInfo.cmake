@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ldmo_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ldmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/ldmo_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/ldmo_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpl/CMakeFiles/ldmo_mpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ldmo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/ldmo_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/ldmo_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/ldmo_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ldmo_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ldmo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ldmo_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ldmo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ldmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

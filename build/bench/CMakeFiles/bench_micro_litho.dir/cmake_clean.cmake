@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_litho.dir/bench_micro_litho.cpp.o"
+  "CMakeFiles/bench_micro_litho.dir/bench_micro_litho.cpp.o.d"
+  "bench_micro_litho"
+  "bench_micro_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

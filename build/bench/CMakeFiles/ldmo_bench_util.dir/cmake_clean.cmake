@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ldmo_bench_util.dir/bench_util.cpp.o.d"
+  "libldmo_bench_util.a"
+  "libldmo_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_flows.dir/compare_flows.cpp.o"
+  "CMakeFiles/compare_flows.dir/compare_flows.cpp.o.d"
+  "compare_flows"
+  "compare_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

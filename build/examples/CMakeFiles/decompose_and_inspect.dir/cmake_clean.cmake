@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose_and_inspect.dir/decompose_and_inspect.cpp.o"
+  "CMakeFiles/decompose_and_inspect.dir/decompose_and_inspect.cpp.o.d"
+  "decompose_and_inspect"
+  "decompose_and_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose_and_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

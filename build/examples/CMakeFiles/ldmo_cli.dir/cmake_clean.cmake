@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_cli.dir/ldmo_cli.cpp.o"
+  "CMakeFiles/ldmo_cli.dir/ldmo_cli.cpp.o.d"
+  "ldmo_cli"
+  "ldmo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

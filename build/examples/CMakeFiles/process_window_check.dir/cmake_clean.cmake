@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_window_check.dir/process_window_check.cpp.o"
+  "CMakeFiles/process_window_check.dir/process_window_check.cpp.o.d"
+  "process_window_check"
+  "process_window_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_window_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

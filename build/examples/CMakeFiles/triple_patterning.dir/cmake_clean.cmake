@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triple_patterning.dir/triple_patterning.cpp.o"
+  "CMakeFiles/triple_patterning.dir/triple_patterning.cpp.o.d"
+  "triple_patterning"
+  "triple_patterning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triple_patterning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_common.dir/error.cpp.o"
+  "CMakeFiles/ldmo_common.dir/error.cpp.o.d"
+  "CMakeFiles/ldmo_common.dir/log.cpp.o"
+  "CMakeFiles/ldmo_common.dir/log.cpp.o.d"
+  "CMakeFiles/ldmo_common.dir/rng.cpp.o"
+  "CMakeFiles/ldmo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ldmo_common.dir/stats.cpp.o"
+  "CMakeFiles/ldmo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ldmo_common.dir/timer.cpp.o"
+  "CMakeFiles/ldmo_common.dir/timer.cpp.o.d"
+  "libldmo_common.a"
+  "libldmo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_core.dir/baseline_flows.cpp.o"
+  "CMakeFiles/ldmo_core.dir/baseline_flows.cpp.o.d"
+  "CMakeFiles/ldmo_core.dir/ldmo_flow.cpp.o"
+  "CMakeFiles/ldmo_core.dir/ldmo_flow.cpp.o.d"
+  "CMakeFiles/ldmo_core.dir/predictor.cpp.o"
+  "CMakeFiles/ldmo_core.dir/predictor.cpp.o.d"
+  "libldmo_core.a"
+  "libldmo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_coverage.dir/covering_array.cpp.o"
+  "CMakeFiles/ldmo_coverage.dir/covering_array.cpp.o.d"
+  "libldmo_coverage.a"
+  "libldmo_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_fft.dir/fft.cpp.o"
+  "CMakeFiles/ldmo_fft.dir/fft.cpp.o.d"
+  "libldmo_fft.a"
+  "libldmo_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

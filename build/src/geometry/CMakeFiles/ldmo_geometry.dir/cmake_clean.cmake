@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_geometry.dir/rect.cpp.o"
+  "CMakeFiles/ldmo_geometry.dir/rect.cpp.o.d"
+  "CMakeFiles/ldmo_geometry.dir/spatial_index.cpp.o"
+  "CMakeFiles/ldmo_geometry.dir/spatial_index.cpp.o.d"
+  "libldmo_geometry.a"
+  "libldmo_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

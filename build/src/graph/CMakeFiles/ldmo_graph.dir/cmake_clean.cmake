@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_graph.dir/coloring.cpp.o"
+  "CMakeFiles/ldmo_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/ldmo_graph.dir/disjoint_set.cpp.o"
+  "CMakeFiles/ldmo_graph.dir/disjoint_set.cpp.o.d"
+  "CMakeFiles/ldmo_graph.dir/graph.cpp.o"
+  "CMakeFiles/ldmo_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ldmo_graph.dir/mst.cpp.o"
+  "CMakeFiles/ldmo_graph.dir/mst.cpp.o.d"
+  "libldmo_graph.a"
+  "libldmo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldmo_graph.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/drc.cpp" "src/layout/CMakeFiles/ldmo_layout.dir/drc.cpp.o" "gcc" "src/layout/CMakeFiles/ldmo_layout.dir/drc.cpp.o.d"
+  "/root/repo/src/layout/generator.cpp" "src/layout/CMakeFiles/ldmo_layout.dir/generator.cpp.o" "gcc" "src/layout/CMakeFiles/ldmo_layout.dir/generator.cpp.o.d"
+  "/root/repo/src/layout/io.cpp" "src/layout/CMakeFiles/ldmo_layout.dir/io.cpp.o" "gcc" "src/layout/CMakeFiles/ldmo_layout.dir/io.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/ldmo_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/ldmo_layout.dir/layout.cpp.o.d"
+  "/root/repo/src/layout/raster.cpp" "src/layout/CMakeFiles/ldmo_layout.dir/raster.cpp.o" "gcc" "src/layout/CMakeFiles/ldmo_layout.dir/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ldmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ldmo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

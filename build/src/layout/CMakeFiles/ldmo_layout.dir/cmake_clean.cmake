@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_layout.dir/drc.cpp.o"
+  "CMakeFiles/ldmo_layout.dir/drc.cpp.o.d"
+  "CMakeFiles/ldmo_layout.dir/generator.cpp.o"
+  "CMakeFiles/ldmo_layout.dir/generator.cpp.o.d"
+  "CMakeFiles/ldmo_layout.dir/io.cpp.o"
+  "CMakeFiles/ldmo_layout.dir/io.cpp.o.d"
+  "CMakeFiles/ldmo_layout.dir/layout.cpp.o"
+  "CMakeFiles/ldmo_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/ldmo_layout.dir/raster.cpp.o"
+  "CMakeFiles/ldmo_layout.dir/raster.cpp.o.d"
+  "libldmo_layout.a"
+  "libldmo_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litho/aerial.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/aerial.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/aerial.cpp.o.d"
+  "/root/repo/src/litho/config.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/config.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/config.cpp.o.d"
+  "/root/repo/src/litho/eig.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/eig.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/eig.cpp.o.d"
+  "/root/repo/src/litho/kernels.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/kernels.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/kernels.cpp.o.d"
+  "/root/repo/src/litho/meef.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/meef.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/meef.cpp.o.d"
+  "/root/repo/src/litho/metrics.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/metrics.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/metrics.cpp.o.d"
+  "/root/repo/src/litho/process_window.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/process_window.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/process_window.cpp.o.d"
+  "/root/repo/src/litho/resist.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/resist.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/resist.cpp.o.d"
+  "/root/repo/src/litho/simulator.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/simulator.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/simulator.cpp.o.d"
+  "/root/repo/src/litho/tcc.cpp" "src/litho/CMakeFiles/ldmo_litho.dir/tcc.cpp.o" "gcc" "src/litho/CMakeFiles/ldmo_litho.dir/tcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ldmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ldmo_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ldmo_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ldmo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

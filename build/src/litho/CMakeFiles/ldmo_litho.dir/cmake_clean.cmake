@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_litho.dir/aerial.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/aerial.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/config.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/config.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/eig.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/eig.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/kernels.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/kernels.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/meef.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/meef.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/metrics.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/metrics.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/process_window.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/process_window.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/resist.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/resist.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/simulator.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/simulator.cpp.o.d"
+  "CMakeFiles/ldmo_litho.dir/tcc.cpp.o"
+  "CMakeFiles/ldmo_litho.dir/tcc.cpp.o.d"
+  "libldmo_litho.a"
+  "libldmo_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpl/baselines.cpp" "src/mpl/CMakeFiles/ldmo_mpl.dir/baselines.cpp.o" "gcc" "src/mpl/CMakeFiles/ldmo_mpl.dir/baselines.cpp.o.d"
+  "/root/repo/src/mpl/classify.cpp" "src/mpl/CMakeFiles/ldmo_mpl.dir/classify.cpp.o" "gcc" "src/mpl/CMakeFiles/ldmo_mpl.dir/classify.cpp.o.d"
+  "/root/repo/src/mpl/decomposition_generator.cpp" "src/mpl/CMakeFiles/ldmo_mpl.dir/decomposition_generator.cpp.o" "gcc" "src/mpl/CMakeFiles/ldmo_mpl.dir/decomposition_generator.cpp.o.d"
+  "/root/repo/src/mpl/tpl.cpp" "src/mpl/CMakeFiles/ldmo_mpl.dir/tpl.cpp.o" "gcc" "src/mpl/CMakeFiles/ldmo_mpl.dir/tpl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ldmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ldmo_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ldmo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/ldmo_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ldmo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_mpl.dir/baselines.cpp.o"
+  "CMakeFiles/ldmo_mpl.dir/baselines.cpp.o.d"
+  "CMakeFiles/ldmo_mpl.dir/classify.cpp.o"
+  "CMakeFiles/ldmo_mpl.dir/classify.cpp.o.d"
+  "CMakeFiles/ldmo_mpl.dir/decomposition_generator.cpp.o"
+  "CMakeFiles/ldmo_mpl.dir/decomposition_generator.cpp.o.d"
+  "CMakeFiles/ldmo_mpl.dir/tpl.cpp.o"
+  "CMakeFiles/ldmo_mpl.dir/tpl.cpp.o.d"
+  "libldmo_mpl.a"
+  "libldmo_mpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

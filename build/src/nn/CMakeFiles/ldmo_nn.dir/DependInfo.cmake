@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/resnet.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/resnet.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/resnet.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/ldmo_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/ldmo_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ldmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

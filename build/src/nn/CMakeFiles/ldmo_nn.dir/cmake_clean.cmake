@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/conv.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/gemm.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/layers.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/linear.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/loss.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/pooling.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/resnet.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/resnet.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/tensor.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/ldmo_nn.dir/trainer.cpp.o"
+  "CMakeFiles/ldmo_nn.dir/trainer.cpp.o.d"
+  "libldmo_nn.a"
+  "libldmo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

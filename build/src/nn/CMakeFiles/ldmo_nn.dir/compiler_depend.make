@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ldmo_nn.
+# This may be replaced when dependencies are built.

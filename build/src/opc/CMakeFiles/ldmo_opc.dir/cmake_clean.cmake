@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_opc.dir/ilt.cpp.o"
+  "CMakeFiles/ldmo_opc.dir/ilt.cpp.o.d"
+  "CMakeFiles/ldmo_opc.dir/mpl_ilt.cpp.o"
+  "CMakeFiles/ldmo_opc.dir/mpl_ilt.cpp.o.d"
+  "libldmo_opc.a"
+  "libldmo_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

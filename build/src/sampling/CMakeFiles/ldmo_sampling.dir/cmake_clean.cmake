@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_sampling.dir/decomposition_sampling.cpp.o"
+  "CMakeFiles/ldmo_sampling.dir/decomposition_sampling.cpp.o.d"
+  "CMakeFiles/ldmo_sampling.dir/layout_sampling.cpp.o"
+  "CMakeFiles/ldmo_sampling.dir/layout_sampling.cpp.o.d"
+  "CMakeFiles/ldmo_sampling.dir/training_set.cpp.o"
+  "CMakeFiles/ldmo_sampling.dir/training_set.cpp.o.d"
+  "libldmo_sampling.a"
+  "libldmo_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

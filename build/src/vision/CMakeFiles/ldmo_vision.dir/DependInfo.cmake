@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/image_ops.cpp" "src/vision/CMakeFiles/ldmo_vision.dir/image_ops.cpp.o" "gcc" "src/vision/CMakeFiles/ldmo_vision.dir/image_ops.cpp.o.d"
+  "/root/repo/src/vision/kmedoids.cpp" "src/vision/CMakeFiles/ldmo_vision.dir/kmedoids.cpp.o" "gcc" "src/vision/CMakeFiles/ldmo_vision.dir/kmedoids.cpp.o.d"
+  "/root/repo/src/vision/sift.cpp" "src/vision/CMakeFiles/ldmo_vision.dir/sift.cpp.o" "gcc" "src/vision/CMakeFiles/ldmo_vision.dir/sift.cpp.o.d"
+  "/root/repo/src/vision/similarity.cpp" "src/vision/CMakeFiles/ldmo_vision.dir/similarity.cpp.o" "gcc" "src/vision/CMakeFiles/ldmo_vision.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ldmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

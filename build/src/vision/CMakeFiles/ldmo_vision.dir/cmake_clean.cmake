@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldmo_vision.dir/image_ops.cpp.o"
+  "CMakeFiles/ldmo_vision.dir/image_ops.cpp.o.d"
+  "CMakeFiles/ldmo_vision.dir/kmedoids.cpp.o"
+  "CMakeFiles/ldmo_vision.dir/kmedoids.cpp.o.d"
+  "CMakeFiles/ldmo_vision.dir/sift.cpp.o"
+  "CMakeFiles/ldmo_vision.dir/sift.cpp.o.d"
+  "CMakeFiles/ldmo_vision.dir/similarity.cpp.o"
+  "CMakeFiles/ldmo_vision.dir/similarity.cpp.o.d"
+  "libldmo_vision.a"
+  "libldmo_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldmo_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

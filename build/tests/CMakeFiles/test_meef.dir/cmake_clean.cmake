@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meef.dir/test_meef.cpp.o"
+  "CMakeFiles/test_meef.dir/test_meef.cpp.o.d"
+  "test_meef"
+  "test_meef.pdb"
+  "test_meef[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opc.dir/test_opc.cpp.o"
+  "CMakeFiles/test_opc.dir/test_opc.cpp.o.d"
+  "test_opc"
+  "test_opc.pdb"
+  "test_opc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process_window.dir/test_process_window.cpp.o"
+  "CMakeFiles/test_process_window.dir/test_process_window.cpp.o.d"
+  "test_process_window"
+  "test_process_window.pdb"
+  "test_process_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpl.dir/test_tpl.cpp.o"
+  "CMakeFiles/test_tpl.dir/test_tpl.cpp.o.d"
+  "test_tpl"
+  "test_tpl.pdb"
+  "test_tpl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_litho[1]_include.cmake")
+include("/root/repo/build/tests/test_opc[1]_include.cmake")
+include("/root/repo/build/tests/test_mpl[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_vision[1]_include.cmake")
+include("/root/repo/build/tests/test_sampling[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_tpl[1]_include.cmake")
+include("/root/repo/build/tests/test_process_window[1]_include.cmake")
+include("/root/repo/build/tests/test_meef[1]_include.cmake")
