@@ -19,6 +19,9 @@
 int main() {
   using namespace ldmo;
   set_log_level(LogLevel::Warn);
+  bench::BenchReport obs_report("bench_fig1");
+  obs_report.meta("experiment",
+                  "Fig. 1(b) EPE trajectories; Fig. 1(c) DS/MO split");
   const litho::LithoSimulator simulator(bench::experiment_litho());
   opc::IltEngine engine(simulator, bench::paper_ilt());
 

@@ -46,6 +46,8 @@ struct FlowStats {
 
 int main() {
   set_log_level(LogLevel::Warn);
+  bench::BenchReport obs_report("bench_table1");
+  obs_report.meta("experiment", "Table I: EPE and runtime of four flows");
   const litho::LithoSimulator simulator(bench::experiment_litho());
   bench::PredictorBundle bundle =
       bench::get_or_train_predictor(simulator);

@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "common/timer.h"
 #include "nn/serialize.h"
+#include "obs/report.h"
 #include "nn/trainer.h"
 #include "sampling/decomposition_sampling.h"
 #include "sampling/layout_sampling.h"
@@ -159,6 +160,29 @@ PredictorBundle get_or_train_predictor(const litho::LithoSimulator& simulator,
                options.cache_tag.c_str(), bundle.build_seconds,
                bundle.training_examples, path.c_str());
   return bundle;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  obs::set_tracing_enabled(true);
+  obs::tracer().clear();
+  obs::registry().reset();
+}
+
+void BenchReport::meta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, value);
+}
+
+BenchReport::~BenchReport() {
+  const std::string path = name_ + "_report.json";
+  try {
+    obs::RunReport report(name_);
+    for (const auto& [k, v] : meta_) report.meta(k, v);
+    report.write(path);
+    std::fprintf(stderr, "[bench] wrote run report %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench] run report %s failed: %s\n", path.c_str(),
+                 e.what());
+  }
 }
 
 }  // namespace ldmo::bench

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ldmo_flow.h"
@@ -65,5 +66,23 @@ PredictorBundle get_or_train_predictor(const litho::LithoSimulator& simulator,
 
 /// CNN input-side used by all experiment predictors.
 inline constexpr int kPredictorImageSize = 64;
+
+/// RAII observability harness for a bench binary: enables span tracing at
+/// construction and writes "<name>_report.json" (metrics snapshot + span
+/// trees + ILT iteration traces) next to the bench's stdout table at
+/// destruction. Meta key/values land in the report's "meta" object.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+  ~BenchReport();
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void meta(const std::string& key, const std::string& value);
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+};
 
 }  // namespace ldmo::bench

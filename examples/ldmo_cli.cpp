@@ -5,14 +5,23 @@
 //   ldmo_cli inspect clip.layout
 //       Pattern classification, conflict structure, candidate counts.
 //   ldmo_cli run clip.layout [--flow ours|suald|balanced|unified]
+//            [--report run.json] [--log-level LEVEL]
 //       Run a full LDMO flow and report printability (writes PGM images).
+//       --report enables span tracing and writes a structured JSON run
+//       report (metrics, span tree, per-iteration ILT trace).
+//   ldmo_cli validate-report run.json
+//       Parse a run report and check its structure; exit 0 iff valid.
 //
 // All subcommands use the quick 64-pixel lithography model so they respond
 // in seconds; the benches use the experiment-grade 128-pixel model.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
+#include "common/log.h"
 #include "core/baseline_flows.h"
 #include "core/ldmo_flow.h"
 #include "core/predictor.h"
@@ -21,6 +30,7 @@
 #include "layout/raster.h"
 #include "mpl/baselines.h"
 #include "mpl/decomposition_generator.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -38,15 +48,38 @@ int usage() {
                "usage:\n"
                "  ldmo_cli generate [--seed N] [--out FILE]\n"
                "  ldmo_cli inspect FILE\n"
-               "  ldmo_cli run FILE [--flow ours|suald|balanced|unified]\n");
+               "  ldmo_cli run FILE [--flow ours|suald|balanced|unified]\n"
+               "                    [--report OUT.json] [--log-level LEVEL]\n"
+               "  ldmo_cli validate-report FILE.json\n"
+               "\n"
+               "LEVEL: debug|info|warn|error|off (also honored from the\n"
+               "LDMO_LOG_LEVEL environment variable)\n");
   return 2;
 }
 
 const char* flag_value(int argc, char** argv, const char* name,
                        const char* fallback) {
-  for (int i = 2; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  for (int i = 2; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) {
+      if (i + 1 >= argc)
+        throw std::runtime_error(std::string(name) + " requires a value");
+      return argv[i + 1];
+    }
   return fallback;
+}
+
+void apply_log_level_flag(int argc, char** argv) {
+  const char* level = flag_value(argc, argv, "--log-level", nullptr);
+  if (!level) return;
+  // parse_log_level falls back silently; parsing against two different
+  // fallbacks distinguishes "recognized" from "fell back" without
+  // duplicating the level-name table here.
+  const LogLevel a = parse_log_level(level, LogLevel::Debug);
+  const LogLevel b = parse_log_level(level, LogLevel::Off);
+  if (a != b)
+    throw std::runtime_error(std::string("unknown log level '") + level +
+                             "' (want debug|info|warn|error|off)");
+  set_log_level(a);
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -81,44 +114,58 @@ int cmd_run(int argc, char** argv) {
   if (argc < 3) return usage();
   const layout::Layout l = layout::read_layout_text(argv[2]);
   const std::string flow_name = flag_value(argc, argv, "--flow", "ours");
+  const char* report_path = flag_value(argc, argv, "--report", nullptr);
+  if (report_path) {
+    obs::set_tracing_enabled(true);
+    obs::tracer().clear();
+    obs::registry().reset();
+  }
   const litho::LithoSimulator simulator(cli_litho());
 
   GridF mask1, mask2, response;
   litho::PrintabilityReport report;
   double seconds = 0.0;
-  if (flow_name == "ours") {
-    core::RawPrintPredictor predictor(simulator);
-    core::LdmoFlow flow(simulator, predictor, {});
-    core::LdmoResult r = flow.run(l);
-    mask1 = std::move(r.ilt.mask1);
-    mask2 = std::move(r.ilt.mask2);
-    response = std::move(r.ilt.response);
-    report = r.ilt.report;
-    seconds = r.total_seconds;
-  } else if (flow_name == "suald" || flow_name == "balanced") {
-    core::TwoStageFlow flow(
-        simulator, [&flow_name](const layout::Layout& layout) {
-          if (flow_name == "suald")
-            return mpl::SpacingUniformityDecomposer().decompose(layout);
-          return mpl::BalancedDecomposer().decompose(layout);
-        });
-    core::BaselineFlowResult r = flow.run(l);
-    mask1 = std::move(r.ilt.mask1);
-    mask2 = std::move(r.ilt.mask2);
-    response = std::move(r.ilt.response);
-    report = r.ilt.report;
-    seconds = r.total_seconds;
-  } else if (flow_name == "unified") {
-    core::UnifiedGreedyFlow flow(simulator, {});
-    core::BaselineFlowResult r = flow.run(l);
-    mask1 = std::move(r.ilt.mask1);
-    mask2 = std::move(r.ilt.mask2);
-    response = std::move(r.ilt.response);
-    report = r.ilt.report;
-    seconds = r.total_seconds;
-  } else {
-    return usage();
-  }
+  int candidates_generated = 0, candidates_tried = 0;
+  {
+    obs::Span cli_span("cli.run");
+    cli_span.attr("flow", flow_name);
+    cli_span.attr("layout", l.name);
+    if (flow_name == "ours") {
+      core::RawPrintPredictor predictor(simulator);
+      core::LdmoFlow flow(simulator, predictor, {});
+      core::LdmoResult r = flow.run(l);
+      mask1 = std::move(r.ilt.mask1);
+      mask2 = std::move(r.ilt.mask2);
+      response = std::move(r.ilt.response);
+      report = r.ilt.report;
+      seconds = r.total_seconds;
+      candidates_generated = r.candidates_generated;
+      candidates_tried = r.candidates_tried;
+    } else if (flow_name == "suald" || flow_name == "balanced") {
+      core::TwoStageFlow flow(
+          simulator, [&flow_name](const layout::Layout& layout) {
+            if (flow_name == "suald")
+              return mpl::SpacingUniformityDecomposer().decompose(layout);
+            return mpl::BalancedDecomposer().decompose(layout);
+          });
+      core::BaselineFlowResult r = flow.run(l);
+      mask1 = std::move(r.ilt.mask1);
+      mask2 = std::move(r.ilt.mask2);
+      response = std::move(r.ilt.response);
+      report = r.ilt.report;
+      seconds = r.total_seconds;
+    } else if (flow_name == "unified") {
+      core::UnifiedGreedyFlow flow(simulator, {});
+      core::BaselineFlowResult r = flow.run(l);
+      mask1 = std::move(r.ilt.mask1);
+      mask2 = std::move(r.ilt.mask2);
+      response = std::move(r.ilt.response);
+      report = r.ilt.report;
+      seconds = r.total_seconds;
+    } else {
+      return usage();
+    }
+  }  // closes cli.run so the report sees a finished root span
 
   std::printf("flow %-8s: %d EPE violations, %d print violations, "
               "L2 %.1f, score %.1f (%.2fs)\n",
@@ -128,6 +175,111 @@ int cmd_run(int argc, char** argv) {
   layout::write_pgm(mask2, "cli_mask2.pgm");
   layout::write_pgm(response, "cli_print.pgm");
   std::printf("wrote cli_mask1.pgm cli_mask2.pgm cli_print.pgm\n");
+
+  if (report_path) {
+    obs::RunReport run_report("ldmo_cli");
+    run_report.meta("flow", flow_name);
+    run_report.meta("layout", l.name);
+    run_report.meta("layout_file", argv[2]);
+    run_report.section("result", [&](obs::JsonWriter& w) {
+      w.begin_object();
+      w.kv("epe_violations", report.epe.violation_count);
+      w.kv("print_violations", report.violations.total());
+      w.kv("l2", report.l2);
+      w.kv("score", report.score());
+      w.kv("seconds", seconds);
+      w.kv("candidates_generated", candidates_generated);
+      w.kv("candidates_tried", candidates_tried);
+      w.end_object();
+    });
+    run_report.write(report_path);
+    std::printf("wrote run report %s\n", report_path);
+  }
+  return 0;
+}
+
+// Structural validation of a run report: parses the JSON and checks the
+// sections the observability layer promises. Used by the CTest smoke test.
+int cmd_validate_report(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "validate-report: cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "validate-report: %s\n", e.what());
+    return 1;
+  }
+
+  auto fail = [&](const char* what) {
+    std::fprintf(stderr, "validate-report: %s in %s\n", what, argv[2]);
+    return 1;
+  };
+  if (!doc.is_object()) return fail("top level is not an object");
+  const obs::JsonValue* metrics = doc.find("metrics");
+  if (!metrics || !metrics->is_object()) return fail("missing metrics object");
+  const obs::JsonValue* counters = metrics->find("counters");
+  if (!counters || !counters->is_object())
+    return fail("missing metrics.counters object");
+  const obs::JsonValue* spans = doc.find("spans");
+  if (!spans || !spans->is_array()) return fail("missing spans array");
+  for (const obs::JsonValue& root : spans->array) {
+    if (!root.is_object() || !root.find("name") || !root.find("seconds"))
+      return fail("span node missing name/seconds");
+  }
+
+  // When the report captured an LDMO flow run, require its phase tree and
+  // the per-attempt ILT children with an iteration trace.
+  const obs::JsonValue* ldmo_run = nullptr;
+  for (const obs::JsonValue& root : spans->array) {
+    const obs::JsonValue* children =
+        root.is_object() ? root.find("children") : nullptr;
+    if (!children) continue;
+    for (const obs::JsonValue& child : children->array) {
+      const obs::JsonValue* name = child.find("name");
+      if (name && name->string == "ldmo.run") ldmo_run = &child;
+    }
+    const obs::JsonValue* name = root.find("name");
+    if (name && name->string == "ldmo.run") ldmo_run = &root;
+  }
+  if (ldmo_run) {
+    const obs::JsonValue* children = ldmo_run->find("children");
+    if (!children || !children->is_array())
+      return fail("ldmo.run span has no children");
+    bool has_generate = false, has_predict = false, has_ilt = false;
+    const obs::JsonValue* ilt_phase = nullptr;
+    for (const obs::JsonValue& phase : children->array) {
+      const obs::JsonValue* name = phase.find("name");
+      if (!name) continue;
+      if (name->string == "generate") has_generate = true;
+      if (name->string == "predict") has_predict = true;
+      if (name->string == "ilt") { has_ilt = true; ilt_phase = &phase; }
+    }
+    if (!has_generate || !has_predict || !has_ilt)
+      return fail("ldmo.run span lacks generate/predict/ilt phases");
+    const obs::JsonValue* attempts =
+        ilt_phase ? ilt_phase->find("children") : nullptr;
+    if (!attempts || attempts->array.empty())
+      return fail("ilt phase has no per-attempt spans");
+    const obs::JsonValue* optimize =
+        attempts->array.front().find("children");
+    const obs::JsonValue* trace =
+        optimize && !optimize->array.empty()
+            ? optimize->array.front().find("series")
+            : nullptr;
+    if (!trace || !trace->find("trace"))
+      return fail("ILT attempt has no per-iteration trace");
+  }
+
+  std::printf("validate-report: %s ok (%zu top-level spans)\n", argv[2],
+              spans->array.size());
   return 0;
 }
 
@@ -136,9 +288,12 @@ int cmd_run(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
+    apply_log_level_flag(argc, argv);
     if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
     if (std::strcmp(argv[1], "inspect") == 0) return cmd_inspect(argc, argv);
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
+    if (std::strcmp(argv[1], "validate-report") == 0)
+      return cmd_validate_report(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

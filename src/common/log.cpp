@@ -1,10 +1,25 @@
 #include "common/log.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "obs/report.h"
 
 namespace ldmo {
 namespace {
-LogLevel g_level = LogLevel::Info;
+
+LogLevel initial_level() {
+  const char* env = std::getenv("LDMO_LOG_LEVEL");
+  if (!env) return LogLevel::Info;
+  return parse_log_level(env, LogLevel::Info);
+}
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -16,15 +31,34 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() {
+  return level_storage().load(std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return fallback;
+}
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%s] [%s] %s\n", obs::iso8601_utc_now().c_str(),
+               level_name(level), message.c_str());
 }
 }  // namespace detail
 

@@ -9,11 +9,17 @@ namespace ldmo {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Sets the global minimum level that is emitted.
+/// Sets the global minimum level that is emitted (thread-safe).
 void set_log_level(LogLevel level);
 
-/// Current global level.
+/// Current global level. Defaults to Info, or to the LDMO_LOG_LEVEL
+/// environment variable ("debug"/"info"/"warn"/"error"/"off", any case)
+/// when it is set at process startup.
 LogLevel log_level();
+
+/// Parses a level name (case-insensitive); returns `fallback` when `name`
+/// is not a known level.
+LogLevel parse_log_level(const std::string& name, LogLevel fallback);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);

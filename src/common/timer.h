@@ -1,10 +1,13 @@
 // Wall-clock timing used by the benchmark harnesses (Table I "Time" column,
-// Fig. 1(c) runtime breakdown).
+// Fig. 1(c) runtime breakdown). Phase timing is built on obs::Span so the
+// span tracer and the PhaseTimer buckets share one measurement.
 #pragma once
 
 #include <chrono>
 #include <string>
 #include <unordered_map>
+
+#include "obs/span.h"
 
 namespace ldmo {
 
@@ -46,18 +49,34 @@ class PhaseTimer {
   std::unordered_map<std::string, double> buckets_;
 };
 
-/// Runs `fn`, adds its wall time to `timer[phase]`, and returns fn's result.
+namespace detail {
+
+/// Books a span's elapsed time into a PhaseTimer bucket on destruction,
+/// so a throwing phase body still accounts its wall time.
+class PhaseRecordGuard {
+ public:
+  PhaseRecordGuard(PhaseTimer& timer, std::string phase,
+                   const obs::Span& span)
+      : timer_(timer), phase_(std::move(phase)), span_(span) {}
+  ~PhaseRecordGuard() { timer_.add(phase_, span_.seconds()); }
+  PhaseRecordGuard(const PhaseRecordGuard&) = delete;
+  PhaseRecordGuard& operator=(const PhaseRecordGuard&) = delete;
+
+ private:
+  PhaseTimer& timer_;
+  std::string phase_;
+  const obs::Span& span_;
+};
+
+}  // namespace detail
+
+/// Runs `fn` inside an obs::Span named `phase`, adds the span's wall time
+/// to `timer[phase]` (even when `fn` throws), and returns fn's result.
 template <typename Fn>
 auto timed_phase(PhaseTimer& timer, const std::string& phase, Fn&& fn) {
-  Timer t;
-  if constexpr (std::is_void_v<decltype(fn())>) {
-    fn();
-    timer.add(phase, t.seconds());
-  } else {
-    auto result = fn();
-    timer.add(phase, t.seconds());
-    return result;
-  }
+  obs::Span span(phase);
+  const detail::PhaseRecordGuard guard(timer, phase, span);
+  return fn();
 }
 
 }  // namespace ldmo

@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ldmo::core {
 
@@ -15,6 +17,21 @@ LdmoFlow::LdmoFlow(const litho::LithoSimulator& simulator,
 }
 
 LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
+  static obs::Counter& runs_counter = obs::counter("flow.runs");
+  static obs::Counter& generated_counter =
+      obs::counter("flow.candidates_generated");
+  static obs::Counter& predicted_counter =
+      obs::counter("flow.candidates_predicted");
+  static obs::Counter& tried_counter = obs::counter("flow.candidates_tried");
+  static obs::Counter& fallback_counter = obs::counter("flow.fallbacks");
+  static obs::Counter& exhausted_counter =
+      obs::counter("flow.fallback_budget_exhausted");
+  runs_counter.inc();
+
+  obs::Span run_span("ldmo.run");
+  run_span.attr("layout", layout.name);
+  run_span.attr("predictor", predictor_.name());
+
   Timer total_timer;
   LdmoResult result;
   opc::IltEngine engine(simulator_, config_.ilt);
@@ -25,14 +42,16 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
       [&] { return mpl::generate_decompositions(layout, config_.generation); });
   result.candidates_generated =
       static_cast<int>(generated.candidates.size());
+  generated_counter.inc(result.candidates_generated);
 
   // 2. Printability prediction: rank every candidate, best (lowest) first.
+  std::vector<double> scores;
   const std::vector<std::size_t> order = timed_phase(
       result.timing, "predict", [&] {
-        std::vector<double> scores;
         scores.reserve(generated.candidates.size());
         for (const layout::Assignment& candidate : generated.candidates)
           scores.push_back(predictor_.score(layout, candidate));
+        predicted_counter.inc(static_cast<long long>(scores.size()));
         std::vector<std::size_t> idx(generated.candidates.size());
         std::iota(idx.begin(), idx.end(), 0);
         std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a,
@@ -52,14 +71,27 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
       const layout::Assignment& candidate =
           generated.candidates[order[static_cast<std::size_t>(attempt)]];
       const bool last_attempt = attempt + 1 == attempts;
+      obs::Span attempt_span("ilt.attempt");
+      attempt_span.attr("attempt", attempt);
+      attempt_span.attr("candidate_rank", attempt);
+      attempt_span.attr("predicted_score",
+                        scores[order[static_cast<std::size_t>(attempt)]]);
+      attempt_span.attr("abort_enabled", last_attempt ? 0.0 : 1.0);
       opc::IltResult ilt = engine.optimize(
           layout, candidate, /*abort_on_violation=*/!last_attempt);
       ++result.candidates_tried;
+      tried_counter.inc();
+      attempt_span.attr("iterations_run", ilt.iterations_run);
+      attempt_span.attr("aborted", ilt.aborted_on_violation ? 1.0 : 0.0);
       if (!ilt.aborted_on_violation) {
+        attempt_span.attr("actual_score", ilt.report.score());
         result.chosen = candidate;
         result.ilt = std::move(ilt);
         return;
       }
+      fallback_counter.inc();
+      attempt_span.attr("fallback_reason", std::string("print_violation"));
+      if (attempt + 2 == attempts) exhausted_counter.inc();
       log_debug("LdmoFlow: candidate ", attempt,
                 " aborted on print violation, falling back");
     }
@@ -67,6 +99,11 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
   });
 
   result.total_seconds = total_timer.seconds();
+  run_span.attr("candidates_generated", result.candidates_generated);
+  run_span.attr("candidates_tried", result.candidates_tried);
+  run_span.attr("fallbacks", result.candidates_tried - 1);
+  run_span.attr("final_score", result.ilt.report.score());
+  run_span.attr("final_epe_violations", result.ilt.report.epe.violation_count);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "sampling/training_set.h"
 
 namespace ldmo::core {
@@ -13,6 +14,12 @@ CnnPredictor::CnnPredictor(std::unique_ptr<nn::ResNetRegressor> network)
 
 double CnnPredictor::score(const layout::Layout& layout,
                            const layout::Assignment& assignment) {
+  // The paper's headline economy: each CNN inference here replaces a full
+  // ILT + lithography-simulation evaluation (compare against
+  // "litho.exposures" in the run report).
+  static obs::Counter& inference_counter =
+      obs::counter("predictor.cnn.inferences");
+  inference_counter.inc();
   const nn::Tensor image = sampling::decomposition_tensor(
       layout, assignment, network_->config().input_size);
   return network_->predict_one(image);
@@ -32,6 +39,9 @@ IltOraclePredictor::IltOraclePredictor(const opc::IltEngine& engine,
 
 double IltOraclePredictor::score(const layout::Layout& layout,
                                  const layout::Assignment& assignment) {
+  static obs::Counter& oracle_counter =
+      obs::counter("predictor.oracle.ilt_runs");
+  oracle_counter.inc();
   return engine_.optimize(layout, assignment).report.score(weights_);
 }
 
@@ -41,6 +51,9 @@ RawPrintPredictor::RawPrintPredictor(const litho::LithoSimulator& simulator,
 
 double RawPrintPredictor::score(const layout::Layout& layout,
                                 const layout::Assignment& assignment) {
+  static obs::Counter& raw_counter =
+      obs::counter("predictor.raw_print.evaluations");
+  raw_counter.inc();
   const GridF response = simulator_.print_decomposition(layout, assignment);
   return simulator_.evaluate(response, layout).score(weights_);
 }

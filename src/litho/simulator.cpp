@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "layout/raster.h"
 #include "litho/resist.h"
+#include "obs/metrics.h"
 
 namespace ldmo::litho {
 
@@ -23,15 +24,23 @@ layout::RasterTransform LithoSimulator::transform_for(
 }
 
 GridF LithoSimulator::expose(const GridF& mask) const {
+  // Every aerial+resist simulation of one mask counts here — the
+  // denominator of the paper's "simulations the CNN avoided" economy.
+  static obs::Counter& exposure_counter = obs::counter("litho.exposures");
+  exposure_counter.inc();
   return resist_response(aerial_.intensity(mask), config_);
 }
 
 GridF LithoSimulator::print(const GridF& mask1, const GridF& mask2) const {
+  static obs::Counter& print_counter = obs::counter("litho.prints");
+  print_counter.inc();
   return combine_exposures(expose(mask1), expose(mask2));
 }
 
 GridF LithoSimulator::print_masks(const std::vector<GridF>& masks) const {
   require(!masks.empty(), "print_masks: no masks");
+  static obs::Counter& print_counter = obs::counter("litho.prints");
+  print_counter.inc();
   std::vector<GridF> responses;
   responses.reserve(masks.size());
   for (const GridF& mask : masks) responses.push_back(expose(mask));
@@ -63,6 +72,8 @@ GridF LithoSimulator::print_decomposition_k(
 
 PrintabilityReport LithoSimulator::evaluate(
     const GridF& response, const layout::Layout& layout) const {
+  static obs::Counter& evaluate_counter = obs::counter("litho.evaluations");
+  evaluate_counter.inc();
   const layout::RasterTransform transform = transform_for(layout);
   PrintabilityReport report;
   report.l2 =

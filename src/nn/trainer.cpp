@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ldmo::nn {
 namespace {
@@ -40,6 +42,15 @@ std::vector<EpochStats> train_regressor(
   require(config.epochs >= 1 && config.batch_size >= 1,
           "train_regressor: bad trainer config");
 
+  static obs::Counter& epoch_counter = obs::counter("nn.train.epochs");
+  static obs::Counter& batch_counter = obs::counter("nn.train.batches");
+  static obs::Counter& example_counter = obs::counter("nn.train.examples");
+
+  obs::Span span("nn.train");
+  span.attr("examples", static_cast<double>(examples.size()));
+  span.attr("epochs", config.epochs);
+  span.attr("batch_size", config.batch_size);
+
   Adam optimizer(model.parameters(), config.adam);
   Rng rng(config.shuffle_seed);
   const int input_size = model.config().input_size;
@@ -70,9 +81,17 @@ std::vector<EpochStats> train_regressor(
     }
     EpochStats stats{epoch + 1, loss_sum / std::max(1, batches)};
     history.push_back(stats);
+    epoch_counter.inc();
+    batch_counter.inc(batches);
+    example_counter.inc(static_cast<long long>(order.size()));
+    span.row("epochs", {{"epoch", static_cast<double>(stats.epoch)},
+                        {"mean_loss", stats.mean_loss},
+                        {"learning_rate",
+                         optimizer.config().learning_rate}});
     if (on_epoch) on_epoch(stats);
     optimizer.config().learning_rate *= config.lr_decay_per_epoch;
   }
+  span.attr("final_loss", history.empty() ? 0.0 : history.back().mean_loss);
   return history;
 }
 

@@ -1,0 +1,320 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ldmo::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);  // UTF-8 passes through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integers up to 2^53 print exactly without an exponent or fraction.
+  if (v == std::floor(v) && std::abs(v) < 9007199254740992.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest form that round-trips: try increasing precision.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key": pair, no comma
+  }
+  if (!stack_.empty() && stack_.back().members > 0) out_ += ',';
+  if (!stack_.empty()) ++stack_.back().members;
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  stack_.push_back({'o', 0});
+}
+
+void JsonWriter::end_object() {
+  stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  stack_.push_back({'a', 0});
+}
+
+void JsonWriter::end_array() {
+  stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& k) {
+  if (!stack_.empty() && stack_.back().members > 0) out_ += ',';
+  if (!stack_.empty()) ++stack_.back().members;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  out_ += json_number(v);
+}
+
+void JsonWriter::value(long long v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(unsigned long long v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(const std::string& v) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::null() {
+  separate();
+  out_ += "null";
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a raw string view.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        v.type = JsonValue::Type::Object;
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') { ++pos_; return v; }
+        while (true) {
+          skip_ws();
+          std::string key = parse_string_body();
+          skip_ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value(depth + 1));
+          skip_ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type = JsonValue::Type::Array;
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') { ++pos_; return v; }
+        while (true) {
+          v.array.push_back(parse_value(depth + 1));
+          skip_ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.type = JsonValue::Type::String;
+        v.string = parse_string_body();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.type = JsonValue::Type::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.type = JsonValue::Type::Bool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        v.type = JsonValue::Type::Null;
+        return v;
+      default:
+        v.type = JsonValue::Type::Number;
+        v.number = parse_number();
+        return v;
+    }
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') { out += c; continue; }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the code point (surrogate pairs are rare in our
+          // reports; unpaired surrogates encode as-is, matching lenient
+          // validators).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("malformed number");
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("malformed fraction");
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("malformed exponent");
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    return std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+  }
+
+  static constexpr int kMaxDepth = 128;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace ldmo::obs

@@ -1,0 +1,94 @@
+// Minimal hand-rolled JSON: a streaming writer (report emission) and a
+// small recursive-descent parser (report validation, round-trip tests).
+// No external dependencies — the observability layer must stay loadable
+// from every module without pulling anything in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ldmo::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(const std::string& s);
+
+/// Shortest decimal form of `v` that parses back to the same double.
+/// Non-finite values render as "null" (JSON has no NaN/Inf).
+std::string json_number(double v);
+
+/// Streaming JSON writer with automatic comma/nesting management.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.kv("name", "ilt");
+///   w.key("trace"); w.begin_array(); w.value(1.5); w.end_array();
+///   w.end_object();
+///   w.str();  // {"name":"ilt","trace":[1.5]}
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  void key(const std::string& k);
+
+  void value(double v);
+  void value(long long v);
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(unsigned long long v);
+  void value(bool v);
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// Finished document. Valid once every container has been closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();  ///< emits ',' between siblings
+
+  struct Level {
+    char container;  // 'o' or 'a'
+    int members = 0;
+  };
+  std::string out_;
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document node (object member order preserved).
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named `key` (objects only); nullptr when absent.
+  const JsonValue* find(const std::string& key) const;
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+};
+
+/// Parses a complete JSON document; throws std::runtime_error (with byte
+/// offset) on malformed input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace ldmo::obs

@@ -1,0 +1,130 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms with relaxed-atomic hot paths and snapshot-on-read.
+//
+// Increment cost is one relaxed fetch_add; the registry mutex is only taken
+// on first lookup of a name (hot paths cache the returned reference in a
+// function-local static) and on snapshot()/reset().
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ldmo::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void inc(long long delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// extra overflow bucket counts the rest. Bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<long long> bucket_counts() const;
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::unique_ptr<std::atomic<long long>[]> buckets_;  ///< bounds+1 slots
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct CounterSample {
+  std::string name;
+  long long value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<long long> buckets;  ///< bounds.size() + 1 (overflow last)
+  long long count = 0;
+  double sum = 0.0;
+};
+
+/// Consistent point-in-time copy of every registered metric, name-sorted.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* find_counter(const std::string& name) const;
+  const GaugeSample* find_gauge(const std::string& name) const;
+  const HistogramSample* find_histogram(const std::string& name) const;
+};
+
+/// Name -> metric map. Returned references stay valid for the registry's
+/// lifetime (metrics are never unregistered, only reset).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Registers with `upper_bounds` on first use; later calls for the same
+  /// name return the existing histogram and ignore the bounds argument.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (registrations survive; references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry every instrumentation site reports into.
+Registry& registry();
+
+/// Shorthands for the common `registry().x(name)` pattern.
+inline Counter& counter(const std::string& name) {
+  return registry().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return registry().gauge(name);
+}
+inline Histogram& histogram(const std::string& name,
+                            std::vector<double> upper_bounds) {
+  return registry().histogram(name, std::move(upper_bounds));
+}
+
+}  // namespace ldmo::obs

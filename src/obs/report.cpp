@@ -1,0 +1,132 @@
+#include "obs/report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+
+namespace ldmo::obs {
+
+std::string iso8601_utc_now() {
+  using namespace std::chrono;
+  const system_clock::time_point now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  return buf;
+}
+
+void write_span_json(JsonWriter& w, const SpanNode& node) {
+  w.begin_object();
+  w.kv("name", node.name);
+  w.kv("seconds", node.seconds);
+  if (!node.num_attrs.empty() || !node.str_attrs.empty()) {
+    w.key("attrs");
+    w.begin_object();
+    for (const auto& [k, v] : node.num_attrs) w.kv(k, v);
+    for (const auto& [k, v] : node.str_attrs) w.kv(k, v);
+    w.end_object();
+  }
+  if (!node.series.empty()) {
+    w.key("series");
+    w.begin_object();
+    for (const auto& [name, rows] : node.series) {
+      w.key(name);
+      w.begin_array();
+      for (const SpanNode::SeriesRow& row : rows) {
+        w.begin_object();
+        for (const auto& [k, v] : row.cells) w.kv(k, v);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  if (!node.children.empty()) {
+    w.key("children");
+    w.begin_array();
+    for (const SpanNode& child : node.children) write_span_json(w, child);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const CounterSample& c : snapshot.counters) w.kv(c.name, c.value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const GaugeSample& g : snapshot.gauges) w.kv(g.name, g.value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const HistogramSample& h : snapshot.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("bounds");
+    w.begin_array();
+    for (double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (long long b : h.buckets) w.value(b);
+    w.end_array();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void RunReport::meta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, value);
+}
+
+void RunReport::section(const std::string& key,
+                        std::function<void(JsonWriter&)> emit) {
+  sections_.emplace_back(key, std::move(emit));
+}
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("tool", tool_);
+  w.kv("generated_at", iso8601_utc_now());
+  w.key("meta");
+  w.begin_object();
+  for (const auto& [k, v] : meta_) w.kv(k, v);
+  w.end_object();
+  w.key("metrics");
+  write_metrics_json(w, registry().snapshot());
+  w.key("spans");
+  w.begin_array();
+  for (const SpanNode& root : tracer().snapshot()) write_span_json(w, root);
+  w.end_array();
+  for (const auto& [key, emit] : sections_) {
+    w.key(key);
+    emit(w);
+  }
+  w.end_object();
+  return w.str();
+}
+
+void RunReport::write(const std::string& path) const {
+  const std::string json = to_json();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("RunReport: cannot open " + path);
+  out << json << '\n';
+  if (!out) throw std::runtime_error("RunReport: write failed for " + path);
+}
+
+}  // namespace ldmo::obs

@@ -1,0 +1,63 @@
+// Structured JSON run reports: one file per run capturing the metric
+// snapshot, the finished span trees (with per-span attribute and series
+// data such as ILT iteration traces), plus caller-supplied metadata and
+// custom sections.
+//
+// Schema (DESIGN.md "Observability" documents it in full):
+//   {
+//     "tool": "...", "generated_at": "ISO-8601",
+//     "meta": {"k": "v", ...},
+//     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+//     "spans": [ {"name", "seconds", "attrs", "series", "children"}, ... ],
+//     <custom sections>
+//   }
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace ldmo::obs {
+
+/// Current UTC wall time as "YYYY-MM-DDTHH:MM:SS.mmmZ".
+std::string iso8601_utc_now();
+
+/// Serializes one span tree node (recursively) into `w` as an object.
+void write_span_json(JsonWriter& w, const SpanNode& node);
+
+/// Serializes a metrics snapshot into `w` as an object.
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snapshot);
+
+/// Accumulates report content, then snapshots the global registry and
+/// tracer at render time.
+class RunReport {
+ public:
+  explicit RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+  /// Free-form string metadata ("flow": "ours", "layout": "T3", ...).
+  void meta(const std::string& key, const std::string& value);
+
+  /// Custom top-level section: `emit` must write exactly one JSON value
+  /// (typically begin_object()...end_object()).
+  void section(const std::string& key,
+               std::function<void(JsonWriter&)> emit);
+
+  /// Renders the full report (registry + tracer snapshots taken now).
+  std::string to_json() const;
+
+  /// Renders and writes to `path`; throws std::runtime_error on I/O error.
+  void write(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, std::function<void(JsonWriter&)>>>
+      sections_;
+};
+
+}  // namespace ldmo::obs

@@ -1,0 +1,167 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <memory>
+
+namespace ldmo::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+// Per-thread chain of live spans, deepest last. New spans attach to the
+// back; appends only ever touch the deepest live span's children vector,
+// so node pointers held by live ancestors never move.
+struct ThreadTrace {
+  std::vector<SpanNode*> stack;
+  // Root nodes are heap-allocated and owned here until their Span
+  // finishes, at which point they move into the global Tracer.
+  std::vector<std::unique_ptr<SpanNode>> root_storage;
+};
+
+ThreadTrace& thread_trace() {
+  thread_local ThreadTrace trace;
+  return trace;
+}
+
+}  // namespace
+
+const double* SpanNode::SeriesRow::find(const std::string& key) const {
+  for (const auto& [k, v] : cells)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const SpanNode* SpanNode::find(const std::string& child_name) const {
+  for (const SpanNode& c : children)
+    if (c.name == child_name) return &c;
+  return nullptr;
+}
+
+std::vector<const SpanNode*> SpanNode::find_all(
+    const std::string& child_name) const {
+  std::vector<const SpanNode*> out;
+  for (const SpanNode& c : children)
+    if (c.name == child_name) out.push_back(&c);
+  return out;
+}
+
+const double* SpanNode::find_num_attr(const std::string& key) const {
+  for (const auto& [k, v] : num_attrs)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::vector<SpanNode::SeriesRow>* SpanNode::find_series(
+    const std::string& key) const {
+  for (const auto& [k, rows] : series)
+    if (k == key) return &rows;
+  return nullptr;
+}
+
+int SpanNode::tree_size() const {
+  int n = 1;
+  for (const SpanNode& c : children) n += c.tree_size();
+  return n;
+}
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+Span::Span(std::string name) : start_(Clock::now()) {
+  if (!tracing_enabled()) return;
+  ThreadTrace& trace = thread_trace();
+  if (trace.stack.empty()) {
+    trace.root_storage.push_back(std::make_unique<SpanNode>());
+    node_ = trace.root_storage.back().get();
+  } else {
+    SpanNode* parent = trace.stack.back();
+    parent->children.emplace_back();
+    node_ = &parent->children.back();
+  }
+  node_->name = std::move(name);
+  trace.stack.push_back(node_);
+}
+
+Span::~Span() { finish(); }
+
+double Span::seconds() const {
+  if (finished_seconds_ >= 0.0) return finished_seconds_;
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void Span::attr(const std::string& key, double value) {
+  if (node_) node_->num_attrs.emplace_back(key, value);
+}
+
+void Span::attr(const std::string& key, const std::string& value) {
+  if (node_) node_->str_attrs.emplace_back(key, value);
+}
+
+void Span::row(const std::string& series_name,
+               std::initializer_list<std::pair<const char*, double>> cells) {
+  if (!node_) return;
+  std::vector<SpanNode::SeriesRow>* rows = nullptr;
+  for (auto& [k, r] : node_->series)
+    if (k == series_name) { rows = &r; break; }
+  if (!rows) {
+    node_->series.emplace_back(series_name,
+                               std::vector<SpanNode::SeriesRow>{});
+    rows = &node_->series.back().second;
+  }
+  SpanNode::SeriesRow row;
+  row.cells.reserve(cells.size());
+  for (const auto& [k, v] : cells) row.cells.emplace_back(k, v);
+  rows->push_back(std::move(row));
+}
+
+void Span::finish() {
+  if (finished_seconds_ < 0.0) finished_seconds_ = seconds();
+  if (!node_) return;
+  node_->seconds = finished_seconds_;
+
+  ThreadTrace& trace = thread_trace();
+  // Normal case: this span is the deepest live one. Out-of-order finishes
+  // (heap-held spans) abandon any deeper entries, which keeps the stack
+  // consistent without crashing.
+  while (!trace.stack.empty()) {
+    SpanNode* top = trace.stack.back();
+    trace.stack.pop_back();
+    if (top == node_) break;
+  }
+  for (std::size_t i = 0; i < trace.root_storage.size(); ++i) {
+    if (trace.root_storage[i].get() == node_) {
+      tracer().add_finished_root(std::move(*trace.root_storage[i]));
+      trace.root_storage.erase(trace.root_storage.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  node_ = nullptr;
+}
+
+std::vector<SpanNode> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_roots_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_roots_.clear();
+}
+
+void Tracer::add_finished_root(SpanNode&& root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_roots_.push_back(std::move(root));
+}
+
+Tracer& tracer() {
+  static Tracer* instance = new Tracer();  // leaked: outlive all users
+  return *instance;
+}
+
+}  // namespace ldmo::obs

@@ -1,0 +1,98 @@
+// Span-based tracing: RAII, nestable, thread-aware. A full LdmoFlow::run
+// produces a tree (generate -> predict -> per-candidate ILT attempt ->
+// per-violation-check); finished root spans accumulate in the global
+// Tracer until snapshot()/clear().
+//
+// Collection is off by default: a Span constructed while tracing is
+// disabled still measures wall time (so PhaseTimer keeps working) but
+// allocates nothing and records nothing. Spans nest per thread; a span
+// opened on a worker thread roots its own tree.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ldmo::obs {
+
+/// One named, timed node in a finished span tree. Value-semantic so
+/// snapshots are plain copies.
+struct SpanNode {
+  /// One sparse sample row inside a named series (e.g. an ILT iteration:
+  /// {"iter": 7, "loss": 123.4, "print_violations": 0}).
+  struct SeriesRow {
+    std::vector<std::pair<std::string, double>> cells;
+    const double* find(const std::string& key) const;
+  };
+
+  std::string name;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, double>> num_attrs;
+  std::vector<std::pair<std::string, std::string>> str_attrs;
+  /// Named per-span sample series (ILT iteration traces, trainer epochs).
+  std::vector<std::pair<std::string, std::vector<SeriesRow>>> series;
+  std::vector<SpanNode> children;
+
+  /// First direct child named `child_name`; nullptr when absent.
+  const SpanNode* find(const std::string& child_name) const;
+  /// Direct children named `child_name`.
+  std::vector<const SpanNode*> find_all(const std::string& child_name) const;
+  const double* find_num_attr(const std::string& key) const;
+  const std::vector<SeriesRow>* find_series(const std::string& key) const;
+  /// Nodes in this subtree (including this one).
+  int tree_size() const;
+};
+
+/// Globally enables/disables span collection. Cheap relaxed-atomic read on
+/// every Span construction.
+void set_tracing_enabled(bool enabled);
+bool tracing_enabled();
+
+/// RAII span. Nesting follows scope: a Span constructed while another is
+/// live on the same thread becomes its child.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Wall seconds since construction (live) or total duration (finished).
+  double seconds() const;
+
+  /// Attributes and series rows are dropped when tracing is disabled.
+  void attr(const std::string& key, double value);
+  void attr(const std::string& key, const std::string& value);
+  void row(const std::string& series_name,
+           std::initializer_list<std::pair<const char*, double>> cells);
+
+  /// Ends the span early (idempotent; the destructor calls it too).
+  void finish();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  double finished_seconds_ = -1.0;
+  SpanNode* node_ = nullptr;  ///< null when tracing was off at construction
+};
+
+/// Owns finished root span trees (process-wide).
+class Tracer {
+ public:
+  /// Copies the finished roots accumulated so far.
+  std::vector<SpanNode> snapshot() const;
+  void clear();
+
+  // Internal: called by ~Span for root spans.
+  void add_finished_root(SpanNode&& root);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanNode> finished_roots_;
+};
+
+Tracer& tracer();
+
+}  // namespace ldmo::obs

@@ -6,6 +6,8 @@
 #include "common/error.h"
 #include "layout/raster.h"
 #include "litho/resist.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ldmo::opc {
 namespace {
@@ -166,6 +168,17 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
                               const layout::Assignment& assignment,
                               bool abort_on_violation,
                               bool record_trajectory) const {
+  static obs::Counter& runs_counter = obs::counter("ilt.runs");
+  static obs::Counter& iter_counter = obs::counter("ilt.iterations");
+  static obs::Counter& check_counter = obs::counter("ilt.violation_checks");
+  static obs::Counter& check_hit_counter =
+      obs::counter("ilt.violation_checks_failed");
+  static obs::Counter& abort_counter = obs::counter("ilt.aborts");
+  static obs::Histogram& iters_histogram =
+      obs::histogram("ilt.iterations_run", {5, 10, 15, 20, 30, 40, 50});
+  runs_counter.inc();
+
+  obs::Span span("ilt.optimize");
   const GridF target =
       layout::rasterize_target(layout, simulator_.grid_size());
   IltState state = init_state(layout, assignment);
@@ -173,6 +186,7 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
   IltResult result;
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     step(state, target);
+    iter_counter.inc();
 
     const bool check_now =
         (iter + 1 > config_.violation_check_warmup &&
@@ -183,18 +197,43 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
       const GridF response = response_of(state);
       violations = litho::detect_print_violations(
           litho::binarize(response), layout, simulator_.transform_for(layout));
+      if (check_now) {
+        check_counter.inc();
+        if (violations.total() > 0) check_hit_counter.inc();
+      }
       if (record_trajectory) {
         const litho::PrintabilityReport continuous =
             simulator_.evaluate(response, layout);
         result.trajectory.push_back({state.iteration, continuous.l2,
                                      continuous.epe.violation_count,
                                      violations.total()});
+        span.row("trace", {{"iter", static_cast<double>(state.iteration)},
+                           {"loss", state.last_loss},
+                           {"l2", continuous.l2},
+                           {"epe_violations",
+                            static_cast<double>(
+                                continuous.epe.violation_count)},
+                           {"print_violations",
+                            static_cast<double>(violations.total())}});
+      } else {
+        // Loss is free (already computed by step()); violation counts only
+        // exist on check iterations.
+        span.row("trace", {{"iter", static_cast<double>(state.iteration)},
+                           {"loss", state.last_loss},
+                           {"print_violations",
+                            static_cast<double>(violations.total())}});
       }
+    } else if (obs::tracing_enabled()) {
+      span.row("trace", {{"iter", static_cast<double>(state.iteration)},
+                         {"loss", state.last_loss}});
     }
 
     result.iterations_run = state.iteration;
     if (abort_on_violation && check_now && violations.total() > 0) {
       result.aborted_on_violation = true;
+      abort_counter.inc();
+      span.attr("abort_iteration", state.iteration);
+      span.attr("abort_print_violations", violations.total());
       break;
     }
   }
@@ -203,6 +242,15 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
   finalized.trajectory = std::move(result.trajectory);
   finalized.iterations_run = result.iterations_run;
   finalized.aborted_on_violation = result.aborted_on_violation;
+
+  iters_histogram.observe(finalized.iterations_run);
+  span.attr("iterations_run", finalized.iterations_run);
+  span.attr("aborted", finalized.aborted_on_violation ? 1.0 : 0.0);
+  span.attr("final_loss", state.last_loss);
+  span.attr("final_l2", finalized.report.l2);
+  span.attr("final_epe_violations", finalized.report.epe.violation_count);
+  span.attr("final_print_violations", finalized.report.violations.total());
+  span.attr("final_score", finalized.report.score());
   return finalized;
 }
 

@@ -1,0 +1,343 @@
+// Observability layer: metrics registry semantics, span trees, JSON
+// writer/parser round-trips, run-report structure, and a multi-threaded
+// registry smoke test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/span.h"
+
+namespace {
+
+using namespace ldmo;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::registry().reset();
+    obs::tracer().clear();
+    obs::set_tracing_enabled(false);
+  }
+  void TearDown() override {
+    obs::set_tracing_enabled(false);
+    obs::tracer().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterIncrementsAndResets) {
+  obs::Counter& c = obs::counter("test.counter.a");
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+
+  // Same name resolves to the same metric object.
+  obs::counter("test.counter.a").inc();
+  EXPECT_EQ(c.value(), 43);
+
+  obs::registry().reset();
+  EXPECT_EQ(c.value(), 0);  // reference survives reset
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  obs::Gauge& g = obs::gauge("test.gauge.a");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST_F(ObsTest, HistogramBucketSemantics) {
+  obs::Histogram& h = obs::histogram("test.hist.a", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1        -> bucket 0
+  h.observe(1.0);    // == bound    -> bucket 0 (inclusive upper bound)
+  h.observe(5.0);    // <= 10       -> bucket 1
+  h.observe(100.0);  // <= 100      -> bucket 2
+  h.observe(1e6);    // overflow    -> bucket 3
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  const std::vector<long long> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 1);
+  EXPECT_EQ(buckets[3], 1);
+}
+
+TEST_F(ObsTest, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram({3.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(ObsTest, SnapshotCapturesAllMetricTypesSorted) {
+  obs::counter("test.snap.b").inc(2);
+  obs::counter("test.snap.a").inc(1);
+  obs::gauge("test.snap.g").set(7.0);
+  obs::histogram("test.snap.h", {1.0}).observe(0.5);
+
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  const obs::CounterSample* a = snap.find_counter("test.snap.a");
+  const obs::CounterSample* b = snap.find_counter("test.snap.b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->value, 1);
+  EXPECT_EQ(b->value, 2);
+  EXPECT_LT(a - &snap.counters[0], b - &snap.counters[0]);  // name-sorted
+
+  const obs::GaugeSample* g = snap.find_gauge("test.snap.g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, 7.0);
+
+  const obs::HistogramSample* h = snap.find_histogram("test.snap.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1);
+  ASSERT_EQ(h->buckets.size(), 2u);
+  EXPECT_EQ(h->buckets[0], 1);
+}
+
+TEST_F(ObsTest, NestedSpansFormTree) {
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span root("root");
+    root.attr("layout", std::string("T1"));
+    root.attr("candidates", 12.0);
+    {
+      obs::Span child_a("phase_a");
+      child_a.row("trace", {{"iter", 1.0}, {"loss", 9.5}});
+      child_a.row("trace", {{"iter", 2.0}, {"loss", 4.5}});
+      { obs::Span grandchild("leaf"); }
+    }
+    { obs::Span child_b("phase_b"); }
+  }
+
+  const std::vector<obs::SpanNode> roots = obs::tracer().snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  const obs::SpanNode& root = roots[0];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_GE(root.seconds, 0.0);
+  EXPECT_EQ(root.tree_size(), 4);
+  ASSERT_EQ(root.children.size(), 2u);
+
+  const double* candidates = root.find_num_attr("candidates");
+  ASSERT_NE(candidates, nullptr);
+  EXPECT_EQ(*candidates, 12.0);
+
+  const obs::SpanNode* a = root.find("phase_a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(a->find("leaf"), nullptr);
+  const auto* trace = a->find_series("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_EQ(trace->size(), 2u);
+  const double* loss = (*trace)[1].find("loss");
+  ASSERT_NE(loss, nullptr);
+  EXPECT_EQ(*loss, 4.5);
+  // Children's time is contained in the parent's.
+  EXPECT_LE(a->seconds, root.seconds);
+}
+
+TEST_F(ObsTest, SequentialRootsAccumulate) {
+  obs::set_tracing_enabled(true);
+  { obs::Span s("first"); }
+  { obs::Span s("second"); }
+  const std::vector<obs::SpanNode> roots = obs::tracer().snapshot();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].name, "first");
+  EXPECT_EQ(roots[1].name, "second");
+}
+
+TEST_F(ObsTest, DisabledTracingCollectsNothingButStillTimes) {
+  obs::Span s("invisible");
+  s.attr("k", 1.0);
+  s.row("trace", {{"iter", 1.0}});
+  EXPECT_GE(s.seconds(), 0.0);
+  s.finish();
+  EXPECT_TRUE(obs::tracer().snapshot().empty());
+}
+
+TEST_F(ObsTest, SpanRecordsOnException) {
+  obs::set_tracing_enabled(true);
+  try {
+    obs::Span s("throwing");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  const std::vector<obs::SpanNode> roots = obs::tracer().snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "throwing");
+}
+
+TEST_F(ObsTest, TimedPhaseAccountsThrowingBody) {
+  PhaseTimer timer;
+  EXPECT_THROW(
+      timed_phase(timer, "explodes",
+                  []() -> int { throw std::runtime_error("bang"); }),
+      std::runtime_error);
+  // The phase exists and recorded a non-negative duration despite the
+  // exception (the pre-fix implementation lost it entirely).
+  EXPECT_GT(timer.total(), 0.0);
+  EXPECT_GE(timer.get("explodes"), 0.0);
+  EXPECT_EQ(timer.get("explodes"), timer.total());
+
+  const int out = timed_phase(timer, "returns", [] { return 7; });
+  EXPECT_EQ(out, 7);
+  EXPECT_GE(timer.get("returns"), 0.0);
+}
+
+TEST_F(ObsTest, JsonEscaping) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(obs::json_escape(std::string(1, '\x01')), "\\u0001");
+
+  // Writer escapes; parser unescapes; round trip is identity.
+  obs::JsonWriter w;
+  const std::string nasty = "quote\" backslash\\ newline\n control\x02 end";
+  w.begin_object();
+  w.kv("s", nasty);
+  w.end_object();
+  const obs::JsonValue doc = obs::parse_json(w.str());
+  const obs::JsonValue* s = doc.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string, nasty);
+}
+
+TEST_F(ObsTest, JsonNumberRoundTrip) {
+  const double values[] = {0.0,   1.0,        -3.5,       0.1,
+                           1e-9,  1.0 / 3.0,  -2.5e17,    12345678.25,
+                           9007199254740991.0, 5e-324};
+  for (double v : values) {
+    obs::JsonWriter w;
+    w.begin_array();
+    w.value(v);
+    w.end_array();
+    const obs::JsonValue doc = obs::parse_json(w.str());
+    ASSERT_EQ(doc.array.size(), 1u);
+    EXPECT_EQ(doc.array[0].number, v) << "for value " << v;
+  }
+  // Non-finite doubles serialize as null (JSON has no NaN).
+  EXPECT_EQ(obs::json_number(std::nan("")), "null");
+  EXPECT_EQ(obs::json_number(INFINITY), "null");
+}
+
+TEST_F(ObsTest, JsonWriterNestingAndCommas) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b");
+  w.begin_array();
+  w.value(true);
+  w.null();
+  w.begin_object();
+  w.kv("c", "d");
+  w.end_object();
+  w.end_array();
+  w.kv("e", 2.5);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[true,null,{"c":"d"}],"e":2.5})");
+
+  const obs::JsonValue doc = obs::parse_json(w.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("a")->number, 1.0);
+  EXPECT_EQ(doc.find("b")->array.size(), 3u);
+  EXPECT_EQ(doc.find("b")->array[2].find("c")->string, "d");
+}
+
+TEST_F(ObsTest, JsonParserRejectsMalformedInput) {
+  EXPECT_THROW(obs::parse_json(""), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("{"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("tru"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("{} trailing"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("01x"), std::runtime_error);
+  EXPECT_THROW(obs::parse_json("{\"a\":1\"b\":2}"), std::runtime_error);
+}
+
+TEST_F(ObsTest, RunReportStructureIsWellFormed) {
+  obs::set_tracing_enabled(true);
+  obs::counter("test.report.sims").inc(5);
+  obs::gauge("test.report.ratio").set(0.4);
+  obs::histogram("test.report.h", {1.0, 2.0}).observe(1.5);
+  {
+    obs::Span root("run");
+    obs::Span child("ilt");
+    child.row("trace", {{"iter", 1.0}, {"loss", 2.0}});
+  }
+
+  obs::RunReport report("test_tool");
+  report.meta("flow", "ours");
+  report.section("result", [](obs::JsonWriter& w) {
+    w.begin_object();
+    w.kv("score", 12.5);
+    w.end_object();
+  });
+
+  const obs::JsonValue doc = obs::parse_json(report.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("tool")->string, "test_tool");
+  EXPECT_FALSE(doc.find("generated_at")->string.empty());
+  EXPECT_EQ(doc.find("meta")->find("flow")->string, "ours");
+
+  const obs::JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("counters")->find("test.report.sims")->number, 5.0);
+  EXPECT_EQ(metrics->find("gauges")->find("test.report.ratio")->number, 0.4);
+  const obs::JsonValue* h = metrics->find("histograms")->find("test.report.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->number, 1.0);
+  EXPECT_EQ(h->find("buckets")->array.size(), 3u);
+
+  const obs::JsonValue* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array.size(), 1u);
+  const obs::JsonValue& run = spans->array[0];
+  EXPECT_EQ(run.find("name")->string, "run");
+  const obs::JsonValue& ilt = run.find("children")->array[0];
+  EXPECT_EQ(ilt.find("name")->string, "ilt");
+  const obs::JsonValue* trace = ilt.find("series")->find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->array[0].find("loss")->number, 2.0);
+
+  EXPECT_EQ(doc.find("result")->find("score")->number, 12.5);
+}
+
+TEST_F(ObsTest, ConcurrentRegistryHammering) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  obs::set_tracing_enabled(true);
+  obs::Counter& c = obs::counter("test.mt.counter");
+  obs::Histogram& h = obs::histogram("test.mt.hist", {0.25, 0.5, 0.75});
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &c, &h] {
+      obs::Span span("worker_" + std::to_string(t));
+      for (int i = 0; i < kIncrements; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(i % 4) / 4.0);
+        // Lookups from many threads must also be safe.
+        obs::counter("test.mt.shared").inc();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<long long>(kThreads) * kIncrements);
+  EXPECT_EQ(obs::counter("test.mt.shared").value(),
+            static_cast<long long>(kThreads) * kIncrements);
+  EXPECT_EQ(h.count(), static_cast<long long>(kThreads) * kIncrements);
+  long long bucket_total = 0;
+  for (long long b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+  // One root span per worker thread.
+  EXPECT_EQ(obs::tracer().snapshot().size(), static_cast<std::size_t>(kThreads));
+}
+
+}  // namespace
