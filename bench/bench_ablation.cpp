@@ -16,6 +16,7 @@
 #include "core/predictor.h"
 #include "litho/kernels.h"
 #include "mpl/decomposition_generator.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -156,7 +157,8 @@ void ablation_binarize(const litho::LithoSimulator& simulator) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runtime::apply_threads_flag(argc, argv);
   set_log_level(LogLevel::Warn);
   const litho::LithoSimulator simulator(bench::experiment_litho());
   std::printf("Ablation studies (3 evaluation layouts each)\n\n");

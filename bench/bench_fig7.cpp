@@ -14,9 +14,11 @@
 #include "core/ldmo_flow.h"
 #include "layout/io.h"
 #include "layout/raster.h"
+#include "runtime/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ldmo;
+  runtime::apply_threads_flag(argc, argv);
   set_log_level(LogLevel::Warn);
   const litho::LithoSimulator simulator(bench::experiment_litho());
   bench::PredictorBundle bundle = bench::get_or_train_predictor(simulator);

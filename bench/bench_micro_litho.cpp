@@ -2,6 +2,7 @@
 // pass, full ILT gradient step, EPE metrology.
 #include <benchmark/benchmark.h>
 
+#include "runtime/thread_pool.h"
 #include "common/rng.h"
 #include "fft/fft.h"
 #include "layout/generator.h"
@@ -99,4 +100,13 @@ BENCHMARK(BM_KernelConstruction)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() equivalent, with our --threads flag stripped out of
+// argv before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  ldmo::runtime::apply_threads_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

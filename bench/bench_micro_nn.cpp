@@ -2,6 +2,7 @@
 // ResNet regressor inference and training step.
 #include <benchmark/benchmark.h>
 
+#include "runtime/thread_pool.h"
 #include "common/rng.h"
 #include "nn/conv.h"
 #include "nn/gemm.h"
@@ -90,4 +91,13 @@ BENCHMARK(BM_ResNetTrainStep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() equivalent, with our --threads flag stripped out of
+// argv before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  ldmo::runtime::apply_threads_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 // layout similarity, k-medoids and decomposition generation.
 #include <benchmark/benchmark.h>
 
+#include "runtime/thread_pool.h"
 #include "coverage/covering_array.h"
 #include "layout/generator.h"
 #include "layout/raster.h"
@@ -84,4 +85,13 @@ BENCHMARK(BM_DecompositionGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() equivalent, with our --threads flag stripped out of
+// argv before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  ldmo::runtime::apply_threads_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "core/baseline_flows.h"
 #include "core/ldmo_flow.h"
 #include "mpl/baselines.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -44,7 +45,8 @@ struct FlowStats {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runtime::apply_threads_flag(argc, argv);
   set_log_level(LogLevel::Warn);
   bench::BenchReport obs_report("bench_table1");
   obs_report.meta("experiment", "Table I: EPE and runtime of four flows");

@@ -9,6 +9,7 @@
 #include "nn/serialize.h"
 #include "obs/report.h"
 #include "nn/trainer.h"
+#include "runtime/parallel_for.h"
 #include "sampling/decomposition_sampling.h"
 #include "sampling/layout_sampling.h"
 #include "sampling/training_set.h"
@@ -99,22 +100,24 @@ PredictorBundle get_or_train_predictor(const litho::LithoSimulator& simulator,
                                                options.target_layouts, 17);
   }
 
-  // Decomposition selection per layout.
-  std::vector<layout::Layout> layouts;
-  std::vector<std::vector<layout::Assignment>> decompositions;
-  for (int idx : selected) {
-    layouts.push_back(corpus[static_cast<std::size_t>(idx)]);
+  // Decomposition selection per layout: per-layout independent (each
+  // random_decompositions call owns its per-index seed), so the selection
+  // fills indexed slots in parallel with the lists the serial loop built.
+  std::vector<layout::Layout> layouts(selected.size());
+  std::vector<std::vector<layout::Assignment>> decompositions(selected.size());
+  runtime::parallel_for(selected.size(), [&](std::size_t s) {
+    const int idx = selected[s];
+    layouts[s] = corpus[static_cast<std::size_t>(idx)];
     if (options.our_decomp_sampling) {
       sampling::DecompositionSamplingConfig dcfg;
       dcfg.max_samples = options.decomps_per_layout;
-      decompositions.push_back(
-          sampling::sample_decompositions(layouts.back(), dcfg));
+      decompositions[s] = sampling::sample_decompositions(layouts[s], dcfg);
     } else {
-      decompositions.push_back(sampling::random_decompositions(
-          layouts.back(), options.decomps_per_layout,
-          400 + static_cast<std::uint64_t>(idx)));
+      decompositions[s] = sampling::random_decompositions(
+          layouts[s], options.decomps_per_layout,
+          400 + static_cast<std::uint64_t>(idx));
     }
-  }
+  });
 
   // ILT labeling (reduced iteration count keeps the cost tractable; the
   // z-scored ranking is what matters for training). The anneal factor is
@@ -175,7 +178,9 @@ void BenchReport::meta(const std::string& key, const std::string& value) {
 BenchReport::~BenchReport() {
   const std::string path = name_ + "_report.json";
   try {
+    runtime::publish_metrics();  // pool gauges into the metrics snapshot
     obs::RunReport report(name_);
+    report.meta("threads", std::to_string(runtime::thread_count()));
     for (const auto& [k, v] : meta_) report.meta(k, v);
     report.write(path);
     std::fprintf(stderr, "[bench] wrote run report %s\n", path.c_str());

@@ -14,12 +14,14 @@
 //
 // All subcommands use the quick 64-pixel lithography model so they respond
 // in seconds; the benches use the experiment-grade 128-pixel model.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/log.h"
 #include "core/baseline_flows.h"
@@ -31,6 +33,7 @@
 #include "mpl/baselines.h"
 #include "mpl/decomposition_generator.h"
 #include "obs/report.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -50,10 +53,13 @@ int usage() {
                "  ldmo_cli inspect FILE\n"
                "  ldmo_cli run FILE [--flow ours|suald|balanced|unified]\n"
                "                    [--report OUT.json] [--log-level LEVEL]\n"
+               "                    [--threads N]\n"
                "  ldmo_cli validate-report FILE.json\n"
                "\n"
                "LEVEL: debug|info|warn|error|off (also honored from the\n"
-               "LDMO_LOG_LEVEL environment variable)\n");
+               "LDMO_LOG_LEVEL environment variable)\n"
+               "--threads: parallelism budget (default: all hardware\n"
+               "threads); results are bit-identical for any value\n");
   return 2;
 }
 
@@ -126,6 +132,7 @@ int cmd_run(int argc, char** argv) {
   litho::PrintabilityReport report;
   double seconds = 0.0;
   int candidates_generated = 0, candidates_tried = 0;
+  PhaseTimer phase_timing;
   {
     obs::Span cli_span("cli.run");
     cli_span.attr("flow", flow_name);
@@ -141,6 +148,7 @@ int cmd_run(int argc, char** argv) {
       seconds = r.total_seconds;
       candidates_generated = r.candidates_generated;
       candidates_tried = r.candidates_tried;
+      phase_timing = r.timing;
     } else if (flow_name == "suald" || flow_name == "balanced") {
       core::TwoStageFlow flow(
           simulator, [&flow_name](const layout::Layout& layout) {
@@ -177,6 +185,7 @@ int cmd_run(int argc, char** argv) {
   std::printf("wrote cli_mask1.pgm cli_mask2.pgm cli_print.pgm\n");
 
   if (report_path) {
+    runtime::publish_metrics();  // pool gauges into the metrics snapshot
     obs::RunReport run_report("ldmo_cli");
     run_report.meta("flow", flow_name);
     run_report.meta("layout", l.name);
@@ -190,6 +199,25 @@ int cmd_run(int argc, char** argv) {
       w.kv("seconds", seconds);
       w.kv("candidates_generated", candidates_generated);
       w.kv("candidates_tried", candidates_tried);
+      w.end_object();
+    });
+    // Parallelism accounting: the thread budget plus per-phase wall vs
+    // process-CPU time (cpu/wall ~ threads on a busy parallel phase).
+    run_report.section("runtime", [&](obs::JsonWriter& w) {
+      w.begin_object();
+      w.kv("threads", runtime::thread_count());
+      w.key("phases");
+      w.begin_object();
+      std::vector<std::string> phases = phase_timing.phases();
+      std::sort(phases.begin(), phases.end());
+      for (const std::string& phase : phases) {
+        w.key(phase);
+        w.begin_object();
+        w.kv("wall_seconds", phase_timing.get(phase));
+        w.kv("cpu_seconds", phase_timing.get_cpu(phase));
+        w.end_object();
+      }
+      w.end_object();
       w.end_object();
     });
     run_report.write(report_path);
@@ -288,6 +316,7 @@ int cmd_validate_report(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
+    runtime::apply_threads_flag(argc, argv);
     apply_log_level_flag(argc, argv);
     if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
     if (std::strcmp(argv[1], "inspect") == 0) return cmd_inspect(argc, argv);

@@ -77,4 +77,17 @@ std::size_t Rng::index(std::size_t n) {
   return static_cast<std::size_t>(next_u64() % n);
 }
 
+Rng Rng::split(std::uint64_t stream) const {
+  // Fold the whole parent state and the stream id into one splitmix64
+  // chain; (stream + 1) keeps stream 0 from degenerating into a plain
+  // state copy.
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL * (stream + 1);
+  Rng child(0);
+  for (int w = 0; w < 4; ++w) {
+    x ^= state_[w];
+    child.state_[w] = splitmix64(x);
+  }
+  return child;
+}
+
 }  // namespace ldmo

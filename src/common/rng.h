@@ -53,6 +53,19 @@ class Rng {
   /// Picks a uniformly random index in [0, n). Requires n > 0.
   std::size_t index(std::size_t n);
 
+  /// Derives an independent child stream for parallel work. Deterministic
+  /// in (current state, stream id) and const — splitting does not advance
+  /// this generator — so `master.split(0..k)` yields the same k streams on
+  /// every run and on every thread count. Concurrent work units must each
+  /// own their split; sharing one Rng across tasks is a data race AND
+  /// nondeterministic under scheduling.
+  ///
+  /// Streams are decorrelated by remixing the full 256-bit state with the
+  /// golden-ratio-weighted stream id through splitmix64 (the same
+  /// construction used for seeding); distinct ids give overlapping
+  /// sequences only with ~2^-256 probability.
+  Rng split(std::uint64_t stream) const;
+
  private:
   std::uint64_t state_[4];
   bool has_cached_normal_ = false;

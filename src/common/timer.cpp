@@ -1,25 +1,52 @@
 #include "common/timer.h"
 
+#include <ctime>
+
 namespace ldmo {
 
-void PhaseTimer::add(const std::string& phase, double seconds) {
-  buckets_[phase] += seconds;
+double Timer::process_cpu_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+#endif
+  // Fallback: std::clock is process CPU time on POSIX.
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+void PhaseTimer::add(const std::string& phase, double seconds,
+                     double cpu_seconds) {
+  Bucket& bucket = buckets_[phase];
+  bucket.wall += seconds;
+  bucket.cpu += cpu_seconds;
 }
 
 double PhaseTimer::get(const std::string& phase) const {
   const auto it = buckets_.find(phase);
-  return it == buckets_.end() ? 0.0 : it->second;
+  return it == buckets_.end() ? 0.0 : it->second.wall;
+}
+
+double PhaseTimer::get_cpu(const std::string& phase) const {
+  const auto it = buckets_.find(phase);
+  return it == buckets_.end() ? 0.0 : it->second.cpu;
 }
 
 double PhaseTimer::total() const {
   double sum = 0.0;
-  for (const auto& [name, value] : buckets_) sum += value;
+  for (const auto& [name, bucket] : buckets_) sum += bucket.wall;
   return sum;
 }
 
 double PhaseTimer::fraction(const std::string& phase) const {
   const double t = total();
   return t > 0.0 ? get(phase) / t : 0.0;
+}
+
+std::vector<std::string> PhaseTimer::phases() const {
+  std::vector<std::string> names;
+  names.reserve(buckets_.size());
+  for (const auto& [name, bucket] : buckets_) names.push_back(name);
+  return names;
 }
 
 }  // namespace ldmo

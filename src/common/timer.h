@@ -6,6 +6,7 @@
 #include <chrono>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/span.h"
 
@@ -24,6 +25,12 @@ class Timer {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// CPU seconds consumed by the whole process (all threads) so far.
+  /// Paired with wall time this separates "parallel and busy" from
+  /// "serial and waiting": at N threads a perfectly parallel phase shows
+  /// cpu ~ N x wall, a serial one cpu ~ wall.
+  static double process_cpu_seconds();
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
@@ -33,32 +40,50 @@ class Timer {
 /// phases (e.g. decomposition selection vs. mask optimization, Fig. 1(c)).
 class PhaseTimer {
  public:
-  /// Adds `seconds` to bucket `phase`.
-  void add(const std::string& phase, double seconds);
+  /// Adds `seconds` of wall time (and optionally process CPU time) to
+  /// bucket `phase`.
+  void add(const std::string& phase, double seconds, double cpu_seconds = 0.0);
 
-  /// Total seconds recorded in `phase` (0 if never recorded).
+  /// Total wall seconds recorded in `phase` (0 if never recorded).
   double get(const std::string& phase) const;
 
-  /// Sum over all phases.
+  /// Total process-CPU seconds recorded in `phase` (0 if never recorded).
+  double get_cpu(const std::string& phase) const;
+
+  /// Sum of wall seconds over all phases.
   double total() const;
 
-  /// Fraction of the total spent in `phase` (0 when total is 0).
+  /// Fraction of the total wall time spent in `phase` (0 when total is 0).
   double fraction(const std::string& phase) const;
 
+  /// Phase names recorded so far (unordered).
+  std::vector<std::string> phases() const;
+
  private:
-  std::unordered_map<std::string, double> buckets_;
+  struct Bucket {
+    double wall = 0.0;
+    double cpu = 0.0;
+  };
+  std::unordered_map<std::string, Bucket> buckets_;
 };
 
 namespace detail {
 
-/// Books a span's elapsed time into a PhaseTimer bucket on destruction,
-/// so a throwing phase body still accounts its wall time.
+/// Books a span's elapsed wall time plus the process-CPU delta into a
+/// PhaseTimer bucket on destruction, so a throwing phase body still
+/// accounts its time.
 class PhaseRecordGuard {
  public:
   PhaseRecordGuard(PhaseTimer& timer, std::string phase,
                    const obs::Span& span)
-      : timer_(timer), phase_(std::move(phase)), span_(span) {}
-  ~PhaseRecordGuard() { timer_.add(phase_, span_.seconds()); }
+      : timer_(timer),
+        phase_(std::move(phase)),
+        span_(span),
+        cpu_start_(Timer::process_cpu_seconds()) {}
+  ~PhaseRecordGuard() {
+    timer_.add(phase_, span_.seconds(),
+               Timer::process_cpu_seconds() - cpu_start_);
+  }
   PhaseRecordGuard(const PhaseRecordGuard&) = delete;
   PhaseRecordGuard& operator=(const PhaseRecordGuard&) = delete;
 
@@ -66,6 +91,7 @@ class PhaseRecordGuard {
   PhaseTimer& timer_;
   std::string phase_;
   const obs::Span& span_;
+  double cpu_start_;
 };
 
 }  // namespace detail

@@ -1,12 +1,15 @@
 #include "core/ldmo_flow.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "runtime/cancellation.h"
+#include "runtime/thread_pool.h"
 
 namespace ldmo::core {
 
@@ -45,12 +48,13 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
   generated_counter.inc(result.candidates_generated);
 
   // 2. Printability prediction: rank every candidate, best (lowest) first.
+  // score_batch lets the predictor batch (CNN) or parallelize (oracles)
+  // across candidates; its contract is bit-identical scores to a serial
+  // score() loop, so the ranking is thread-count independent.
   std::vector<double> scores;
   const std::vector<std::size_t> order = timed_phase(
       result.timing, "predict", [&] {
-        scores.reserve(generated.candidates.size());
-        for (const layout::Assignment& candidate : generated.candidates)
-          scores.push_back(predictor_.score(layout, candidate));
+        scores = predictor_.score_batch(layout, generated.candidates);
         predicted_counter.inc(static_cast<long long>(scores.size()));
         std::vector<std::size_t> idx(generated.candidates.size());
         std::iota(idx.begin(), idx.end(), 0);
@@ -61,41 +65,81 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
         return idx;
       });
 
-  // 3. ILT with violation fallback. Previously tried candidates are
-  // "marked" by walking the ranked order; the final attempt runs without
-  // the abort so the flow always produces masks.
+  // 3. ILT with violation fallback, run speculatively: every attempt the
+  // serial fallback chain *could* reach is launched as a task, and the
+  // winner is the best-ranked attempt that finished without aborting —
+  // exactly the candidate the serial chain would have settled on, so
+  // masks and scores are identical at any thread count. Attempts ranked
+  // below an established winner are cancelled (if running) or skipped
+  // (if unstarted); with --threads 1 the tasks execute inline in rank
+  // order and the chain degenerates to the serial walk, speculating on
+  // nothing. The final attempt runs without the violation abort so the
+  // flow always produces masks.
   const int attempts = std::min<int>(
       config_.max_fallbacks + 1, static_cast<int>(order.size()));
   timed_phase(result.timing, "ilt", [&] {
+    std::vector<opc::IltResult> slots(static_cast<std::size_t>(attempts));
+    std::vector<runtime::CancellationSource> cancels(
+        static_cast<std::size_t>(attempts));
+    std::atomic<int> winner{attempts};
+    runtime::TaskGroup group;
     for (int attempt = 0; attempt < attempts; ++attempt) {
-      const layout::Assignment& candidate =
-          generated.candidates[order[static_cast<std::size_t>(attempt)]];
-      const bool last_attempt = attempt + 1 == attempts;
-      obs::Span attempt_span("ilt.attempt");
-      attempt_span.attr("attempt", attempt);
-      attempt_span.attr("candidate_rank", attempt);
-      attempt_span.attr("predicted_score",
-                        scores[order[static_cast<std::size_t>(attempt)]]);
-      attempt_span.attr("abort_enabled", last_attempt ? 0.0 : 1.0);
-      opc::IltResult ilt = engine.optimize(
-          layout, candidate, /*abort_on_violation=*/!last_attempt);
-      ++result.candidates_tried;
-      tried_counter.inc();
-      attempt_span.attr("iterations_run", ilt.iterations_run);
-      attempt_span.attr("aborted", ilt.aborted_on_violation ? 1.0 : 0.0);
-      if (!ilt.aborted_on_violation) {
+      group.run([&, attempt] {
+        if (winner.load(std::memory_order_acquire) < attempt) return;
+        const std::size_t rank = static_cast<std::size_t>(attempt);
+        const layout::Assignment& candidate =
+            generated.candidates[order[rank]];
+        const bool last_attempt = attempt + 1 == attempts;
+        obs::Span attempt_span("ilt.attempt");
+        attempt_span.attr("attempt", attempt);
+        attempt_span.attr("candidate_rank", attempt);
+        attempt_span.attr("predicted_score", scores[order[rank]]);
+        attempt_span.attr("abort_enabled", last_attempt ? 0.0 : 1.0);
+        opc::IltResult ilt = engine.optimize(
+            layout, candidate, /*abort_on_violation=*/!last_attempt,
+            /*record_trajectory=*/false, cancels[rank].token());
+        attempt_span.attr("iterations_run", ilt.iterations_run);
+        attempt_span.attr("aborted", ilt.aborted_on_violation ? 1.0 : 0.0);
+        if (ilt.cancelled) {
+          // A better-ranked candidate already won; this speculative run
+          // wound down early and its result is discarded.
+          attempt_span.attr("cancelled", 1.0);
+          return;
+        }
+        if (ilt.aborted_on_violation) {
+          attempt_span.attr("fallback_reason",
+                            std::string("print_violation"));
+          log_debug("LdmoFlow: candidate ", attempt,
+                    " aborted on print violation, falling back");
+          return;
+        }
         attempt_span.attr("actual_score", ilt.report.score());
-        result.chosen = candidate;
-        result.ilt = std::move(ilt);
-        return;
-      }
-      fallback_counter.inc();
-      attempt_span.attr("fallback_reason", std::string("print_violation"));
-      if (attempt + 2 == attempts) exhausted_counter.inc();
-      log_debug("LdmoFlow: candidate ", attempt,
-                " aborted on print violation, falling back");
+        slots[rank] = std::move(ilt);
+        int current = winner.load(std::memory_order_acquire);
+        while (attempt < current &&
+               !winner.compare_exchange_weak(current, attempt,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        }
+        // Stop every attempt ranked below the (possibly just-lowered)
+        // winner; cancelling finished attempts is a no-op.
+        const int best = winner.load(std::memory_order_acquire);
+        for (int r = best + 1; r < attempts; ++r)
+          cancels[static_cast<std::size_t>(r)].cancel();
+      });
     }
-    LDMO_ASSERT(false);  // the last attempt never aborts
+    group.wait();
+    const int best = winner.load(std::memory_order_acquire);
+    LDMO_ASSERT(best < attempts);  // the last attempt never aborts
+    // Account attempts the way the serial chain would have experienced
+    // them: ranks above the winner either aborted (fallbacks) or were
+    // pure speculation the serial walk never reaches.
+    result.candidates_tried = best + 1;
+    tried_counter.inc(best + 1);
+    fallback_counter.inc(best);
+    if (best > 0 && best + 1 == attempts) exhausted_counter.inc();
+    result.chosen = generated.candidates[order[static_cast<std::size_t>(best)]];
+    result.ilt = std::move(slots[static_cast<std::size_t>(best)]);
   });
 
   result.total_seconds = total_timer.seconds();

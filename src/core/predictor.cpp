@@ -1,11 +1,25 @@
 #include "core/predictor.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
+#include "runtime/parallel_for.h"
 #include "sampling/training_set.h"
 
 namespace ldmo::core {
+
+std::vector<double> PrintabilityPredictor::score_batch(
+    const layout::Layout& layout,
+    const std::vector<layout::Assignment>& candidates) {
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const layout::Assignment& candidate : candidates)
+    scores.push_back(score(layout, candidate));
+  return scores;
+}
 
 CnnPredictor::CnnPredictor(std::unique_ptr<nn::ResNetRegressor> network)
     : network_(std::move(network)) {
@@ -23,6 +37,37 @@ double CnnPredictor::score(const layout::Layout& layout,
   const nn::Tensor image = sampling::decomposition_tensor(
       layout, assignment, network_->config().input_size);
   return network_->predict_one(image);
+}
+
+std::vector<double> CnnPredictor::score_batch(
+    const layout::Layout& layout,
+    const std::vector<layout::Assignment>& candidates) {
+  static obs::Counter& inference_counter =
+      obs::counter("predictor.cnn.inferences");
+  inference_counter.inc(static_cast<long long>(candidates.size()));
+
+  const int size = network_->config().input_size;
+  const std::size_t pixels =
+      static_cast<std::size_t>(size) * static_cast<std::size_t>(size);
+  // Fixed batch size, independent of the thread count: it bounds activation
+  // memory and keeps the batching identical across --threads settings.
+  constexpr std::size_t kBatch = 16;
+  std::vector<double> scores(candidates.size());
+  for (std::size_t base = 0; base < candidates.size(); base += kBatch) {
+    const std::size_t count = std::min(kBatch, candidates.size() - base);
+    nn::Tensor batch({static_cast<int>(count), 1, size, size});
+    // Rasterizing the decomposition images is per-candidate independent.
+    runtime::parallel_for(count, [&](std::size_t i) {
+      const nn::Tensor image = sampling::decomposition_tensor(
+          layout, candidates[base + i], size);
+      std::memcpy(batch.data() + i * pixels, image.data(),
+                  pixels * sizeof(float));
+    });
+    const nn::Tensor out = network_->forward(batch, /*training=*/false);
+    for (std::size_t i = 0; i < count; ++i)
+      scores[base + i] = static_cast<double>(out[i]);
+  }
+  return scores;
 }
 
 void CnnPredictor::save(const std::string& path) {
@@ -45,6 +90,20 @@ double IltOraclePredictor::score(const layout::Layout& layout,
   return engine_.optimize(layout, assignment).report.score(weights_);
 }
 
+std::vector<double> IltOraclePredictor::score_batch(
+    const layout::Layout& layout,
+    const std::vector<layout::Assignment>& candidates) {
+  static obs::Counter& oracle_counter =
+      obs::counter("predictor.oracle.ilt_runs");
+  oracle_counter.inc(static_cast<long long>(candidates.size()));
+  std::vector<double> scores(candidates.size());
+  runtime::parallel_for(candidates.size(), [&](std::size_t i) {
+    scores[i] =
+        engine_.optimize(layout, candidates[i]).report.score(weights_);
+  });
+  return scores;
+}
+
 RawPrintPredictor::RawPrintPredictor(const litho::LithoSimulator& simulator,
                                      litho::ScoreWeights weights)
     : simulator_(simulator), weights_(weights) {}
@@ -56,6 +115,21 @@ double RawPrintPredictor::score(const layout::Layout& layout,
   raw_counter.inc();
   const GridF response = simulator_.print_decomposition(layout, assignment);
   return simulator_.evaluate(response, layout).score(weights_);
+}
+
+std::vector<double> RawPrintPredictor::score_batch(
+    const layout::Layout& layout,
+    const std::vector<layout::Assignment>& candidates) {
+  static obs::Counter& raw_counter =
+      obs::counter("predictor.raw_print.evaluations");
+  raw_counter.inc(static_cast<long long>(candidates.size()));
+  std::vector<double> scores(candidates.size());
+  runtime::parallel_for(candidates.size(), [&](std::size_t i) {
+    const GridF response =
+        simulator_.print_decomposition(layout, candidates[i]);
+    scores[i] = simulator_.evaluate(response, layout).score(weights_);
+  });
+  return scores;
 }
 
 }  // namespace ldmo::core

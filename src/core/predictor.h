@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "layout/layout.h"
 #include "litho/simulator.h"
@@ -22,6 +23,15 @@ class PrintabilityPredictor {
   virtual ~PrintabilityPredictor() = default;
   virtual double score(const layout::Layout& layout,
                        const layout::Assignment& assignment) = 0;
+
+  /// Scores every candidate of one layout. Equivalent to calling score()
+  /// in order — and required to return bit-identical values to that loop —
+  /// but implementations may batch (CNN) or parallelize (oracles) across
+  /// the candidate axis. The flow's predict phase always enters here.
+  virtual std::vector<double> score_batch(
+      const layout::Layout& layout,
+      const std::vector<layout::Assignment>& candidates);
+
   virtual std::string name() const = 0;
 };
 
@@ -35,6 +45,12 @@ class CnnPredictor : public PrintabilityPredictor {
 
   double score(const layout::Layout& layout,
                const layout::Assignment& assignment) override;
+  /// Batched inference: candidates are rasterized in parallel and pushed
+  /// through the network in fixed-size batches (BatchNorm runs in eval
+  /// mode, so batching is sample-independent and scores match score()).
+  std::vector<double> score_batch(
+      const layout::Layout& layout,
+      const std::vector<layout::Assignment>& candidates) override;
   std::string name() const override { return "cnn"; }
 
   nn::ResNetRegressor& network() { return *network_; }
@@ -57,6 +73,10 @@ class IltOraclePredictor : public PrintabilityPredictor {
 
   double score(const layout::Layout& layout,
                const layout::Assignment& assignment) override;
+  /// Parallelizes the (expensive, independent) per-candidate ILT runs.
+  std::vector<double> score_batch(
+      const layout::Layout& layout,
+      const std::vector<layout::Assignment>& candidates) override;
   std::string name() const override { return "ilt-oracle"; }
 
  private:
@@ -74,6 +94,10 @@ class RawPrintPredictor : public PrintabilityPredictor {
 
   double score(const layout::Layout& layout,
                const layout::Assignment& assignment) override;
+  /// Parallelizes the per-candidate print+evaluate passes.
+  std::vector<double> score_batch(
+      const layout::Layout& layout,
+      const std::vector<layout::Assignment>& candidates) override;
   std::string name() const override { return "raw-print"; }
 
  private:

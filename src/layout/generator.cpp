@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "layout/drc.h"
+#include "runtime/parallel_for.h"
 
 namespace ldmo::layout {
 
@@ -113,10 +114,13 @@ Layout LayoutGenerator::generate(std::uint64_t seed) const {
 std::vector<Layout> LayoutGenerator::generate_corpus(
     int count, std::uint64_t seed0) const {
   require(count >= 0, "generate_corpus: negative count");
-  std::vector<Layout> corpus;
-  corpus.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i)
-    corpus.push_back(generate(seed0 + static_cast<std::uint64_t>(i)));
+  // Each clip owns its per-seed Rng (no stream shared across items), so
+  // generation parallelizes into indexed slots with the corpus unchanged
+  // from the serial loop at any thread count.
+  std::vector<Layout> corpus(static_cast<std::size_t>(count));
+  runtime::parallel_for(static_cast<std::size_t>(count), [&](std::size_t i) {
+    corpus[i] = generate(seed0 + static_cast<std::uint64_t>(i));
+  });
   return corpus;
 }
 

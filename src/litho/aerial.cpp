@@ -1,6 +1,9 @@
 #include "litho/aerial.h"
 
+#include <vector>
+
 #include "common/error.h"
+#include "runtime/parallel_for.h"
 
 namespace ldmo::litho {
 
@@ -20,15 +23,22 @@ AerialFields AerialSimulator::intensity_with_fields(const GridF& mask) const {
 
   AerialFields out;
   out.intensity = GridF(n, n, 0.0);
-  out.fields.reserve(kernels_.kernel_ffts.size());
-  for (std::size_t k = 0; k < kernels_.kernel_ffts.size(); ++k) {
+  const std::size_t kernel_count = kernels_.kernel_ffts.size();
+  out.fields.assign(kernel_count, fft::GridC());
+  // Each kernel's field is an independent FFT into its own slot; the
+  // intensity sum is then folded serially in kernel order so the floating
+  // point accumulation matches the serial loop bit-for-bit.
+  runtime::parallel_for(kernel_count, [&](std::size_t k) {
     fft::GridC field = mask_freq;
     fft::multiply_inplace(field, kernels_.kernel_ffts[k]);
     plan_.inverse(field);
+    out.fields[k] = std::move(field);
+  });
+  for (std::size_t k = 0; k < kernel_count; ++k) {
     const double w = kernels_.weights[k];
+    const fft::GridC& field = out.fields[k];
     for (std::size_t i = 0; i < field.size(); ++i)
       out.intensity[i] += w * std::norm(field[i]);
-    out.fields.push_back(std::move(field));
   }
   return out;
 }
@@ -49,17 +59,25 @@ GridF AerialSimulator::backpropagate(const GridF& dldi,
   // the correlation of G * E_k with conj(h_k(-x)), whose spectrum is
   // conj(h_hat). Accumulate sum_k w_k FFT(G * E_k) * conj(h_hat_k) in the
   // frequency domain, then one inverse FFT.
-  fft::GridC accum(n, n, {0.0, 0.0});
-  fft::GridC scratch(n, n);
-  for (std::size_t k = 0; k < fields.fields.size(); ++k) {
+  // Per-kernel spectra are independent; compute each into its own slot and
+  // fold into `accum` serially in kernel order (bit-identical to the serial
+  // interleaved accumulation, which also added kernel k fully before k+1).
+  std::vector<fft::GridC> spectra(fields.fields.size());
+  runtime::parallel_for(fields.fields.size(), [&](std::size_t k) {
     const fft::GridC& field = fields.fields[k];
+    fft::GridC scratch(n, n);
     for (std::size_t i = 0; i < scratch.size(); ++i)
       scratch[i] = dldi[i] * field[i];
     plan_.forward(scratch);
+    spectra[k] = std::move(scratch);
+  });
+  fft::GridC accum(n, n, {0.0, 0.0});
+  for (std::size_t k = 0; k < spectra.size(); ++k) {
     const double w = kernels_.weights[k];
     const fft::GridC& kernel = kernels_.kernel_ffts[k];
+    const fft::GridC& spectrum = spectra[k];
     for (std::size_t i = 0; i < accum.size(); ++i)
-      accum[i] += w * scratch[i] * std::conj(kernel[i]);
+      accum[i] += w * spectrum[i] * std::conj(kernel[i]);
   }
   plan_.inverse(accum);
   GridF grad(n, n);

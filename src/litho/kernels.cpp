@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -96,8 +97,13 @@ SocsKernels build_socs_kernels(const LithoConfig& config) {
 }
 
 const SocsKernels& cached_kernels(const LithoConfig& config) {
+  // Simulators may now be constructed from pool tasks; the cache map needs
+  // real locking (the returned kernels stay valid forever — entries are
+  // heap-owned and never erased).
+  static std::mutex mu;
   static std::map<std::string, std::unique_ptr<SocsKernels>> cache;
   const std::string key = config.kernel_cache_key();
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
     it = cache.emplace(key, std::make_unique<SocsKernels>(

@@ -6,6 +6,7 @@
 #include "layout/raster.h"
 #include "litho/resist.h"
 #include "obs/metrics.h"
+#include "runtime/parallel_for.h"
 
 namespace ldmo::litho {
 
@@ -41,9 +42,11 @@ GridF LithoSimulator::print_masks(const std::vector<GridF>& masks) const {
   require(!masks.empty(), "print_masks: no masks");
   static obs::Counter& print_counter = obs::counter("litho.prints");
   print_counter.inc();
-  std::vector<GridF> responses;
-  responses.reserve(masks.size());
-  for (const GridF& mask : masks) responses.push_back(expose(mask));
+  // Exposures of different masks are independent simulations; indexed
+  // slots keep the combine order identical to the serial loop.
+  std::vector<GridF> responses(masks.size());
+  runtime::parallel_for(masks.size(),
+                        [&](std::size_t m) { responses[m] = expose(masks[m]); });
   return combine_exposures_n(responses);
 }
 

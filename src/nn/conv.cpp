@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "nn/gemm.h"
+#include "runtime/parallel_for.h"
 
 namespace ldmo::nn {
 
@@ -94,21 +95,26 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   const int fan_in = in_channels_ * kernel_size_ * kernel_size_;
   const int cols = out_h_ * out_w_;
   Tensor output({N, out_channels_, out_h_, out_w_});
-  std::vector<float> columns(static_cast<std::size_t>(fan_in) * cols);
-  for (int n = 0; n < N; ++n) {
-    im2col(input, n, columns.data());
-    float* out = output.data() +
-                 static_cast<std::size_t>(n) * out_channels_ * cols;
-    gemm(weight_.value.data(), columns.data(), out, out_channels_, fan_in,
-         cols);
-    if (has_bias_) {
-      for (int oc = 0; oc < out_channels_; ++oc) {
-        const float b = bias_.value[static_cast<std::size_t>(oc)];
-        float* channel = out + static_cast<std::size_t>(oc) * cols;
-        for (int i = 0; i < cols; ++i) channel[i] += b;
-      }
-    }
-  }
+  // Samples write disjoint output slices, so the batch loop parallelizes
+  // with bit-identical results; the im2col scratch is per-chunk.
+  runtime::parallel_for_chunks(
+      static_cast<std::size_t>(N), 1,
+      [&](std::size_t n_begin, std::size_t n_end) {
+        std::vector<float> columns(static_cast<std::size_t>(fan_in) * cols);
+        for (std::size_t n = n_begin; n < n_end; ++n) {
+          im2col(input, static_cast<int>(n), columns.data());
+          float* out = output.data() + n * out_channels_ * cols;
+          gemm(weight_.value.data(), columns.data(), out, out_channels_,
+               fan_in, cols);
+          if (has_bias_) {
+            for (int oc = 0; oc < out_channels_; ++oc) {
+              const float b = bias_.value[static_cast<std::size_t>(oc)];
+              float* channel = out + static_cast<std::size_t>(oc) * cols;
+              for (int i = 0; i < cols; ++i) channel[i] += b;
+            }
+          }
+        }
+      });
   return output;
 }
 
@@ -123,6 +129,10 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   Tensor grad_input(cached_input_.shape());
   std::vector<float> columns(static_cast<std::size_t>(fan_in) * cols);
   std::vector<float> grad_columns(columns.size());
+  // The sample loop stays serial: every sample accumulates into the shared
+  // weight_.grad / bias_.grad, and a per-thread grad copy + ordered merge
+  // would not reproduce the serial accumulation order bit-for-bit. The
+  // GEMMs inside still parallelize their independent row ranges.
   for (int n = 0; n < N; ++n) {
     const float* gout = grad_output.data() +
                         static_cast<std::size_t>(n) * out_channels_ * cols;

@@ -3,15 +3,23 @@
 #include <algorithm>
 #include <cstring>
 
+#include "runtime/parallel_for.h"
+
 namespace ldmo::nn {
 namespace {
 constexpr int kBlock = 64;  // fits three blocks in L1/L2 comfortably
-}
 
-void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
-                     int n) {
-  for (int i0 = 0; i0 < m; i0 += kBlock) {
-    const int i1 = std::min(i0 + kBlock, m);
+// Below this many multiply-adds the task setup costs more than the loop;
+// measured crossover is ~64^3 on the bench machine, we gate conservatively.
+constexpr long long kParallelFlops = 1LL << 18;
+
+// Row ranges partition C, so every C element is written by exactly one
+// chunk and the per-element accumulation order is the serial order:
+// parallel results are bit-identical to serial at any thread count.
+void gemm_rows(const float* a, const float* b, float* c, int i_begin,
+               int i_end, int k, int n) {
+  for (int i0 = i_begin; i0 < i_end; i0 += kBlock) {
+    const int i1 = std::min(i0 + kBlock, i_end);
     for (int p0 = 0; p0 < k; p0 += kBlock) {
       const int p1 = std::min(p0 + kBlock, k);
       for (int j0 = 0; j0 < n; j0 += kBlock) {
@@ -27,6 +35,27 @@ void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
       }
     }
   }
+}
+
+}  // namespace
+
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  const long long flops =
+      static_cast<long long>(m) * k * n;
+  if (flops >= kParallelFlops && runtime::parallel_enabled() && m > kBlock) {
+    // Chunk over whole kBlock row groups to keep the blocked loop intact.
+    const std::size_t row_blocks =
+        static_cast<std::size_t>((m + kBlock - 1) / kBlock);
+    runtime::parallel_for_chunks(
+        row_blocks, 1, [&](std::size_t blk_begin, std::size_t blk_end) {
+          const int i_begin = static_cast<int>(blk_begin) * kBlock;
+          const int i_end = std::min(static_cast<int>(blk_end) * kBlock, m);
+          gemm_rows(a, b, c, i_begin, i_end, k, n);
+        });
+    return;
+  }
+  gemm_rows(a, b, c, 0, m, k, n);
 }
 
 void gemm(const float* a, const float* b, float* c, int m, int k, int n) {
@@ -51,17 +80,30 @@ void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
 
 void gemm_a_bt_accumulate(const float* a, const float* b, float* c, int m,
                           int k, int n) {
-  // C[i][j] += sum_p A[i][p] * B[j][p]
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
+  // C[i][j] += sum_p A[i][p] * B[j][p]. Rows of C are independent dot
+  // products, so row chunks parallelize with bit-identical results.
+  const auto rows = [&](int i_begin, int i_end) {
+    for (int i = i_begin; i < i_end; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
     }
+  };
+  const long long flops = static_cast<long long>(m) * k * n;
+  if (flops >= kParallelFlops && runtime::parallel_enabled() && m > 1) {
+    runtime::parallel_for_chunks(
+        static_cast<std::size_t>(m), 1,
+        [&](std::size_t begin, std::size_t end) {
+          rows(static_cast<int>(begin), static_cast<int>(end));
+        });
+    return;
   }
+  rows(0, m);
 }
 
 }  // namespace ldmo::nn

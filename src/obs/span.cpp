@@ -14,8 +14,10 @@ std::atomic<bool> g_tracing_enabled{false};
 struct ThreadTrace {
   std::vector<SpanNode*> stack;
   // Root nodes are heap-allocated and owned here until their Span
-  // finishes, at which point they move into the global Tracer.
+  // finishes, at which point they move into the global Tracer (or the
+  // active SpanCapture).
   std::vector<std::unique_ptr<SpanNode>> root_storage;
+  SpanCapture* capture = nullptr;  ///< innermost active capture, if any
 };
 
 ThreadTrace& thread_trace() {
@@ -135,13 +137,55 @@ void Span::finish() {
   }
   for (std::size_t i = 0; i < trace.root_storage.size(); ++i) {
     if (trace.root_storage[i].get() == node_) {
-      tracer().add_finished_root(std::move(*trace.root_storage[i]));
+      if (trace.capture)
+        trace.capture->roots.push_back(std::move(*trace.root_storage[i]));
+      else
+        tracer().add_finished_root(std::move(*trace.root_storage[i]));
       trace.root_storage.erase(trace.root_storage.begin() +
                                static_cast<std::ptrdiff_t>(i));
       break;
     }
   }
   node_ = nullptr;
+}
+
+struct SpanCapture::Impl {
+  std::vector<SpanNode*> saved_stack;
+  std::vector<std::unique_ptr<SpanNode>> saved_root_storage;
+  SpanCapture* saved_capture = nullptr;
+};
+
+SpanCapture::SpanCapture() {
+  if (!tracing_enabled()) return;
+  impl_ = new Impl();
+  ThreadTrace& trace = thread_trace();
+  impl_->saved_stack.swap(trace.stack);
+  impl_->saved_root_storage.swap(trace.root_storage);
+  impl_->saved_capture = trace.capture;
+  trace.capture = this;
+}
+
+SpanCapture::~SpanCapture() {
+  if (!impl_) return;
+  ThreadTrace& trace = thread_trace();
+  trace.stack.swap(impl_->saved_stack);
+  trace.root_storage.swap(impl_->saved_root_storage);
+  trace.capture = impl_->saved_capture;
+  delete impl_;
+}
+
+void adopt_spans(std::vector<SpanNode>&& spans) {
+  if (spans.empty()) return;
+  ThreadTrace& trace = thread_trace();
+  if (trace.stack.empty()) {
+    for (SpanNode& node : spans) tracer().add_finished_root(std::move(node));
+    return;
+  }
+  // Appending to the innermost live span's children is safe: by the stack
+  // invariant it has no live children whose node pointers a reallocation
+  // could move.
+  SpanNode* parent = trace.stack.back();
+  for (SpanNode& node : spans) parent->children.push_back(std::move(node));
 }
 
 std::vector<SpanNode> Tracer::snapshot() const {

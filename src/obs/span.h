@@ -78,6 +78,36 @@ class Span {
   SpanNode* node_ = nullptr;  ///< null when tracing was off at construction
 };
 
+/// While alive on a thread, span collection on that thread is isolated:
+/// previously live spans are hidden (new spans root fresh) and finished
+/// root trees land in `roots` instead of the global Tracer. The runtime
+/// wraps every task body in one of these so a task's spans can be shipped
+/// back to the submitting thread and grafted under the caller's live span
+/// in deterministic (submission) order — direct child attachment from
+/// worker threads would race on the parent's children vector.
+///
+/// No-op (nothing hidden, nothing captured) while tracing is disabled.
+class SpanCapture {
+ public:
+  SpanCapture();
+  ~SpanCapture();
+  SpanCapture(const SpanCapture&) = delete;
+  SpanCapture& operator=(const SpanCapture&) = delete;
+
+  /// Finished root trees, in finish order. Take with std::move after the
+  /// captured work is done.
+  std::vector<SpanNode> roots;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  ///< null when tracing was off at construction
+};
+
+/// Grafts finished span trees as children of the calling thread's innermost
+/// live span, preserving order. With no live span they become top-level
+/// roots in the global Tracer (the data is never dropped).
+void adopt_spans(std::vector<SpanNode>&& spans);
+
 /// Owns finished root span trees (process-wide).
 class Tracer {
  public:

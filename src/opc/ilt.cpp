@@ -8,6 +8,7 @@
 #include "litho/resist.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "runtime/parallel_for.h"
 
 namespace ldmo::opc {
 namespace {
@@ -167,13 +168,15 @@ litho::PrintabilityReport IltEngine::evaluate(
 IltResult IltEngine::optimize(const layout::Layout& layout,
                               const layout::Assignment& assignment,
                               bool abort_on_violation,
-                              bool record_trajectory) const {
+                              bool record_trajectory,
+                              runtime::CancellationToken token) const {
   static obs::Counter& runs_counter = obs::counter("ilt.runs");
   static obs::Counter& iter_counter = obs::counter("ilt.iterations");
   static obs::Counter& check_counter = obs::counter("ilt.violation_checks");
   static obs::Counter& check_hit_counter =
       obs::counter("ilt.violation_checks_failed");
   static obs::Counter& abort_counter = obs::counter("ilt.aborts");
+  static obs::Counter& cancel_counter = obs::counter("ilt.cancellations");
   static obs::Histogram& iters_histogram =
       obs::histogram("ilt.iterations_run", {5, 10, 15, 20, 30, 40, 50});
   runs_counter.inc();
@@ -185,6 +188,14 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
 
   IltResult result;
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    if (token.cancelled()) {
+      // Wind down without finalizing: the caller is discarding this run.
+      result.cancelled = true;
+      cancel_counter.inc();
+      span.attr("cancelled", 1.0);
+      span.attr("cancel_iteration", state.iteration);
+      return result;
+    }
     step(state, target);
     iter_counter.inc();
 
@@ -257,24 +268,37 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
 IltResult IltEngine::finalize(const IltState& state,
                               const layout::Layout& layout) const {
   // Final binarization: try the configured thresholds (a cheap mask-bias
-  // retarget) and keep the best-scoring manufactured mask.
+  // retarget) and keep the best-scoring manufactured mask. Each threshold
+  // is an independent print+evaluate, so they run as parallel tasks; the
+  // winner is then picked serially in threshold order, which preserves the
+  // serial loop's strict-less tie-breaking (first best threshold wins).
   IltResult result;
   result.iterations_run = state.iteration;
+  struct Candidate {
+    GridF m1, m2, response;
+    litho::PrintabilityReport report;
+  };
+  const std::size_t count = config_.binarize_thresholds.size();
+  std::vector<Candidate> candidates(count);
+  runtime::parallel_for(count, [&](std::size_t t) {
+    Candidate& c = candidates[t];
+    const double threshold = config_.binarize_thresholds[t];
+    c.m1 = binarize_parameters(state.p1, threshold);
+    c.m2 = binarize_parameters(state.p2, threshold);
+    c.response = simulator_.print(c.m1, c.m2);
+    c.report = simulator_.evaluate(c.response, layout);
+  });
   bool first = true;
   double best_score = 0.0;
-  for (double threshold : config_.binarize_thresholds) {
-    GridF m1 = binarize_parameters(state.p1, threshold);
-    GridF m2 = binarize_parameters(state.p2, threshold);
-    GridF response = simulator_.print(m1, m2);
-    litho::PrintabilityReport report = simulator_.evaluate(response, layout);
-    const double score = report.score();
+  for (Candidate& c : candidates) {
+    const double score = c.report.score();
     if (first || score < best_score) {
       first = false;
       best_score = score;
-      result.mask1 = std::move(m1);
-      result.mask2 = std::move(m2);
-      result.response = std::move(response);
-      result.report = std::move(report);
+      result.mask1 = std::move(c.m1);
+      result.mask2 = std::move(c.m2);
+      result.response = std::move(c.response);
+      result.report = std::move(c.report);
     }
   }
   return result;

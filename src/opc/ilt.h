@@ -16,6 +16,7 @@
 
 #include "layout/layout.h"
 #include "litho/simulator.h"
+#include "runtime/cancellation.h"
 
 namespace ldmo::opc {
 
@@ -81,6 +82,10 @@ struct IltResult {
   std::vector<IltIterationStats> trajectory;
   int iterations_run = 0;
   bool aborted_on_violation = false;
+  /// True when optimize() was cancelled through its token: the run wound
+  /// down before finalization, so masks/report are NOT populated and the
+  /// caller must discard the result.
+  bool cancelled = false;
 };
 
 /// Double-patterning ILT engine bound to one lithography simulator.
@@ -120,10 +125,15 @@ class IltEngine {
   /// the LDMO flow uses this to fall back to another decomposition.
   /// `record_trajectory`: capture per-iteration stats (costs one EPE
   /// measurement per iteration).
+  /// `token`: cooperative cancellation, polled once per iteration — the
+  /// speculative flow uses it to stop attempts a better-ranked candidate
+  /// has already beaten. A cancelled result has `cancelled = true` and no
+  /// finalized masks.
   IltResult optimize(const layout::Layout& layout,
                      const layout::Assignment& assignment,
                      bool abort_on_violation = false,
-                     bool record_trajectory = false) const;
+                     bool record_trajectory = false,
+                     runtime::CancellationToken token = {}) const;
 
   /// Binarizes a parameter field into a 0/1 mask grid (P >= threshold -> 1).
   GridF binarize_parameters(const GridF& p, double threshold = 0.0) const;

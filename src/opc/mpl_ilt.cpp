@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "layout/raster.h"
 #include "litho/resist.h"
+#include "runtime/parallel_for.h"
 
 namespace ldmo::opc {
 namespace {
@@ -76,20 +77,17 @@ void MplIltEngine::step(MplIltState& state, const GridF& target) const {
   const litho::AerialSimulator& aerial = simulator_.aerial();
   const int k = mask_count_;
 
-  // Forward pass per mask, retaining the fields for the adjoint.
-  std::vector<GridF> masks;
-  std::vector<litho::AerialFields> fields;
-  std::vector<GridF> responses;
-  masks.reserve(static_cast<std::size_t>(k));
-  fields.reserve(static_cast<std::size_t>(k));
-  responses.reserve(static_cast<std::size_t>(k));
-  for (int m = 0; m < k; ++m) {
-    masks.push_back(mask_of(state.p[static_cast<std::size_t>(m)],
-                            state.current_theta_m));
-    fields.push_back(aerial.intensity_with_fields(masks.back()));
-    responses.push_back(
-        litho::resist_response(fields.back().intensity, litho_cfg));
-  }
+  // Forward pass per mask, retaining the fields for the adjoint. Masks are
+  // independent simulations writing indexed slots, so they run as parallel
+  // tasks with results identical to the serial loop.
+  std::vector<GridF> masks(static_cast<std::size_t>(k));
+  std::vector<litho::AerialFields> fields(static_cast<std::size_t>(k));
+  std::vector<GridF> responses(static_cast<std::size_t>(k));
+  runtime::parallel_for(static_cast<std::size_t>(k), [&](std::size_t m) {
+    masks[m] = mask_of(state.p[m], state.current_theta_m);
+    fields[m] = aerial.intensity_with_fields(masks[m]);
+    responses[m] = litho::resist_response(fields[m].intensity, litho_cfg);
+  });
   const GridF t = litho::combine_exposures_n(responses);
 
   double loss = 0.0;
@@ -105,23 +103,24 @@ void MplIltEngine::step(MplIltState& state, const GridF& target) const {
   state.last_loss = loss;
 
   // Per-mask adjoint and max-normalized update (normalized jointly over
-  // all masks so the relative scaling between masks is preserved).
-  std::vector<GridF> grads;
-  grads.reserve(static_cast<std::size_t>(k));
-  double g_max = 0.0;
-  for (int m = 0; m < k; ++m) {
-    const GridF dt = litho::resist_derivative(
-        responses[static_cast<std::size_t>(m)], litho_cfg);
+  // all masks so the relative scaling between masks is preserved). The
+  // adjoints fill indexed slots in parallel; g_max folds serially in mask
+  // order afterwards (max is order-independent, the fold just keeps the
+  // structure uniform with the rest of the deterministic call sites).
+  std::vector<GridF> grads(static_cast<std::size_t>(k));
+  runtime::parallel_for(static_cast<std::size_t>(k), [&](std::size_t m) {
+    const GridF dt = litho::resist_derivative(responses[m], litho_cfg);
     GridF dldi(t.height(), t.width());
     for (std::size_t i = 0; i < t.size(); ++i)
       dldi[i] = upstream[i] * dt[i];
-    GridF g = aerial.backpropagate(dldi, fields[static_cast<std::size_t>(m)]);
-    const GridF& mask = masks[static_cast<std::size_t>(m)];
+    GridF g = aerial.backpropagate(dldi, fields[m]);
+    const GridF& mask = masks[m];
     for (std::size_t i = 0; i < g.size(); ++i)
       g[i] *= state.current_theta_m * mask[i] * (1.0 - mask[i]);
-    g_max = std::max(g_max, max_abs(g));
-    grads.push_back(std::move(g));
-  }
+    grads[m] = std::move(g);
+  });
+  double g_max = 0.0;
+  for (const GridF& g : grads) g_max = std::max(g_max, max_abs(g));
   if (g_max > 1e-300) {
     const double scale = state.current_step / g_max;
     for (int m = 0; m < k; ++m)
@@ -139,26 +138,39 @@ MplIltResult MplIltEngine::finalize(const MplIltState& state,
                                     const layout::Layout& layout) const {
   MplIltResult result;
   result.iterations_run = state.iteration;
-  bool first = true;
-  double best_score = 0.0;
-  for (double threshold : config_.binarize_thresholds) {
+  // Thresholds evaluate in parallel into indexed slots; the winner is
+  // picked serially in threshold order, preserving the serial loop's
+  // strict-less tie-breaking.
+  struct Candidate {
     std::vector<GridF> masks;
-    masks.reserve(state.p.size());
+    GridF response;
+    litho::PrintabilityReport report;
+  };
+  const std::size_t count = config_.binarize_thresholds.size();
+  std::vector<Candidate> candidates(count);
+  runtime::parallel_for(count, [&](std::size_t t) {
+    Candidate& c = candidates[t];
+    const double threshold = config_.binarize_thresholds[t];
+    c.masks.reserve(state.p.size());
     for (const GridF& p : state.p) {
       GridF m(p.height(), p.width());
       for (std::size_t i = 0; i < p.size(); ++i)
         m[i] = p[i] >= threshold ? 1.0 : 0.0;
-      masks.push_back(std::move(m));
+      c.masks.push_back(std::move(m));
     }
-    GridF response = simulator_.print_masks(masks);
-    litho::PrintabilityReport report = simulator_.evaluate(response, layout);
-    const double score = report.score();
+    c.response = simulator_.print_masks(c.masks);
+    c.report = simulator_.evaluate(c.response, layout);
+  });
+  bool first = true;
+  double best_score = 0.0;
+  for (Candidate& c : candidates) {
+    const double score = c.report.score();
     if (first || score < best_score) {
       first = false;
       best_score = score;
-      result.masks = std::move(masks);
-      result.response = std::move(response);
-      result.report = std::move(report);
+      result.masks = std::move(c.masks);
+      result.response = std::move(c.response);
+      result.report = std::move(c.report);
     }
   }
   return result;
@@ -167,13 +179,18 @@ MplIltResult MplIltEngine::finalize(const MplIltState& state,
 MplIltResult MplIltEngine::optimize(const layout::Layout& layout,
                                     const layout::Assignment& assignment,
                                     bool abort_on_violation,
-                                    bool record_trajectory) const {
+                                    bool record_trajectory,
+                                    runtime::CancellationToken token) const {
   const GridF target =
       layout::rasterize_target(layout, simulator_.grid_size());
   MplIltState state = init_state(layout, assignment);
 
   MplIltResult result;
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    if (token.cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
     step(state, target);
     const bool check_now =
         (iter + 1 > config_.violation_check_warmup &&

@@ -32,6 +32,8 @@ struct MplIltResult {
   std::vector<IltIterationStats> trajectory;
   int iterations_run = 0;
   bool aborted_on_violation = false;
+  /// True when optimize() was cancelled through its token (no masks).
+  bool cancelled = false;
 };
 
 /// k-mask gradient-descent ILT engine sharing IltConfig semantics with the
@@ -54,11 +56,13 @@ class MplIltEngine {
   /// Combined continuous-mask response of the current state.
   GridF response_of(const MplIltState& state) const;
 
-  /// Full optimization loop (same contract as IltEngine::optimize).
+  /// Full optimization loop (same contract as IltEngine::optimize,
+  /// including per-iteration cooperative cancellation).
   MplIltResult optimize(const layout::Layout& layout,
                         const layout::Assignment& assignment,
                         bool abort_on_violation = false,
-                        bool record_trajectory = false) const;
+                        bool record_trajectory = false,
+                        runtime::CancellationToken token = {}) const;
 
   /// Best-threshold binarization of a state (cf. IltEngine::finalize).
   MplIltResult finalize(const MplIltState& state,

@@ -1,0 +1,50 @@
+// Cooperative cancellation: a CancellationSource owns a shared flag, the
+// CancellationTokens it hands out observe it. Long-running work (ILT
+// iteration loops, speculative candidate exploration) polls
+// token.cancelled() at natural checkpoints and winds down early.
+//
+// Tokens are value types and cheap to copy; a default-constructed token is
+// never cancelled, so APIs can take one by value with `= {}` and skip the
+// checks for callers that don't care.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace ldmo::runtime {
+
+/// Observer half: polls a shared flag. Default-constructed tokens can
+/// never be cancelled.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once the owning source called cancel().
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owner half: cancel() is one-way and idempotent. Copies of a source share
+/// the same flag.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace ldmo::runtime

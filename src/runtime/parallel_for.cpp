@@ -1,0 +1,43 @@
+#include "runtime/parallel_for.h"
+
+#include "common/error.h"
+
+namespace ldmo::runtime {
+
+ChunkPlan plan_chunks(std::size_t n, std::size_t min_chunk,
+                      std::size_t max_chunks) {
+  require(min_chunk >= 1 && max_chunks >= 1, "plan_chunks: bad parameters");
+  ChunkPlan plan;
+  plan.n = n;
+  if (n == 0) return plan;
+  std::size_t chunk = (n + max_chunks - 1) / max_chunks;  // ceil(n / max)
+  if (chunk < min_chunk) chunk = min_chunk;
+  plan.chunk_size = chunk;
+  plan.chunk_count = (n + chunk - 1) / chunk;
+  return plan;
+}
+
+namespace detail {
+
+bool run_serially(const ChunkPlan& plan) {
+  // Single chunk: nothing to distribute. Worker thread: an enclosing
+  // parallel region already owns the distribution — nesting tasks would
+  // only add queue churn (correctness is unaffected either way).
+  return plan.chunk_count <= 1 || !parallel_enabled() ||
+         ThreadPool::on_worker_thread();
+}
+
+void run_chunks(const ChunkPlan& plan,
+                const std::function<void(std::size_t, std::size_t)>& body) {
+  TaskGroup group;
+  for (std::size_t c = 0; c < plan.chunk_count; ++c) {
+    const std::size_t begin = plan.begin(c);
+    const std::size_t end = plan.end(c);
+    group.run([&body, begin, end] { body(begin, end); });
+  }
+  group.wait();
+}
+
+}  // namespace detail
+
+}  // namespace ldmo::runtime

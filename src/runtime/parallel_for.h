@@ -1,0 +1,85 @@
+// Chunked parallel loops with a determinism contract.
+//
+// The chunk plan depends only on the problem size — never on the thread
+// count — and chunk results are always combined in chunk-index order, so a
+// run with --threads N is bit-identical to --threads 1 as long as the body
+// itself is order-independent (writes disjoint slots, or reduces through
+// deterministic_reduce). Every parallel call site in the codebase follows
+// one of those two patterns.
+//
+// parallel_for is also nesting-safe: bodies may call parallel_for again
+// (conv inside a flow inside a bench); inner loops run serially when the
+// calling thread is already a pool worker or parallelism is off, keeping
+// task granularity at the outermost profitable level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace ldmo::runtime {
+
+/// Contiguous [begin, end) chunks of [0, n). Depends only on `n`,
+/// `min_chunk` and `max_chunks` — NOT on the thread count (the determinism
+/// contract above).
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t chunk_size = 0;
+  std::size_t chunk_count = 0;
+
+  std::size_t begin(std::size_t chunk) const { return chunk * chunk_size; }
+  std::size_t end(std::size_t chunk) const {
+    const std::size_t e = (chunk + 1) * chunk_size;
+    return e < n ? e : n;
+  }
+};
+
+/// Plans [0, n) into at most `max_chunks` chunks of at least `min_chunk`
+/// indices each.
+ChunkPlan plan_chunks(std::size_t n, std::size_t min_chunk = 1,
+                      std::size_t max_chunks = 64);
+
+namespace detail {
+bool run_serially(const ChunkPlan& plan);
+void run_chunks(const ChunkPlan& plan,
+                const std::function<void(std::size_t, std::size_t)>& body);
+}  // namespace detail
+
+/// Runs body(begin, end) over the planned chunks of [0, n). Bodies must
+/// not assume any execution order; writes must target disjoint data.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, std::size_t min_chunk, Body&& body) {
+  const ChunkPlan plan = plan_chunks(n, min_chunk);
+  if (plan.chunk_count == 0) return;
+  if (detail::run_serially(plan)) {
+    for (std::size_t c = 0; c < plan.chunk_count; ++c)
+      body(plan.begin(c), plan.end(c));
+    return;
+  }
+  detail::run_chunks(plan, std::function<void(std::size_t, std::size_t)>(
+                               std::forward<Body>(body)));
+}
+
+/// Runs body(i) for every i in [0, n), chunked.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  parallel_for_chunks(n, 1, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+/// Deterministic map-reduce: map(i) -> T for every i, folded strictly in
+/// index order via combine(acc, value). The maps run in parallel; the fold
+/// is serial and ordered, so floating-point results are independent of the
+/// thread count.
+template <typename T, typename Map, typename Combine>
+T deterministic_reduce(std::size_t n, T init, Map&& map, Combine&& combine) {
+  std::vector<T> slots(n, init);
+  parallel_for(n, [&](std::size_t i) { slots[i] = map(i); });
+  T acc = init;
+  for (std::size_t i = 0; i < n; ++i) acc = combine(acc, slots[i]);
+  return acc;
+}
+
+}  // namespace ldmo::runtime

@@ -1,0 +1,51 @@
+#include "runtime/task_queue.h"
+
+#include <utility>
+
+namespace ldmo::runtime {
+
+void TaskQueue::push(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool TaskQueue::pop(Task& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return false;
+  out = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+bool TaskQueue::try_pop(Task& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tasks_.empty()) return false;
+  out = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+void TaskQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t TaskQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+bool TaskQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace ldmo::runtime

@@ -1,0 +1,49 @@
+// Unbounded multi-producer / multi-consumer task queue.
+//
+// The engine intentionally uses a mutex + condition-variable queue rather
+// than a lock-free ring: tasks here are coarse (an ILT attempt, a GEMM row
+// block, a SIFT extraction), so enqueue/dequeue cost is noise next to task
+// bodies, and the blocking pop gives idle workers a real sleep instead of a
+// spin. Queue depth is surfaced through the "runtime.queue_depth" gauge.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace ldmo::runtime {
+
+/// FIFO of type-erased tasks, safe for any number of producers and
+/// consumers. close() wakes all blocked consumers; a closed queue still
+/// drains its remaining tasks.
+class TaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  /// Enqueues a task and wakes one consumer. No-op (task dropped) after
+  /// close() — producers racing shutdown lose quietly by design.
+  void push(Task task);
+
+  /// Blocks until a task is available or the queue is closed and drained.
+  /// Returns false only in the latter case.
+  bool pop(Task& out);
+
+  /// Non-blocking pop; false when currently empty.
+  bool try_pop(Task& out);
+
+  /// Marks the queue closed and wakes every blocked consumer.
+  void close();
+
+  std::size_t size() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace ldmo::runtime

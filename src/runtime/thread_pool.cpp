@@ -1,0 +1,279 @@
+#include "runtime/thread_pool.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace ldmo::runtime {
+namespace {
+
+thread_local bool t_on_pool_worker = false;
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("runtime.queue_depth");
+  return g;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  require(workers >= 0, "ThreadPool: negative worker count");
+  busy_seconds_ = std::make_unique<std::atomic<double>[]>(
+      static_cast<std::size_t>(workers > 0 ? workers : 1));
+  for (int i = 0; i < workers; ++i)
+    busy_seconds_[static_cast<std::size_t>(i)].store(
+        0.0, std::memory_order_relaxed);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  queue_.push(std::move(task));
+  queue_depth_gauge().set(static_cast<double>(queue_.size()));
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
+
+std::vector<double> ThreadPool::worker_busy_seconds() const {
+  std::vector<double> out(threads_.size());
+  for (std::size_t i = 0; i < threads_.size(); ++i)
+    out[i] = busy_seconds_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+  t_on_pool_worker = true;
+  static obs::Counter& executed = obs::counter("runtime.tasks_executed");
+  TaskQueue::Task task;
+  while (queue_.pop(task)) {
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    const double start = now_seconds();
+    task();
+    task = nullptr;  // release captures before blocking again
+    busy_seconds_[static_cast<std::size_t>(worker_index)].fetch_add(
+        now_seconds() - start, std::memory_order_relaxed);
+    executed.inc();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+struct TaskGroup::Entry {
+  std::function<void()> fn;
+  std::atomic<bool> claimed{false};
+  std::vector<obs::SpanNode> spans;  ///< written by the executing thread
+};
+
+struct TaskGroup::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t unfinished = 0;
+  std::exception_ptr first_error;
+  /// Submission-ordered. Entries are heap-stable; the vector itself is
+  /// guarded by mu (run() may race wait()'s scans).
+  std::vector<std::shared_ptr<Entry>> entries;
+  /// Spans gathered by wait(false), submission-ordered.
+  std::vector<obs::SpanNode> collected_spans;
+};
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : state_(std::make_shared<State>()),
+      pool_(pool ? *pool : global_pool()) {}
+
+TaskGroup::~TaskGroup() {
+  // Joining in the destructor keeps abandoned groups from leaving tasks
+  // referencing dead stack frames; normal call sites wait() explicitly.
+  try {
+    wait(false);
+  } catch (...) {
+    // Exceptions already surfaced via a prior wait() or are unreachable by
+    // the caller here; swallowing is the only option in a destructor.
+  }
+}
+
+void TaskGroup::execute(const std::shared_ptr<State>& state, Entry& entry) {
+  if (entry.claimed.exchange(true, std::memory_order_acq_rel))
+    return;  // another thread got it first
+  try {
+    if (obs::tracing_enabled()) {
+      obs::SpanCapture capture;
+      entry.fn();
+      entry.spans = std::move(capture.roots);
+    } else {
+      entry.fn();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->first_error) state->first_error = std::current_exception();
+  }
+  entry.fn = nullptr;
+  bool all_done;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    all_done = --state->unfinished == 0;
+  }
+  if (all_done) state->cv.notify_all();
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  auto entry = std::make_shared<Entry>();
+  entry->fn = std::move(fn);
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->entries.push_back(entry);
+    ++state_->unfinished;
+  }
+  state_->cv.notify_all();  // a blocked wait() can claim it
+  // With no workers every task runs inline during wait(); skipping the
+  // enqueue keeps a serial process from accumulating dead queue thunks.
+  if (pool_.worker_count() > 0) {
+    std::shared_ptr<State> state = state_;
+    pool_.enqueue([state, entry] { execute(state, *entry); });
+  }
+}
+
+void TaskGroup::wait(bool adopt_spans) {
+  static obs::Counter& inline_counter = obs::counter("runtime.tasks_inline");
+  // Participate: claim and run unstarted tasks on this thread. This is what
+  // makes --threads 1 plain serial execution and nested groups
+  // deadlock-free — the waiter never depends on a worker existing.
+  std::size_t scan = 0;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  while (state_->unfinished > 0) {
+    std::shared_ptr<Entry> claimable;
+    while (scan < state_->entries.size()) {
+      std::shared_ptr<Entry>& candidate = state_->entries[scan];
+      ++scan;
+      if (!candidate->claimed.load(std::memory_order_acquire)) {
+        claimable = candidate;
+        break;
+      }
+    }
+    if (claimable) {
+      lock.unlock();
+      execute(state_, *claimable);
+      inline_counter.inc();
+      lock.lock();
+      continue;
+    }
+    // Everything is claimed: tasks are in flight on workers. Sleep until
+    // the count drains (or a concurrent producer adds a new entry).
+    state_->cv.wait(lock, [&] {
+      return state_->unfinished == 0 || scan < state_->entries.size();
+    });
+  }
+
+  // Gather spans and reset the group for reuse.
+  for (const std::shared_ptr<Entry>& entry : state_->entries)
+    for (obs::SpanNode& node : entry->spans)
+      state_->collected_spans.push_back(std::move(node));
+  state_->entries.clear();
+  std::exception_ptr error = state_->first_error;
+  state_->first_error = nullptr;
+  std::vector<obs::SpanNode> spans;
+  if (adopt_spans) spans = std::move(state_->collected_spans);
+  state_->collected_spans.clear();
+  lock.unlock();
+
+  if (adopt_spans) obs::adopt_spans(std::move(spans));
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<obs::SpanNode> TaskGroup::take_spans() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return std::move(state_->collected_spans);
+}
+
+// ---------------------------------------------------------------------------
+// Global pool configuration
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<int> g_thread_count{0};  // 0 = unset, falls back to hardware
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+int thread_count() {
+  const int configured = g_thread_count.load(std::memory_order_relaxed);
+  return configured > 0 ? configured : hardware_threads();
+}
+
+bool parallel_enabled() { return thread_count() > 1; }
+
+void set_thread_count(int threads) {
+  if (threads < 1) threads = 1;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_pool.reset();  // joins workers; callers reconfigure at quiescent points
+  g_thread_count.store(threads, std::memory_order_relaxed);
+  obs::gauge("runtime.threads").set(threads);
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(thread_count() - 1);
+    obs::gauge("runtime.threads").set(thread_count());
+  }
+  return *g_pool;
+}
+
+int apply_threads_flag(int& argc, char** argv) {
+  int write = 1;
+  for (int read = 1; read < argc; ++read) {
+    const std::string arg = argv[read];
+    if (arg == "--threads") {
+      require(read + 1 < argc, "--threads requires a value");
+      set_thread_count(std::atoi(argv[read + 1]));
+      ++read;  // consume the value too
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      set_thread_count(std::atoi(arg.c_str() + 10));
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  argc = write;
+  argv[argc] = nullptr;
+  return thread_count();
+}
+
+void publish_metrics() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  obs::gauge("runtime.threads").set(thread_count());
+  if (!g_pool) return;
+  const std::vector<double> busy = g_pool->worker_busy_seconds();
+  for (std::size_t i = 0; i < busy.size(); ++i)
+    obs::gauge("runtime.worker." + std::to_string(i) + ".busy_seconds")
+        .set(busy[i]);
+  obs::gauge("runtime.queue_depth")
+      .set(static_cast<double>(g_pool->queue_depth()));
+}
+
+}  // namespace ldmo::runtime

@@ -1,0 +1,149 @@
+// Fixed-size thread pool and task-group joining — the execution engine
+// behind candidate scoring, speculative ILT exploration and the
+// parallel_for kernels.
+//
+// Design rules the rest of the codebase relies on:
+//
+//  * Determinism is the caller's contract, scheduling is ours: the pool
+//    makes no ordering promises, so parallel call sites either write to
+//    disjoint, pre-sized slots or reduce partial results in a fixed order
+//    after joining. parallel_for.h packages both patterns.
+//  * Waiting threads participate. TaskGroup::wait() claims and runs the
+//    group's still-unstarted tasks on the calling thread, so a pool with
+//    zero workers (--threads 1) degenerates to plain serial execution and
+//    nested parallelism (a GEMM inside an ILT attempt inside a flow) can
+//    never deadlock on pool starvation.
+//  * Tasks never leak exceptions into workers: the first exception a group
+//    sees is captured and rethrown from wait() on the submitting thread.
+//  * Observability is built in: "runtime.threads" / "runtime.queue_depth"
+//    gauges, "runtime.tasks_executed" / "runtime.tasks_inline" counters,
+//    per-worker busy-seconds gauges, and span trees created inside tasks
+//    are captured and re-attached under the submitter's live span in
+//    deterministic submission order (see obs::SpanCapture).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/span.h"
+#include "runtime/task_queue.h"
+
+namespace ldmo::runtime {
+
+/// Fixed set of workers draining one shared MPMC queue. `workers` may be 0:
+/// the pool then executes nothing itself and TaskGroup::wait() runs
+/// everything inline on the submitting thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Raw fire-and-track enqueue; most callers want TaskGroup or submit().
+  void enqueue(std::function<void()> task);
+
+  /// Future-returning submission for one-off asynchronous work. Do NOT
+  /// block on the returned future from inside a pool task (a blocked
+  /// worker cannot help drain the queue); use TaskGroup there instead.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// True on a thread owned by any ThreadPool.
+  static bool on_worker_thread();
+
+  /// Point-in-time busy seconds per worker (index-aligned with workers).
+  std::vector<double> worker_busy_seconds() const;
+
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  friend class TaskGroup;
+  void worker_loop(int worker_index);
+
+  TaskQueue queue_;
+  std::vector<std::thread> threads_;
+  /// Owned per-worker busy-time accumulators (atomic: read by snapshots).
+  std::unique_ptr<std::atomic<double>[]> busy_seconds_;
+};
+
+/// A batch of tasks joined as a unit. run() may be called from any thread
+/// (multi-producer); wait() blocks until every task finished, executing
+/// unclaimed tasks itself, then rethrows the first captured exception.
+///
+/// Span trees produced inside the tasks are captured per task and either
+/// returned via take_spans() or, by wait()'s default, adopted under the
+/// calling thread's live span in submission order.
+class TaskGroup {
+ public:
+  /// Binds to `pool`, or to the process-global pool when null.
+  explicit TaskGroup(ThreadPool* pool = nullptr);
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+
+  /// Joins all tasks. `adopt_spans`: graft captured task spans under the
+  /// caller's live span (deterministic submission order) — pass false to
+  /// collect them via take_spans() instead.
+  void wait(bool adopt_spans = true);
+
+  /// Captured span roots of finished tasks, submission-ordered. Valid
+  /// after wait(false); empties the internal store.
+  std::vector<obs::SpanNode> take_spans();
+
+ private:
+  struct Entry;
+  struct State;
+  static void execute(const std::shared_ptr<State>& state, Entry& entry);
+
+  std::shared_ptr<State> state_;
+  ThreadPool& pool_;
+};
+
+/// Threads the machine exposes (>= 1).
+int hardware_threads();
+
+/// Sets the process-wide parallelism budget: 1 = serial, N = caller plus
+/// N-1 pool workers. Tears down and rebuilds the global pool, so call it
+/// from a quiescent point (startup, between runs, tests). Values < 1 clamp
+/// to 1.
+void set_thread_count(int threads);
+
+/// Current parallelism budget (defaults to hardware_threads()).
+int thread_count();
+
+/// True when thread_count() > 1 — call sites use this to skip task setup
+/// entirely on serial runs.
+bool parallel_enabled();
+
+/// The process-global pool (created on first use with thread_count() - 1
+/// workers). Prefer TaskGroup / parallel_for over touching this directly.
+ThreadPool& global_pool();
+
+/// Publishes pool gauges ("runtime.threads", per-worker busy seconds) to
+/// the metrics registry; run reports call registry().snapshot() so this is
+/// invoked by report writers and at pool teardown.
+void publish_metrics();
+
+/// Parses "--threads N" (or "--threads=N") out of argv, applies it via
+/// set_thread_count(), and compacts argv so downstream flag parsers (and
+/// google-benchmark's Initialize) never see it. Returns the thread count in
+/// effect afterwards — the hardware default when the flag is absent.
+/// Shared by ldmo_cli and every bench binary.
+int apply_threads_flag(int& argc, char** argv);
+
+}  // namespace ldmo::runtime

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "layout/raster.h"
+#include "runtime/parallel_for.h"
 
 namespace ldmo::sampling {
 
@@ -16,12 +17,13 @@ LayoutSamplingResult sample_layouts(const std::vector<layout::Layout>& corpus,
   const int n = static_cast<int>(corpus.size());
   const int clusters = std::min(config.clusters, n);
 
-  // SIFT features of each layout's raster.
-  std::vector<std::vector<vision::SiftFeature>> features;
-  features.reserve(corpus.size());
-  for (const layout::Layout& l : corpus)
-    features.push_back(vision::detect_sift(
-        layout::rasterize_target(l, config.raster_size), config.sift));
+  // SIFT features of each layout's raster — per-layout independent, filled
+  // into indexed slots so the feature order matches the serial loop.
+  std::vector<std::vector<vision::SiftFeature>> features(corpus.size());
+  runtime::parallel_for(corpus.size(), [&](std::size_t i) {
+    features[i] = vision::detect_sift(
+        layout::rasterize_target(corpus[i], config.raster_size), config.sift);
+  });
 
   // Pairwise layout distances (Alg. 2) and k-medoids clustering.
   const std::vector<double> distances =

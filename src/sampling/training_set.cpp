@@ -1,7 +1,11 @@
 #include "sampling/training_set.h"
 
+#include <atomic>
+#include <mutex>
+
 #include "common/error.h"
 #include "layout/raster.h"
+#include "runtime/parallel_for.h"
 
 namespace ldmo::sampling {
 
@@ -30,23 +34,39 @@ TrainingSet build_training_set(
     total += static_cast<int>(list.size());
   require(total > 0, "build_training_set: nothing to label");
 
+  // Flatten the (layout, candidate) pairs so the expensive, independent
+  // ILT labelings can run as parallel tasks into pre-sized slots — the
+  // labeled order stays the serial loop's. Progress calls are serialized
+  // (counts arrive monotonically, completion order may interleave).
+  struct Pair {
+    std::size_t layout_index;
+    const layout::Assignment* assignment;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(static_cast<std::size_t>(total));
+  for (std::size_t li = 0; li < layouts.size(); ++li)
+    for (const layout::Assignment& assignment : decompositions[li])
+      pairs.push_back({li, &assignment});
+
   TrainingSet set;
-  set.labeled.reserve(static_cast<std::size_t>(total));
-  int done = 0;
-  for (std::size_t li = 0; li < layouts.size(); ++li) {
-    for (const layout::Assignment& assignment : decompositions[li]) {
-      const opc::IltResult result =
-          engine.optimize(layouts[li], assignment);
-      LabeledDecomposition labeled;
-      labeled.layout_index = static_cast<int>(li);
-      labeled.assignment = assignment;
-      labeled.report = result.report;
-      labeled.raw_score = result.report.score(config.score_weights);
-      set.labeled.push_back(std::move(labeled));
-      ++done;
-      if (progress) progress(done, total);
+  set.labeled.resize(pairs.size());
+  std::atomic<int> done{0};
+  std::mutex progress_mu;
+  runtime::parallel_for(pairs.size(), [&](std::size_t i) {
+    const Pair& pair = pairs[i];
+    const opc::IltResult result =
+        engine.optimize(layouts[pair.layout_index], *pair.assignment);
+    LabeledDecomposition& labeled = set.labeled[i];
+    labeled.layout_index = static_cast<int>(pair.layout_index);
+    labeled.assignment = *pair.assignment;
+    labeled.report = result.report;
+    labeled.raw_score = result.report.score(config.score_weights);
+    const int count = done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(count, total);
     }
-  }
+  });
 
   std::vector<double> raw;
   raw.reserve(set.labeled.size());
