@@ -1,0 +1,81 @@
+// Allocation probe for the micro benches: replaces the global operator
+// new/delete pair with counting wrappers so a benchmark can report
+// allocations-per-iteration alongside wall time. Include from exactly one
+// translation unit per binary (each micro bench is a single TU).
+//
+// The probe counts every heap allocation in the process, including
+// google-benchmark's own bookkeeping, so measure deltas around the timed
+// loop and expect a small constant floor rather than a hard zero.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/metrics.h"
+
+namespace bench_alloc {
+
+inline std::atomic<unsigned long long>& allocation_count() {
+  static std::atomic<unsigned long long> count{0};
+  return count;
+}
+
+inline unsigned long long allocations() {
+  return allocation_count().load(std::memory_order_relaxed);
+}
+
+/// Snapshot-and-report helper: construct before the timed loop, call
+/// finish() after it to attach allocations-per-iteration and workspace
+/// pool hit/miss counters to the benchmark state. The workspace counters
+/// read 0 when no pooled path ran.
+struct PoolProbe {
+  unsigned long long allocs0 = allocations();
+  long long hits0 = ldmo::obs::counter("workspace.hits").value();
+  long long misses0 = ldmo::obs::counter("workspace.misses").value();
+
+  void finish(benchmark::State& state) {
+    const double iters = static_cast<double>(state.iterations());
+    const double allocs =
+        static_cast<double>(allocations() - allocs0);
+    const double hits = static_cast<double>(
+        ldmo::obs::counter("workspace.hits").value() - hits0);
+    const double misses = static_cast<double>(
+        ldmo::obs::counter("workspace.misses").value() - misses0);
+    state.counters["allocs_per_iter"] = iters > 0.0 ? allocs / iters : 0.0;
+    state.counters["pool_checkouts_per_iter"] =
+        iters > 0.0 ? (hits + misses) / iters : 0.0;
+    state.counters["pool_hit_rate"] =
+        (hits + misses) > 0.0 ? hits / (hits + misses) : 0.0;
+  }
+};
+
+}  // namespace bench_alloc
+
+void* operator new(std::size_t size) {
+  bench_alloc::allocation_count().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  bench_alloc::allocation_count().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -2,6 +2,7 @@
 // pass, full ILT gradient step, EPE metrology.
 #include <benchmark/benchmark.h>
 
+#include "alloc_probe.h"
 #include "runtime/thread_pool.h"
 #include "common/rng.h"
 #include "fft/fft.h"
@@ -29,11 +30,13 @@ void BM_Fft2D(benchmark::State& state) {
   fft::GridC grid(n, n);
   for (std::size_t i = 0; i < grid.size(); ++i)
     grid[i] = {rng.normal(), rng.normal()};
+  bench_alloc::PoolProbe probe;
   for (auto _ : state) {
     plan.forward(grid);
     plan.inverse(grid);
     benchmark::DoNotOptimize(grid.data());
   }
+  probe.finish(state);
   state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_Fft2D)->Arg(64)->Arg(128)->Arg(256);
@@ -44,10 +47,15 @@ void BM_AerialForward(benchmark::State& state) {
   layout::LayoutGenerator gen;
   const layout::Layout l = gen.generate(1);
   const GridF mask = layout::rasterize_target(l, n);
+  // Warm out-param, as the simulator's expose path holds one.
+  GridF intensity;
+  sim.aerial().intensity(mask, intensity);
+  bench_alloc::PoolProbe probe;
   for (auto _ : state) {
-    const GridF intensity = sim.aerial().intensity(mask);
+    sim.aerial().intensity(mask, intensity);
     benchmark::DoNotOptimize(intensity.data());
   }
+  probe.finish(state);
 }
 BENCHMARK(BM_AerialForward)->Arg(64)->Arg(128);
 
@@ -63,10 +71,16 @@ void BM_IltStep(benchmark::State& state) {
   opc::IltEngine engine(sim);
   const GridF target = layout::rasterize_target(l, n);
   opc::IltState ilt_state = engine.init_state(l, assignment);
+  // One scratch across iterations — exactly how optimize() runs the loop;
+  // after the first iteration warms it, steps are allocation-free.
+  opc::IltScratch scratch;
+  engine.step(ilt_state, target, scratch);
+  bench_alloc::PoolProbe probe;
   for (auto _ : state) {
-    engine.step(ilt_state, target);
+    engine.step(ilt_state, target, scratch);
     benchmark::DoNotOptimize(ilt_state.p1.data());
   }
+  probe.finish(state);
 }
 BENCHMARK(BM_IltStep)->Arg(64)->Arg(128);
 

@@ -2,6 +2,7 @@
 // ResNet regressor inference and training step.
 #include <benchmark/benchmark.h>
 
+#include "alloc_probe.h"
 #include "runtime/thread_pool.h"
 #include "common/rng.h"
 #include "nn/conv.h"
@@ -33,10 +34,12 @@ void BM_ConvForward(benchmark::State& state) {
   Rng rng(2);
   nn::Conv2d conv(16, 16, 3, 1, 1, false, rng);
   nn::Tensor x = nn::Tensor::randn({1, 16, 32, 32}, rng, 1.0f);
+  bench_alloc::PoolProbe probe;
   for (auto _ : state) {
     nn::Tensor y = conv.forward(x, false);
     benchmark::DoNotOptimize(y.data());
   }
+  probe.finish(state);
 }
 BENCHMARK(BM_ConvForward);
 
@@ -45,10 +48,12 @@ void BM_ConvBackward(benchmark::State& state) {
   nn::Conv2d conv(16, 16, 3, 1, 1, false, rng);
   nn::Tensor x = nn::Tensor::randn({1, 16, 32, 32}, rng, 1.0f);
   nn::Tensor y = conv.forward(x, true);
+  bench_alloc::PoolProbe probe;
   for (auto _ : state) {
     nn::Tensor g = conv.backward(y);
     benchmark::DoNotOptimize(g.data());
   }
+  probe.finish(state);
 }
 BENCHMARK(BM_ConvBackward);
 
@@ -60,10 +65,12 @@ void BM_ResNetInference(benchmark::State& state) {
   nn::ResNetRegressor net(cfg);
   Rng rng(4);
   nn::Tensor image = nn::Tensor::randn({1, 64, 64}, rng, 0.3f);
+  bench_alloc::PoolProbe probe;
   for (auto _ : state) {
     const double score = net.predict_one(image);
     benchmark::DoNotOptimize(score);
   }
+  probe.finish(state);
   state.SetLabel("slim-resnet18@64px");
 }
 BENCHMARK(BM_ResNetInference)->Unit(benchmark::kMillisecond);

@@ -7,6 +7,10 @@ namespace ldmo {
 
 void raise(const std::string& message) { throw Error(message); }
 
+void require(bool condition, const char* message) {
+  if (!condition) throw Error(message);
+}
+
 void require(bool condition, const std::string& message) {
   if (!condition) throw Error(message);
 }

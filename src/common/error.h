@@ -20,7 +20,10 @@ class Error : public std::runtime_error {
 /// Throws ldmo::Error with the given message.
 [[noreturn]] void raise(const std::string& message);
 
-/// Throws ldmo::Error if `condition` is false.
+/// Throws ldmo::Error if `condition` is false. The const char* overload is
+/// what string literals bind to; it defers all string construction to the
+/// throw, so a passing check on a hot path performs no allocation.
+void require(bool condition, const char* message);
 void require(bool condition, const std::string& message);
 
 namespace detail {

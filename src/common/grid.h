@@ -50,6 +50,20 @@ class Grid {
 
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshapes in place, reusing the existing storage when it suffices.
+  /// Same-shape calls keep the contents untouched; shape changes leave the
+  /// contents value-initialized (like a fresh Grid). The out-param "_into"
+  /// APIs rely on this to stay allocation-free at steady state.
+  void resize(int height, int width) {
+    require(height >= 0 && width >= 0, "Grid::resize: negative dimensions");
+    if (height == height_ && width == width_) return;
+    height_ = height;
+    width_ = width;
+    data_.assign(
+        static_cast<std::size_t>(height) * static_cast<std::size_t>(width),
+        T{});
+  }
+
   bool same_shape(const Grid& other) const {
     return height_ == other.height_ && width_ == other.width_;
   }

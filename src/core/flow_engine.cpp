@@ -1,0 +1,90 @@
+#include "core/flow_engine.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "runtime/workspace.h"
+
+namespace ldmo::core {
+
+FlowEngine::FlowEngine(FlowEngineConfig config)
+    : FlowEngine(std::move(config), nullptr) {}
+
+FlowEngine::FlowEngine(FlowEngineConfig config,
+                       std::unique_ptr<PrintabilityPredictor> predictor)
+    : config_(std::move(config)),
+      simulator_(config_.litho),
+      engine_(simulator_, config_.flow.ilt),
+      predictor_(std::move(predictor)) {
+  if (!predictor_)
+    predictor_ = std::make_unique<RawPrintPredictor>(simulator_);
+}
+
+LdmoResult FlowEngine::run(const layout::Layout& layout) {
+  LdmoResult result = run_ldmo_flow(engine_, *predictor_, config_.flow,
+                                    layout);
+  session_.runs += 1;
+  session_.total_seconds += result.total_seconds;
+  session_.candidates_generated += result.candidates_generated;
+  session_.candidates_tried += result.candidates_tried;
+  session_.history.push_back({layout.name, result.ilt.report.score(),
+                              result.total_seconds,
+                              result.candidates_tried});
+  return result;
+}
+
+std::vector<LdmoResult> FlowEngine::run_many(
+    const std::vector<layout::Layout>& layouts) {
+  obs::Span span("flow_engine.run_many");
+  span.attr("layouts", static_cast<double>(layouts.size()));
+  std::vector<LdmoResult> results;
+  results.reserve(layouts.size());
+  // Serial over layouts: each run saturates the pool with its own
+  // speculative ILT attempts, and the session history stays in input
+  // order. Thread workspaces warmed by run i serve run i+1 for free.
+  for (const layout::Layout& layout : layouts)
+    results.push_back(run(layout));
+  return results;
+}
+
+void FlowEngine::warmup() {
+  const int n = simulator_.grid_size();
+  const GridF blank(n, n);
+  (void)simulator_.print(blank, blank);
+}
+
+obs::RunReport FlowEngine::session_report() const {
+  runtime::publish_workspace_metrics();
+  obs::RunReport report("flow_engine");
+  report.meta("predictor", predictor_->name());
+  report.meta("grid_size", std::to_string(simulator_.grid_size()));
+  // Copy the stats into the closure: RunReport renders lazily and may
+  // outlive this engine.
+  report.section("session", [stats = session_](obs::JsonWriter& w) {
+    w.begin_object();
+    w.kv("runs", stats.runs);
+    w.kv("total_seconds", stats.total_seconds);
+    w.kv("candidates_generated", stats.candidates_generated);
+    w.kv("candidates_tried", stats.candidates_tried);
+    w.key("history");
+    w.begin_array();
+    for (const RunRecord& r : stats.history) {
+      w.begin_object();
+      w.kv("layout", r.layout);
+      w.kv("score", r.score);
+      w.kv("seconds", r.seconds);
+      w.kv("candidates_tried", r.candidates_tried);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  });
+  return report;
+}
+
+void FlowEngine::write_session_report(const std::string& path) const {
+  session_report().write(path);
+}
+
+}  // namespace ldmo::core

@@ -20,6 +20,14 @@ LdmoFlow::LdmoFlow(const litho::LithoSimulator& simulator,
 }
 
 LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
+  return run_ldmo_flow(opc::IltEngine(simulator_, config_.ilt), predictor_,
+                       config_, layout);
+}
+
+LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
+                         PrintabilityPredictor& predictor,
+                         const LdmoConfig& config,
+                         const layout::Layout& layout) {
   static obs::Counter& runs_counter = obs::counter("flow.runs");
   static obs::Counter& generated_counter =
       obs::counter("flow.candidates_generated");
@@ -33,16 +41,15 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
 
   obs::Span run_span("ldmo.run");
   run_span.attr("layout", layout.name);
-  run_span.attr("predictor", predictor_.name());
+  run_span.attr("predictor", predictor.name());
 
   Timer total_timer;
   LdmoResult result;
-  opc::IltEngine engine(simulator_, config_.ilt);
 
   // 1. Decomposition generation.
   const mpl::GenerationResult generated = timed_phase(
       result.timing, "generate",
-      [&] { return mpl::generate_decompositions(layout, config_.generation); });
+      [&] { return mpl::generate_decompositions(layout, config.generation); });
   result.candidates_generated =
       static_cast<int>(generated.candidates.size());
   generated_counter.inc(result.candidates_generated);
@@ -54,7 +61,7 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
   std::vector<double> scores;
   const std::vector<std::size_t> order = timed_phase(
       result.timing, "predict", [&] {
-        scores = predictor_.score_batch(layout, generated.candidates);
+        scores = predictor.score_batch(layout, generated.candidates);
         predicted_counter.inc(static_cast<long long>(scores.size()));
         std::vector<std::size_t> idx(generated.candidates.size());
         std::iota(idx.begin(), idx.end(), 0);
@@ -76,7 +83,7 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
   // nothing. The final attempt runs without the violation abort so the
   // flow always produces masks.
   const int attempts = std::min<int>(
-      config_.max_fallbacks + 1, static_cast<int>(order.size()));
+      config.max_fallbacks + 1, static_cast<int>(order.size()));
   timed_phase(result.timing, "ilt", [&] {
     std::vector<opc::IltResult> slots(static_cast<std::size_t>(attempts));
     std::vector<runtime::CancellationSource> cancels(

@@ -39,7 +39,18 @@ struct LdmoResult {
   double total_seconds = 0.0;
 };
 
-/// End-to-end LDMO engine bound to a simulator and a predictor.
+/// The flow pipeline (Fig. 2) over caller-owned components. FlowEngine
+/// sessions and the LdmoFlow shim below both enter here; the engine
+/// already binds the simulator and the ILT hyperparameters.
+LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
+                         PrintabilityPredictor& predictor,
+                         const LdmoConfig& config,
+                         const layout::Layout& layout);
+
+/// End-to-end LDMO flow bound to a caller-owned simulator and predictor.
+/// Thin shim over run_ldmo_flow(); prefer core::FlowEngine for sessions
+/// spanning several layouts (it owns the component stack and keeps the
+/// buffer pools, kernels and FFT plans warm between runs).
 class LdmoFlow {
  public:
   /// Keeps references; both must outlive the flow.

@@ -48,6 +48,8 @@ class FftPlan {
 };
 
 /// Precomputed plan for 2-D transforms of a fixed power-of-two shape.
+/// Plans are immutable after construction and safe to share across threads
+/// (per-call scratch comes from the calling thread's Workspace).
 class Fft2DPlan {
  public:
   Fft2DPlan(int height, int width);
@@ -61,9 +63,21 @@ class Fft2DPlan {
   /// In-place 2-D inverse DFT (scaled by 1/(H*W)).
   void inverse(GridC& grid) const;
 
+  /// Raw-pointer variants over row-major height()*width() storage — used
+  /// by callers that transform slices of one flat pooled buffer.
+  void forward(Complex* data) const;
+  void inverse(Complex* data) const;
+
+  /// Frequency-domain convolution into a caller buffer:
+  /// out = IFFT(spectrum .* kernel_freq). `out` is reshaped if needed and
+  /// fully overwritten — at steady state (same shape every call) this
+  /// performs no allocation. `out` must not alias either input.
+  void convolve_spectrum(const GridC& spectrum, const GridC& kernel_freq,
+                         GridC& out) const;
+
  private:
-  void transform_rows(GridC& grid, bool inverse) const;
-  void transform_cols(GridC& grid, bool inverse) const;
+  void transform_rows(Complex* data, bool inverse) const;
+  void transform_cols(Complex* data, bool inverse) const;
 
   int height_;
   int width_;
@@ -71,11 +85,24 @@ class Fft2DPlan {
   FftPlan col_plan_;
 };
 
+/// Process-wide plan cache: one immutable Fft2DPlan per (height, width),
+/// built on first use. The returned reference lives for the process
+/// lifetime, so long-lived sessions (FlowEngine) and short-lived
+/// simulators share the same tables.
+const Fft2DPlan& plan_for(int height, int width);
+
 /// Copies a real grid into a complex grid of the same shape.
 GridC to_complex(const GridF& real);
 
+/// Out-param variant: reshapes `out` if needed and fully overwrites it
+/// (allocation-free when the shape already matches).
+void to_complex(const GridF& real, GridC& out);
+
 /// Extracts the real part.
 GridF real_part(const GridC& grid);
+
+/// Out-param variant of real_part (same reuse contract as to_complex).
+void real_part(const GridC& grid, GridF& out);
 
 /// Pointwise product: a *= b. Shapes must match.
 void multiply_inplace(GridC& a, const GridC& b);

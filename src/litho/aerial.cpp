@@ -1,38 +1,51 @@
 #include "litho/aerial.h"
 
+#include <cstring>
 #include <vector>
 
 #include "common/error.h"
 #include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
 
 namespace ldmo::litho {
 
+using runtime::Workspace;
+
 AerialSimulator::AerialSimulator(const SocsKernels& kernels)
     : kernels_(kernels),
-      plan_(kernels.config.grid_size, kernels.config.grid_size) {
+      plan_(fft::plan_for(kernels.config.grid_size,
+                          kernels.config.grid_size)) {
   require(!kernels.kernel_ffts.empty(), "AerialSimulator: no kernels");
 }
 
 AerialFields AerialSimulator::intensity_with_fields(const GridF& mask) const {
+  AerialFields out;
+  intensity_with_fields(mask, out);
+  return out;
+}
+
+void AerialSimulator::intensity_with_fields(const GridF& mask,
+                                            AerialFields& out) const {
   const int n = grid_size();
   require(mask.height() == n && mask.width() == n,
           "AerialSimulator: mask shape mismatch");
 
-  fft::GridC mask_freq = fft::to_complex(mask);
-  plan_.forward(mask_freq);
+  // Pooled scratch: fully overwritten by to_complex + in-place forward.
+  runtime::PooledGrid<fft::Complex> mask_freq =
+      Workspace::this_thread().grid_c_uninit(n, n);
+  fft::to_complex(mask, *mask_freq);
+  plan_.forward(*mask_freq);
 
-  AerialFields out;
-  out.intensity = GridF(n, n, 0.0);
   const std::size_t kernel_count = kernels_.kernel_ffts.size();
-  out.fields.assign(kernel_count, fft::GridC());
-  // Each kernel's field is an independent FFT into its own slot; the
-  // intensity sum is then folded serially in kernel order so the floating
-  // point accumulation matches the serial loop bit-for-bit.
+  out.fields.resize(kernel_count);  // keeps warm grids across refills
+  out.intensity.resize(n, n);
+  out.intensity.fill(0.0);
+  // Each kernel's field is an independent convolution into its own slot;
+  // the intensity sum is then folded serially in kernel order so the
+  // floating point accumulation matches the serial loop bit-for-bit.
   runtime::parallel_for(kernel_count, [&](std::size_t k) {
-    fft::GridC field = mask_freq;
-    fft::multiply_inplace(field, kernels_.kernel_ffts[k]);
-    plan_.inverse(field);
-    out.fields[k] = std::move(field);
+    plan_.convolve_spectrum(*mask_freq, kernels_.kernel_ffts[k],
+                            out.fields[k]);
   });
   for (std::size_t k = 0; k < kernel_count; ++k) {
     const double w = kernels_.weights[k];
@@ -40,50 +53,98 @@ AerialFields AerialSimulator::intensity_with_fields(const GridF& mask) const {
     for (std::size_t i = 0; i < field.size(); ++i)
       out.intensity[i] += w * std::norm(field[i]);
   }
-  return out;
 }
 
 GridF AerialSimulator::intensity(const GridF& mask) const {
-  return intensity_with_fields(mask).intensity;
+  GridF out;
+  intensity(mask, out);
+  return out;
+}
+
+void AerialSimulator::intensity(const GridF& mask, GridF& out) const {
+  const int n = grid_size();
+  require(mask.height() == n && mask.width() == n,
+          "AerialSimulator: mask shape mismatch");
+  const std::size_t pixels =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  const std::size_t kernel_count = kernels_.kernel_ffts.size();
+
+  Workspace& ws = Workspace::this_thread();
+  runtime::PooledGrid<fft::Complex> mask_freq = ws.grid_c_uninit(n, n);
+  fft::to_complex(mask, *mask_freq);
+  plan_.forward(*mask_freq);
+
+  // Per-kernel fields live as slices of one flat pooled stack instead of
+  // materialized AerialFields grids; each slice is fully overwritten, and
+  // the weighted-norm fold below runs serially in kernel order with the
+  // exact arithmetic of the fields path (bit-identical intensities).
+  runtime::PooledVector<fft::Complex> stack =
+      ws.vec_c128_uninit(kernel_count * pixels);
+  runtime::parallel_for(kernel_count, [&](std::size_t k) {
+    fft::Complex* slice = stack.data() + k * pixels;
+    std::memcpy(slice, mask_freq->data(), pixels * sizeof(fft::Complex));
+    const fft::GridC& kernel = kernels_.kernel_ffts[k];
+    for (std::size_t i = 0; i < pixels; ++i) slice[i] *= kernel[i];
+    plan_.inverse(slice);
+  });
+
+  out.resize(n, n);
+  out.fill(0.0);
+  for (std::size_t k = 0; k < kernel_count; ++k) {
+    const double w = kernels_.weights[k];
+    const fft::Complex* slice = stack.data() + k * pixels;
+    for (std::size_t i = 0; i < pixels; ++i)
+      out[i] += w * std::norm(slice[i]);
+  }
 }
 
 GridF AerialSimulator::backpropagate(const GridF& dldi,
                                      const AerialFields& fields) const {
+  GridF grad;
+  backpropagate(dldi, fields, grad);
+  return grad;
+}
+
+void AerialSimulator::backpropagate(const GridF& dldi,
+                                    const AerialFields& fields,
+                                    GridF& grad_out) const {
   const int n = grid_size();
   require(dldi.height() == n && dldi.width() == n,
           "backpropagate: gradient shape mismatch");
   require(fields.fields.size() == kernels_.kernel_ffts.size(),
           "backpropagate: field count mismatch");
+  const std::size_t pixels =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  const std::size_t kernel_count = fields.fields.size();
 
   // dL/dM(x') = sum_k 2 w_k Re[ sum_x G(x) E_k(x) conj(h_k(x - x')) ], i.e.
   // the correlation of G * E_k with conj(h_k(-x)), whose spectrum is
   // conj(h_hat). Accumulate sum_k w_k FFT(G * E_k) * conj(h_hat_k) in the
   // frequency domain, then one inverse FFT.
-  // Per-kernel spectra are independent; compute each into its own slot and
-  // fold into `accum` serially in kernel order (bit-identical to the serial
-  // interleaved accumulation, which also added kernel k fully before k+1).
-  std::vector<fft::GridC> spectra(fields.fields.size());
-  runtime::parallel_for(fields.fields.size(), [&](std::size_t k) {
+  // Per-kernel spectra are independent slices of one pooled stack; each is
+  // fully overwritten in parallel, then folded into `accum` serially in
+  // kernel order (bit-identical to the serial interleaved accumulation).
+  Workspace& ws = Workspace::this_thread();
+  runtime::PooledVector<fft::Complex> spectra =
+      ws.vec_c128_uninit(kernel_count * pixels);
+  runtime::parallel_for(kernel_count, [&](std::size_t k) {
     const fft::GridC& field = fields.fields[k];
-    fft::GridC scratch(n, n);
-    for (std::size_t i = 0; i < scratch.size(); ++i)
-      scratch[i] = dldi[i] * field[i];
-    plan_.forward(scratch);
-    spectra[k] = std::move(scratch);
+    fft::Complex* slice = spectra.data() + k * pixels;
+    for (std::size_t i = 0; i < pixels; ++i) slice[i] = dldi[i] * field[i];
+    plan_.forward(slice);
   });
-  fft::GridC accum(n, n, {0.0, 0.0});
-  for (std::size_t k = 0; k < spectra.size(); ++k) {
+  runtime::PooledGrid<fft::Complex> accum = ws.grid_c(n, n);
+  for (std::size_t k = 0; k < kernel_count; ++k) {
     const double w = kernels_.weights[k];
     const fft::GridC& kernel = kernels_.kernel_ffts[k];
-    const fft::GridC& spectrum = spectra[k];
-    for (std::size_t i = 0; i < accum.size(); ++i)
-      accum[i] += w * spectrum[i] * std::conj(kernel[i]);
+    const fft::Complex* slice = spectra.data() + k * pixels;
+    for (std::size_t i = 0; i < pixels; ++i)
+      (*accum)[i] += w * slice[i] * std::conj(kernel[i]);
   }
-  plan_.inverse(accum);
-  GridF grad(n, n);
-  for (std::size_t i = 0; i < grad.size(); ++i)
-    grad[i] = 2.0 * accum[i].real();
-  return grad;
+  plan_.inverse(*accum);
+  grad_out.resize(n, n);
+  for (std::size_t i = 0; i < pixels; ++i)
+    grad_out[i] = 2.0 * (*accum)[i].real();
 }
 
 }  // namespace ldmo::litho

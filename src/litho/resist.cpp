@@ -13,44 +13,77 @@ double sigmoid(double x) {
 }
 
 GridF resist_response(const GridF& intensity, const LithoConfig& config) {
-  GridF t(intensity.height(), intensity.width());
-  for (std::size_t i = 0; i < intensity.size(); ++i)
-    t[i] = sigmoid(config.theta_z * (intensity[i] - config.intensity_threshold));
+  GridF t;
+  resist_response_into(intensity, config, t);
   return t;
+}
+
+void resist_response_into(const GridF& intensity, const LithoConfig& config,
+                          GridF& out) {
+  out.resize(intensity.height(), intensity.width());
+  for (std::size_t i = 0; i < intensity.size(); ++i)
+    out[i] =
+        sigmoid(config.theta_z * (intensity[i] - config.intensity_threshold));
 }
 
 GridF resist_derivative(const GridF& response, const LithoConfig& config) {
-  GridF d(response.height(), response.width());
-  for (std::size_t i = 0; i < response.size(); ++i)
-    d[i] = config.theta_z * response[i] * (1.0 - response[i]);
+  GridF d;
+  resist_derivative_into(response, config, d);
   return d;
 }
 
+void resist_derivative_into(const GridF& response, const LithoConfig& config,
+                            GridF& out) {
+  out.resize(response.height(), response.width());
+  for (std::size_t i = 0; i < response.size(); ++i)
+    out[i] = config.theta_z * response[i] * (1.0 - response[i]);
+}
+
 GridF combine_exposures(const GridF& t1, const GridF& t2) {
-  require(t1.same_shape(t2), "combine_exposures: shape mismatch");
-  GridF t(t1.height(), t1.width());
-  for (std::size_t i = 0; i < t.size(); ++i)
-    t[i] = std::min(t1[i] + t2[i], 1.0);
+  GridF t;
+  combine_exposures_into(t1, t2, t);
   return t;
+}
+
+void combine_exposures_into(const GridF& t1, const GridF& t2, GridF& out) {
+  require(t1.same_shape(t2), "combine_exposures: shape mismatch");
+  out.resize(t1.height(), t1.width());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = std::min(t1[i] + t2[i], 1.0);
 }
 
 GridF combine_exposures_n(const std::vector<GridF>& responses) {
-  require(!responses.empty(), "combine_exposures_n: no exposures");
-  GridF t = responses.front();
-  for (std::size_t e = 1; e < responses.size(); ++e) {
-    require(t.same_shape(responses[e]), "combine_exposures_n: shape mismatch");
-    for (std::size_t i = 0; i < t.size(); ++i) t[i] += responses[e][i];
-  }
-  for (std::size_t i = 0; i < t.size(); ++i) t[i] = std::min(t[i], 1.0);
+  GridF t;
+  combine_exposures_n_into(responses, t);
   return t;
 }
 
+void combine_exposures_n_into(const std::vector<GridF>& responses,
+                              GridF& out) {
+  require(!responses.empty(), "combine_exposures_n: no exposures");
+  const GridF& first = responses.front();
+  out.resize(first.height(), first.width());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = first[i];
+  for (std::size_t e = 1; e < responses.size(); ++e) {
+    require(out.same_shape(responses[e]),
+            "combine_exposures_n: shape mismatch");
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += responses[e][i];
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::min(out[i], 1.0);
+}
+
 GridF combine_gradient_mask(const GridF& t1, const GridF& t2) {
-  require(t1.same_shape(t2), "combine_gradient_mask: shape mismatch");
-  GridF mask(t1.height(), t1.width());
-  for (std::size_t i = 0; i < mask.size(); ++i)
-    mask[i] = (t1[i] + t2[i] < 1.0) ? 1.0 : 0.0;
+  GridF mask;
+  combine_gradient_mask_into(t1, t2, mask);
   return mask;
+}
+
+void combine_gradient_mask_into(const GridF& t1, const GridF& t2,
+                                GridF& out) {
+  require(t1.same_shape(t2), "combine_gradient_mask: shape mismatch");
+  out.resize(t1.height(), t1.width());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = (t1[i] + t2[i] < 1.0) ? 1.0 : 0.0;
 }
 
 GridU8 binarize(const GridF& response, double threshold) {

@@ -19,19 +19,30 @@ double sigmoid(double x);
 /// Resist response T = sigmoid(theta_z * (I - I_th)) per pixel.
 GridF resist_response(const GridF& intensity, const LithoConfig& config);
 
+/// Out-param variant: reshapes `out` if needed and fully overwrites it —
+/// allocation-free at steady state. (Same contract for every _into / "out"
+/// overload below; `out` must not alias the inputs.)
+void resist_response_into(const GridF& intensity, const LithoConfig& config,
+                          GridF& out);
+
 /// Derivative dT/dI = theta_z * T * (1 - T) per pixel, given T.
 GridF resist_derivative(const GridF& response, const LithoConfig& config);
+void resist_derivative_into(const GridF& response, const LithoConfig& config,
+                            GridF& out);
 
 /// Double-patterning combination T = min(T1 + T2, 1) (Eq. 3).
 GridF combine_exposures(const GridF& t1, const GridF& t2);
+void combine_exposures_into(const GridF& t1, const GridF& t2, GridF& out);
 
 /// N-exposure generalization for multiple patterning (LELE...LE):
 /// T = min(sum_i T_i, 1). Requires at least one exposure.
 GridF combine_exposures_n(const std::vector<GridF>& responses);
+void combine_exposures_n_into(const std::vector<GridF>& responses, GridF& out);
 
 /// Gradient mask of the min(): 1 where t1 + t2 < 1, else 0. Multiplying
 /// dL/dT by this gives dL/dT_i.
 GridF combine_gradient_mask(const GridF& t1, const GridF& t2);
+void combine_gradient_mask_into(const GridF& t1, const GridF& t2, GridF& out);
 
 /// Binary print: response thresholded at 0.5 (equivalently I at I_th).
 GridU8 binarize(const GridF& response, double threshold = 0.5);

@@ -7,6 +7,7 @@
 #include "litho/resist.h"
 #include "obs/metrics.h"
 #include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
 
 namespace ldmo::litho {
 
@@ -25,29 +26,63 @@ layout::RasterTransform LithoSimulator::transform_for(
 }
 
 GridF LithoSimulator::expose(const GridF& mask) const {
+  GridF out;
+  expose_into(mask, out);
+  return out;
+}
+
+void LithoSimulator::expose_into(const GridF& mask, GridF& out) const {
   // Every aerial+resist simulation of one mask counts here — the
   // denominator of the paper's "simulations the CNN avoided" economy.
   static obs::Counter& exposure_counter = obs::counter("litho.exposures");
   exposure_counter.inc();
-  return resist_response(aerial_.intensity(mask), config_);
+  runtime::PooledGrid<double> intensity =
+      runtime::Workspace::this_thread().grid_f_uninit(config_.grid_size,
+                                                      config_.grid_size);
+  aerial_.intensity(mask, *intensity);  // fully overwrites the scratch
+  resist_response_into(*intensity, config_, out);
 }
 
 GridF LithoSimulator::print(const GridF& mask1, const GridF& mask2) const {
+  GridF out;
+  print_into(mask1, mask2, out);
+  return out;
+}
+
+void LithoSimulator::print_into(const GridF& mask1, const GridF& mask2,
+                                GridF& out) const {
   static obs::Counter& print_counter = obs::counter("litho.prints");
   print_counter.inc();
-  return combine_exposures(expose(mask1), expose(mask2));
+  runtime::Workspace& ws = runtime::Workspace::this_thread();
+  runtime::PooledGrid<double> t1 =
+      ws.grid_f_uninit(config_.grid_size, config_.grid_size);
+  runtime::PooledGrid<double> t2 =
+      ws.grid_f_uninit(config_.grid_size, config_.grid_size);
+  expose_into(mask1, *t1);  // fully overwrites
+  expose_into(mask2, *t2);
+  combine_exposures_into(*t1, *t2, out);
 }
 
 GridF LithoSimulator::print_masks(const std::vector<GridF>& masks) const {
+  std::vector<GridF> responses;
+  GridF out;
+  print_masks_into(masks, responses, out);
+  return out;
+}
+
+void LithoSimulator::print_masks_into(const std::vector<GridF>& masks,
+                                      std::vector<GridF>& responses,
+                                      GridF& out) const {
   require(!masks.empty(), "print_masks: no masks");
   static obs::Counter& print_counter = obs::counter("litho.prints");
   print_counter.inc();
   // Exposures of different masks are independent simulations; indexed
   // slots keep the combine order identical to the serial loop.
-  std::vector<GridF> responses(masks.size());
-  runtime::parallel_for(masks.size(),
-                        [&](std::size_t m) { responses[m] = expose(masks[m]); });
-  return combine_exposures_n(responses);
+  responses.resize(masks.size());
+  runtime::parallel_for(masks.size(), [&](std::size_t m) {
+    expose_into(masks[m], responses[m]);
+  });
+  combine_exposures_n_into(responses, out);
 }
 
 GridF LithoSimulator::print_decomposition(

@@ -51,11 +51,26 @@ class LithoSimulator {
   /// Resist response of a single exposure given its mask grid.
   GridF expose(const GridF& mask) const;
 
+  /// Out-param variant: aerial intensity streams through pooled workspace
+  /// scratch (fields are never materialized) and `out` is reshaped and
+  /// fully overwritten — allocation-free at steady state.
+  void expose_into(const GridF& mask, GridF& out) const;
+
   /// Combined DPL response from two mask grids (Eq. 2 + Eq. 3).
   GridF print(const GridF& mask1, const GridF& mask2) const;
 
+  /// Out-param variant of print (same reuse contract as expose_into).
+  void print_into(const GridF& mask1, const GridF& mask2, GridF& out) const;
+
   /// N-exposure generalization (triple patterning and beyond).
   GridF print_masks(const std::vector<GridF>& masks) const;
+
+  /// Out-param variant over caller scratch: `responses` is resized to
+  /// masks.size() and holds the per-exposure resist responses after
+  /// return; `out` gets the combined print. Reusing both across calls
+  /// makes the k-mask print allocation-free at steady state.
+  void print_masks_into(const std::vector<GridF>& masks,
+                        std::vector<GridF>& responses, GridF& out) const;
 
   /// Prints a decomposition using the raw (un-OPCed) pattern rasters —
   /// what the layout looks like before any mask optimization.

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "nn/gemm.h"
 #include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
 
 namespace ldmo::nn {
 
@@ -100,7 +101,11 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   runtime::parallel_for_chunks(
       static_cast<std::size_t>(N), 1,
       [&](std::size_t n_begin, std::size_t n_end) {
-        std::vector<float> columns(static_cast<std::size_t>(fan_in) * cols);
+        // im2col fully overwrites the buffer, so the worker's pooled
+        // scratch needs no zeroing and is reused across inference calls.
+        runtime::PooledVector<float> columns =
+            runtime::Workspace::this_thread().vec_f32_uninit(
+                static_cast<std::size_t>(fan_in) * cols);
         for (std::size_t n = n_begin; n < n_end; ++n) {
           im2col(input, static_cast<int>(n), columns.data());
           float* out = output.data() + n * out_channels_ * cols;
@@ -127,8 +132,13 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
           "Conv2d::backward: bad gradient shape");
 
   Tensor grad_input(cached_input_.shape());
-  std::vector<float> columns(static_cast<std::size_t>(fan_in) * cols);
-  std::vector<float> grad_columns(columns.size());
+  // Both buffers are fully overwritten per sample (im2col / memset), so
+  // pooled uninitialized scratch is bit-identical to fresh vectors.
+  runtime::Workspace& ws = runtime::Workspace::this_thread();
+  runtime::PooledVector<float> columns =
+      ws.vec_f32_uninit(static_cast<std::size_t>(fan_in) * cols);
+  runtime::PooledVector<float> grad_columns =
+      ws.vec_f32_uninit(columns.size());
   // The sample loop stays serial: every sample accumulates into the shared
   // weight_.grad / bias_.grad, and a per-thread grad copy + ordered merge
   // would not reproduce the serial accumulation order bit-for-bit. The

@@ -40,10 +40,16 @@ IltEngine::IltEngine(const litho::LithoSimulator& simulator, IltConfig config)
 }
 
 GridF IltEngine::mask_of(const GridF& p, double theta_m) const {
-  GridF m(p.height(), p.width());
-  for (std::size_t i = 0; i < p.size(); ++i)
-    m[i] = litho::sigmoid(theta_m * p[i]);
+  GridF m;
+  mask_of_into(p, theta_m, m);
   return m;
+}
+
+void IltEngine::mask_of_into(const GridF& p, double theta_m,
+                             GridF& out) const {
+  out.resize(p.height(), p.width());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    out[i] = litho::sigmoid(theta_m * p[i]);
 }
 
 GridF IltEngine::binarize_parameters(const GridF& p, double threshold) const {
@@ -97,60 +103,68 @@ GridF IltEngine::response_of(const IltState& state) const {
 }
 
 void IltEngine::step(IltState& state, const GridF& target) const {
+  IltScratch scratch;
+  step(state, target, scratch);
+}
+
+void IltEngine::step(IltState& state, const GridF& target,
+                     IltScratch& s) const {
   const litho::LithoConfig& litho_cfg = simulator_.config();
   const litho::AerialSimulator& aerial = simulator_.aerial();
 
-  // Forward pass, retaining per-kernel fields for the adjoint.
-  const GridF m1 = mask_of(state.p1, state.current_theta_m);
-  const GridF m2 = mask_of(state.p2, state.current_theta_m);
-  const litho::AerialFields f1 = aerial.intensity_with_fields(m1);
-  const litho::AerialFields f2 = aerial.intensity_with_fields(m2);
-  const GridF t1 = litho::resist_response(f1.intensity, litho_cfg);
-  const GridF t2 = litho::resist_response(f2.intensity, litho_cfg);
-  const GridF t = litho::combine_exposures(t1, t2);
+  // Forward pass, retaining per-kernel fields for the adjoint. Every
+  // intermediate lands in caller scratch — at steady state (shapes warm
+  // after the first iteration) nothing below allocates.
+  mask_of_into(state.p1, state.current_theta_m, s.m1);
+  mask_of_into(state.p2, state.current_theta_m, s.m2);
+  aerial.intensity_with_fields(s.m1, s.f1);
+  aerial.intensity_with_fields(s.m2, s.f2);
+  litho::resist_response_into(s.f1.intensity, litho_cfg, s.t1);
+  litho::resist_response_into(s.f2.intensity, litho_cfg, s.t2);
+  litho::combine_exposures_into(s.t1, s.t2, s.t);
 
   // Loss and dL/dT = 2 w (T - T') with optional per-pixel edge weights.
   const bool weighted = !state.loss_weights.empty();
   double loss = 0.0;
-  GridF dldt(t.height(), t.width());
-  for (std::size_t i = 0; i < t.size(); ++i) {
+  s.dldt.resize(s.t.height(), s.t.width());
+  for (std::size_t i = 0; i < s.t.size(); ++i) {
     const double w = weighted ? state.loss_weights[i] : 1.0;
-    const double d = t[i] - target[i];
+    const double d = s.t[i] - target[i];
     loss += w * d * d;
-    dldt[i] = 2.0 * w * d;
+    s.dldt[i] = 2.0 * w * d;
   }
   state.last_loss = loss;
 
   // Through the min(): gradient flows only where T1 + T2 < 1.
-  const GridF gate = litho::combine_gradient_mask(t1, t2);
+  litho::combine_gradient_mask_into(s.t1, s.t2, s.gate);
   // Through the resist sigmoid: dT_i/dI_i = theta_z T_i (1 - T_i).
-  const GridF dt1 = litho::resist_derivative(t1, litho_cfg);
-  const GridF dt2 = litho::resist_derivative(t2, litho_cfg);
-  GridF dldi1(t.height(), t.width());
-  GridF dldi2(t.height(), t.width());
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    const double upstream = dldt[i] * gate[i];
-    dldi1[i] = upstream * dt1[i];
-    dldi2[i] = upstream * dt2[i];
+  litho::resist_derivative_into(s.t1, litho_cfg, s.dt1);
+  litho::resist_derivative_into(s.t2, litho_cfg, s.dt2);
+  s.dldi1.resize(s.t.height(), s.t.width());
+  s.dldi2.resize(s.t.height(), s.t.width());
+  for (std::size_t i = 0; i < s.t.size(); ++i) {
+    const double upstream = s.dldt[i] * s.gate[i];
+    s.dldi1[i] = upstream * s.dt1[i];
+    s.dldi2[i] = upstream * s.dt2[i];
   }
 
   // Through the optics (adjoint convolution), then the mask sigmoid.
-  GridF g1 = aerial.backpropagate(dldi1, f1);
-  GridF g2 = aerial.backpropagate(dldi2, f2);
-  for (std::size_t i = 0; i < g1.size(); ++i) {
-    g1[i] *= state.current_theta_m * m1[i] * (1.0 - m1[i]);
-    g2[i] *= state.current_theta_m * m2[i] * (1.0 - m2[i]);
+  aerial.backpropagate(s.dldi1, s.f1, s.g1);
+  aerial.backpropagate(s.dldi2, s.f2, s.g2);
+  for (std::size_t i = 0; i < s.g1.size(); ++i) {
+    s.g1[i] *= state.current_theta_m * s.m1[i] * (1.0 - s.m1[i]);
+    s.g2[i] *= state.current_theta_m * s.m2[i] * (1.0 - s.m2[i]);
   }
 
   // Max-normalized descent: the largest parameter moves exactly
   // current_step, which keeps the update scale-free w.r.t. the loss
   // magnitude and decays geometrically for convergence.
-  const double g_max = std::max(max_abs(g1), max_abs(g2));
+  const double g_max = std::max(max_abs(s.g1), max_abs(s.g2));
   if (g_max > 1e-300) {
     const double scale = state.current_step / g_max;
-    for (std::size_t i = 0; i < g1.size(); ++i) {
-      state.p1[i] -= scale * g1[i];
-      state.p2[i] -= scale * g2[i];
+    for (std::size_t i = 0; i < s.g1.size(); ++i) {
+      state.p1[i] -= scale * s.g1[i];
+      state.p2[i] -= scale * s.g2[i];
     }
   }
   state.current_step *= config_.step_decay;
@@ -187,6 +201,9 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
   IltState state = init_state(layout, assignment);
 
   IltResult result;
+  // One scratch for the whole run: iteration 1 warms every shape, the
+  // remaining ~50 iterations run allocation-free through the pooled paths.
+  IltScratch scratch;
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     if (token.cancelled()) {
       // Wind down without finalizing: the caller is discarding this run.
@@ -196,7 +213,7 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
       span.attr("cancel_iteration", state.iteration);
       return result;
     }
-    step(state, target);
+    step(state, target, scratch);
     iter_counter.inc();
 
     const bool check_now =
@@ -205,7 +222,12 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
         iter + 1 == config_.max_iterations;
     litho::ViolationReport violations;
     if (check_now || record_trajectory) {
-      const GridF response = response_of(state);
+      // Same computation as response_of(state), but reusing the run's
+      // scratch masks/response (step() overwrites them next iteration).
+      mask_of_into(state.p1, state.current_theta_m, scratch.m1);
+      mask_of_into(state.p2, state.current_theta_m, scratch.m2);
+      simulator_.print_into(scratch.m1, scratch.m2, scratch.response);
+      const GridF& response = scratch.response;
       violations = litho::detect_print_violations(
           litho::binarize(response), layout, simulator_.transform_for(layout));
       if (check_now) {

@@ -65,6 +65,23 @@ struct IltState {
   GridF loss_weights;
 };
 
+/// Reusable scratch for step(): every intermediate grid of one gradient
+/// iteration (masks, aerial fields, resist responses, adjoint buffers).
+/// optimize() owns one per run and threads it through all ~50 iterations,
+/// so after the first iteration warms the shapes, the loop performs zero
+/// heap allocations in the pooled paths. All members are plain outputs —
+/// fully overwritten each step — so a default-constructed IltScratch is
+/// always valid input.
+struct IltScratch {
+  GridF m1, m2;                    ///< Eq. 1 continuous masks
+  litho::AerialFields f1, f2;      ///< per-kernel fields for the adjoint
+  GridF t1, t2, t;                 ///< resist responses + combined print
+  GridF dldt, gate, dt1, dt2;      ///< loss/resist derivative chain
+  GridF dldi1, dldi2;              ///< dL/dI per exposure
+  GridF g1, g2;                    ///< parameter gradients
+  GridF response;                  ///< violation-check / trajectory print
+};
+
 /// Per-iteration metrology snapshot (drives Fig. 1(b) trajectories).
 struct IltIterationStats {
   int iteration = 0;
@@ -105,6 +122,11 @@ class IltEngine {
   /// before the update lands in state.last_loss).
   void step(IltState& state, const GridF& target) const;
 
+  /// Scratch-reusing variant: identical arithmetic, but all intermediates
+  /// live in `scratch` so repeated calls with the same shapes allocate
+  /// nothing. The convenience overload above is a thin wrapper over this.
+  void step(IltState& state, const GridF& target, IltScratch& scratch) const;
+
   /// Current continuous-mask response without updating (for evaluation).
   GridF response_of(const IltState& state) const;
 
@@ -140,6 +162,8 @@ class IltEngine {
 
  private:
   GridF mask_of(const GridF& p, double theta_m) const;  ///< Eq. 1 sigmoid
+  /// Out-param Eq. 1 sigmoid: reshapes and fully overwrites `out`.
+  void mask_of_into(const GridF& p, double theta_m, GridF& out) const;
 
   const litho::LithoSimulator& simulator_;
   IltConfig config_;

@@ -7,6 +7,7 @@
 #include "layout/raster.h"
 #include "litho/resist.h"
 #include "runtime/parallel_for.h"
+#include "runtime/workspace.h"
 
 namespace ldmo::opc {
 namespace {
@@ -33,10 +34,16 @@ MplIltEngine::MplIltEngine(const litho::LithoSimulator& simulator,
 }
 
 GridF MplIltEngine::mask_of(const GridF& p, double theta_m) const {
-  GridF m(p.height(), p.width());
-  for (std::size_t i = 0; i < p.size(); ++i)
-    m[i] = litho::sigmoid(theta_m * p[i]);
+  GridF m;
+  mask_of_into(p, theta_m, m);
   return m;
+}
+
+void MplIltEngine::mask_of_into(const GridF& p, double theta_m,
+                                GridF& out) const {
+  out.resize(p.height(), p.width());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    out[i] = litho::sigmoid(theta_m * p[i]);
 }
 
 MplIltState MplIltEngine::init_state(
@@ -73,32 +80,42 @@ GridF MplIltEngine::response_of(const MplIltState& state) const {
 }
 
 void MplIltEngine::step(MplIltState& state, const GridF& target) const {
+  MplIltScratch scratch;
+  step(state, target, scratch);
+}
+
+void MplIltEngine::step(MplIltState& state, const GridF& target,
+                        MplIltScratch& s) const {
   const litho::LithoConfig& litho_cfg = simulator_.config();
   const litho::AerialSimulator& aerial = simulator_.aerial();
-  const int k = mask_count_;
+  const std::size_t k = static_cast<std::size_t>(mask_count_);
 
   // Forward pass per mask, retaining the fields for the adjoint. Masks are
-  // independent simulations writing indexed slots, so they run as parallel
-  // tasks with results identical to the serial loop.
-  std::vector<GridF> masks(static_cast<std::size_t>(k));
-  std::vector<litho::AerialFields> fields(static_cast<std::size_t>(k));
-  std::vector<GridF> responses(static_cast<std::size_t>(k));
-  runtime::parallel_for(static_cast<std::size_t>(k), [&](std::size_t m) {
-    masks[m] = mask_of(state.p[m], state.current_theta_m);
-    fields[m] = aerial.intensity_with_fields(masks[m]);
-    responses[m] = litho::resist_response(fields[m].intensity, litho_cfg);
+  // independent simulations writing indexed scratch slots, so they run as
+  // parallel tasks with results identical to the serial loop; transient
+  // per-mask derivative buffers come from each worker's thread workspace.
+  s.masks.resize(k);
+  s.fields.resize(k);
+  s.responses.resize(k);
+  s.grads.resize(k);
+  runtime::parallel_for(k, [&](std::size_t m) {
+    mask_of_into(state.p[m], state.current_theta_m, s.masks[m]);
+    aerial.intensity_with_fields(s.masks[m], s.fields[m]);
+    litho::resist_response_into(s.fields[m].intensity, litho_cfg,
+                                s.responses[m]);
   });
-  const GridF t = litho::combine_exposures_n(responses);
+  litho::combine_exposures_n_into(s.responses, s.t);
+  const GridF& t = s.t;
 
   double loss = 0.0;
-  GridF upstream(t.height(), t.width());
+  s.upstream.resize(t.height(), t.width());
   for (std::size_t i = 0; i < t.size(); ++i) {
     const double d = t[i] - target[i];
     loss += d * d;
     // Gradient of min(sum, 1): flows only where the sum is unsaturated.
     double total = 0.0;
-    for (const GridF& r : responses) total += r[i];
-    upstream[i] = total < 1.0 ? 2.0 * d : 0.0;
+    for (const GridF& r : s.responses) total += r[i];
+    s.upstream[i] = total < 1.0 ? 2.0 * d : 0.0;
   }
   state.last_loss = loss;
 
@@ -107,27 +124,27 @@ void MplIltEngine::step(MplIltState& state, const GridF& target) const {
   // adjoints fill indexed slots in parallel; g_max folds serially in mask
   // order afterwards (max is order-independent, the fold just keeps the
   // structure uniform with the rest of the deterministic call sites).
-  std::vector<GridF> grads(static_cast<std::size_t>(k));
-  runtime::parallel_for(static_cast<std::size_t>(k), [&](std::size_t m) {
-    const GridF dt = litho::resist_derivative(responses[m], litho_cfg);
-    GridF dldi(t.height(), t.width());
+  runtime::parallel_for(k, [&](std::size_t m) {
+    runtime::Workspace& ws = runtime::Workspace::this_thread();
+    runtime::PooledGrid<double> dt =
+        ws.grid_f_uninit(t.height(), t.width());  // fully overwritten
+    litho::resist_derivative_into(s.responses[m], litho_cfg, *dt);
+    runtime::PooledGrid<double> dldi =
+        ws.grid_f_uninit(t.height(), t.width());
     for (std::size_t i = 0; i < t.size(); ++i)
-      dldi[i] = upstream[i] * dt[i];
-    GridF g = aerial.backpropagate(dldi, fields[m]);
-    const GridF& mask = masks[m];
-    for (std::size_t i = 0; i < g.size(); ++i)
-      g[i] *= state.current_theta_m * mask[i] * (1.0 - mask[i]);
-    grads[m] = std::move(g);
+      (*dldi)[i] = s.upstream[i] * (*dt)[i];
+    aerial.backpropagate(*dldi, s.fields[m], s.grads[m]);
+    const GridF& mask = s.masks[m];
+    for (std::size_t i = 0; i < s.grads[m].size(); ++i)
+      s.grads[m][i] *= state.current_theta_m * mask[i] * (1.0 - mask[i]);
   });
   double g_max = 0.0;
-  for (const GridF& g : grads) g_max = std::max(g_max, max_abs(g));
+  for (const GridF& g : s.grads) g_max = std::max(g_max, max_abs(g));
   if (g_max > 1e-300) {
     const double scale = state.current_step / g_max;
-    for (int m = 0; m < k; ++m)
-      for (std::size_t i = 0; i < grads[static_cast<std::size_t>(m)].size();
-           ++i)
-        state.p[static_cast<std::size_t>(m)][i] -=
-            scale * grads[static_cast<std::size_t>(m)][i];
+    for (std::size_t m = 0; m < k; ++m)
+      for (std::size_t i = 0; i < s.grads[m].size(); ++i)
+        state.p[m][i] -= scale * s.grads[m][i];
   }
   state.current_step *= config_.step_decay;
   state.current_theta_m *= config_.theta_m_anneal;
@@ -186,19 +203,27 @@ MplIltResult MplIltEngine::optimize(const layout::Layout& layout,
   MplIltState state = init_state(layout, assignment);
 
   MplIltResult result;
+  // One scratch for the whole run (see IltEngine::optimize).
+  MplIltScratch scratch;
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     if (token.cancelled()) {
       result.cancelled = true;
       return result;
     }
-    step(state, target);
+    step(state, target, scratch);
     const bool check_now =
         (iter + 1 > config_.violation_check_warmup &&
          (iter + 1) % config_.violation_check_interval == 0) ||
         iter + 1 == config_.max_iterations;
     litho::ViolationReport violations;
     if (check_now || record_trajectory) {
-      const GridF response = response_of(state);
+      // Same computation as response_of(state) through the run scratch
+      // (step() overwrites these buffers next iteration anyway).
+      for (std::size_t m = 0; m < state.p.size(); ++m)
+        mask_of_into(state.p[m], state.current_theta_m, scratch.masks[m]);
+      simulator_.print_masks_into(scratch.masks, scratch.responses,
+                                  scratch.response);
+      const GridF& response = scratch.response;
       violations = litho::detect_print_violations(
           litho::binarize(response), layout, simulator_.transform_for(layout));
       if (record_trajectory) {

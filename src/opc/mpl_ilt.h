@@ -24,6 +24,20 @@ struct MplIltState {
   double last_loss = 0.0;
 };
 
+/// Reusable per-run scratch for the k-mask step (cf. IltScratch): per-mask
+/// forward/adjoint buffers plus the combined print. optimize() threads one
+/// instance through all iterations so the steady-state loop stays
+/// allocation-free in the pooled paths.
+struct MplIltScratch {
+  std::vector<GridF> masks;                ///< Eq. 1 continuous masks
+  std::vector<litho::AerialFields> fields; ///< per-mask kernel fields
+  std::vector<GridF> responses;            ///< per-exposure resist responses
+  std::vector<GridF> grads;                ///< per-mask parameter gradients
+  GridF t;                                 ///< combined print
+  GridF upstream;                          ///< dL/dT through the min() gate
+  GridF response;                          ///< violation-check print
+};
+
 /// Final result of a k-mask optimization.
 struct MplIltResult {
   std::vector<GridF> masks;  ///< binarized final masks
@@ -53,6 +67,10 @@ class MplIltEngine {
   /// One gradient-descent iteration.
   void step(MplIltState& state, const GridF& target) const;
 
+  /// Scratch-reusing variant (identical arithmetic; see IltEngine::step).
+  void step(MplIltState& state, const GridF& target,
+            MplIltScratch& scratch) const;
+
   /// Combined continuous-mask response of the current state.
   GridF response_of(const MplIltState& state) const;
 
@@ -70,6 +88,7 @@ class MplIltEngine {
 
  private:
   GridF mask_of(const GridF& p, double theta_m) const;
+  void mask_of_into(const GridF& p, double theta_m, GridF& out) const;
 
   const litho::LithoSimulator& simulator_;
   int mask_count_;

@@ -2,13 +2,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "core/baseline_flows.h"
+#include "core/flow_engine.h"
 #include "core/ldmo_flow.h"
 #include "core/predictor.h"
 #include "layout/generator.h"
 #include "mpl/baselines.h"
+#include "obs/json.h"
 
 namespace ldmo::core {
 namespace {
@@ -157,6 +162,87 @@ TEST(LdmoFlowTest, OraclePredictorBeatsAdversarialOracle) {
   const LdmoResult bad_result =
       LdmoFlow(shared_simulator(), bad, config).run(l);
   EXPECT_LE(good_result.ilt.report.score(), bad_result.ilt.report.score());
+}
+
+TEST(FlowEngineTest, RunMatchesTheLdmoFlowShimBitwise) {
+  // FlowEngine owns its own simulator/predictor stack, but the kernels
+  // come from the process cache and the pipeline is the same free
+  // function, so a session run must reproduce the shim bit-for-bit.
+  const layout::Layout l = test_layout();
+  FlowEngineConfig config;
+  config.litho = fast_litho();
+  config.flow.ilt = fast_ilt();
+  FlowEngine engine(config);
+  const LdmoResult session_result = engine.run(l);
+
+  RawPrintPredictor raw(shared_simulator());
+  LdmoFlow shim(shared_simulator(), raw, config.flow);
+  const LdmoResult shim_result = shim.run(l);
+
+  EXPECT_EQ(session_result.chosen, shim_result.chosen);
+  ASSERT_TRUE(session_result.ilt.mask1.same_shape(shim_result.ilt.mask1));
+  for (std::size_t i = 0; i < session_result.ilt.mask1.size(); ++i) {
+    EXPECT_EQ(session_result.ilt.mask1[i], shim_result.ilt.mask1[i]);
+    EXPECT_EQ(session_result.ilt.mask2[i], shim_result.ilt.mask2[i]);
+  }
+  EXPECT_EQ(session_result.ilt.report.score(),
+            shim_result.ilt.report.score());
+}
+
+TEST(FlowEngineTest, RunManyAccumulatesSessionStats) {
+  FlowEngineConfig config;
+  config.litho = fast_litho();
+  config.flow.ilt = fast_ilt();
+  FlowEngine engine(config);
+  engine.warmup();  // must not count as a run
+  EXPECT_EQ(engine.session().runs, 0);
+
+  const std::vector<layout::Layout> layouts = {test_layout(9),
+                                               test_layout(31)};
+  const std::vector<LdmoResult> results = engine.run_many(layouts);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(engine.session().runs, 2);
+  ASSERT_EQ(engine.session().history.size(), 2u);
+  EXPECT_EQ(engine.session().history[0].layout, layouts[0].name);
+  EXPECT_GT(engine.session().total_seconds, 0.0);
+  EXPECT_GE(engine.session().candidates_generated, 2);
+  EXPECT_GE(engine.session().candidates_tried, 2);
+  EXPECT_EQ(engine.session().history[1].candidates_tried,
+            results[1].candidates_tried);
+}
+
+TEST(FlowEngineTest, SessionReportCarriesHistoryAndWorkspaceGauges) {
+  FlowEngineConfig config;
+  config.litho = fast_litho();
+  config.flow.ilt = fast_ilt();
+  FlowEngine engine(config);
+  (void)engine.run(test_layout());
+
+  const obs::JsonValue doc = obs::parse_json(engine.session_report().to_json());
+  const obs::JsonValue* session = doc.find("session");
+  ASSERT_NE(session, nullptr);
+  ASSERT_NE(session->find("runs"), nullptr);
+  EXPECT_EQ(session->find("runs")->number, 1.0);
+  ASSERT_NE(session->find("history"), nullptr);
+  ASSERT_EQ(session->find("history")->array.size(), 1u);
+  // Pool gauges were published into the metric snapshot by the report.
+  const obs::JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::JsonValue* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("workspace.pooled_bytes"), nullptr);
+  EXPECT_GT(gauges->find("workspace.pooled_bytes")->number, 0.0);
+}
+
+TEST(FlowEngineTest, AdoptsCallerPredictor) {
+  FlowEngineConfig config;
+  config.litho = fast_litho();
+  config.flow.ilt = fast_ilt();
+  auto counting = std::make_unique<CountingPredictor>();
+  CountingPredictor* counting_raw = counting.get();
+  FlowEngine engine(config, std::move(counting));
+  const LdmoResult result = engine.run(test_layout());
+  EXPECT_EQ(counting_raw->calls, result.candidates_generated);
 }
 
 TEST(TwoStageFlowTest, RunsBothBaselineDecomposers) {

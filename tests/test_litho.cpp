@@ -433,6 +433,80 @@ TEST(Aerial, GradientMatchesFiniteDifference) {
   }
 }
 
+TEST(Aerial, IntensityOnlyPathIsBitIdenticalToFieldsPath) {
+  // The streaming intensity-only overload (no AerialFields materialized)
+  // must reproduce the fields path bit-for-bit — it is what expose() and
+  // the flow's violation checks run on.
+  const LithoConfig cfg = test_config();
+  AerialSimulator aerial(cached_kernels(cfg));
+  const int n = cfg.grid_size;
+  Rng rng(123);
+  GridF mask(n, n, 0.0);
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = rng.uniform();
+
+  const AerialFields fields = aerial.intensity_with_fields(mask);
+  GridF streamed;
+  aerial.intensity(mask, streamed);
+  ASSERT_TRUE(streamed.same_shape(fields.intensity));
+  for (std::size_t i = 0; i < streamed.size(); ++i)
+    EXPECT_EQ(streamed[i], fields.intensity[i]) << "pixel " << i;
+}
+
+TEST(Aerial, OutParamOverloadsReuseWarmBuffersBitIdentically) {
+  const LithoConfig cfg = test_config();
+  AerialSimulator aerial(cached_kernels(cfg));
+  const int n = cfg.grid_size;
+  Rng rng(321);
+  GridF mask(n, n, 0.0);
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = rng.uniform();
+
+  const AerialFields once = aerial.intensity_with_fields(mask);
+  AerialFields reused;
+  aerial.intensity_with_fields(mask, reused);  // cold fill
+  aerial.intensity_with_fields(mask, reused);  // warm refill, same storage
+  ASSERT_EQ(reused.fields.size(), once.fields.size());
+  for (std::size_t i = 0; i < once.intensity.size(); ++i)
+    EXPECT_EQ(reused.intensity[i], once.intensity[i]);
+
+  const GridF grad_once = aerial.backpropagate(once.intensity, once);
+  GridF grad_reused;
+  aerial.backpropagate(reused.intensity, reused, grad_reused);
+  aerial.backpropagate(reused.intensity, reused, grad_reused);
+  for (std::size_t i = 0; i < grad_once.size(); ++i)
+    EXPECT_EQ(grad_reused[i], grad_once[i]);
+}
+
+TEST(Simulator, ExposeAndPrintOutParamsMatchValueOverloads) {
+  const LithoSimulator sim(test_config());
+  const int n = sim.grid_size();
+  Rng rng(456);
+  GridF m1(n, n, 0.0), m2(n, n, 0.0);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    m1[i] = rng.uniform();
+    m2[i] = rng.uniform();
+  }
+  const GridF exposed = sim.expose(m1);
+  GridF exposed_into;
+  sim.expose_into(m1, exposed_into);
+  sim.expose_into(m1, exposed_into);  // warm second pass
+  for (std::size_t i = 0; i < exposed.size(); ++i)
+    EXPECT_EQ(exposed_into[i], exposed[i]);
+
+  const GridF printed = sim.print(m1, m2);
+  GridF printed_into;
+  sim.print_into(m1, m2, printed_into);
+  for (std::size_t i = 0; i < printed.size(); ++i)
+    EXPECT_EQ(printed_into[i], printed[i]);
+
+  std::vector<GridF> responses;
+  GridF multi;
+  sim.print_masks_into({m1, m2}, responses, multi);
+  const GridF multi_value = sim.print_masks({m1, m2});
+  ASSERT_EQ(responses.size(), 2u);
+  for (std::size_t i = 0; i < multi.size(); ++i)
+    EXPECT_EQ(multi[i], multi_value[i]);
+}
+
 // ---------------------------------------------------------------- resist --
 
 TEST(Resist, SigmoidBasics) {

@@ -83,6 +83,29 @@ TEST(IltStep, LossDecreasesOverOptimization) {
   EXPECT_LT(state.last_loss, first_loss);
 }
 
+TEST(IltStep, ScratchOverloadIsBitIdenticalToWrapper) {
+  // The pooled/scratch step must reproduce the allocation-per-call wrapper
+  // exactly — the PR-2 determinism contract extended to the workspace layer.
+  IltEngine engine(shared_simulator());
+  const layout::Layout l = contact_pair(110);
+  const GridF target =
+      layout::rasterize_target(l, shared_simulator().grid_size());
+  IltState plain = engine.init_state(l, {0, 1});
+  IltState pooled = engine.init_state(l, {0, 1});
+  IltScratch scratch;
+  for (int i = 0; i < 4; ++i) {
+    engine.step(plain, target);
+    engine.step(pooled, target, scratch);
+    ASSERT_EQ(pooled.last_loss, plain.last_loss) << "iteration " << i;
+    EXPECT_EQ(pooled.current_step, plain.current_step);
+    EXPECT_EQ(pooled.current_theta_m, plain.current_theta_m);
+    for (std::size_t j = 0; j < plain.p1.size(); ++j) {
+      ASSERT_EQ(pooled.p1[j], plain.p1[j]) << "iteration " << i;
+      ASSERT_EQ(pooled.p2[j], plain.p2[j]) << "iteration " << i;
+    }
+  }
+}
+
 TEST(IltOptimize, IsolatedContactConverges) {
   IltEngine engine(shared_simulator());
   const layout::Layout l = isolated_contact();

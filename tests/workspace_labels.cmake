@@ -1,0 +1,6 @@
+# Included by ctest (TEST_INCLUDE_FILES) after gtest discovery populated
+# test_workspace_TESTS. Discovery can only attach a single label — it
+# flattens list-valued PROPERTIES — so the full label set lives here.
+foreach(t IN LISTS test_workspace_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "sanitize;alloc")
+endforeach()
