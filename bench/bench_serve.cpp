@@ -1,0 +1,186 @@
+// Serving-layer load experiment: cold vs warm-cache throughput and the
+// effect of cross-request inference batching.
+//
+// Four closed-loop passes over the same request mix (N requests drawn
+// round-robin from K unique layouts, C concurrent clients):
+//
+//   cold          fresh server, caches on, batching on
+//   warm          SAME server, second pass — every layout now hits the
+//                 result cache (the ISSUE-4 acceptance: warm >= 5x cold)
+//   cold-nobatch  fresh server, caches on, batching off (batching delta)
+//   cold-nocache  fresh server, caches off (steady-state compute floor)
+//
+// Output: one table row per pass (throughput, p50/p95/p99, per-status
+// counts, cache hits) on stdout — redirect to bench/reports/serve_*.txt —
+// plus bench_serve_report.json with the serve.cache.* / serve.batch.* /
+// queue-depth metrics of the final pass.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "layout/generator.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "runtime/thread_pool.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace ldmo;
+
+constexpr int kRequests = 24;
+constexpr int kUnique = 6;
+constexpr int kClients = 6;
+constexpr int kDispatchers = 3;
+
+/// Serving-tier lithography model: 32 px at 32nm covers the generator's
+/// 1024nm clip at interactive latency (the experiment-grade 128-px model
+/// is for the paper-reproduction benches, not load tests).
+litho::LithoConfig serve_litho() {
+  litho::LithoConfig cfg;
+  cfg.grid_size = 32;
+  cfg.pixel_nm = 32.0;
+  return cfg;
+}
+
+struct PassStats {
+  std::string name;
+  double seconds = 0.0;
+  double throughput = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  long long ok = 0, cached = 0;
+  long long cache_hits = 0;
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::size_t index = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[std::min(index - 1, sorted.size() - 1)];
+}
+
+/// One closed-loop pass of the standard request mix against `server`.
+PassStats run_pass(serve::Server& server, const std::string& name,
+                   const std::vector<layout::Layout>& pool) {
+  const long long ok_before =
+      server.status_count(serve::ServeStatus::kOk);
+  const long long cached_before =
+      server.status_count(serve::ServeStatus::kCached);
+
+  std::atomic<int> next{0};
+  std::mutex mu;
+  std::vector<double> latencies;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= kRequests) return;
+        serve::ServeRequest request;
+        request.layout = pool[static_cast<std::size_t>(i % kUnique)];
+        serve::ServeResponse response =
+            server.submit(std::move(request)).response.get();
+        if (response.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          latencies.push_back(response.total_seconds);
+        }
+      }
+    });
+  for (std::thread& t : clients) t.join();
+
+  PassStats stats;
+  stats.name = name;
+  stats.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  stats.throughput = static_cast<double>(kRequests) / stats.seconds;
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50 = percentile(latencies, 0.50);
+  stats.p95 = percentile(latencies, 0.95);
+  stats.p99 = percentile(latencies, 0.99);
+  stats.ok = server.status_count(serve::ServeStatus::kOk) - ok_before;
+  stats.cached =
+      server.status_count(serve::ServeStatus::kCached) - cached_before;
+  return stats;
+}
+
+serve::ServeConfig make_config(bool cache, bool batch) {
+  serve::ServeConfig cfg;
+  cfg.engine.litho = serve_litho();
+  cfg.dispatchers = kDispatchers;
+  cfg.queue_capacity = kRequests;
+  cfg.overflow = serve::OverflowPolicy::kBlock;
+  cfg.batcher.enabled = batch;
+  cfg.result_cache.enabled = cache;
+  cfg.score_cache.enabled = cache;
+  return cfg;
+}
+
+void print_row(const PassStats& s) {
+  std::printf("%-13s %8.2f req/s  p50 %7.3fs  p95 %7.3fs  p99 %7.3fs  "
+              "ok %3lld  cached %3lld\n",
+              s.name.c_str(), s.throughput, s.p50, s.p95, s.p99, s.ok,
+              s.cached);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::apply_threads_flag(argc, argv);
+  bench::BenchReport report("bench_serve");
+  report.meta("requests", std::to_string(kRequests));
+  report.meta("unique_layouts", std::to_string(kUnique));
+  report.meta("clients", std::to_string(kClients));
+  report.meta("dispatchers", std::to_string(kDispatchers));
+
+  layout::LayoutGenerator generator;
+  std::vector<layout::Layout> pool;
+  pool.reserve(kUnique);
+  for (int k = 0; k < kUnique; ++k)
+    pool.push_back(generator.generate(9000 + static_cast<std::uint64_t>(k)));
+
+  std::printf("bench_serve: %d requests (%d unique layouts), %d clients, "
+              "%d dispatchers\n\n",
+              kRequests, kUnique, kClients, kDispatchers);
+
+  std::vector<PassStats> rows;
+  {
+    // Cold then warm against the SAME server: pass 2 re-requests the same
+    // layouts, so the result cache answers everything.
+    serve::Server server(make_config(/*cache=*/true, /*batch=*/true));
+    rows.push_back(run_pass(server, "cold", pool));
+    print_row(rows.back());
+    rows.push_back(run_pass(server, "warm", pool));
+    rows.back().cache_hits =
+        obs::counter("serve.cache.hits").value();
+    print_row(rows.back());
+    server.shutdown();
+  }
+  {
+    serve::Server server(make_config(/*cache=*/true, /*batch=*/false));
+    rows.push_back(run_pass(server, "cold-nobatch", pool));
+    print_row(rows.back());
+    server.shutdown();
+  }
+  {
+    serve::Server server(make_config(/*cache=*/false, /*batch=*/true));
+    rows.push_back(run_pass(server, "cold-nocache", pool));
+    print_row(rows.back());
+    server.shutdown();
+  }
+
+  const double speedup = rows[1].throughput / rows[0].throughput;
+  std::printf("\nwarm/cold throughput ratio: %.1fx (acceptance: >= 5x)\n",
+              speedup);
+  report.meta("warm_cold_speedup", std::to_string(speedup));
+  return speedup >= 5.0 ? 0 : 1;
+}

@@ -15,15 +15,20 @@
 // All subcommands use the quick 64-pixel lithography model so they respond
 // in seconds; the benches use the experiment-grade 128-pixel model.
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.h"
+#include "common/timer.h"
 #include "core/baseline_flows.h"
 #include "core/ldmo_flow.h"
 #include "core/predictor.h"
@@ -34,6 +39,7 @@
 #include "mpl/decomposition_generator.h"
 #include "obs/report.h"
 #include "runtime/thread_pool.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -55,6 +61,11 @@ int usage() {
                "                    [--report OUT.json] [--log-level LEVEL]\n"
                "                    [--threads N]\n"
                "  ldmo_cli validate-report FILE.json\n"
+               "  ldmo_cli serve-bench [--requests N] [--unique K]\n"
+               "                    [--clients C] [--dispatchers D]\n"
+               "                    [--deadline-ms MS] [--no-cache]\n"
+               "                    [--no-batch] [--report OUT.json]\n"
+               "                    [--threads N]\n"
                "\n"
                "LEVEL: debug|info|warn|error|off (also honored from the\n"
                "LDMO_LOG_LEVEL environment variable)\n"
@@ -72,6 +83,12 @@ const char* flag_value(int argc, char** argv, const char* name,
       return argv[i + 1];
     }
   return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
 }
 
 void apply_log_level_flag(int argc, char** argv) {
@@ -311,6 +328,113 @@ int cmd_validate_report(int argc, char** argv) {
   return 0;
 }
 
+// Closed-loop load generator over the serving layer: C client threads
+// submit N requests drawn round-robin from K unique layouts, so every
+// layout past the first K rounds through the content-addressed result
+// cache. Reports per-status counts, throughput and ok/cached latency
+// percentiles; --report writes the server's run report (serve.cache.*,
+// serve.batch.*, queue depth, percentiles) as JSON.
+int cmd_serve_bench(int argc, char** argv) {
+  const int requests =
+      std::atoi(flag_value(argc, argv, "--requests", "24"));
+  const int unique = std::atoi(flag_value(argc, argv, "--unique", "6"));
+  const int clients = std::atoi(flag_value(argc, argv, "--clients", "4"));
+  const int dispatchers =
+      std::atoi(flag_value(argc, argv, "--dispatchers", "2"));
+  const double deadline_ms =
+      std::atof(flag_value(argc, argv, "--deadline-ms", "0"));
+  const char* report_path = flag_value(argc, argv, "--report", nullptr);
+  if (requests < 1 || unique < 1 || clients < 1) return usage();
+
+  obs::registry().reset();
+  if (report_path) {
+    obs::set_tracing_enabled(true);
+    obs::tracer().clear();
+  }
+
+  serve::ServeConfig cfg;
+  cfg.engine.litho = cli_litho();
+  cfg.dispatchers = dispatchers;
+  cfg.queue_capacity =
+      std::max<std::size_t>(64, static_cast<std::size_t>(requests));
+  // Closed-loop clients must not lose requests to backpressure.
+  cfg.overflow = serve::OverflowPolicy::kBlock;
+  cfg.batcher.enabled = !flag_present(argc, argv, "--no-batch");
+  const bool cache_on = !flag_present(argc, argv, "--no-cache");
+  cfg.result_cache.enabled = cache_on;
+  cfg.score_cache.enabled = cache_on;
+  serve::Server server(cfg);
+
+  layout::LayoutGenerator generator;
+  std::vector<layout::Layout> pool;
+  pool.reserve(static_cast<std::size_t>(unique));
+  for (int k = 0; k < unique; ++k)
+    pool.push_back(generator.generate(9000 + static_cast<std::uint64_t>(k)));
+
+  std::atomic<int> next{0};
+  std::mutex responses_mu;
+  std::vector<serve::ServeResponse> responses;
+  responses.reserve(static_cast<std::size_t>(requests));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    workers.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= requests) return;
+        serve::ServeRequest request;
+        request.layout = pool[static_cast<std::size_t>(i % unique)];
+        request.deadline_seconds = deadline_ms / 1000.0;
+        serve::RequestTicket ticket = server.submit(std::move(request));
+        serve::ServeResponse response = ticket.response.get();
+        std::lock_guard<std::mutex> lock(responses_mu);
+        responses.push_back(std::move(response));
+      }
+    });
+  for (std::thread& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> latencies;
+  for (const serve::ServeResponse& r : responses)
+    if (r.ok()) latencies.push_back(r.total_seconds);
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    std::size_t index = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(latencies.size()))));
+    return latencies[std::min(index - 1, latencies.size() - 1)];
+  };
+
+  std::printf("serve-bench: %d requests (%d unique), %d clients, "
+              "%d dispatchers, cache %s, batching %s\n",
+              requests, unique, clients, dispatchers,
+              cache_on ? "on" : "off",
+              cfg.batcher.enabled ? "on" : "off");
+  for (int s = 0; s < 5; ++s) {
+    const serve::ServeStatus status = static_cast<serve::ServeStatus>(s);
+    std::printf("  %-10s %lld\n", serve::status_name(status),
+                server.status_count(status));
+  }
+  std::printf("  throughput %.2f req/s  p50 %.3fs  p95 %.3fs  p99 %.3fs\n",
+              static_cast<double>(requests) / elapsed, pct(0.50), pct(0.95),
+              pct(0.99));
+
+  if (report_path) {
+    runtime::publish_metrics();
+    obs::RunReport report = server.report();
+    report.meta("requests", std::to_string(requests));
+    report.meta("unique_layouts", std::to_string(unique));
+    report.meta("clients", std::to_string(clients));
+    report.write(report_path);
+    std::printf("wrote run report %s\n", report_path);
+  }
+  server.shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -323,6 +447,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
     if (std::strcmp(argv[1], "validate-report") == 0)
       return cmd_validate_report(argc, argv);
+    if (std::strcmp(argv[1], "serve-bench") == 0)
+      return cmd_serve_bench(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,38 @@
+#include "common/hash.h"
+
+#include <bit>
+
+namespace ldmo::common {
+
+Fnv1a& Fnv1a::bytes(const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = state_;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= kFnv1aPrime;
+  }
+  state_ = h;
+  return *this;
+}
+
+Fnv1a& Fnv1a::u64(std::uint64_t v) {
+  unsigned char le[8];
+  for (int i = 0; i < 8; ++i)
+    le[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xffu);
+  return bytes(le, sizeof(le));
+}
+
+Fnv1a& Fnv1a::f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+Fnv1a& Fnv1a::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  return Fnv1a().bytes(data, len).digest();
+}
+
+std::uint64_t fnv1a(std::string_view s) { return fnv1a(s.data(), s.size()); }
+
+}  // namespace ldmo::common

@@ -21,9 +21,14 @@ FlowEngine::FlowEngine(FlowEngineConfig config,
     predictor_ = std::make_unique<RawPrintPredictor>(simulator_);
 }
 
-LdmoResult FlowEngine::run(const layout::Layout& layout) {
+LdmoResult FlowEngine::run(const layout::Layout& layout,
+                           runtime::CancellationToken token) {
   LdmoResult result = run_ldmo_flow(engine_, *predictor_, config_.flow,
-                                    layout);
+                                    layout, token);
+  if (result.cancelled) {
+    session_.cancelled_runs += 1;
+    return result;
+  }
   session_.runs += 1;
   session_.total_seconds += result.total_seconds;
   session_.candidates_generated += result.candidates_generated;
@@ -35,7 +40,8 @@ LdmoResult FlowEngine::run(const layout::Layout& layout) {
 }
 
 std::vector<LdmoResult> FlowEngine::run_many(
-    const std::vector<layout::Layout>& layouts) {
+    const std::vector<layout::Layout>& layouts,
+    runtime::CancellationToken token) {
   obs::Span span("flow_engine.run_many");
   span.attr("layouts", static_cast<double>(layouts.size()));
   std::vector<LdmoResult> results;
@@ -43,8 +49,16 @@ std::vector<LdmoResult> FlowEngine::run_many(
   // Serial over layouts: each run saturates the pool with its own
   // speculative ILT attempts, and the session history stays in input
   // order. Thread workspaces warmed by run i serve run i+1 for free.
-  for (const layout::Layout& layout : layouts)
-    results.push_back(run(layout));
+  // Cancellation stops the batch between runs; a run cancelled in flight
+  // is dropped so every returned result carries finalized masks.
+  for (const layout::Layout& layout : layouts) {
+    if (token.cancelled()) break;
+    LdmoResult result = run(layout, token);
+    if (result.cancelled) break;
+    results.push_back(std::move(result));
+  }
+  span.attr("completed", static_cast<double>(results.size()));
+  span.attr("cancelled", results.size() < layouts.size() ? 1.0 : 0.0);
   return results;
 }
 
@@ -64,6 +78,7 @@ obs::RunReport FlowEngine::session_report() const {
   report.section("session", [stats = session_](obs::JsonWriter& w) {
     w.begin_object();
     w.kv("runs", stats.runs);
+    w.kv("cancelled_runs", stats.cancelled_runs);
     w.kv("total_seconds", stats.total_seconds);
     w.kv("candidates_generated", stats.candidates_generated);
     w.kv("candidates_tried", stats.candidates_tried);

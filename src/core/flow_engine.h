@@ -40,6 +40,7 @@ class FlowEngine {
   /// Aggregates over every run() of this engine.
   struct SessionStats {
     int runs = 0;
+    int cancelled_runs = 0;  ///< token-cancelled runs (not in history)
     double total_seconds = 0.0;
     long long candidates_generated = 0;
     long long candidates_tried = 0;
@@ -60,12 +61,20 @@ class FlowEngine {
   PrintabilityPredictor& predictor() { return *predictor_; }
 
   /// One end-to-end LDMO run (generation -> prediction -> ILT), recorded
-  /// in the session stats.
-  LdmoResult run(const layout::Layout& layout);
+  /// in the session stats. `token` (optional) cancels cooperatively —
+  /// deadline tokens abort the ILT loop mid-iteration; a cancelled run
+  /// returns `cancelled = true`, is counted in cancelled_runs and is NOT
+  /// recorded in the session history.
+  LdmoResult run(const layout::Layout& layout,
+                 runtime::CancellationToken token = {});
 
   /// Runs every layout through the session, in order (each run already
-  /// parallelizes internally). Results are index-aligned with `layouts`.
-  std::vector<LdmoResult> run_many(const std::vector<layout::Layout>& layouts);
+  /// parallelizes internally). Without a token, results are index-aligned
+  /// with `layouts`. A fired token stops the batch between runs (and
+  /// aborts the in-flight run's ILT loop), returning only the completed
+  /// prefix — result.size() < layouts.size() signals the truncation.
+  std::vector<LdmoResult> run_many(const std::vector<layout::Layout>& layouts,
+                                   runtime::CancellationToken token = {});
 
   /// Optional pre-touch: one throwaway blank-mask print warms the FFT
   /// plans, kernel scratch and buffer pools of the calling thread and the

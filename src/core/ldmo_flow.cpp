@@ -27,7 +27,8 @@ LdmoResult LdmoFlow::run(const layout::Layout& layout) const {
 LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
                          PrintabilityPredictor& predictor,
                          const LdmoConfig& config,
-                         const layout::Layout& layout) {
+                         const layout::Layout& layout,
+                         runtime::CancellationToken token) {
   static obs::Counter& runs_counter = obs::counter("flow.runs");
   static obs::Counter& generated_counter =
       obs::counter("flow.candidates_generated");
@@ -37,6 +38,7 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
   static obs::Counter& fallback_counter = obs::counter("flow.fallbacks");
   static obs::Counter& exhausted_counter =
       obs::counter("flow.fallback_budget_exhausted");
+  static obs::Counter& cancelled_counter = obs::counter("flow.cancelled");
   runs_counter.inc();
 
   obs::Span run_span("ldmo.run");
@@ -45,6 +47,14 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
 
   Timer total_timer;
   LdmoResult result;
+  const auto cancelled_result = [&]() -> LdmoResult& {
+    result.cancelled = true;
+    result.total_seconds = total_timer.seconds();
+    cancelled_counter.inc();
+    run_span.attr("cancelled", 1.0);
+    return result;
+  };
+  if (token.cancelled()) return cancelled_result();
 
   // 1. Decomposition generation.
   const mpl::GenerationResult generated = timed_phase(
@@ -53,6 +63,7 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
   result.candidates_generated =
       static_cast<int>(generated.candidates.size());
   generated_counter.inc(result.candidates_generated);
+  if (token.cancelled()) return cancelled_result();
 
   // 2. Printability prediction: rank every candidate, best (lowest) first.
   // score_batch lets the predictor batch (CNN) or parallelize (oracles)
@@ -71,6 +82,7 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
         });
         return idx;
       });
+  if (token.cancelled()) return cancelled_result();
 
   // 3. ILT with violation fallback, run speculatively: every attempt the
   // serial fallback chain *could* reach is launched as a task, and the
@@ -86,8 +98,12 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
       config.max_fallbacks + 1, static_cast<int>(order.size()));
   timed_phase(result.timing, "ilt", [&] {
     std::vector<opc::IltResult> slots(static_cast<std::size_t>(attempts));
-    std::vector<runtime::CancellationSource> cancels(
-        static_cast<std::size_t>(attempts));
+    // Per-attempt sources linked to the run token: a fired run deadline (or
+    // explicit cancel) stops every attempt at its next iteration poll,
+    // while winner-driven cancellation stays per-attempt.
+    std::vector<runtime::CancellationSource> cancels;
+    cancels.reserve(static_cast<std::size_t>(attempts));
+    for (int i = 0; i < attempts; ++i) cancels.emplace_back(token);
     std::atomic<int> winner{attempts};
     runtime::TaskGroup group;
     for (int attempt = 0; attempt < attempts; ++attempt) {
@@ -137,7 +153,14 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
     }
     group.wait();
     const int best = winner.load(std::memory_order_acquire);
-    LDMO_ASSERT(best < attempts);  // the last attempt never aborts
+    if (best >= attempts) {
+      // Only reachable when the run token fired: the final attempt never
+      // aborts on violations, so without external cancellation some
+      // attempt always wins.
+      LDMO_ASSERT(token.cancelled());
+      result.cancelled = true;
+      return;
+    }
     // Account attempts the way the serial chain would have experienced
     // them: ranks above the winner either aborted (fallbacks) or were
     // pure speculation the serial walk never reaches.
@@ -148,6 +171,13 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
     result.chosen = generated.candidates[order[static_cast<std::size_t>(best)]];
     result.ilt = std::move(slots[static_cast<std::size_t>(best)]);
   });
+
+  if (result.cancelled) {
+    result.total_seconds = total_timer.seconds();
+    cancelled_counter.inc();
+    run_span.attr("cancelled", 1.0);
+    return result;
+  }
 
   result.total_seconds = total_timer.seconds();
   run_span.attr("candidates_generated", result.candidates_generated);

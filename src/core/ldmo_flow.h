@@ -37,15 +37,25 @@ struct LdmoResult {
   int candidates_tried = 0;        ///< ILT attempts (1 + fallbacks)
   PhaseTimer timing;               ///< "generate" / "predict" / "ilt"
   double total_seconds = 0.0;
+  /// True when the run's cancellation token fired (deadline or explicit
+  /// cancel): the flow wound down early and masks/report are NOT populated.
+  bool cancelled = false;
 };
 
 /// The flow pipeline (Fig. 2) over caller-owned components. FlowEngine
 /// sessions and the LdmoFlow shim below both enter here; the engine
 /// already binds the simulator and the ILT hyperparameters.
+///
+/// `token`: cooperative cancellation with deadline support. It is polled
+/// between phases and, via linked per-attempt sources, once per ILT
+/// iteration inside every speculative attempt, so a fired token stops the
+/// flow within one iteration of mask optimization. A cancelled run returns
+/// `cancelled = true` with no masks.
 LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
                          PrintabilityPredictor& predictor,
                          const LdmoConfig& config,
-                         const layout::Layout& layout);
+                         const layout::Layout& layout,
+                         runtime::CancellationToken token = {});
 
 /// End-to-end LDMO flow bound to a caller-owned simulator and predictor.
 /// Thin shim over run_ldmo_flow(); prefer core::FlowEngine for sessions

@@ -21,6 +21,18 @@ std::vector<double> PrintabilityPredictor::score_batch(
   return scores;
 }
 
+std::vector<std::vector<double>> PrintabilityPredictor::score_batch_multi(
+    const std::vector<ScoringJob>& jobs) {
+  std::vector<std::vector<double>> results;
+  results.reserve(jobs.size());
+  for (const ScoringJob& job : jobs) {
+    require(job.layout != nullptr && job.candidates != nullptr,
+            "score_batch_multi: null job");
+    results.push_back(score_batch(*job.layout, *job.candidates));
+  }
+  return results;
+}
+
 CnnPredictor::CnnPredictor(std::unique_ptr<nn::ResNetRegressor> network)
     : network_(std::move(network)) {
   require(network_ != nullptr, "CnnPredictor: null network");
@@ -42,32 +54,59 @@ double CnnPredictor::score(const layout::Layout& layout,
 std::vector<double> CnnPredictor::score_batch(
     const layout::Layout& layout,
     const std::vector<layout::Assignment>& candidates) {
+  // One-job case of the multi path; the chunking is identical either way.
+  return score_batch_multi({{&layout, &candidates}}).front();
+}
+
+std::vector<std::vector<double>> CnnPredictor::score_batch_multi(
+    const std::vector<ScoringJob>& jobs) {
   static obs::Counter& inference_counter =
       obs::counter("predictor.cnn.inferences");
-  inference_counter.inc(static_cast<long long>(candidates.size()));
 
   const int size = network_->config().input_size;
   const std::size_t pixels =
       static_cast<std::size_t>(size) * static_cast<std::size_t>(size);
-  // Fixed batch size, independent of the thread count: it bounds activation
-  // memory and keeps the batching identical across --threads settings.
+
+  // Flatten every job's (layout, candidate) pairs into one stream so
+  // inference batches fill across request boundaries.
+  struct Item {
+    const layout::Layout* layout;
+    const layout::Assignment* candidate;
+    double* slot;
+  };
+  std::vector<std::vector<double>> results(jobs.size());
+  std::vector<Item> items;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    require(jobs[j].layout != nullptr && jobs[j].candidates != nullptr,
+            "CnnPredictor::score_batch_multi: null job");
+    results[j].resize(jobs[j].candidates->size());
+    for (std::size_t c = 0; c < jobs[j].candidates->size(); ++c)
+      items.push_back({jobs[j].layout, &(*jobs[j].candidates)[c],
+                       &results[j][c]});
+  }
+  inference_counter.inc(static_cast<long long>(items.size()));
+
+  // Fixed batch size, independent of the thread count AND of how requests
+  // were coalesced: it bounds activation memory, and eval-mode inference is
+  // sample-independent, so each score is bit-identical however the stream
+  // is chunked (the serving determinism contract).
   constexpr std::size_t kBatch = 16;
-  std::vector<double> scores(candidates.size());
-  for (std::size_t base = 0; base < candidates.size(); base += kBatch) {
-    const std::size_t count = std::min(kBatch, candidates.size() - base);
+  for (std::size_t base = 0; base < items.size(); base += kBatch) {
+    const std::size_t count = std::min(kBatch, items.size() - base);
     nn::Tensor batch({static_cast<int>(count), 1, size, size});
     // Rasterizing the decomposition images is per-candidate independent.
     runtime::parallel_for(count, [&](std::size_t i) {
+      const Item& item = items[base + i];
       const nn::Tensor image = sampling::decomposition_tensor(
-          layout, candidates[base + i], size);
+          *item.layout, *item.candidate, size);
       std::memcpy(batch.data() + i * pixels, image.data(),
                   pixels * sizeof(float));
     });
     const nn::Tensor out = network_->forward(batch, /*training=*/false);
     for (std::size_t i = 0; i < count; ++i)
-      scores[base + i] = static_cast<double>(out[i]);
+      *items[base + i].slot = static_cast<double>(out[i]);
   }
-  return scores;
+  return results;
 }
 
 void CnnPredictor::save(const std::string& path) {

@@ -17,6 +17,14 @@
 
 namespace ldmo::core {
 
+/// One request's scoring workload, for coalescing inference across
+/// concurrent requests (serve::InferenceBatcher). Non-owning: the pointed-to
+/// layout and candidate list must outlive the score_batch_multi call.
+struct ScoringJob {
+  const layout::Layout* layout = nullptr;
+  const std::vector<layout::Assignment>* candidates = nullptr;
+};
+
 /// Interface: score a decomposition candidate (lower = better).
 class PrintabilityPredictor {
  public:
@@ -31,6 +39,17 @@ class PrintabilityPredictor {
   virtual std::vector<double> score_batch(
       const layout::Layout& layout,
       const std::vector<layout::Assignment>& candidates);
+
+  /// Scores several jobs at once — the cross-request batching hook. The
+  /// result is index-aligned with `jobs`, each entry index-aligned with
+  /// that job's candidates, and every score is REQUIRED to be bit-identical
+  /// to a solo score_batch of the same job (the serving layer's determinism
+  /// contract rests on it). The default runs the jobs in order; the CNN
+  /// overrides it to share fixed-size inference batches across jobs.
+  /// Implementations need not be thread-safe — the serve batcher serializes
+  /// entry.
+  virtual std::vector<std::vector<double>> score_batch_multi(
+      const std::vector<ScoringJob>& jobs);
 
   virtual std::string name() const = 0;
 };
@@ -51,6 +70,13 @@ class CnnPredictor : public PrintabilityPredictor {
   std::vector<double> score_batch(
       const layout::Layout& layout,
       const std::vector<layout::Assignment>& candidates) override;
+  /// Cross-request batching: flattens every job's (layout, candidate)
+  /// pairs into one stream and runs the same fixed-kBatch inference path
+  /// as score_batch over it, so batches fill across request boundaries.
+  /// Eval-mode inference is sample-independent, so each score is
+  /// bit-identical to a solo run regardless of batch composition.
+  std::vector<std::vector<double>> score_batch_multi(
+      const std::vector<ScoringJob>& jobs) override;
   std::string name() const override { return "cnn"; }
 
   nn::ResNetRegressor& network() { return *network_; }

@@ -1,0 +1,22 @@
+#include "layout/fingerprint.h"
+
+#include "common/hash.h"
+
+namespace ldmo::layout {
+
+std::uint64_t fingerprint(const Layout& layout) {
+  common::Fnv1a h;
+  h.str("ldmo.layout.v1");
+  h.i64(layout.clip.lo.x).i64(layout.clip.lo.y);
+  h.i64(layout.clip.hi.x).i64(layout.clip.hi.y);
+  h.u64(static_cast<std::uint64_t>(layout.patterns.size()));
+  // Pattern ids equal their index by the Layout invariant, so hashing the
+  // rectangles in order covers the ids implicitly.
+  for (const Pattern& p : layout.patterns) {
+    h.i64(p.shape.lo.x).i64(p.shape.lo.y);
+    h.i64(p.shape.hi.x).i64(p.shape.hi.y);
+  }
+  return h.digest();
+}
+
+}  // namespace ldmo::layout

@@ -1,0 +1,22 @@
+// Content fingerprint of a layout.
+//
+// The digest covers exactly what the downstream pipeline consumes: the clip
+// window and the ordered pattern geometry. Two layouts with identical
+// geometry fingerprint equal even when their names differ (the name never
+// reaches the rasterizer, the decomposition generator or the simulator), so
+// the serving layer's result cache is content-addressed, not name-addressed.
+// Rasterization is a pure function of this geometry plus the grid config,
+// which the serve cache keys hash separately (serve/cache_key.h).
+#pragma once
+
+#include <cstdint>
+
+#include "layout/layout.h"
+
+namespace ldmo::layout {
+
+/// Stable 64-bit FNV-1a digest of clip + ordered pattern rectangles.
+/// Identical across runs and platforms for identical geometry.
+std::uint64_t fingerprint(const Layout& layout);
+
+}  // namespace ldmo::layout

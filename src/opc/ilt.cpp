@@ -271,6 +271,17 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
     }
   }
 
+  // Final poll before finalization: a token that fired on the last
+  // iteration (typical for deadline tokens) skips the 5-threshold
+  // binarize/print/evaluate sweep whose result would be discarded anyway.
+  if (token.cancelled()) {
+    result.cancelled = true;
+    cancel_counter.inc();
+    span.attr("cancelled", 1.0);
+    span.attr("cancel_iteration", state.iteration);
+    return result;
+  }
+
   IltResult finalized = finalize(state, layout);
   finalized.trajectory = std::move(result.trajectory);
   finalized.iterations_run = result.iterations_run;

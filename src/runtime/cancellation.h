@@ -1,35 +1,78 @@
 // Cooperative cancellation: a CancellationSource owns a shared flag, the
 // CancellationTokens it hands out observe it. Long-running work (ILT
-// iteration loops, speculative candidate exploration) polls
+// iteration loops, speculative candidate exploration, serve requests) polls
 // token.cancelled() at natural checkpoints and winds down early.
 //
 // Tokens are value types and cheap to copy; a default-constructed token is
 // never cancelled, so APIs can take one by value with `= {}` and skip the
 // checks for callers that don't care.
+//
+// Two composable extensions serve the serving layer's deadline propagation:
+//
+//  * Linked sources: CancellationSource(parent_token) creates a source
+//    whose tokens fire when EITHER the new source cancels or the parent
+//    token reports cancelled. The speculative ILT flow links its per-attempt
+//    sources to the request token, so a request deadline stops every
+//    attempt mid-iteration while attempt-vs-attempt cancellation still
+//    works independently.
+//  * Deadlines: token.with_deadline(t) / with_timeout(s) return a copy that
+//    additionally reports cancelled once the steady clock passes t. The
+//    poll cost is one clock read, paid only by tokens that carry a
+//    deadline — plain tokens stay two branch-predictable null checks.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace ldmo::runtime {
 
-/// Observer half: polls a shared flag. Default-constructed tokens can
-/// never be cancelled.
+/// Observer half: polls a shared flag (plus optional parent chain and
+/// deadline). Default-constructed tokens can never be cancelled.
 class CancellationToken {
  public:
+  using Clock = std::chrono::steady_clock;
+
   CancellationToken() = default;
 
-  /// True once the owning source called cancel().
+  /// True once the owning source called cancel(), the deadline passed, or
+  /// any token up the parent chain reports cancelled.
   bool cancelled() const {
-    return flag_ && flag_->load(std::memory_order_acquire);
+    if (flag_ && flag_->load(std::memory_order_acquire)) return true;
+    if (deadline_ != Clock::time_point::max() && Clock::now() >= deadline_)
+      return true;
+    return parent_ && parent_->cancelled();
   }
+
+  /// Copy of this token that additionally cancels at `deadline`. Combining
+  /// keeps the earlier of the two deadlines.
+  CancellationToken with_deadline(Clock::time_point deadline) const {
+    CancellationToken t = *this;
+    if (deadline < t.deadline_) t.deadline_ = deadline;
+    return t;
+  }
+
+  /// Copy that cancels `seconds` from now.
+  CancellationToken with_timeout(double seconds) const {
+    return with_deadline(Clock::now() +
+                         std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(seconds)));
+  }
+
+  bool has_deadline() const {
+    return deadline_ != Clock::time_point::max();
+  }
+  Clock::time_point deadline() const { return deadline_; }
 
  private:
   friend class CancellationSource;
-  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
-      : flag_(std::move(flag)) {}
+  CancellationToken(std::shared_ptr<const std::atomic<bool>> flag,
+                    std::shared_ptr<const CancellationToken> parent)
+      : flag_(std::move(flag)), parent_(std::move(parent)) {}
 
   std::shared_ptr<const std::atomic<bool>> flag_;
+  std::shared_ptr<const CancellationToken> parent_;
+  Clock::time_point deadline_ = Clock::time_point::max();
 };
 
 /// Owner half: cancel() is one-way and idempotent. Copies of a source share
@@ -38,13 +81,27 @@ class CancellationSource {
  public:
   CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
 
-  void cancel() { flag_->store(true, std::memory_order_release); }
-  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+  /// Linked source: its tokens also observe `parent` (flag, chain and
+  /// deadline), while cancel() on this source leaves the parent untouched.
+  explicit CancellationSource(CancellationToken parent)
+      : flag_(std::make_shared<std::atomic<bool>>(false)),
+        parent_(std::make_shared<const CancellationToken>(std::move(parent))) {
+  }
 
-  CancellationToken token() const { return CancellationToken(flag_); }
+  void cancel() { flag_->store(true, std::memory_order_release); }
+
+  /// True when this source cancelled or its linked parent reports
+  /// cancelled — matches what this source's tokens observe.
+  bool cancelled() const {
+    return flag_->load(std::memory_order_acquire) ||
+           (parent_ && parent_->cancelled());
+  }
+
+  CancellationToken token() const { return CancellationToken(flag_, parent_); }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<const CancellationToken> parent_;
 };
 
 }  // namespace ldmo::runtime

@@ -1,0 +1,128 @@
+// Bounded, priority-classed admission queue — the server's backpressure
+// valve.
+//
+// Capacity counts queued-but-undispatched requests across all priority
+// classes. When full, try_push bounces immediately (reject-with-status
+// semantics) and push_blocking parks the producer until a consumer makes
+// room (block semantics); the server picks between them per its configured
+// OverflowPolicy. pop() drains strictly by class (interactive before normal
+// before batch), FIFO within a class, and keeps returning queued items
+// after close() until the queue is empty — shutdown-with-drain is the
+// default server teardown.
+//
+// The queue publishes its depth to the "serve.queue.depth" gauge on every
+// mutation, so run reports capture the backlog at snapshot time.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "serve/request.h"
+
+namespace ldmo::serve {
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity)
+      : capacity_(capacity), depth_gauge_(obs::gauge("serve.queue.depth")) {
+    require(capacity >= 1, "AdmissionQueue: capacity must be >= 1");
+  }
+
+  /// Non-blocking admission; false when full or closed.
+  bool try_push(T item, Priority priority) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || size_ >= capacity_) return false;
+    push_locked(std::move(item), priority);
+    return true;
+  }
+
+  /// Blocking admission: waits for capacity. False only when the queue is
+  /// closed (while waiting or before).
+  bool push_blocking(T item, Priority priority) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || size_ < capacity_; });
+    if (closed_) return false;
+    push_locked(std::move(item), priority);
+    return true;
+  }
+
+  /// Blocks for the next item (best priority class first, FIFO within).
+  /// Returns nullopt once the queue is closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    for (auto& cls : classes_) {
+      if (cls.empty()) continue;
+      T item = std::move(cls.front());
+      cls.pop_front();
+      --size_;
+      depth_gauge_.set(static_cast<double>(size_));
+      not_full_.notify_one();
+      return item;
+    }
+    LDMO_ASSERT(false);  // size_ > 0 guarantees a non-empty class
+    return std::nullopt;
+  }
+
+  /// Closes admission and wakes every waiter. Queued items stay poppable.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Removes and returns everything still queued (any state). The server's
+  /// non-draining shutdown uses this to fail pending requests explicitly.
+  std::vector<T> drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> items;
+    items.reserve(size_);
+    for (auto& cls : classes_) {
+      for (T& item : cls) items.push_back(std::move(item));
+      cls.clear();
+    }
+    size_ = 0;
+    depth_gauge_.set(0.0);
+    not_full_.notify_all();
+    return items;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  void push_locked(T item, Priority priority) {
+    classes_[static_cast<std::size_t>(priority)].push_back(std::move(item));
+    ++size_;
+    depth_gauge_.set(static_cast<double>(size_));
+    not_empty_.notify_one();
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::array<std::deque<T>, kPriorityClasses> classes_;
+  std::size_t size_ = 0;
+  const std::size_t capacity_;
+  bool closed_ = false;
+  obs::Gauge& depth_gauge_;
+};
+
+}  // namespace ldmo::serve

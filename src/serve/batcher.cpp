@@ -1,0 +1,163 @@
+#include "serve/batcher.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.h"
+#include "layout/fingerprint.h"
+
+namespace ldmo::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+InferenceBatcher::InferenceBatcher(core::PrintabilityPredictor& backend,
+                                   BatcherConfig config)
+    : backend_(backend),
+      config_(config),
+      flush_counter_(obs::counter("serve.batch.flushes")),
+      job_counter_(obs::counter("serve.batch.jobs")),
+      candidate_counter_(obs::counter("serve.batch.candidates")),
+      coalesced_flush_counter_(
+          obs::counter("serve.batch.coalesced_flushes")) {
+  require(config_.flush_candidates >= 1,
+          "InferenceBatcher: flush_candidates must be >= 1");
+  require(config_.flush_timeout_ms >= 0.0,
+          "InferenceBatcher: negative flush timeout");
+}
+
+std::vector<double> InferenceBatcher::score(
+    const layout::Layout& layout,
+    const std::vector<layout::Assignment>& candidates) {
+  if (candidates.empty()) return {};
+
+  std::unique_lock<std::mutex> lock(mu_);
+
+  if (!config_.enabled) {
+    // Direct path, still one-caller-at-a-time through the backend.
+    cv_.wait(lock, [&] { return !flush_in_progress_; });
+    flush_in_progress_ = true;
+    std::vector<double> scores;
+    std::exception_ptr error;
+    lock.unlock();
+    try {
+      scores = backend_.score_batch(layout, candidates);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    flush_in_progress_ = false;
+    cv_.notify_all();
+    if (error) std::rethrow_exception(error);
+    return scores;
+  }
+
+  // Join (or open) the coalescing batch.
+  if (!open_) open_ = std::make_shared<Batch>();
+  std::shared_ptr<Batch> batch = open_;
+  const std::size_t my_index = batch->jobs.size();
+  batch->jobs.push_back({&layout, &candidates});
+  batch->candidates += candidates.size();
+  const bool leader = my_index == 0;
+  if (batch->candidates >=
+      static_cast<std::size_t>(config_.flush_candidates))
+    cv_.notify_all();  // wake the leader: batch is full
+
+  if (leader) {
+    // The leader parks until the batch is full or its timeout lapses, then
+    // flushes — but never while another flush holds the backend.
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               config_.flush_timeout_ms / 1000.0));
+    for (;;) {
+      const bool full =
+          batch->candidates >=
+          static_cast<std::size_t>(config_.flush_candidates);
+      if (!flush_in_progress_ && (full || Clock::now() >= deadline)) break;
+      if (flush_in_progress_)
+        cv_.wait(lock);
+      else
+        cv_.wait_until(lock, deadline);
+    }
+    flush(batch, lock);
+  } else {
+    cv_.wait(lock, [&] { return batch->flushed; });
+  }
+
+  if (batch->error) std::rethrow_exception(batch->error);
+  return std::move(batch->results[my_index]);
+}
+
+void InferenceBatcher::flush(std::shared_ptr<Batch> batch,
+                             std::unique_lock<std::mutex>& lock) {
+  // Close the generation: late arrivals open a fresh batch and their
+  // leader queues behind flush_in_progress_.
+  if (open_ == batch) open_.reset();
+  flush_in_progress_ = true;
+  flush_counter_.inc();
+  job_counter_.inc(static_cast<long long>(batch->jobs.size()));
+  candidate_counter_.inc(static_cast<long long>(batch->candidates));
+  if (batch->jobs.size() > 1) coalesced_flush_counter_.inc();
+
+  std::vector<core::ScoringJob> jobs = batch->jobs;  // stable copy
+  lock.unlock();
+  std::vector<std::vector<double>> results;
+  std::exception_ptr error;
+  try {
+    results = backend_.score_batch_multi(jobs);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  batch->results = std::move(results);
+  batch->error = error;
+  batch->flushed = true;
+  flush_in_progress_ = false;
+  cv_.notify_all();
+}
+
+BatchingPredictor::BatchingPredictor(InferenceBatcher& batcher,
+                                     ShardedLruCache<double>* score_cache,
+                                     std::uint64_t config_fp)
+    : batcher_(batcher), score_cache_(score_cache), config_fp_(config_fp) {}
+
+double BatchingPredictor::score(const layout::Layout& layout,
+                                const layout::Assignment& assignment) {
+  return score_batch(layout, {assignment}).front();
+}
+
+std::vector<double> BatchingPredictor::score_batch(
+    const layout::Layout& layout,
+    const std::vector<layout::Assignment>& candidates) {
+  if (score_cache_ == nullptr || !score_cache_->enabled())
+    return batcher_.score(layout, candidates);
+
+  // Score tier: cached doubles are the exact values a cold run computed,
+  // so mixing hits with fresh inference preserves bit-identity.
+  const std::uint64_t layout_fp = layout::fingerprint(layout);
+  std::vector<double> scores(candidates.size());
+  std::vector<std::uint64_t> keys(candidates.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    keys[i] = score_cache_key(config_fp_, layout_fp, candidates[i]);
+    if (std::optional<double> hit = score_cache_->get(keys[i]))
+      scores[i] = *hit;
+    else
+      missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    std::vector<layout::Assignment> fresh;
+    fresh.reserve(missing.size());
+    for (std::size_t i : missing) fresh.push_back(candidates[i]);
+    const std::vector<double> fresh_scores = batcher_.score(layout, fresh);
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+      scores[missing[j]] = fresh_scores[j];
+      score_cache_->put(keys[missing[j]], fresh_scores[j]);
+    }
+  }
+  return scores;
+}
+
+}  // namespace ldmo::serve

@@ -1,0 +1,113 @@
+// Cross-request inference batching.
+//
+// The flow's predict phase scores every candidate of one layout in one
+// score_batch call. Under concurrent serving, many dispatchers hit that
+// phase at overlapping times with small candidate lists; scoring each list
+// solo leaves the CNN's fixed-size inference batches mostly empty. The
+// InferenceBatcher coalesces: concurrent score() calls join an open batch,
+// the first joiner (the leader) flushes it through the backend's
+// score_batch_multi once the batch holds enough candidates or a flush
+// timeout expires, and every joiner wakes with exactly its own scores.
+//
+// Determinism: score_batch_multi is REQUIRED (predictor.h) to return
+// bit-identical scores to a solo score_batch per job, so coalescing never
+// changes a response — only its latency. The batcher serializes backend
+// entry (one flush at a time; the direct path takes the same mutex), so
+// backends need not be thread-safe.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/predictor.h"
+#include "obs/metrics.h"
+#include "serve/cache_key.h"
+#include "serve/result_cache.h"
+
+namespace ldmo::serve {
+
+struct BatcherConfig {
+  /// Disabled = every score() goes straight to the backend (still
+  /// serialized); the serve-bench --no-batch baseline.
+  bool enabled = true;
+  /// Flush as soon as the open batch holds this many candidates.
+  int flush_candidates = 16;
+  /// Flush a non-full batch this long after its first joiner arrived.
+  double flush_timeout_ms = 2.0;
+};
+
+class InferenceBatcher {
+ public:
+  /// `backend` must outlive the batcher. All backend entry happens under
+  /// the batcher's serialization, whatever `config.enabled` says.
+  InferenceBatcher(core::PrintabilityPredictor& backend,
+                   BatcherConfig config);
+
+  /// Scores `candidates` for `layout`, possibly coalesced with concurrent
+  /// callers. Blocks until this caller's scores are ready; rethrows any
+  /// backend exception in every joined caller. The referenced layout and
+  /// candidate list must stay alive for the duration of the call.
+  std::vector<double> score(const layout::Layout& layout,
+                            const std::vector<layout::Assignment>& candidates);
+
+  const BatcherConfig& config() const { return config_; }
+  core::PrintabilityPredictor& backend() { return backend_; }
+
+ private:
+  /// One coalescing generation: jobs joined before its flush started.
+  struct Batch {
+    std::vector<core::ScoringJob> jobs;
+    std::vector<std::vector<double>> results;  ///< aligned with jobs
+    std::size_t candidates = 0;
+    bool flushed = false;
+    std::exception_ptr error;
+  };
+
+  void flush(std::shared_ptr<Batch> batch,
+             std::unique_lock<std::mutex>& lock);
+
+  core::PrintabilityPredictor& backend_;
+  const BatcherConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Batch> open_;     ///< batch accepting joiners (may be null)
+  bool flush_in_progress_ = false;  ///< serializes backend entry
+
+  obs::Counter& flush_counter_;
+  obs::Counter& job_counter_;
+  obs::Counter& candidate_counter_;
+  obs::Counter& coalesced_flush_counter_;
+};
+
+/// Per-dispatcher predictor adapter: routes the flow's predict phase
+/// through the score cache and the shared batcher. Each dispatcher's
+/// FlowEngine owns one; they all reference the server's shared batcher and
+/// cache, so inference coalesces and scores dedupe across dispatchers.
+class BatchingPredictor : public core::PrintabilityPredictor {
+ public:
+  /// `batcher` (and its backend) must outlive this predictor;
+  /// `score_cache` may be null to disable the score tier. `config_fp`
+  /// namespaces cached scores by flow configuration.
+  BatchingPredictor(InferenceBatcher& batcher,
+                    ShardedLruCache<double>* score_cache,
+                    std::uint64_t config_fp);
+
+  double score(const layout::Layout& layout,
+               const layout::Assignment& assignment) override;
+  std::vector<double> score_batch(
+      const layout::Layout& layout,
+      const std::vector<layout::Assignment>& candidates) override;
+  /// Backend's name: the adapter must not change the config fingerprint.
+  std::string name() const override { return batcher_.backend().name(); }
+
+ private:
+  InferenceBatcher& batcher_;
+  ShardedLruCache<double>* score_cache_;
+  std::uint64_t config_fp_;
+};
+
+}  // namespace ldmo::serve

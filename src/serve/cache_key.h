@@ -1,0 +1,48 @@
+// Content-address computation for the serving caches.
+//
+// A result-cache key must change whenever anything that could change the
+// produced masks changes: the layout geometry OR any flow configuration
+// knob (optics, resist, metrology, generation, ILT hyperparameters, the
+// predictor that ranks candidates). Two keys:
+//
+//   result key = H(version, config fingerprint, layout fingerprint)
+//   score  key = H(version, config fingerprint, layout fingerprint,
+//                  candidate assignment)
+//
+// Layout names are deliberately excluded (layout::fingerprint hashes
+// geometry only): the same clip submitted under two names is the same
+// work. Hashing the geometry is equivalent to hashing the raster the CNN
+// and simulator consume, because rasterization is a pure function of
+// geometry + config — and the config is already in the key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/flow_engine.h"
+#include "layout/layout.h"
+
+namespace ldmo::serve {
+
+/// Fingerprint of every configuration field that can affect a flow result.
+/// `predictor_name` folds the candidate-ranking model identity in (swap
+/// the predictor, invalidate the cache).
+std::uint64_t config_fingerprint(const core::FlowEngineConfig& config,
+                                 const std::string& predictor_name);
+
+/// Result-tier key: one full LdmoResult per (config, layout geometry).
+std::uint64_t result_cache_key(std::uint64_t config_fp,
+                               const layout::Layout& layout);
+
+/// Score-tier key: one predicted score per (config, layout geometry,
+/// candidate assignment).
+std::uint64_t score_cache_key(std::uint64_t config_fp,
+                              std::uint64_t layout_fp,
+                              const layout::Assignment& assignment);
+
+/// Approximate resident footprint of a cached result, for the cache's byte
+/// budget (grids dominate; trajectory rows and the report are counted too).
+std::size_t estimated_bytes(const core::LdmoResult& result);
+
+}  // namespace ldmo::serve

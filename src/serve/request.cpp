@@ -1,0 +1,33 @@
+#include "serve/request.h"
+
+namespace ldmo::serve {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+const char* status_name(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kCached:
+      return "cached";
+    case ServeStatus::kRejected:
+      return "rejected";
+    case ServeStatus::kTimeout:
+      return "timeout";
+    case ServeStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace ldmo::serve

@@ -1,0 +1,70 @@
+// Request/response vocabulary of the LDMO serving layer.
+//
+// A request is one layout to decompose and optimize; a response is the
+// terminal record of what happened to it. The serving determinism contract
+// (DESIGN.md §10) is that a kOk, kCached or batched response carries masks
+// and scores bit-identical to a cold, solo FlowEngine::run of the same
+// layout under the same configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ldmo_flow.h"
+#include "layout/layout.h"
+
+namespace ldmo::serve {
+
+/// Admission priority classes, drained strictly in order (FIFO within a
+/// class). Interactive beats normal beats batch whenever the queue holds a
+/// choice; there is no aging — the queue is bounded, so starvation is
+/// capped by capacity.
+enum class Priority { kInteractive = 0, kNormal = 1, kBatch = 2 };
+
+inline constexpr int kPriorityClasses = 3;
+
+const char* priority_name(Priority p);
+
+/// Terminal state of a request.
+enum class ServeStatus {
+  kOk,        ///< computed by a full flow run
+  kCached,    ///< served from the result cache (bit-identical to kOk)
+  kRejected,  ///< bounced at admission (queue full, reject policy)
+  kTimeout,   ///< deadline expired before or during the run
+  kCancelled, ///< caller cancelled via its ticket (or server shutdown)
+};
+
+const char* status_name(ServeStatus s);
+
+/// One unit of work submitted to the server.
+struct ServeRequest {
+  layout::Layout layout;
+  Priority priority = Priority::kNormal;
+  /// Relative deadline in seconds from submission; <= 0 means none. The
+  /// deadline propagates into the flow as a cancellation-token deadline,
+  /// so an expired request aborts its ILT loop within one iteration.
+  double deadline_seconds = 0.0;
+};
+
+/// Terminal record handed back through the ticket future.
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kCancelled;
+  /// Populated only for kOk / kCached.
+  core::LdmoResult result;
+  std::uint64_t request_id = 0;
+  /// Content-address of the request (config + layout geometry); 0 when the
+  /// request never reached key computation (rejected at admission).
+  std::uint64_t cache_key = 0;
+  /// Position in the server's completion order (1-based) — lets tests and
+  /// load generators observe priority scheduling without timing games.
+  std::uint64_t completion_sequence = 0;
+  double queue_seconds = 0.0;    ///< admission -> dispatch
+  double service_seconds = 0.0;  ///< dispatch -> terminal state
+  double total_seconds = 0.0;    ///< admission -> terminal state
+
+  bool ok() const {
+    return status == ServeStatus::kOk || status == ServeStatus::kCached;
+  }
+};
+
+}  // namespace ldmo::serve

@@ -1,0 +1,307 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/span.h"
+
+namespace ldmo::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+obs::Counter& status_counter(ServeStatus status) {
+  return obs::counter(std::string("serve.requests.") + status_name(status));
+}
+
+}  // namespace
+
+Server::Server(ServeConfig config,
+               std::unique_ptr<core::PrintabilityPredictor> backend)
+    : config_(std::move(config)),
+      backend_simulator_(backend != nullptr
+                             ? nullptr
+                             : std::make_unique<litho::LithoSimulator>(
+                                   config_.engine.litho)),
+      backend_(backend != nullptr
+                   ? std::move(backend)
+                   : std::make_unique<core::RawPrintPredictor>(
+                         *backend_simulator_)),
+      config_fp_(serve::config_fingerprint(config_.engine,
+                                           backend_->name())),
+      batcher_(*backend_, config_.batcher),
+      score_cache_(config_.score_cache,
+                   [](const double&) { return sizeof(double); }),
+      result_cache_(config_.result_cache, &estimated_bytes),
+      queue_(config_.queue_capacity),
+      paused_(config_.start_paused),
+      started_(Clock::now()) {
+  require(config_.dispatchers >= 1, "Server: dispatchers must be >= 1");
+  engines_.reserve(static_cast<std::size_t>(config_.dispatchers));
+  for (int i = 0; i < config_.dispatchers; ++i)
+    engines_.push_back(std::make_unique<core::FlowEngine>(
+        config_.engine, std::make_unique<BatchingPredictor>(
+                            batcher_, &score_cache_, config_fp_)));
+  dispatchers_.reserve(engines_.size());
+  for (int i = 0; i < config_.dispatchers; ++i)
+    dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });
+}
+
+Server::~Server() { shutdown(/*drain=*/true); }
+
+Server::Pending Server::make_pending(ServeRequest request) {
+  Pending pending;
+  pending.id = next_id_.fetch_add(1) + 1;
+  pending.request = std::move(request);
+  pending.cancel = std::make_shared<runtime::CancellationSource>();
+  pending.submitted = Clock::now();
+  pending.deadline =
+      pending.request.deadline_seconds > 0.0
+          ? pending.submitted +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        pending.request.deadline_seconds))
+          : Clock::time_point::max();
+  return pending;
+}
+
+RequestTicket Server::ticket_for(const Pending& pending) {
+  RequestTicket ticket;
+  ticket.id = pending.id;
+  ticket.canceller = pending.cancel;
+  return ticket;
+}
+
+ServeResponse Server::rejected_response(std::uint64_t id) {
+  ServeResponse response;
+  response.status = ServeStatus::kRejected;
+  response.request_id = id;
+  response.completion_sequence = completion_seq_.fetch_add(1) + 1;
+  status_counts_[static_cast<std::size_t>(ServeStatus::kRejected)]
+      .fetch_add(1);
+  status_counter(ServeStatus::kRejected).inc();
+  return response;
+}
+
+RequestTicket Server::submit(ServeRequest request) {
+  obs::counter("serve.requests.submitted").inc();
+  Pending pending = make_pending(std::move(request));
+  RequestTicket ticket = ticket_for(pending);
+  ticket.response = pending.promise.get_future();
+  const Priority priority = pending.request.priority;
+  const std::uint64_t id = pending.id;
+  const bool admitted =
+      config_.overflow == OverflowPolicy::kBlock
+          ? queue_.push_blocking(std::move(pending), priority)
+          : queue_.try_push(std::move(pending), priority);
+  if (!admitted) {
+    // The rejected Pending (and its promise) died with the failed push;
+    // hand back a fresh, already-fulfilled future instead.
+    std::promise<ServeResponse> promise;
+    ticket.response = promise.get_future();
+    promise.set_value(rejected_response(id));
+  }
+  return ticket;
+}
+
+std::optional<RequestTicket> Server::try_submit(ServeRequest request) {
+  obs::counter("serve.requests.submitted").inc();
+  Pending pending = make_pending(std::move(request));
+  RequestTicket ticket = ticket_for(pending);
+  ticket.response = pending.promise.get_future();
+  const Priority priority = pending.request.priority;
+  if (!queue_.try_push(std::move(pending), priority)) {
+    status_counter(ServeStatus::kRejected).inc();
+    status_counts_[static_cast<std::size_t>(ServeStatus::kRejected)]
+        .fetch_add(1);
+    return std::nullopt;
+  }
+  return ticket;
+}
+
+void Server::start() {
+  std::lock_guard<std::mutex> lock(pause_mu_);
+  paused_ = false;
+  pause_cv_.notify_all();
+}
+
+void Server::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();
+  if (!drain) {
+    std::vector<Pending> abandoned = queue_.drain();
+    for (Pending& pending : abandoned) {
+      ServeResponse response;
+      response.status = ServeStatus::kCancelled;
+      response.request_id = pending.id;
+      response.completion_sequence = completion_seq_.fetch_add(1) + 1;
+      status_counts_[static_cast<std::size_t>(ServeStatus::kCancelled)]
+          .fetch_add(1);
+      status_counter(ServeStatus::kCancelled).inc();
+      pending.promise.set_value(std::move(response));
+    }
+  }
+  start();  // unpark dispatchers so they can observe the closed queue
+  for (std::thread& t : dispatchers_)
+    if (t.joinable()) t.join();
+}
+
+void Server::dispatcher_loop(int index) {
+  core::FlowEngine& engine = *engines_[static_cast<std::size_t>(index)];
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      pause_cv_.wait(lock, [&] { return !paused_; });
+    }
+    std::optional<Pending> item = queue_.pop();
+    if (!item) return;  // closed and drained
+    process(engine, std::move(*item));
+  }
+}
+
+void Server::process(core::FlowEngine& engine, Pending pending) {
+  obs::Span span("serve.request");
+  span.attr("id", static_cast<double>(pending.id));
+  const Clock::time_point dispatched = Clock::now();
+
+  ServeResponse response;
+  response.request_id = pending.id;
+  response.queue_seconds = seconds_since(pending.submitted, dispatched);
+
+  runtime::CancellationToken token = pending.cancel->token();
+  if (pending.deadline != Clock::time_point::max())
+    token = token.with_deadline(pending.deadline);
+
+  const std::uint64_t key =
+      result_cache_key(config_fp_, pending.request.layout);
+  response.cache_key = key;
+
+  // A request dead on arrival (cancelled ticket, expired deadline) never
+  // touches the engine.
+  if (token.cancelled()) {
+    response.status = pending.cancel->cancelled() ? ServeStatus::kCancelled
+                                                  : ServeStatus::kTimeout;
+    finish(pending, std::move(response), dispatched);
+    return;
+  }
+
+  if (std::optional<core::LdmoResult> hit = result_cache_.get(key)) {
+    response.status = ServeStatus::kCached;
+    response.result = std::move(*hit);
+    span.attr("cached", 1.0);
+    finish(pending, std::move(response), dispatched);
+    return;
+  }
+
+  core::LdmoResult result = engine.run(pending.request.layout, token);
+  if (result.cancelled) {
+    response.status = pending.cancel->cancelled() ? ServeStatus::kCancelled
+                                                  : ServeStatus::kTimeout;
+  } else {
+    response.status = ServeStatus::kOk;
+    result_cache_.put(key, result);
+    response.result = std::move(result);
+  }
+  finish(pending, std::move(response), dispatched);
+}
+
+void Server::finish(Pending& pending, ServeResponse response,
+                    Clock::time_point dispatched) {
+  const Clock::time_point done = Clock::now();
+  response.service_seconds = seconds_since(dispatched, done);
+  response.total_seconds = seconds_since(pending.submitted, done);
+  response.completion_sequence = completion_seq_.fetch_add(1) + 1;
+  status_counts_[static_cast<std::size_t>(response.status)].fetch_add(1);
+  status_counter(response.status).inc();
+  if (response.ok()) {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    ok_latencies_.push_back(response.total_seconds);
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+obs::RunReport Server::report() const {
+  obs::RunReport report("ldmo-serve");
+  report.meta("predictor", backend_->name());
+
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    latencies = ok_latencies_;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  struct StatusRow {
+    const char* name;
+    long long count;
+  };
+  std::vector<StatusRow> rows;
+  for (std::size_t s = 0; s < status_counts_.size(); ++s)
+    rows.push_back({status_name(static_cast<ServeStatus>(s)),
+                    status_counts_[s].load()});
+  long long completed = 0;
+  for (const StatusRow& row : rows) completed += row.count;
+  const double elapsed = seconds_since(started_, Clock::now());
+
+  const std::size_t queue_depth_now = queue_.depth();
+  const std::size_t queue_capacity = queue_.capacity();
+  const long long cache_hits = result_cache_.hits();
+  const long long cache_misses = result_cache_.misses();
+  const std::size_t cache_entries = result_cache_.entries();
+  const std::size_t cache_bytes = result_cache_.bytes();
+
+  report.section("serve", [=](obs::JsonWriter& w) {
+    w.begin_object();
+    w.key("requests");
+    w.begin_object();
+    for (const StatusRow& row : rows) w.kv(row.name, row.count);
+    w.kv("completed", completed);
+    w.end_object();
+    w.key("latency_seconds");
+    w.begin_object();
+    w.kv("count", static_cast<long long>(latencies.size()));
+    w.kv("p50", percentile(latencies, 0.50));
+    w.kv("p95", percentile(latencies, 0.95));
+    w.kv("p99", percentile(latencies, 0.99));
+    w.end_object();
+    w.kv("elapsed_seconds", elapsed);
+    w.kv("throughput_rps",
+         elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0);
+    w.key("queue");
+    w.begin_object();
+    w.kv("depth", static_cast<long long>(queue_depth_now));
+    w.kv("capacity", static_cast<long long>(queue_capacity));
+    w.end_object();
+    w.key("result_cache");
+    w.begin_object();
+    w.kv("hits", cache_hits);
+    w.kv("misses", cache_misses);
+    w.kv("entries", static_cast<long long>(cache_entries));
+    w.kv("bytes", static_cast<long long>(cache_bytes));
+    w.end_object();
+    w.end_object();
+  });
+  return report;
+}
+
+}  // namespace ldmo::serve

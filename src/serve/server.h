@@ -1,0 +1,182 @@
+// The LDMO server: admission control in front, a pool of dispatcher-owned
+// FlowEngine sessions in the middle, cross-request inference batching and a
+// two-tier content-addressed cache underneath.
+//
+//   submit/try_submit
+//     -> AdmissionQueue (bounded, priority-classed; reject or block on
+//        overflow per policy)
+//     -> dispatcher threads, each owning a FlowEngine session whose
+//        predictor is a BatchingPredictor over the server-shared
+//        InferenceBatcher + score cache
+//     -> result cache (config+geometry content address) consulted before
+//        and populated after every full run
+//     -> ServeResponse through the ticket future.
+//
+// Dispatchers are dedicated std::threads, not ThreadPool tasks: the
+// process ThreadPool has zero workers under --threads 1 (callers execute
+// tasks inline at wait points), so a request body enqueued there would
+// never start. Each dispatched run still lands its compute on the pool
+// through the flow's TaskGroups and parallel_for — the dispatchers only
+// pump the queue.
+//
+// Determinism contract (DESIGN.md §10): kOk, kCached and
+// batching-coalesced responses are bit-identical — memcmp on masks, exact
+// score equality — to a cold, solo FlowEngine::run of the same layout
+// under the same FlowEngineConfig.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/flow_engine.h"
+#include "obs/report.h"
+#include "runtime/cancellation.h"
+#include "serve/admission_queue.h"
+#include "serve/batcher.h"
+#include "serve/cache_key.h"
+#include "serve/request.h"
+#include "serve/result_cache.h"
+
+namespace ldmo::serve {
+
+/// What submit() does when the admission queue is full.
+enum class OverflowPolicy {
+  kReject,  ///< bounce immediately with ServeStatus::kRejected
+  kBlock,   ///< park the submitting thread until capacity frees up
+};
+
+struct ServeConfig {
+  core::FlowEngineConfig engine;
+  int dispatchers = 2;
+  std::size_t queue_capacity = 64;
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  /// Construct with dispatchers parked; requests queue (and can overflow)
+  /// until start(). Deterministic backpressure/priority tests live on this.
+  bool start_paused = false;
+  BatcherConfig batcher;
+  /// Result tier (full LdmoResults). Disable via result_cache.enabled.
+  CacheConfig result_cache;
+  /// Score tier (per-candidate predictions, much smaller values).
+  CacheConfig score_cache{
+      .enabled = true,
+      .budget_bytes = 8ull << 20,
+      .shards = 8,
+      .metric_prefix = "serve.score_cache",
+  };
+};
+
+/// Caller's handle on a submitted request.
+struct RequestTicket {
+  std::uint64_t id = 0;
+  std::future<ServeResponse> response;
+
+  /// Cooperative cancel: pending requests terminate kCancelled at
+  /// dispatch; in-flight runs abort their ILT loop within one iteration.
+  void cancel() {
+    if (canceller) canceller->cancel();
+  }
+
+  std::shared_ptr<runtime::CancellationSource> canceller;
+};
+
+class Server {
+ public:
+  /// `backend` is the shared scoring model (e.g. a trained CnnPredictor);
+  /// null falls back to a RawPrintPredictor over a server-owned simulator.
+  /// Dispatcher threads spawn here (parked when config.start_paused).
+  explicit Server(ServeConfig config,
+                  std::unique_ptr<core::PrintabilityPredictor> backend =
+                      nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits per the configured OverflowPolicy. Always returns a ticket; on
+  /// rejection (kReject policy, full queue — or a closed server) the
+  /// future already holds a kRejected response.
+  RequestTicket submit(ServeRequest request);
+
+  /// Non-blocking admission regardless of policy; nullopt when full/closed.
+  std::optional<RequestTicket> try_submit(ServeRequest request);
+
+  /// Unparks the dispatchers (no-op unless start_paused).
+  void start();
+
+  /// Closes admission and joins the dispatchers. drain=true (default)
+  /// finishes everything queued first; drain=false fails queued requests
+  /// with kCancelled. Idempotent; the destructor calls shutdown(true).
+  void shutdown(bool drain = true);
+
+  const ServeConfig& config() const { return config_; }
+  std::uint64_t config_fingerprint() const { return config_fp_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  long long status_count(ServeStatus status) const {
+    return status_counts_[static_cast<std::size_t>(status)].load();
+  }
+
+  /// Run report with a "serve" section: per-status request counts, ok/cached
+  /// latency percentiles (p50/p95/p99), throughput, queue and cache state —
+  /// on top of the standard registry snapshot (serve.cache.*,
+  /// serve.batch.*, serve.queue.depth live there).
+  obs::RunReport report() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A queued request with its terminal-state machinery.
+  struct Pending {
+    std::uint64_t id = 0;
+    ServeRequest request;
+    std::shared_ptr<runtime::CancellationSource> cancel;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  ///< max() when none
+    std::promise<ServeResponse> promise;
+  };
+
+  Pending make_pending(ServeRequest request);
+  RequestTicket ticket_for(const Pending& pending);
+  ServeResponse rejected_response(std::uint64_t id);
+  void dispatcher_loop(int index);
+  void process(core::FlowEngine& engine, Pending pending);
+  void finish(Pending& pending, ServeResponse response,
+              Clock::time_point dispatched);
+
+  ServeConfig config_;
+  std::unique_ptr<litho::LithoSimulator> backend_simulator_;  ///< default only
+  std::unique_ptr<core::PrintabilityPredictor> backend_;
+  std::uint64_t config_fp_ = 0;
+
+  InferenceBatcher batcher_;
+  ShardedLruCache<double> score_cache_;
+  ShardedLruCache<core::LdmoResult> result_cache_;
+
+  AdmissionQueue<Pending> queue_;
+  std::vector<std::unique_ptr<core::FlowEngine>> engines_;
+  std::vector<std::thread> dispatchers_;
+
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> completion_seq_{0};
+  std::array<std::atomic<long long>, 5> status_counts_{};
+  Clock::time_point started_;
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> ok_latencies_;  ///< total_seconds of ok/cached
+
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace ldmo::serve

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/grid.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/timer.h"
@@ -194,6 +195,47 @@ TEST(Grid, SameShapeComparison) {
   GridF a(2, 3), b(2, 3), c(3, 2);
   EXPECT_TRUE(a.same_shape(b));
   EXPECT_FALSE(a.same_shape(c));
+}
+
+// --- FNV-1a hashing (common/hash.h) ---
+
+TEST(Hash, Fnv1aReferenceVectors) {
+  // Classic 64-bit FNV-1a test vectors.
+  EXPECT_EQ(common::fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(common::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(common::fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, Fnv1aBytesMatchesStringView) {
+  const char data[] = {'f', 'o', 'o'};
+  EXPECT_EQ(common::fnv1a(data, 3), common::fnv1a("foo"));
+}
+
+TEST(Hash, ChainedFeedsAreOrderSensitive) {
+  const std::uint64_t ab = common::Fnv1a().u64(1).u64(2).digest();
+  const std::uint64_t ba = common::Fnv1a().u64(2).u64(1).digest();
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Hash, StringFeedIsLengthPrefixed) {
+  // Without a length prefix "ab"+"c" and "a"+"bc" would collide.
+  const std::uint64_t split1 = common::Fnv1a().str("ab").str("c").digest();
+  const std::uint64_t split2 = common::Fnv1a().str("a").str("bc").digest();
+  EXPECT_NE(split1, split2);
+}
+
+TEST(Hash, DoubleFeedIsBitExact) {
+  // -0.0 == 0.0 numerically but differs bitwise; the hash must see bits.
+  const std::uint64_t pos = common::Fnv1a().f64(0.0).digest();
+  const std::uint64_t neg = common::Fnv1a().f64(-0.0).digest();
+  EXPECT_NE(pos, neg);
+  EXPECT_EQ(common::Fnv1a().f64(1.5).digest(),
+            common::Fnv1a().f64(1.5).digest());
+}
+
+TEST(Hash, SignedFeedDistinguishesNegatives) {
+  EXPECT_NE(common::Fnv1a().i64(-1).digest(),
+            common::Fnv1a().i64(1).digest());
 }
 
 }  // namespace

@@ -2,11 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <set>
 
 #include "common/error.h"
 #include "layout/drc.h"
+#include "layout/fingerprint.h"
 #include "layout/generator.h"
 #include "layout/io.h"
 #include "layout/layout.h"
@@ -342,6 +345,51 @@ TEST_F(IoTest, PgmWriteProducesValidHeader) {
 
 TEST_F(IoTest, ReadMissingFileThrows) {
   EXPECT_THROW(read_layout_text("/nonexistent/nowhere.txt"), ldmo::Error);
+}
+
+// --- Content fingerprint (layout/fingerprint.h) ---
+
+TEST(Fingerprint, DistinctAcrossGeneratorCorpus) {
+  // Collision smoke: 64 generator layouts, 64 distinct fingerprints.
+  LayoutGenerator generator;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 64; ++seed)
+    seen.insert(fingerprint(generator.generate(seed)));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Fingerprint, IgnoresName) {
+  Layout a = two_contact_layout(80);
+  Layout b = two_contact_layout(80);
+  a.name = "alpha";
+  b.name = "beta";
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToGeometry) {
+  // 1nm of pattern movement or a different clip must change the hash.
+  EXPECT_NE(fingerprint(two_contact_layout(80)),
+            fingerprint(two_contact_layout(81)));
+  Layout resized = two_contact_layout(80);
+  resized.clip = geometry::Rect::from_size({0, 0}, 2048, 2048);
+  EXPECT_NE(fingerprint(resized), fingerprint(two_contact_layout(80)));
+}
+
+TEST(Fingerprint, SensitiveToPatternCount) {
+  Layout base = two_contact_layout(200);
+  Layout extended = two_contact_layout(200);
+  extended.add_pattern(geometry::Rect::from_size({500, 500}, 65, 65));
+  EXPECT_NE(fingerprint(base), fingerprint(extended));
+}
+
+TEST(Fingerprint, StableAcrossProcessRuns) {
+  // Golden value: the fingerprint is part of the serving cache contract,
+  // so it must not drift across platforms or library changes. If this
+  // test fails after an intentional format change, bump the version tag
+  // in layout::fingerprint AND update this constant.
+  const std::uint64_t fp = fingerprint(two_contact_layout(80));
+  EXPECT_EQ(fp, fingerprint(two_contact_layout(80)));
+  EXPECT_EQ(fp, 0x6bb0e572a7b59907ull);
 }
 
 }  // namespace
