@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "common/timer.h"
 #include "core/baseline_flows.h"
@@ -65,7 +66,8 @@ int usage() {
                "                    [--clients C] [--dispatchers D]\n"
                "                    [--deadline-ms MS] [--no-cache]\n"
                "                    [--no-batch] [--report OUT.json]\n"
-               "                    [--threads N]\n"
+               "                    [--threads N] [--inject]\n"
+               "                    [--inject-prob P] [--inject-seed S]\n"
                "\n"
                "LEVEL: debug|info|warn|error|off (also honored from the\n"
                "LDMO_LOG_LEVEL environment variable)\n"
@@ -158,6 +160,13 @@ int cmd_run(int argc, char** argv) {
       core::RawPrintPredictor predictor(simulator);
       core::LdmoFlow flow(simulator, predictor, {});
       core::LdmoResult r = flow.run(l);
+      if (r.failed) {
+        // e.g. an LDMO_FAILPOINTS-armed site fired: report the stage
+        // instead of writing empty masks.
+        std::fprintf(stderr, "run failed in stage %s: %s\n",
+                     stage_name(r.error.stage), r.error.message.c_str());
+        return 1;
+      }
       mask1 = std::move(r.ilt.mask1);
       mask2 = std::move(r.ilt.mask2);
       response = std::move(r.ilt.response);
@@ -334,6 +343,12 @@ int cmd_validate_report(int argc, char** argv) {
 // cache. Reports per-status counts, throughput and ok/cached latency
 // percentiles; --report writes the server's run report (serve.cache.*,
 // serve.batch.*, queue depth, percentiles) as JSON.
+//
+// --inject turns the bench into a fault drill: probability failpoints are
+// armed across the stack (generation, scoring, litho exposure, ILT, the
+// result cache) and retry is enabled, so the run demonstrates the fault
+// ladder end to end — every submitted request still completes, with a mix
+// of ok / failed / degraded outcomes and zero aborts or broken futures.
 int cmd_serve_bench(int argc, char** argv) {
   const int requests =
       std::atoi(flag_value(argc, argv, "--requests", "24"));
@@ -344,7 +359,13 @@ int cmd_serve_bench(int argc, char** argv) {
   const double deadline_ms =
       std::atof(flag_value(argc, argv, "--deadline-ms", "0"));
   const char* report_path = flag_value(argc, argv, "--report", nullptr);
+  const bool inject = flag_present(argc, argv, "--inject");
+  const double inject_prob =
+      std::atof(flag_value(argc, argv, "--inject-prob", "0.05"));
+  const std::uint64_t inject_seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--inject-seed", "1234")));
   if (requests < 1 || unique < 1 || clients < 1) return usage();
+  if (inject && (inject_prob <= 0.0 || inject_prob >= 1.0)) return usage();
 
   obs::registry().reset();
   if (report_path) {
@@ -363,6 +384,22 @@ int cmd_serve_bench(int argc, char** argv) {
   const bool cache_on = !flag_present(argc, argv, "--no-cache");
   cfg.result_cache.enabled = cache_on;
   cfg.score_cache.enabled = cache_on;
+  if (inject) {
+    // Per-evaluation probabilities scaled by how often each site runs per
+    // request: litho.expose fires hundreds of times per flow run, so it
+    // gets a much smaller chance than the once-per-run sites.
+    fail::arm("mpl.generate", fail::probability(inject_prob, inject_seed));
+    fail::arm("predictor.score",
+              fail::probability(inject_prob, inject_seed + 1));
+    fail::arm("opc.ilt.optimize",
+              fail::probability(inject_prob, inject_seed + 2));
+    fail::arm("litho.expose",
+              fail::probability(inject_prob / 100.0, inject_seed + 3));
+    fail::arm("serve.cache", fail::probability(inject_prob, inject_seed + 4));
+    // One bounded retry absorbs most transient faults.
+    cfg.retry.max_attempts = 2;
+    cfg.retry.initial_backoff_ms = 1.0;
+  }
   serve::Server server(cfg);
 
   layout::LayoutGenerator generator;
@@ -409,18 +446,40 @@ int cmd_serve_bench(int argc, char** argv) {
   };
 
   std::printf("serve-bench: %d requests (%d unique), %d clients, "
-              "%d dispatchers, cache %s, batching %s\n",
+              "%d dispatchers, cache %s, batching %s%s\n",
               requests, unique, clients, dispatchers,
               cache_on ? "on" : "off",
-              cfg.batcher.enabled ? "on" : "off");
-  for (int s = 0; s < 5; ++s) {
+              cfg.batcher.enabled ? "on" : "off",
+              inject ? ", fault injection on" : "");
+  long long terminal = 0;
+  for (int s = 0; s < serve::kServeStatusCount; ++s) {
     const serve::ServeStatus status = static_cast<serve::ServeStatus>(s);
+    terminal += server.status_count(status);
     std::printf("  %-10s %lld\n", serve::status_name(status),
                 server.status_count(status));
   }
   std::printf("  throughput %.2f req/s  p50 %.3fs  p95 %.3fs  p99 %.3fs\n",
               static_cast<double>(requests) / elapsed, pct(0.50), pct(0.95),
               pct(0.99));
+  if (inject) {
+    std::printf("  fault drill: %lld retries, %lld degraded\n",
+                server.retry_count(), server.degraded_count());
+    for (int s = 0; s < kFlowStageCount; ++s) {
+      const FlowStage stage = static_cast<FlowStage>(s);
+      if (server.error_count(stage) > 0)
+        std::printf("    errors.%-9s %lld\n", stage_name(stage),
+                    server.error_count(stage));
+    }
+    for (const std::string& site : fail::armed_sites())
+      std::printf("    fired.%-12s %lld\n", site.c_str(),
+                  fail::fire_count(site));
+    std::printf("  drill verdict: %s (%zu/%d responses, %lld terminal)\n",
+                responses.size() == static_cast<std::size_t>(requests)
+                    ? "all requests completed"
+                    : "LOST REQUESTS",
+                responses.size(), requests, terminal);
+    fail::disarm_all();
+  }
 
   if (report_path) {
     runtime::publish_metrics();

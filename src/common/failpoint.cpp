@@ -1,0 +1,224 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace ldmo::fail {
+
+namespace {
+
+/// Per-site state. Everything is guarded by the registry mutex: the slow
+/// path only runs while at least one site is armed (drills and failure
+/// tests), so a single lock keeps `once` exactly-once across threads and
+/// the probability Rng race-free without per-site machinery.
+struct SiteState {
+  Spec spec;
+  long long calls = 0;  ///< evaluations since arming (kEveryNth phase)
+  long long fired = 0;  ///< lifetime fires (survives disarm)
+  Rng rng{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: alive for process exit
+  return *r;
+}
+
+void refresh_armed_locked(Registry& r) {
+  int armed = 0;
+  for (const auto& [name, state] : r.sites)
+    if (state.spec.mode != Mode::kOff) ++armed;
+  detail::armed_state.store(armed, std::memory_order_relaxed);
+}
+
+void arm_locked(Registry& r, const std::string& site, Spec spec) {
+  require(spec.mode != Mode::kEveryNth || spec.every_nth >= 1,
+          "failpoint: every-Nth period must be >= 1");
+  require(spec.mode != Mode::kProbability ||
+              (spec.probability >= 0.0 && spec.probability <= 1.0),
+          "failpoint: probability must be in [0, 1]");
+  SiteState& state = r.sites[site];
+  state.spec = spec;
+  state.calls = 0;
+  if (spec.mode == Mode::kProbability) state.rng = Rng(spec.seed);
+}
+
+void arm_from_spec_locked(Registry& r, const std::string& spec_string) {
+  // Grammar: site=mode[,site=mode...] with mode one of
+  // once | every:N | prob:P[:SEED]. Whitespace is not tolerated: specs
+  // come from tests and env vars, not humans typing free-form.
+  std::size_t pos = 0;
+  while (pos < spec_string.size()) {
+    std::size_t end = spec_string.find(',', pos);
+    if (end == std::string::npos) end = spec_string.size();
+    const std::string entry = spec_string.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    require(eq != std::string::npos && eq > 0,
+            "failpoint spec entry is not site=mode: " + entry);
+    const std::string site = entry.substr(0, eq);
+    const std::string mode = entry.substr(eq + 1);
+    Spec spec;
+    if (mode == "once") {
+      spec = once();
+    } else if (mode.rfind("every:", 0) == 0) {
+      spec = every_nth(std::atoi(mode.c_str() + 6));
+    } else if (mode.rfind("prob:", 0) == 0) {
+      const std::string args = mode.substr(5);
+      const std::size_t colon = args.find(':');
+      const double p = std::atof(args.substr(0, colon).c_str());
+      const std::uint64_t seed =
+          colon == std::string::npos
+              ? 0
+              : static_cast<std::uint64_t>(
+                    std::atoll(args.c_str() + colon + 1));
+      spec = probability(p, seed);
+    } else if (mode == "off") {
+      spec = Spec{};
+    } else {
+      raise("failpoint spec has unknown mode: " + entry);
+    }
+    arm_locked(r, site, spec);
+  }
+}
+
+/// Parses LDMO_FAILPOINTS exactly once, before the first arm/evaluate.
+void ensure_env_parsed_locked(Registry& r) {
+  static bool parsed = false;  // guarded by r.mu
+  if (parsed) return;
+  parsed = true;
+  if (const char* env = std::getenv("LDMO_FAILPOINTS"))
+    arm_from_spec_locked(r, env);
+  refresh_armed_locked(r);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> armed_state{-1};  // -1: LDMO_FAILPOINTS not yet parsed
+
+bool should_fail_slow(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  SiteState& state = it->second;
+  bool fires = false;
+  switch (state.spec.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kOnce:
+      fires = true;
+      state.spec.mode = Mode::kOff;  // exactly once, across threads
+      refresh_armed_locked(r);
+      break;
+    case Mode::kEveryNth:
+      state.calls += 1;
+      fires = state.calls % state.spec.every_nth == 0;
+      break;
+    case Mode::kProbability:
+      fires = state.rng.bernoulli(state.spec.probability);
+      break;
+  }
+  if (fires) {
+    state.fired += 1;
+    obs::counter(std::string("failpoint.fired.") + site).inc();
+  }
+  return fires;
+}
+
+}  // namespace detail
+
+Spec once() {
+  Spec spec;
+  spec.mode = Mode::kOnce;
+  return spec;
+}
+
+Spec every_nth(int n) {
+  Spec spec;
+  spec.mode = Mode::kEveryNth;
+  spec.every_nth = n;
+  return spec;
+}
+
+Spec probability(double p, std::uint64_t seed) {
+  Spec spec;
+  spec.mode = Mode::kProbability;
+  spec.probability = p;
+  spec.seed = seed;
+  return spec;
+}
+
+void arm(const std::string& site, Spec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  arm_locked(r, site, spec);
+  refresh_armed_locked(r);
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end()) it->second.spec = Spec{};
+  refresh_armed_locked(r);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  for (auto& [name, state] : r.sites) state.spec = Spec{};
+  refresh_armed_locked(r);
+}
+
+int armed_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  const int state = detail::armed_state.load(std::memory_order_relaxed);
+  return state < 0 ? 0 : state;
+}
+
+std::vector<std::string> armed_sites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  std::vector<std::string> names;
+  for (const auto& [name, state] : r.sites)
+    if (state.spec.mode != Mode::kOff) names.push_back(name);
+  return names;  // map iteration is already sorted
+}
+
+long long fire_count(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+void arm_from_spec(const std::string& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked(r);
+  arm_from_spec_locked(r, spec);
+  refresh_armed_locked(r);
+}
+
+}  // namespace ldmo::fail

@@ -1,0 +1,94 @@
+// Fault injection: named failpoints compiled into error-prone sites.
+//
+// A failpoint is a named site (e.g. "litho.expose") that tests, the CLI
+// fault drill (`ldmo_cli serve-bench --inject`) and the LDMO_FAILPOINTS
+// environment variable can arm with a firing mode:
+//
+//   off          never fires (the default for every site)
+//   once         fires on the first evaluation after arming, then disarms
+//   every:N      fires on every Nth evaluation (N >= 1)
+//   prob:P[:S]   fires with probability P per evaluation, seeded Rng S
+//
+// A fired failpoint throws FlowException with the stage declared at the
+// site, exactly like a real failure of that component — so the whole
+// fault-tolerance ladder (stage catches in run_ldmo_flow, degradation,
+// server retry, kFailed responses) is exercised by the same code paths a
+// production fault would take.
+//
+// Cost when disarmed: one relaxed atomic load per evaluation (the armed
+// count), nothing else — no lock, no map lookup, no string work. Sites are
+// therefore safe on hot paths. All mutable state is mutex-guarded or
+// atomic; concurrent evaluation is TSan-clean, and `once` fires exactly
+// once across threads.
+//
+// Environment activation: LDMO_FAILPOINTS="site=mode[,site=mode...]" is
+// parsed on the first evaluation of any failpoint, e.g.
+//   LDMO_FAILPOINTS="nn.load=once,litho.expose=prob:0.01:42"
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flow_error.h"
+
+namespace ldmo::fail {
+
+enum class Mode { kOff, kOnce, kEveryNth, kProbability };
+
+/// One site's firing rule.
+struct Spec {
+  Mode mode = Mode::kOff;
+  int every_nth = 1;          ///< kEveryNth period
+  double probability = 0.0;   ///< kProbability chance per evaluation
+  std::uint64_t seed = 0;     ///< kProbability Rng seed
+};
+
+/// Arms `site` with the given rule (replacing any previous rule). Arming
+/// with Mode::kOff is equivalent to disarm().
+void arm(const std::string& site, Spec spec);
+
+/// Convenience constructors for the three firing modes.
+Spec once();
+Spec every_nth(int n);
+Spec probability(double p, std::uint64_t seed = 0);
+
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Number of currently armed sites.
+int armed_count();
+
+/// Names of currently armed sites (sorted).
+std::vector<std::string> armed_sites();
+
+/// Times `site` has fired since process start (survives disarm).
+long long fire_count(const std::string& site);
+
+/// Parses an LDMO_FAILPOINTS-style spec string ("a=once,b=every:3,
+/// c=prob:0.5:42") and arms each site. Throws ldmo::Error on syntax errors.
+void arm_from_spec(const std::string& spec);
+
+namespace detail {
+extern std::atomic<int> armed_state;  ///< -1 env-unchecked, else armed count
+bool should_fail_slow(const char* site);
+}  // namespace detail
+
+/// Evaluates `site`: true when the site is armed and its rule fires now.
+/// The disarmed fast path is a single relaxed atomic load.
+inline bool should_fail(const char* site) {
+  const int state = detail::armed_state.load(std::memory_order_relaxed);
+  if (state == 0) return false;  // env parsed, nothing armed
+  return detail::should_fail_slow(site);
+}
+
+/// Evaluates `site` and, when it fires, throws FlowException carrying
+/// `stage` — the standard way a failpoint site simulates a component fault.
+inline void maybe_fail(const char* site, FlowStage stage) {
+  if (should_fail(site))
+    throw FlowException(stage,
+                        std::string("failpoint fired: ") + site);
+}
+
+}  // namespace ldmo::fail

@@ -1,0 +1,25 @@
+#include "common/flow_error.h"
+
+namespace ldmo {
+
+const char* stage_name(FlowStage stage) {
+  switch (stage) {
+    case FlowStage::kLayout:
+      return "layout";
+    case FlowStage::kDecompose:
+      return "decompose";
+    case FlowStage::kPredict:
+      return "predict";
+    case FlowStage::kIlt:
+      return "ilt";
+    case FlowStage::kLitho:
+      return "litho";
+    case FlowStage::kCache:
+      return "cache";
+    case FlowStage::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace ldmo

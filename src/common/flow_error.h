@@ -1,0 +1,59 @@
+// Structured flow errors: which stage of the LDMO pipeline failed, and why.
+//
+// The paper's flow is a fallback chain (abandon a violating candidate, try
+// the next best); the serving layer generalizes that stance to every kind
+// of failure — a stage that throws must become a per-request outcome, never
+// a process outcome. FlowError is the record of such an outcome: a stage
+// tag plus a human-readable message. It travels inside LdmoResult (flow
+// level), FlowEngine session stats (session level) and ServeResponse
+// (request level), and drives the flow.errors.* / serve.errors.* counters.
+//
+// Lives in common (not core) so low layers — litho, opc, nn, io — can
+// throw a stage-tagged FlowException without depending on the flow.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace ldmo {
+
+/// Pipeline stage a failure is attributed to. kUnknown covers exceptions
+/// that escaped without a stage tag from a site the flow cannot classify.
+enum class FlowStage {
+  kLayout,     ///< layout construction / (de)serialization / rasterization
+  kDecompose,  ///< decomposition candidate generation (Algorithm 1)
+  kPredict,    ///< printability prediction (CNN / oracle / raw-print)
+  kIlt,        ///< ILT mask optimization
+  kLitho,      ///< lithography simulation (optics / resist)
+  kCache,      ///< serve-layer result/score cache access
+  kUnknown,    ///< escaped exception with no stage attribution
+};
+
+/// Number of FlowStage values (for per-stage counter arrays).
+inline constexpr int kFlowStageCount = 7;
+
+const char* stage_name(FlowStage stage);
+
+/// The structured failure record threaded through results and responses.
+struct FlowError {
+  FlowStage stage = FlowStage::kUnknown;
+  std::string message;
+};
+
+/// Exception carrying a stage attribution. Deep components (litho, nn, io)
+/// throw this so the flow's catch sites can attribute the failure to the
+/// component that actually broke instead of the phase that observed it.
+class FlowException : public Error {
+ public:
+  FlowException(FlowStage stage, const std::string& message)
+      : Error(message), stage_(stage) {}
+
+  FlowStage stage() const { return stage_; }
+  FlowError error() const { return {stage_, what()}; }
+
+ private:
+  FlowStage stage_;
+};
+
+}  // namespace ldmo

@@ -29,6 +29,11 @@ LdmoResult FlowEngine::run(const layout::Layout& layout,
     session_.cancelled_runs += 1;
     return result;
   }
+  if (result.failed) {
+    session_.failed_runs += 1;
+    return result;
+  }
+  if (result.degraded) session_.degraded_runs += 1;
   session_.runs += 1;
   session_.total_seconds += result.total_seconds;
   session_.candidates_generated += result.candidates_generated;
@@ -50,7 +55,9 @@ std::vector<LdmoResult> FlowEngine::run_many(
   // speculative ILT attempts, and the session history stays in input
   // order. Thread workspaces warmed by run i serve run i+1 for free.
   // Cancellation stops the batch between runs; a run cancelled in flight
-  // is dropped so every returned result carries finalized masks.
+  // is dropped so every returned result carries finalized masks. Failed
+  // runs stay in the batch (failed = true, no masks) so one broken layout
+  // neither shifts index alignment nor blocks the layouts after it.
   for (const layout::Layout& layout : layouts) {
     if (token.cancelled()) break;
     LdmoResult result = run(layout, token);
@@ -79,6 +86,8 @@ obs::RunReport FlowEngine::session_report() const {
     w.begin_object();
     w.kv("runs", stats.runs);
     w.kv("cancelled_runs", stats.cancelled_runs);
+    w.kv("failed_runs", stats.failed_runs);
+    w.kv("degraded_runs", stats.degraded_runs);
     w.kv("total_seconds", stats.total_seconds);
     w.kv("candidates_generated", stats.candidates_generated);
     w.kv("candidates_tried", stats.candidates_tried);

@@ -41,6 +41,8 @@ class FlowEngine {
   struct SessionStats {
     int runs = 0;
     int cancelled_runs = 0;  ///< token-cancelled runs (not in history)
+    int failed_runs = 0;     ///< stage-failed runs (not in history)
+    int degraded_runs = 0;   ///< runs that fell back to heuristic ranking
     double total_seconds = 0.0;
     long long candidates_generated = 0;
     long long candidates_tried = 0;
@@ -64,15 +66,19 @@ class FlowEngine {
   /// in the session stats. `token` (optional) cancels cooperatively —
   /// deadline tokens abort the ILT loop mid-iteration; a cancelled run
   /// returns `cancelled = true`, is counted in cancelled_runs and is NOT
-  /// recorded in the session history.
+  /// recorded in the session history. A stage-failed run likewise returns
+  /// `failed = true` (never throws), is counted in failed_runs and stays
+  /// out of the history; degraded runs ARE real runs and are recorded.
   LdmoResult run(const layout::Layout& layout,
                  runtime::CancellationToken token = {});
 
   /// Runs every layout through the session, in order (each run already
   /// parallelizes internally). Without a token, results are index-aligned
-  /// with `layouts`. A fired token stops the batch between runs (and
-  /// aborts the in-flight run's ILT loop), returning only the completed
-  /// prefix — result.size() < layouts.size() signals the truncation.
+  /// with `layouts` — failed runs occupy their slot with `failed = true`
+  /// so one broken layout never shifts the alignment or stops the batch.
+  /// A fired token stops the batch between runs (and aborts the in-flight
+  /// run's ILT loop), returning only the completed prefix —
+  /// result.size() < layouts.size() signals the truncation.
   std::vector<LdmoResult> run_many(const std::vector<layout::Layout>& layouts,
                                    runtime::CancellationToken token = {});
 

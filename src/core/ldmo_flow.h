@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "common/flow_error.h"
 #include "common/timer.h"
 #include "core/predictor.h"
 #include "mpl/decomposition_generator.h"
@@ -28,6 +29,12 @@ struct LdmoConfig {
   /// ILT run, so the budget is small; the CNN ranking makes deep fallback
   /// chains unnecessary.
   int max_fallbacks = 2;
+  /// When the predict stage throws (CNN inference failure, scoring fault),
+  /// fall back to heuristic candidate ordering — the generation order of
+  /// Algorithm 1, what a no-predictor baseline flow tries — instead of
+  /// failing the run. Generalizes the paper's fallback-chain stance to
+  /// predictor faults: a lost ranking degrades quality, never the request.
+  bool degrade_on_predict_failure = true;
 };
 
 struct LdmoResult {
@@ -40,6 +47,17 @@ struct LdmoResult {
   /// True when the run's cancellation token fired (deadline or explicit
   /// cancel): the flow wound down early and masks/report are NOT populated.
   bool cancelled = false;
+  /// True when a stage threw and the flow could not recover: masks/report
+  /// are NOT populated and `error` records which stage broke and why.
+  /// Failure is a per-run outcome, not an exception — callers holding many
+  /// layouts (FlowEngine::run_many, the serving dispatchers) keep going.
+  bool failed = false;
+  FlowError error;  ///< populated iff `failed`
+  /// True when the predict stage failed and the flow degraded to heuristic
+  /// (generation-order) candidate ranking. The masks are real and
+  /// violation-checked, just not CNN-ranked; degraded results are not
+  /// admitted to the serve result cache.
+  bool degraded = false;
 };
 
 /// The flow pipeline (Fig. 2) over caller-owned components. FlowEngine
@@ -51,6 +69,12 @@ struct LdmoResult {
 /// iteration inside every speculative attempt, so a fired token stops the
 /// flow within one iteration of mask optimization. A cancelled run returns
 /// `cancelled = true` with no masks.
+///
+/// Fault containment: a stage that throws is caught here and returned as
+/// `failed = true` with a stage-attributed FlowError (FlowException tags
+/// from deep components — litho, nn — win over the observing phase). A
+/// predict-stage failure degrades to heuristic ordering instead when
+/// `config.degrade_on_predict_failure` is set.
 LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
                          PrintabilityPredictor& predictor,
                          const LdmoConfig& config,

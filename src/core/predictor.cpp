@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "runtime/parallel_for.h"
@@ -62,6 +63,7 @@ std::vector<std::vector<double>> CnnPredictor::score_batch_multi(
     const std::vector<ScoringJob>& jobs) {
   static obs::Counter& inference_counter =
       obs::counter("predictor.cnn.inferences");
+  fail::maybe_fail("predictor.score", FlowStage::kPredict);
 
   const int size = network_->config().input_size;
   const std::size_t pixels =
@@ -162,6 +164,7 @@ std::vector<double> RawPrintPredictor::score_batch(
   static obs::Counter& raw_counter =
       obs::counter("predictor.raw_print.evaluations");
   raw_counter.inc(static_cast<long long>(candidates.size()));
+  fail::maybe_fail("predictor.score", FlowStage::kPredict);
   std::vector<double> scores(candidates.size());
   runtime::parallel_for(candidates.size(), [&](std::size_t i) {
     const GridF response =

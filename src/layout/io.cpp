@@ -4,8 +4,23 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace ldmo::layout {
+
+namespace {
+
+/// Names occupy the rest of their line in the text format, so embedded
+/// spaces and tabs round-trip exactly; only line breaks are structural and
+/// get replaced before writing.
+std::string sanitized_name(const std::string& name) {
+  std::string out = name.empty() ? "unnamed" : name;
+  std::replace(out.begin(), out.end(), '\n', ' ');
+  std::replace(out.begin(), out.end(), '\r', ' ');
+  return out;
+}
+
+}  // namespace
 
 void write_pgm(const GridF& grid, const std::string& path, double lo,
                double hi) {
@@ -23,9 +38,10 @@ void write_pgm(const GridF& grid, const std::string& path, double lo,
 }
 
 void write_layout_text(const Layout& layout, const std::string& path) {
+  fail::maybe_fail("io.layout.write", FlowStage::kLayout);
   std::ofstream out(path);
   require(out.good(), "write_layout_text: cannot open " + path);
-  out << "name " << (layout.name.empty() ? "unnamed" : layout.name) << "\n";
+  out << "name " << sanitized_name(layout.name) << "\n";
   out << "clip " << layout.clip.lo.x << " " << layout.clip.lo.y << " "
       << layout.clip.hi.x << " " << layout.clip.hi.y << "\n";
   for (const Pattern& p : layout.patterns)
@@ -35,6 +51,7 @@ void write_layout_text(const Layout& layout, const std::string& path) {
 }
 
 Layout read_layout_text(const std::string& path) {
+  fail::maybe_fail("io.layout.read", FlowStage::kLayout);
   std::ifstream in(path);
   require(in.good(), "read_layout_text: cannot open " + path);
   Layout layout;
@@ -42,7 +59,13 @@ Layout read_layout_text(const std::string& path) {
   bool have_clip = false;
   while (in >> token) {
     if (token == "name") {
-      in >> layout.name;
+      // The name is everything after the single separator space up to the
+      // end of the line, so names containing spaces or tabs round-trip
+      // exactly (the writer keeps them on one line).
+      in.get();
+      std::getline(in, layout.name);
+      if (!layout.name.empty() && layout.name.back() == '\r')
+        layout.name.pop_back();
     } else if (token == "clip") {
       geometry::Point lo, hi;
       in >> lo.x >> lo.y >> hi.x >> hi.y;

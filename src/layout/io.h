@@ -16,6 +16,9 @@ void write_pgm(const GridF& grid, const std::string& path, double lo = 0.0,
 
 /// Writes a layout as a human-readable text file:
 ///   name <name>\n clip <x0> <y0> <x1> <y1>\n rect <x0> <y0> <x1> <y1>...
+/// The name occupies the rest of its line, so names with internal spaces
+/// or tabs round-trip exactly; line breaks in the name are replaced by
+/// spaces (they are structural in this format).
 void write_layout_text(const Layout& layout, const std::string& path);
 
 /// Reads back a layout written by write_layout_text. Throws on parse errors.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "layout/raster.h"
 #include "litho/resist.h"
 #include "obs/metrics.h"
@@ -36,6 +37,7 @@ void LithoSimulator::expose_into(const GridF& mask, GridF& out) const {
   // denominator of the paper's "simulations the CNN avoided" economy.
   static obs::Counter& exposure_counter = obs::counter("litho.exposures");
   exposure_counter.inc();
+  fail::maybe_fail("litho.expose", FlowStage::kLitho);
   runtime::PooledGrid<double> intensity =
       runtime::Workspace::this_thread().grid_f_uninit(config_.grid_size,
                                                       config_.grid_size);

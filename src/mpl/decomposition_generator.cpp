@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "coverage/covering_array.h"
 
 namespace ldmo::mpl {
@@ -33,6 +34,7 @@ GenerationResult generate_decompositions(const layout::Layout& layout,
           "generate_decompositions: empty layout");
   require(config.max_candidates >= 1,
           "generate_decompositions: max_candidates must be >= 1");
+  fail::maybe_fail("mpl.generate", FlowStage::kDecompose);
 
   GenerationResult result;
   result.classification = classify_patterns(layout, config.classify);

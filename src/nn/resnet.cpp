@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace ldmo::nn {
 
@@ -115,6 +116,7 @@ Tensor ResNetRegressor::forward(const Tensor& images, bool training) {
           "ResNetRegressor: expected [N, 1, " +
               std::to_string(config_.input_size) + ", " +
               std::to_string(config_.input_size) + "] input");
+  fail::maybe_fail("nn.forward", FlowStage::kPredict);
   return net_.forward(images, training);
 }
 

@@ -1,37 +1,87 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace ldmo::nn {
 namespace {
 constexpr std::uint32_t kMagic = 0x4C444D4F;  // "LDMO"
+constexpr std::uint64_t kHeaderBytes =
+    sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+/// Bytes a well-formed file for this parameter list must occupy, exactly.
+std::uint64_t expected_file_bytes(
+    const std::vector<Parameter*>& parameters) {
+  std::uint64_t total = kHeaderBytes;
+  for (const Parameter* p : parameters) {
+    require(p != nullptr, "serialize: null parameter");
+    total += sizeof(std::uint64_t) +
+             static_cast<std::uint64_t>(p->value.size()) * sizeof(float);
+  }
+  return total;
 }
+
+}  // namespace
 
 void save_parameters(const std::vector<Parameter*>& parameters,
                      const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  require(out.good(), "save_parameters: cannot open " + path);
-  const std::uint32_t magic = kMagic;
-  const std::uint64_t count = parameters.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const Parameter* p : parameters) {
-    require(p != nullptr, "save_parameters: null parameter");
-    const std::uint64_t elements = p->value.size();
-    out.write(reinterpret_cast<const char*>(&elements), sizeof(elements));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(elements * sizeof(float)));
+  // Write-then-rename: a crash (or failpoint) mid-save leaves at worst a
+  // stale .tmp file — the previous weights at `path` survive intact. The
+  // rename is atomic on POSIX filesystems.
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      require(out.good(), "save_parameters: cannot open " + tmp);
+      const std::uint32_t magic = kMagic;
+      const std::uint64_t count = parameters.size();
+      out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+      out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+      for (const Parameter* p : parameters) {
+        require(p != nullptr, "save_parameters: null parameter");
+        const std::uint64_t elements = p->value.size();
+        out.write(reinterpret_cast<const char*>(&elements),
+                  sizeof(elements));
+        out.write(reinterpret_cast<const char*>(p->value.data()),
+                  static_cast<std::streamsize>(elements * sizeof(float)));
+      }
+      fail::maybe_fail("nn.save", FlowStage::kPredict);
+      out.flush();
+      require(out.good(), "save_parameters: write failed for " + tmp);
+    }
+    require(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "save_parameters: cannot rename " + tmp + " to " + path);
+  } catch (...) {
+    std::remove(tmp.c_str());  // best effort; the original is untouched
+    throw;
   }
-  require(out.good(), "save_parameters: write failed for " + path);
 }
 
 void load_parameters(const std::vector<Parameter*>& parameters,
                      const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   require(in.good(), "load_parameters: cannot open " + path);
+  fail::maybe_fail("nn.load", FlowStage::kPredict);
+
+  // Bound everything against the actual file size up front: a corrupt
+  // header cannot ask for more bytes than exist, and trailing garbage
+  // after the last tensor is rejected instead of silently ignored.
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes =
+      static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  require(file_bytes >= kHeaderBytes,
+          "load_parameters: truncated header in " + path);
+  const std::uint64_t expected = expected_file_bytes(parameters);
+  require(file_bytes >= expected,
+          "load_parameters: truncated file " + path);
+  require(file_bytes <= expected,
+          "load_parameters: trailing bytes after last tensor in " + path);
+
   std::uint32_t magic = 0;
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));

@@ -2,7 +2,11 @@
 //
 // Format: magic, parameter count, then per parameter its element count and
 // raw float payload. Loading validates the parameter layout matches the
-// network it is loaded into, so architecture mismatches fail loudly.
+// network it is loaded into, so architecture mismatches fail loudly; the
+// total file size must match the layout exactly, so truncated payloads and
+// trailing garbage are rejected too. Saving writes to `<path>.tmp` and
+// atomically renames into place — a crash mid-save never destroys the
+// previous weights.
 #pragma once
 
 #include <string>
@@ -12,7 +16,9 @@
 
 namespace ldmo::nn {
 
-/// Writes all parameter values to `path`. Throws on I/O failure.
+/// Writes all parameter values to `path` via an atomic
+/// write-to-temp-then-rename. Throws on I/O failure (leaving any previous
+/// file at `path` intact).
 void save_parameters(const std::vector<Parameter*>& parameters,
                      const std::string& path);
 

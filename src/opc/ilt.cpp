@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "layout/raster.h"
 #include "litho/resist.h"
 #include "obs/metrics.h"
@@ -194,6 +195,7 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
   static obs::Histogram& iters_histogram =
       obs::histogram("ilt.iterations_run", {5, 10, 15, 20, 30, 40, 50});
   runs_counter.inc();
+  fail::maybe_fail("opc.ilt.optimize", FlowStage::kIlt);
 
   obs::Span span("ilt.optimize");
   const GridF target =

@@ -26,6 +26,8 @@ const char* status_name(ServeStatus s) {
       return "timeout";
     case ServeStatus::kCancelled:
       return "cancelled";
+    case ServeStatus::kFailed:
+      return "failed";
   }
   return "unknown";
 }

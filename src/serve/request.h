@@ -32,7 +32,10 @@ enum class ServeStatus {
   kRejected,  ///< bounced at admission (queue full, reject policy)
   kTimeout,   ///< deadline expired before or during the run
   kCancelled, ///< caller cancelled via its ticket (or server shutdown)
+  kFailed,    ///< a flow stage failed after all retries; see `error`
 };
+
+inline constexpr int kServeStatusCount = 6;
 
 const char* status_name(ServeStatus s);
 
@@ -61,6 +64,14 @@ struct ServeResponse {
   double queue_seconds = 0.0;    ///< admission -> dispatch
   double service_seconds = 0.0;  ///< dispatch -> terminal state
   double total_seconds = 0.0;    ///< admission -> terminal state
+  /// Stage-attributed cause of a kFailed response (the last attempt's
+  /// error); default-constructed otherwise.
+  FlowError error;
+  /// Flow attempts consumed, counting the first: 1 means no retry.
+  int attempts = 1;
+  /// The run lost its CNN ranking and fell back to heuristic ordering
+  /// (masks are real and violation-checked, but not cached).
+  bool degraded = false;
 
   bool ok() const {
     return status == ServeStatus::kOk || status == ServeStatus::kCached;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/failpoint.h"
+#include "common/log.h"
 #include "obs/span.h"
 
 namespace ldmo::serve {
@@ -188,6 +190,31 @@ void Server::process(core::FlowEngine& engine, Pending pending) {
   response.request_id = pending.id;
   response.queue_seconds = seconds_since(pending.submitted, dispatched);
 
+  // The dispatcher's survival guarantee: whatever the request body throws,
+  // the promise is fulfilled exactly once (here or with the computed
+  // response) and the loop keeps draining. Before this catch existed, an
+  // exception out of engine.run() unwound through the dispatcher thread and
+  // took the whole process down via std::terminate, with every other
+  // in-flight ticket's future left broken.
+  try {
+    compute(engine, pending, response, span);
+  } catch (const std::exception& e) {
+    response.status = ServeStatus::kFailed;
+    if (const auto* tagged = dynamic_cast<const FlowException*>(&e))
+      response.error = tagged->error();
+    else
+      response.error = {FlowStage::kUnknown, e.what()};
+    record_error(response.error, span);
+  } catch (...) {
+    response.status = ServeStatus::kFailed;
+    response.error = {FlowStage::kUnknown, "non-standard exception"};
+    record_error(response.error, span);
+  }
+  finish(pending, std::move(response), dispatched);
+}
+
+void Server::compute(core::FlowEngine& engine, Pending& pending,
+                     ServeResponse& response, obs::Span& span) {
   runtime::CancellationToken token = pending.cancel->token();
   if (pending.deadline != Clock::time_point::max())
     token = token.with_deadline(pending.deadline);
@@ -201,28 +228,89 @@ void Server::process(core::FlowEngine& engine, Pending pending) {
   if (token.cancelled()) {
     response.status = pending.cancel->cancelled() ? ServeStatus::kCancelled
                                                   : ServeStatus::kTimeout;
-    finish(pending, std::move(response), dispatched);
     return;
   }
 
-  if (std::optional<core::LdmoResult> hit = result_cache_.get(key)) {
-    response.status = ServeStatus::kCached;
-    response.result = std::move(*hit);
-    span.attr("cached", 1.0);
-    finish(pending, std::move(response), dispatched);
-    return;
+  // A broken cache degrades to a miss: the flow below recomputes, so a
+  // cache fault costs latency, never the request (it is still counted
+  // against the cache stage).
+  try {
+    fail::maybe_fail("serve.cache", FlowStage::kCache);
+    if (std::optional<core::LdmoResult> hit = result_cache_.get(key)) {
+      response.status = ServeStatus::kCached;
+      response.result = std::move(*hit);
+      span.attr("cached", 1.0);
+      return;
+    }
+  } catch (const std::exception& e) {
+    record_error({FlowStage::kCache, e.what()}, span);
   }
 
-  core::LdmoResult result = engine.run(pending.request.layout, token);
-  if (result.cancelled) {
-    response.status = pending.cancel->cancelled() ? ServeStatus::kCancelled
-                                                  : ServeStatus::kTimeout;
-  } else {
+  double backoff_ms = config_.retry.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    response.attempts = attempt;
+    core::LdmoResult result = engine.run(pending.request.layout, token);
+    if (result.cancelled) {
+      response.status = pending.cancel->cancelled() ? ServeStatus::kCancelled
+                                                    : ServeStatus::kTimeout;
+      return;
+    }
+    if (result.failed) {
+      record_error(result.error, span);
+      if (attempt >= config_.retry.max_attempts || token.cancelled()) {
+        response.status = ServeStatus::kFailed;
+        response.error = std::move(result.error);
+        return;
+      }
+      retry_count_.fetch_add(1);
+      obs::counter("serve.retries").inc();
+      span.attr("retries", static_cast<double>(attempt));
+      // Back off before retrying, but never past the deadline: sleep the
+      // smaller of the backoff and the time remaining, then let the next
+      // engine.run observe the (possibly fired) token.
+      auto wait = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(backoff_ms / 1000.0));
+      if (pending.deadline != Clock::time_point::max()) {
+        const Clock::time_point now = Clock::now();
+        if (pending.deadline > now)
+          wait = std::min(wait, pending.deadline - now);
+        else
+          wait = Clock::duration::zero();
+      }
+      if (wait > Clock::duration::zero()) std::this_thread::sleep_for(wait);
+      backoff_ms *= config_.retry.backoff_multiplier;
+      continue;
+    }
+    response.degraded = result.degraded;
+    if (result.degraded) {
+      degraded_count_.fetch_add(1);
+      obs::counter("serve.degraded").inc();
+      span.attr("degraded", 1.0);
+    }
     response.status = ServeStatus::kOk;
-    result_cache_.put(key, result);
+    // Degraded results are kept out of the cache: once the predictor
+    // recovers, the same layout should get its CNN-ranked masks rather
+    // than a cached heuristic fallback.
+    if (!result.degraded) {
+      try {
+        fail::maybe_fail("serve.cache", FlowStage::kCache);
+        result_cache_.put(key, result);
+      } catch (const std::exception& e) {
+        record_error({FlowStage::kCache, e.what()}, span);
+      }
+    }
     response.result = std::move(result);
+    return;
   }
-  finish(pending, std::move(response), dispatched);
+}
+
+void Server::record_error(const FlowError& error, obs::Span& span) {
+  error_counts_[static_cast<std::size_t>(error.stage)].fetch_add(1);
+  obs::counter(std::string("serve.errors.") + stage_name(error.stage)).inc();
+  span.attr("error_stage", stage_name(error.stage));
+  span.attr("error", error.message);
+  log_warn("serve: request error in stage ", stage_name(error.stage), ": ",
+           error.message);
 }
 
 void Server::finish(Pending& pending, ServeResponse response,
@@ -263,6 +351,13 @@ obs::RunReport Server::report() const {
   for (const StatusRow& row : rows) completed += row.count;
   const double elapsed = seconds_since(started_, Clock::now());
 
+  std::vector<StatusRow> error_rows;
+  for (std::size_t s = 0; s < error_counts_.size(); ++s)
+    error_rows.push_back({stage_name(static_cast<FlowStage>(s)),
+                          error_counts_[s].load()});
+  const long long retries = retry_count_.load();
+  const long long degraded = degraded_count_.load();
+
   const std::size_t queue_depth_now = queue_.depth();
   const std::size_t queue_capacity = queue_.capacity();
   const long long cache_hits = result_cache_.hits();
@@ -298,6 +393,15 @@ obs::RunReport Server::report() const {
     w.kv("misses", cache_misses);
     w.kv("entries", static_cast<long long>(cache_entries));
     w.kv("bytes", static_cast<long long>(cache_bytes));
+    w.end_object();
+    w.key("errors");
+    w.begin_object();
+    w.key("by_stage");
+    w.begin_object();
+    for (const StatusRow& row : error_rows) w.kv(row.name, row.count);
+    w.end_object();
+    w.kv("retries", retries);
+    w.kv("degraded", degraded);
     w.end_object();
     w.end_object();
   });

@@ -36,8 +36,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/flow_error.h"
 #include "core/flow_engine.h"
 #include "obs/report.h"
+#include "obs/span.h"
 #include "runtime/cancellation.h"
 #include "serve/admission_queue.h"
 #include "serve/batcher.h"
@@ -71,6 +73,17 @@ struct ServeConfig {
       .shards = 8,
       .metric_prefix = "serve.score_cache",
   };
+  /// Bounded retry of stage-failed flow runs. max_attempts counts the
+  /// first try, so 1 (the default) means fail fast. Backoff grows
+  /// geometrically per retry and is clipped to the request's remaining
+  /// deadline; a request whose token fires mid-backoff terminates with
+  /// its cancellation status, never a stale retry.
+  struct RetryPolicy {
+    int max_attempts = 1;
+    double initial_backoff_ms = 5.0;
+    double backoff_multiplier = 2.0;
+  };
+  RetryPolicy retry;
 };
 
 /// Caller's handle on a submitted request.
@@ -122,6 +135,13 @@ class Server {
   long long status_count(ServeStatus status) const {
     return status_counts_[static_cast<std::size_t>(status)].load();
   }
+  /// Flow failures observed per stage (every attempt counts, so with
+  /// retries this can exceed the kFailed response count).
+  long long error_count(FlowStage stage) const {
+    return error_counts_[static_cast<std::size_t>(stage)].load();
+  }
+  long long retry_count() const { return retry_count_.load(); }
+  long long degraded_count() const { return degraded_count_.load(); }
 
   /// Run report with a "serve" section: per-status request counts, ok/cached
   /// latency percentiles (p50/p95/p99), throughput, queue and cache state —
@@ -147,6 +167,13 @@ class Server {
   ServeResponse rejected_response(std::uint64_t id);
   void dispatcher_loop(int index);
   void process(core::FlowEngine& engine, Pending pending);
+  /// Fills `response` with the request's terminal state (cache lookup,
+  /// retry loop around FlowEngine::run, cache fill). Plain returns only —
+  /// process() owns the promise and fulfills it exactly once, catching
+  /// anything compute() lets escape as a kFailed response.
+  void compute(core::FlowEngine& engine, Pending& pending,
+               ServeResponse& response, obs::Span& span);
+  void record_error(const FlowError& error, obs::Span& span);
   void finish(Pending& pending, ServeResponse response,
               Clock::time_point dispatched);
 
@@ -169,7 +196,10 @@ class Server {
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> completion_seq_{0};
-  std::array<std::atomic<long long>, 5> status_counts_{};
+  std::array<std::atomic<long long>, kServeStatusCount> status_counts_{};
+  std::array<std::atomic<long long>, kFlowStageCount> error_counts_{};
+  std::atomic<long long> retry_count_{0};
+  std::atomic<long long> degraded_count_{0};
   Clock::time_point started_;
 
   mutable std::mutex latency_mu_;

@@ -1,0 +1,8 @@
+# Included by ctest (TEST_INCLUDE_FILES) after gtest discovery populated
+# test_failpoint_TESTS. Discovery can only attach a single label — it
+# flattens list-valued PROPERTIES — so the full label set lives here:
+# "sanitize" (concurrency payload) plus "faults" (ctest -L faults runs the
+# whole failure-path suite on its own).
+foreach(t IN LISTS test_failpoint_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "sanitize;faults")
+endforeach()

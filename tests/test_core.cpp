@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -127,6 +128,48 @@ TEST(LdmoFlowTest, FallbackBoundedByConfig) {
   const LdmoResult result = flow.run(l);
   EXPECT_EQ(result.candidates_tried, 1);
   EXPECT_FALSE(result.ilt.aborted_on_violation);  // final attempt completes
+}
+
+// A predictor whose every scoring call throws a plain std::runtime_error —
+// the shape of a real backend bug, untagged by any FlowException.
+class BrokenPredictor : public PrintabilityPredictor {
+ public:
+  double score(const layout::Layout&, const layout::Assignment&) override {
+    throw std::runtime_error("scoring backend down");
+  }
+  std::string name() const override { return "broken"; }
+};
+
+TEST(LdmoFlowTest, PredictorFailureDegradesByDefault) {
+  const layout::Layout l = test_layout(33);
+  BrokenPredictor predictor;
+  LdmoConfig config;
+  config.ilt = fast_ilt();
+  LdmoFlow flow(shared_simulator(), predictor, config);
+  // No exception escapes: the run degrades to generation-order ranking and
+  // still produces finalized masks.
+  const LdmoResult result = flow.run(l);
+  EXPECT_FALSE(result.failed);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_GT(result.candidates_tried, 0);
+  EXPECT_EQ(result.ilt.mask1.height(), shared_simulator().grid_size());
+}
+
+TEST(LdmoFlowTest, PredictorFailureFailsWhenDegradeDisabled) {
+  const layout::Layout l = test_layout(33);
+  BrokenPredictor predictor;
+  LdmoConfig config;
+  config.ilt = fast_ilt();
+  config.degrade_on_predict_failure = false;
+  LdmoFlow flow(shared_simulator(), predictor, config);
+  const LdmoResult result = flow.run(l);
+  EXPECT_TRUE(result.failed);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.error.stage, FlowStage::kPredict);
+  EXPECT_NE(result.error.message.find("scoring backend down"),
+            std::string::npos);
+  // Failed runs carry timing but no masks.
+  EXPECT_EQ(result.candidates_tried, 0);
 }
 
 TEST(LdmoFlowTest, OraclePredictorBeatsAdversarialOracle) {

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "layout/drc.h"
 #include "layout/fingerprint.h"
 #include "layout/generator.h"
@@ -328,6 +329,44 @@ TEST_F(IoTest, LayoutTextRoundTrip) {
               original.patterns[static_cast<std::size_t>(i)].shape);
 }
 
+TEST_F(IoTest, NameWithInternalWhitespaceRoundTrips) {
+  // The name owns the rest of its header line, so any horizontal
+  // whitespace — internal, leading, trailing, runs of it — must survive a
+  // write/read cycle byte-for-byte. (The old `in >> name` reader chopped
+  // the name at the first space and misparsed everything after it.)
+  const std::vector<std::string> names = {
+      "clip 7 (rev B)", "a\tb", " leading", "trailing ",
+      "double  space",  "x",    "many words in a row"};
+  const std::string path = "test_layout_name_ws.txt";
+  cleanup_.push_back(path);
+  for (const std::string& name : names) {
+    Layout original = two_contact_layout(88);
+    original.name = name;
+    write_layout_text(original, path);
+    const Layout loaded = read_layout_text(path);
+    EXPECT_EQ(loaded.name, name);
+    EXPECT_EQ(loaded.clip, original.clip);
+    EXPECT_EQ(loaded.pattern_count(), original.pattern_count());
+  }
+}
+
+TEST_F(IoTest, StructuralCharactersInNameAreSanitized) {
+  const std::string path = "test_layout_name_struct.txt";
+  cleanup_.push_back(path);
+  // Line breaks are structural in the format: the writer flattens them to
+  // spaces rather than corrupting the file.
+  Layout broken = two_contact_layout(88);
+  broken.name = "line1\nline2\rline3";
+  write_layout_text(broken, path);
+  EXPECT_EQ(read_layout_text(path).name, "line1 line2 line3");
+  // An empty name would leave the header line bare; it becomes a
+  // placeholder instead.
+  Layout unnamed = two_contact_layout(88);
+  unnamed.name.clear();
+  write_layout_text(unnamed, path);
+  EXPECT_EQ(read_layout_text(path).name, "unnamed");
+}
+
 TEST_F(IoTest, PgmWriteProducesValidHeader) {
   GridF g(4, 4, 0.5);
   const std::string path = "test_io.pgm";
@@ -345,6 +384,26 @@ TEST_F(IoTest, PgmWriteProducesValidHeader) {
 
 TEST_F(IoTest, ReadMissingFileThrows) {
   EXPECT_THROW(read_layout_text("/nonexistent/nowhere.txt"), ldmo::Error);
+}
+
+TEST_F(IoTest, IoFailpointsThrowTaggedLayoutStage) {
+  const std::string path = "test_layout_fp.txt";
+  cleanup_.push_back(path);
+  fail::disarm_all();
+  const Layout original = two_contact_layout(88);
+  fail::arm("io.layout.write", fail::once());
+  EXPECT_THROW(write_layout_text(original, path), FlowException);
+  write_layout_text(original, path);  // disarmed again: write succeeds
+  fail::arm("io.layout.read", fail::once());
+  try {
+    (void)read_layout_text(path);
+    FAIL() << "read did not throw";
+  } catch (const FlowException& e) {
+    EXPECT_EQ(e.stage(), FlowStage::kLayout);
+  }
+  fail::disarm_all();
+  EXPECT_EQ(read_layout_text(path).pattern_count(),
+            original.pattern_count());
 }
 
 // --- Content fingerprint (layout/fingerprint.h) ---

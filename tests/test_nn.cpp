@@ -6,8 +6,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "nn/batchnorm.h"
 #include "nn/conv.h"
 #include "nn/gemm.h"
@@ -519,6 +523,122 @@ TEST(Serialize, MissingFileThrows) {
   ResNetRegressor a(tiny_config());
   EXPECT_THROW(load_parameters(a.parameters(), "/nonexistent/weights.bin"),
                ldmo::Error);
+}
+
+namespace {
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+// Corrupt-file corpus: every malformed variant of a valid weight file must
+// be rejected up front, never partially loaded into a live network.
+TEST(Serialize, CorruptFileCorpusRejected) {
+  const std::string good_path = "test_nn_corpus_good.bin";
+  const std::string bad_path = "test_nn_corpus_bad.bin";
+  ResNetRegressor net(tiny_config());
+  save_parameters(net.parameters(), good_path);
+  const std::vector<char> good = read_file(good_path);
+  ASSERT_GT(good.size(), 16u);
+
+  const auto expect_rejected = [&](std::vector<char> bytes) {
+    write_file(bad_path, bytes);
+    ResNetRegressor victim(tiny_config());
+    EXPECT_THROW(load_parameters(victim.parameters(), bad_path),
+                 ldmo::Error);
+  };
+
+  // Bad magic: first byte flipped.
+  std::vector<char> bad_magic = good;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x5A);
+  expect_rejected(bad_magic);
+
+  // Truncated header: shorter than magic + count.
+  expect_rejected(std::vector<char>(good.begin(), good.begin() + 7));
+
+  // Truncated payload: last tensor loses its tail.
+  expect_rejected(std::vector<char>(good.begin(), good.end() - 9));
+
+  // Oversized count: header promises far more tensors than the file (or
+  // the network) holds.
+  std::vector<char> oversized = good;
+  oversized[4] = static_cast<char>(0xFF);
+  oversized[5] = static_cast<char>(0xFF);
+  expect_rejected(oversized);
+
+  // Trailing bytes after the last tensor.
+  std::vector<char> trailing = good;
+  trailing.insert(trailing.end(), {1, 2, 3, 4});
+  expect_rejected(trailing);
+
+  // The pristine file still loads: the corpus rejected structure, not the
+  // loader.
+  ResNetRegressor ok(tiny_config());
+  load_parameters(ok.parameters(), good_path);
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+// Atomic save: a fault mid-write must leave the previously saved weights
+// untouched (write-to-tmp-then-rename), with no stray .tmp file behind.
+TEST(Serialize, FailedSaveLeavesPreviousWeightsIntact) {
+  const std::string path = "test_nn_atomic.bin";
+  fail::disarm_all();
+  ResNetRegressor a(tiny_config());
+  save_parameters(a.parameters(), path);
+  const std::vector<char> original = read_file(path);
+
+  ResNetRegressor b(tiny_config());
+  for (Parameter* p : b.parameters())
+    for (std::size_t i = 0; i < p->value.size(); i += 2) p->value[i] += 1.0f;
+  fail::arm("nn.save", fail::once());
+  EXPECT_THROW(save_parameters(b.parameters(), path), ldmo::Error);
+  fail::disarm_all();
+
+  EXPECT_EQ(read_file(path), original);  // previous weights survive
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());  // tmp cleaned up
+
+  // The next save (no fault) replaces the file normally.
+  save_parameters(b.parameters(), path);
+  EXPECT_NE(read_file(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadFailpointThrowsTagged) {
+  const std::string path = "test_nn_loadfp.bin";
+  fail::disarm_all();
+  ResNetRegressor net(tiny_config());
+  save_parameters(net.parameters(), path);
+  fail::arm("nn.load", fail::once());
+  EXPECT_THROW(load_parameters(net.parameters(), path), FlowException);
+  fail::disarm_all();
+  load_parameters(net.parameters(), path);  // site clean again
+  std::remove(path.c_str());
+}
+
+TEST(ResNet, ForwardFailpointThrowsTagged) {
+  fail::disarm_all();
+  ResNetRegressor net(tiny_config());
+  Rng rng(7);
+  const Tensor x = Tensor::randn({1, 1, 32, 32}, rng);
+  fail::arm("nn.forward", fail::once());
+  try {
+    (void)net.forward(x, false);
+    FAIL() << "forward did not throw";
+  } catch (const FlowException& e) {
+    EXPECT_EQ(e.stage(), FlowStage::kPredict);
+  }
+  fail::disarm_all();
+  (void)net.forward(x, false);  // network unharmed
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -511,6 +513,39 @@ TEST(Server, MultiProducerConcurrencySmoke) {
     });
   for (std::thread& t : producers) t.join();
   EXPECT_EQ(ok_count.load(), kProducers * kPerProducer);
+  server.shutdown();
+}
+
+// A scoring backend that throws plain std::runtime_error on every call.
+class AlwaysThrowingBackend : public core::PrintabilityPredictor {
+ public:
+  double score(const layout::Layout&, const layout::Assignment&) override {
+    throw std::runtime_error("backend down");
+  }
+  std::string name() const override { return "always-throwing"; }
+};
+
+TEST(Server, ThrowingBackendDegradesGracefullyByDefault) {
+  // Regression for the dispatcher fault model: before Server::process
+  // contained the flow outcome, a throwing backend unwound through the
+  // dispatcher thread and std::terminate'd the whole process. Now, with
+  // degradation on (the default), every request completes kOk — degraded,
+  // uncached, but carrying real violation-checked masks.
+  Server server(fast_serve_config(),
+                std::make_unique<AlwaysThrowingBackend>());
+  const layout::Layout layout = test_layout(50);
+  for (int i = 0; i < 3; ++i) {
+    ServeRequest request;
+    request.layout = layout;
+    const ServeResponse response =
+        server.submit(std::move(request)).response.get();
+    EXPECT_EQ(response.status, ServeStatus::kOk);
+    EXPECT_TRUE(response.degraded);
+    EXPECT_GT(response.result.ilt.iterations_run, 0);
+  }
+  // Degraded results never enter the result cache.
+  EXPECT_EQ(server.status_count(ServeStatus::kCached), 0);
+  EXPECT_EQ(server.degraded_count(), 3);
   server.shutdown();
 }
 
