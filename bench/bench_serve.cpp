@@ -10,6 +10,12 @@
 //   cold-nobatch  fresh server, caches on, batching off (batching delta)
 //   cold-nocache  fresh server, caches off (steady-state compute floor)
 //
+// Then the telemetry-overhead drill (ISSUE-6 acceptance: a 1 Hz /metrics
+// scrape loop changes warm throughput by <2%): two fixed-duration warm
+// passes against freshly warmed servers — one without an admin endpoint,
+// one with the endpoint up and a client scraping /metrics once per second
+// — redirect to bench/reports/telemetry_scrape.txt.
+//
 // Output: one table row per pass (throughput, p50/p95/p99, per-status
 // counts, cache hits) on stdout — redirect to bench/reports/serve_*.txt —
 // plus bench_serve_report.json with the serve.cache.* / serve.batch.* /
@@ -29,6 +35,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "runtime/thread_pool.h"
+#include "serve/admin.h"
 #include "serve/server.h"
 
 namespace {
@@ -113,6 +120,39 @@ PassStats run_pass(serve::Server& server, const std::string& name,
   return stats;
 }
 
+/// Fixed-duration closed-loop pass: kClients threads hammer the (already
+/// warmed) server for `seconds`, round-robin over the pool. Returns the
+/// completed-request throughput. Used by the telemetry-overhead drill,
+/// where a fixed wall-clock budget makes the with/without-scrape passes
+/// directly comparable.
+double run_timed(serve::Server& server, const std::vector<layout::Layout>& pool,
+                 double seconds) {
+  std::atomic<long long> completed{0};
+  std::atomic<int> next{0};
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&] {
+      while (std::chrono::steady_clock::now() < deadline) {
+        const int i = next.fetch_add(1);
+        serve::ServeRequest request;
+        request.layout = pool[static_cast<std::size_t>(i % kUnique)];
+        serve::ServeResponse response =
+            server.submit(std::move(request)).response.get();
+        if (response.ok()) completed.fetch_add(1);
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return static_cast<double>(completed.load()) / elapsed;
+}
+
 serve::ServeConfig make_config(bool cache, bool batch) {
   serve::ServeConfig cfg;
   cfg.engine.litho = serve_litho();
@@ -177,6 +217,59 @@ int main(int argc, char** argv) {
     print_row(rows.back());
     server.shutdown();
   }
+
+  // Telemetry-overhead drill: warm throughput with no admin endpoint vs
+  // with the admin endpoint up and a 1 Hz /metrics scrape loop running.
+  // Single timed passes are too noisy to resolve a ~1% effect (run-to-run
+  // variance on a loaded box is several percent), so the two
+  // configurations run as interleaved trials (A B A B ...) against
+  // long-lived warmed servers, and the medians are compared.
+  constexpr double kTimedSeconds = 2.0;
+  constexpr int kTrials = 5;
+  std::vector<double> base_trials, scrape_trials;
+  long long scrapes = 0;
+  {
+    serve::Server base_server(make_config(/*cache=*/true, /*batch=*/true));
+    serve::ServeConfig cfg = make_config(/*cache=*/true, /*batch=*/true);
+    cfg.admin.enabled = true;  // port 0: kernel-assigned ephemeral port
+    serve::Server scrape_server(cfg);
+    run_pass(base_server, "warmup", pool);  // fill result caches (untimed)
+    run_pass(scrape_server, "warmup", pool);
+
+    std::atomic<bool> stop{false};
+    std::thread scraper([&] {
+      while (!stop.load()) {
+        serve::HttpResponse r =
+            serve::http_get(scrape_server.admin_port(), "/metrics");
+        if (r.status == 200) ++scrapes;
+        for (int i = 0; i < 10 && !stop.load(); ++i)
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+    for (int t = 0; t < kTrials; ++t) {
+      base_trials.push_back(run_timed(base_server, pool, kTimedSeconds));
+      scrape_trials.push_back(run_timed(scrape_server, pool, kTimedSeconds));
+    }
+    stop.store(true);
+    scraper.join();
+    scrape_server.shutdown();
+    base_server.shutdown();
+  }
+  std::sort(base_trials.begin(), base_trials.end());
+  std::sort(scrape_trials.begin(), scrape_trials.end());
+  const double base_rps = base_trials[kTrials / 2];
+  const double scrape_rps = scrape_trials[kTrials / 2];
+  const double delta_pct = (scrape_rps - base_rps) / base_rps * 100.0;
+  std::printf("\ntelemetry overhead (median of %d interleaved %.0fs warm "
+              "passes each):\n", kTrials, kTimedSeconds);
+  std::printf("  warm-noadmin    %10.2f req/s  (min %.0f  max %.0f)\n",
+              base_rps, base_trials.front(), base_trials.back());
+  std::printf("  warm-scrape-1hz %10.2f req/s  (min %.0f  max %.0f, "
+              "%lld scrapes)\n",
+              scrape_rps, scrape_trials.front(), scrape_trials.back(),
+              scrapes);
+  std::printf("  delta: %+.2f%% (acceptance: |delta| < 2%%)\n", delta_pct);
+  report.meta("scrape_overhead_pct", std::to_string(delta_pct));
 
   const double speedup = rows[1].throughput / rows[0].throughput;
   std::printf("\nwarm/cold throughput ratio: %.1fx (acceptance: >= 5x)\n",

@@ -68,11 +68,18 @@ int usage() {
                "                    [--no-batch] [--report OUT.json]\n"
                "                    [--threads N] [--inject]\n"
                "                    [--inject-prob P] [--inject-seed S]\n"
+               "                    [--admin-port P] [--admin-linger-ms MS]\n"
                "\n"
                "LEVEL: debug|info|warn|error|off (also honored from the\n"
                "LDMO_LOG_LEVEL environment variable)\n"
                "--threads: parallelism budget (default: all hardware\n"
-               "threads); results are bit-identical for any value\n");
+               "threads); results are bit-identical for any value\n"
+               "--admin-port: serve live telemetry on 127.0.0.1:P\n"
+               "(/metrics /healthz /readyz /varz /trace /flightrecorder;\n"
+               "0 picks a free port); --admin-linger-ms keeps the server\n"
+               "up after the bench for manual scraping\n"
+               "LDMO_LOG_FORMAT=json switches logs to one JSON object\n"
+               "per line\n");
   return 2;
 }
 
@@ -364,6 +371,9 @@ int cmd_serve_bench(int argc, char** argv) {
       std::atof(flag_value(argc, argv, "--inject-prob", "0.05"));
   const std::uint64_t inject_seed = static_cast<std::uint64_t>(
       std::atoll(flag_value(argc, argv, "--inject-seed", "1234")));
+  const char* admin_port = flag_value(argc, argv, "--admin-port", nullptr);
+  const int admin_linger_ms =
+      std::atoi(flag_value(argc, argv, "--admin-linger-ms", "0"));
   if (requests < 1 || unique < 1 || clients < 1) return usage();
   if (inject && (inject_prob <= 0.0 || inject_prob >= 1.0)) return usage();
 
@@ -400,7 +410,17 @@ int cmd_serve_bench(int argc, char** argv) {
     cfg.retry.max_attempts = 2;
     cfg.retry.initial_backoff_ms = 1.0;
   }
+  if (admin_port) {
+    cfg.admin.enabled = true;
+    cfg.admin.port = std::atoi(admin_port);
+    // Failure postmortems land next to the bench's other artifacts.
+    cfg.flight.dump_path = "ldmo_flightrecorder.json";
+  }
   serve::Server server(cfg);
+  if (admin_port)
+    std::printf("admin: http://127.0.0.1:%d/metrics (also /healthz /readyz "
+                "/varz /trace /flightrecorder)\n",
+                server.admin_port());
 
   layout::LayoutGenerator generator;
   std::vector<layout::Layout> pool;
@@ -489,6 +509,13 @@ int cmd_serve_bench(int argc, char** argv) {
     report.meta("clients", std::to_string(clients));
     report.write(report_path);
     std::printf("wrote run report %s\n", report_path);
+  }
+  if (admin_port && admin_linger_ms > 0) {
+    std::printf("admin: lingering %d ms for manual scrapes "
+                "(e.g. curl -s http://127.0.0.1:%d/trace > trace.json, "
+                "then load it in ui.perfetto.dev)\n",
+                admin_linger_ms, server.admin_port());
+    std::this_thread::sleep_for(std::chrono::milliseconds(admin_linger_ms));
   }
   server.shutdown();
   return 0;

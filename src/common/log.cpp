@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/json.h"
 #include "obs/report.h"
 
 namespace ldmo {
@@ -19,6 +20,25 @@ LogLevel initial_level() {
 std::atomic<LogLevel>& level_storage() {
   static std::atomic<LogLevel> level{initial_level()};
   return level;
+}
+
+std::string lowercase(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lower;
+}
+
+LogFormat initial_format() {
+  const char* env = std::getenv("LDMO_LOG_FORMAT");
+  if (!env) return LogFormat::Text;
+  return lowercase(env) == "json" ? LogFormat::Json : LogFormat::Text;
+}
+
+std::atomic<LogFormat>& format_storage() {
+  static std::atomic<LogFormat> format{initial_format()};
+  return format;
 }
 
 const char* level_name(LogLevel level) {
@@ -42,11 +62,16 @@ LogLevel log_level() {
   return level_storage().load(std::memory_order_relaxed);
 }
 
+void set_log_format(LogFormat format) {
+  format_storage().store(format, std::memory_order_relaxed);
+}
+
+LogFormat log_format() {
+  return format_storage().load(std::memory_order_relaxed);
+}
+
 LogLevel parse_log_level(const std::string& name, LogLevel fallback) {
-  std::string lower;
-  lower.reserve(name.size());
-  for (char c : name)
-    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  const std::string lower = lowercase(name);
   if (lower == "debug") return LogLevel::Debug;
   if (lower == "info") return LogLevel::Info;
   if (lower == "warn" || lower == "warning") return LogLevel::Warn;
@@ -56,10 +81,25 @@ LogLevel parse_log_level(const std::string& name, LogLevel fallback) {
 }
 
 namespace detail {
-void log_emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] [%s] %s\n", obs::iso8601_utc_now().c_str(),
-               level_name(level), message.c_str());
+
+std::string format_log_line(LogLevel level, const std::string& message) {
+  if (log_format() == LogFormat::Json) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("ts", obs::iso8601_utc_now());
+    w.kv("level", lowercase(level_name(level)));
+    w.kv("msg", message);
+    w.end_object();
+    return w.str();
+  }
+  return "[" + obs::iso8601_utc_now() + "] [" + level_name(level) + "] " +
+         message;
 }
+
+void log_emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "%s\n", format_log_line(level, message).c_str());
+}
+
 }  // namespace detail
 
 }  // namespace ldmo

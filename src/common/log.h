@@ -1,5 +1,9 @@
 // Minimal leveled logging to stderr. Default level is Info; benches raise it
 // to Warn to keep their stdout tables clean.
+//
+// Output format is selectable: the default text format, or one JSON object
+// per line ({"ts":...,"level":...,"msg":...}) for machine-parseable serve
+// logs — set LDMO_LOG_FORMAT=json or call set_log_format.
 #pragma once
 
 #include <sstream>
@@ -21,7 +25,21 @@ LogLevel log_level();
 /// is not a known level.
 LogLevel parse_log_level(const std::string& name, LogLevel fallback);
 
+enum class LogFormat { Text = 0, Json = 1 };
+
+/// Sets the global output format (thread-safe).
+void set_log_format(LogFormat format);
+
+/// Current format. Defaults to Text, or to the LDMO_LOG_FORMAT environment
+/// variable ("text"/"json", any case) when set at process startup.
+LogFormat log_format();
+
 namespace detail {
+/// Renders one log line in the active format, without the trailing
+/// newline — text: "[ts] [LEVEL] message"; json: {"ts":...,"level":...,
+/// "msg":...} with full JSON escaping. Split from log_emit so tests can
+/// check the format without capturing stderr.
+std::string format_log_line(LogLevel level, const std::string& message);
 void log_emit(LogLevel level, const std::string& message);
 }  // namespace detail
 

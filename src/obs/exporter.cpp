@@ -1,0 +1,122 @@
+#include "obs/exporter.h"
+
+#include <cctype>
+
+#include "obs/json.h"
+
+namespace ldmo::obs {
+
+namespace {
+
+void append_value(std::string& out, double v) { out += json_number(v); }
+
+void append_value(std::string& out, long long v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string openmetrics_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0])))
+    out += '_';
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_openmetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = openmetrics_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + "_total ";
+    append_value(out, c.value);
+    out += '\n';
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = openmetrics_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ';
+    append_value(out, g.value);
+    out += '\n';
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = openmetrics_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    long long cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += name + "_bucket{le=\"" + json_number(h.bounds[i]) + "\"} ";
+      append_value(out, cumulative);
+      out += '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    append_value(out, h.count);
+    out += '\n';
+    out += name + "_sum ";
+    append_value(out, h.sum);
+    out += '\n';
+    out += name + "_count ";
+    append_value(out, h.count);
+    out += '\n';
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+const CounterDelta* SnapshotDelta::find_counter(
+    const std::string& name) const {
+  for (const CounterDelta& c : counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const HistogramSample* SnapshotDelta::find_histogram(
+    const std::string& name) const {
+  for (const HistogramSample& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+double SnapshotDelta::rate(const std::string& name) const {
+  const CounterDelta* c = find_counter(name);
+  return c ? c->per_second : 0.0;
+}
+
+double SnapshotDelta::rate_prefix(const std::string& prefix) const {
+  double total = 0.0;
+  for (const CounterDelta& c : counters)
+    if (c.name.compare(0, prefix.size(), prefix) == 0) total += c.per_second;
+  return total;
+}
+
+SnapshotDelta diff_snapshots(const MetricsSnapshot& newer,
+                             const MetricsSnapshot& older, double seconds) {
+  SnapshotDelta delta;
+  delta.seconds = seconds;
+  delta.counters.reserve(newer.counters.size());
+  for (const CounterSample& c : newer.counters) {
+    const CounterSample* before = older.find_counter(c.name);
+    const long long prev = before ? before->value : 0;
+    CounterDelta d;
+    d.name = c.name;
+    d.delta = c.value >= prev ? c.value - prev : c.value;  // reset-restart
+    d.per_second =
+        seconds > 0.0 ? static_cast<double>(d.delta) / seconds : 0.0;
+    delta.counters.push_back(std::move(d));
+  }
+  delta.gauges = newer.gauges;
+  delta.histograms.reserve(newer.histograms.size());
+  for (const HistogramSample& h : newer.histograms) {
+    const HistogramSample* before = older.find_histogram(h.name);
+    delta.histograms.push_back(before ? histogram_delta(h, *before) : h);
+  }
+  return delta;
+}
+
+}  // namespace ldmo::obs

@@ -1,0 +1,61 @@
+// OpenMetrics/Prometheus text exposition of a MetricsSnapshot, plus the
+// snapshot differ that turns cumulative counters into per-interval rates.
+//
+// Exposition rules (DESIGN.md §12 documents the conventions):
+//   - metric names are sanitized for the exposition charset: every
+//     character outside [a-zA-Z0-9_:] becomes '_' (so "serve.cache.hits"
+//     exports as "serve_cache_hits"); a leading digit gains a '_' prefix
+//   - counters export as "<name>_total" with "# TYPE <name> counter"
+//   - gauges export verbatim with "# TYPE <name> gauge"
+//   - histograms export cumulative "<name>_bucket{le="..."}" rows (the
+//     registry stores per-bucket counts; the exporter accumulates), the
+//     "+Inf" bucket, and "<name>_sum" / "<name>_count"
+//   - the document ends with "# EOF" (OpenMetrics terminator; Prometheus'
+//     text parser ignores it)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ldmo::obs {
+
+/// Sanitizes `name` for the OpenMetrics exposition charset (see above).
+std::string openmetrics_name(const std::string& name);
+
+/// Renders `snapshot` as an OpenMetrics text document.
+std::string to_openmetrics(const MetricsSnapshot& snapshot);
+
+/// One counter's change across an interval.
+struct CounterDelta {
+  std::string name;
+  long long delta = 0;       ///< clamped to >= 0 except across a reset
+  double per_second = 0.0;   ///< delta / interval seconds
+};
+
+/// What changed between two snapshots taken `seconds` apart: counter
+/// deltas/rates, the newer gauge values, and bucket-wise histogram deltas.
+/// A counter that shrank between samples is treated as reset-and-restarted
+/// (delta = newer value), matching Prometheus rate() semantics.
+struct SnapshotDelta {
+  double seconds = 0.0;
+  std::vector<CounterDelta> counters;      ///< every counter in `newer`
+  std::vector<GaugeSample> gauges;         ///< newer values verbatim
+  std::vector<HistogramSample> histograms; ///< per-interval via histogram_delta
+
+  const CounterDelta* find_counter(const std::string& name) const;
+  const HistogramSample* find_histogram(const std::string& name) const;
+  /// Rate of one counter (0 when absent or the interval is empty).
+  double rate(const std::string& name) const;
+  /// Summed rate of every counter whose name starts with `prefix` — e.g.
+  /// rate_prefix("serve.errors.") is the total per-stage error rate.
+  double rate_prefix(const std::string& prefix) const;
+};
+
+/// Differences `newer` against `older` (`seconds` apart). Counters and
+/// histograms absent from `older` are treated as having been zero.
+SnapshotDelta diff_snapshots(const MetricsSnapshot& newer,
+                             const MetricsSnapshot& older, double seconds);
+
+}  // namespace ldmo::obs

@@ -1,0 +1,68 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace ldmo::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      slots_(std::make_unique<Slot[]>(capacity_)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void FlightRecorder::record(FlightEvent event) {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  event.sequence = seq + 1;
+  event.t = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+  Slot& slot = slots_[seq % capacity_];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.event = event;
+  slot.filled = true;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.filled) events.push_back(slot.event);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.sequence < b.sequence;
+            });
+  return events;
+}
+
+std::string FlightRecorder::to_json() const {
+  const std::vector<FlightEvent> events = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.kv("capacity", static_cast<long long>(capacity_));
+  w.kv("recorded", static_cast<unsigned long long>(recorded()));
+  w.key("events");
+  w.begin_array();
+  for (const FlightEvent& e : events) {
+    w.begin_object();
+    w.kv("seq", static_cast<unsigned long long>(e.sequence));
+    w.kv("id", static_cast<unsigned long long>(e.id));
+    w.kv("t", e.t);
+    w.kv("status", e.status);
+    w.kv("queue_seconds", e.queue_seconds);
+    w.kv("total_seconds", e.total_seconds);
+    w.kv("attempts", e.attempts);
+    if (e.degraded) w.kv("degraded", true);
+    if (e.stage[0] != '\0') w.kv("stage", e.stage);
+    if (e.error[0] != '\0') w.kv("error", e.error);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace ldmo::obs

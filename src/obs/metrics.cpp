@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace ldmo::obs {
@@ -35,6 +36,36 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double HistogramSample::quantile(double q) const {
+  if (count <= 0 || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank && buckets[i] > 0) {
+      const double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double upper = bounds[i];
+      const double into_bucket =
+          rank - static_cast<double>(cumulative - buckets[i]);
+      return lower +
+             (upper - lower) * into_bucket / static_cast<double>(buckets[i]);
+    }
+  }
+  return bounds.back();  // rank lies in the overflow bucket
+}
+
+HistogramSample histogram_delta(const HistogramSample& newer,
+                                const HistogramSample& older) {
+  if (newer.bounds != older.bounds) return newer;
+  HistogramSample delta = newer;
+  for (std::size_t i = 0; i < delta.buckets.size(); ++i)
+    delta.buckets[i] = std::max(0LL, newer.buckets[i] - older.buckets[i]);
+  delta.count = std::max(0LL, newer.count - older.count);
+  delta.sum = std::max(0.0, newer.sum - older.sum);
+  return delta;
+}
+
 const CounterSample* MetricsSnapshot::find_counter(
     const std::string& name) const {
   for (const CounterSample& s : counters)
@@ -57,6 +88,10 @@ const HistogramSample* MetricsSnapshot::find_histogram(
 
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  return counter_locked(name);
+}
+
+Counter& Registry::counter_locked(const std::string& name) {
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -73,7 +108,15 @@ Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> upper_bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else if (slot->bounds() != upper_bounds) {
+    counter_locked("obs.histogram.bounds_mismatch").inc();
+    std::fprintf(stderr,
+                 "obs: histogram '%s' re-registered with different bounds; "
+                 "keeping the original buckets\n",
+                 name.c_str());
+  }
   return *slot;
 }
 

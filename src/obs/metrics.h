@@ -76,7 +76,22 @@ struct HistogramSample {
   std::vector<long long> buckets;  ///< bounds.size() + 1 (overflow last)
   long long count = 0;
   double sum = 0.0;
+
+  /// Estimated q-quantile (q clamped to [0,1]) by linear interpolation
+  /// within the bucket holding rank q*count, assuming observations are
+  /// uniformly distributed inside each bucket. The first bucket's lower
+  /// edge is min(0, bounds[0]); a rank landing in the overflow bucket
+  /// clamps to the largest finite bound (its upper edge is unknown).
+  /// Returns 0.0 for an empty histogram.
+  double quantile(double q) const;
 };
+
+/// Per-interval histogram: `newer - older` bucket-wise (deltas clamped to
+/// >= 0, so a reset between samples degrades to the newer sample alone).
+/// When the bounds differ (the histogram was re-registered), `newer` is
+/// returned unchanged — there is no meaningful delta across a re-bucketing.
+HistogramSample histogram_delta(const HistogramSample& newer,
+                                const HistogramSample& older);
 
 /// Consistent point-in-time copy of every registered metric, name-sorted.
 struct MetricsSnapshot {
@@ -96,7 +111,11 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// Registers with `upper_bounds` on first use; later calls for the same
-  /// name return the existing histogram and ignore the bounds argument.
+  /// name return the existing histogram. Re-registering with different
+  /// bounds keeps the original buckets but is no longer silent: each
+  /// mismatch increments the "obs.histogram.bounds_mismatch" counter and
+  /// warns on stderr, so a site observing into unexpected buckets shows up
+  /// in every snapshot instead of hiding.
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds);
 
@@ -106,6 +125,8 @@ class Registry {
   void reset();
 
  private:
+  Counter& counter_locked(const std::string& name);  ///< mu_ already held
+
   mutable std::mutex mu_;  ///< guards the maps, not the metric values
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

@@ -1,7 +1,10 @@
 #include "obs/span.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
+
+#include "obs/metrics.h"
 
 namespace ldmo::obs {
 namespace {
@@ -190,7 +193,7 @@ void adopt_spans(std::vector<SpanNode>&& spans) {
 
 std::vector<SpanNode> Tracer::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return finished_roots_;
+  return {finished_roots_.begin(), finished_roots_.end()};
 }
 
 void Tracer::clear() {
@@ -198,9 +201,34 @@ void Tracer::clear() {
   finished_roots_.clear();
 }
 
+void Tracer::set_max_roots(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_roots_ = std::max<std::size_t>(1, cap);
+  drop_to_cap_locked();
+}
+
+std::size_t Tracer::max_roots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_roots_;
+}
+
+std::uint64_t Tracer::dropped_roots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_roots_;
+}
+
 void Tracer::add_finished_root(SpanNode&& root) {
   std::lock_guard<std::mutex> lock(mu_);
   finished_roots_.push_back(std::move(root));
+  drop_to_cap_locked();
+}
+
+void Tracer::drop_to_cap_locked() {
+  while (finished_roots_.size() > max_roots_) {
+    finished_roots_.pop_front();
+    ++dropped_roots_;
+    counter("obs.trace.dropped_roots").inc();
+  }
 }
 
 Tracer& tracer() {

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -108,19 +110,37 @@ class SpanCapture {
 /// roots in the global Tracer (the data is never dropped).
 void adopt_spans(std::vector<SpanNode>&& spans);
 
-/// Owns finished root span trees (process-wide).
+/// Owns finished root span trees (process-wide). Retention is capped:
+/// once `max_roots()` trees are held, adding another drops the oldest and
+/// increments the "obs.trace.dropped_roots" counter — a long-running
+/// server with tracing on keeps the most recent trees instead of growing
+/// without bound.
 class Tracer {
  public:
-  /// Copies the finished roots accumulated so far.
+  /// Default retention cap (finished root trees kept).
+  static constexpr std::size_t kDefaultMaxRoots = 512;
+
+  /// Copies the finished roots accumulated so far (oldest first).
   std::vector<SpanNode> snapshot() const;
   void clear();
+
+  /// Sets the retention cap (>= 1); excess oldest roots drop immediately.
+  void set_max_roots(std::size_t cap);
+  std::size_t max_roots() const;
+  /// Roots dropped to the cap since construction (also mirrored in the
+  /// "obs.trace.dropped_roots" counter, which registry().reset() zeroes).
+  std::uint64_t dropped_roots() const;
 
   // Internal: called by ~Span for root spans.
   void add_finished_root(SpanNode&& root);
 
  private:
+  void drop_to_cap_locked();
+
   mutable std::mutex mu_;
-  std::vector<SpanNode> finished_roots_;
+  std::deque<SpanNode> finished_roots_;
+  std::size_t max_roots_ = kDefaultMaxRoots;
+  std::uint64_t dropped_roots_ = 0;
 };
 
 Tracer& tracer();

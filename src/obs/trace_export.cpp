@@ -1,0 +1,55 @@
+#include "obs/trace_export.h"
+
+#include "obs/json.h"
+
+namespace ldmo::obs {
+
+namespace {
+
+constexpr double kMicros = 1e6;
+
+void write_events(JsonWriter& w, const SpanNode& node, double start_us,
+                  int tid) {
+  w.begin_object();
+  w.kv("name", node.name);
+  w.kv("cat", "ldmo");
+  w.kv("ph", "X");
+  w.kv("ts", start_us);
+  w.kv("dur", node.seconds * kMicros);
+  w.kv("pid", 1);
+  w.kv("tid", tid);
+  if (!node.num_attrs.empty() || !node.str_attrs.empty() ||
+      !node.series.empty()) {
+    w.key("args");
+    w.begin_object();
+    for (const auto& [k, v] : node.num_attrs) w.kv(k, v);
+    for (const auto& [k, v] : node.str_attrs) w.kv(k, v);
+    for (const auto& [name, rows] : node.series)
+      w.kv("series." + name + ".rows", static_cast<long long>(rows.size()));
+    w.end_object();
+  }
+  w.end_object();
+
+  double child_start = start_us;
+  for (const SpanNode& child : node.children) {
+    write_events(w, child, child_start, tid);
+    child_start += child.seconds * kMicros;
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<SpanNode>& roots) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t i = 0; i < roots.size(); ++i)
+    write_events(w, roots[i], 0.0, static_cast<int>(i) + 1);
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace ldmo::obs

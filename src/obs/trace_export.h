@@ -1,0 +1,24 @@
+// Chrome trace-event JSON export of finished span trees, loadable in
+// chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// SpanNode stores durations only, not start timestamps, so the exporter
+// synthesizes a timeline: each root tree starts at t=0 on its own track
+// (tid = root index + 1), and children are laid end-to-end from their
+// parent's start in recorded order. Sibling gaps ("self time") therefore
+// collapse to zero — the visualization is exact in durations and nesting,
+// approximate in absolute offsets. Span attributes export as event args;
+// series export as their row count (the full rows stay in the RunReport).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace ldmo::obs {
+
+/// Renders `roots` as a Chrome trace JSON document ("traceEvents" array of
+/// complete "X" events, microsecond units).
+std::string to_chrome_trace(const std::vector<SpanNode>& roots);
+
+}  // namespace ldmo::obs

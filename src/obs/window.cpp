@@ -1,0 +1,142 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ldmo::obs {
+
+WindowSampler::WindowSampler(WindowConfig config, Registry* reg)
+    : config_(std::move(config)),
+      registry_(reg ? reg : &registry()),
+      start_(std::chrono::steady_clock::now()) {}
+
+WindowSampler::~WindowSampler() { stop(); }
+
+void WindowSampler::start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void WindowSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+    stop_cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  thread_ = std::thread();
+}
+
+void WindowSampler::run() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(std::max(0.001,
+                                             config_.interval_seconds)));
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; }))
+      return;
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+void WindowSampler::sample_now() {
+  if (config_.pre_sample) config_.pre_sample();
+  Entry entry;
+  entry.when = std::chrono::steady_clock::now();
+  entry.t = std::chrono::duration<double>(entry.when - start_).count();
+  entry.snapshot = registry_->snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > config_.capacity + 1) entries_.pop_front();
+}
+
+std::size_t WindowSampler::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+double WindowSampler::window_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() < 2) return 0.0;
+  return entries_.back().t - entries_.front().t;
+}
+
+SnapshotDelta WindowSampler::window_delta_locked() const {
+  if (entries_.empty()) return {};
+  if (entries_.size() == 1)
+    return diff_snapshots(entries_.back().snapshot, MetricsSnapshot{},
+                          entries_.back().t);
+  return diff_snapshots(entries_.back().snapshot, entries_.front().snapshot,
+                        entries_.back().t - entries_.front().t);
+}
+
+double WindowSampler::counter_rate(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_delta_locked().rate(name);
+}
+
+double WindowSampler::counter_rate_prefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_delta_locked().rate_prefix(prefix);
+}
+
+long long WindowSampler::counter_delta(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SnapshotDelta delta = window_delta_locked();
+  const CounterDelta* c = delta.find_counter(name);
+  return c ? c->delta : 0;
+}
+
+long long WindowSampler::counter_delta_prefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  long long total = 0;
+  for (const CounterDelta& c : window_delta_locked().counters)
+    if (c.name.compare(0, prefix.size(), prefix) == 0) total += c.delta;
+  return total;
+}
+
+double WindowSampler::latest_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return 0.0;
+  const GaugeSample* g = entries_.back().snapshot.find_gauge(name);
+  return g ? g->value : 0.0;
+}
+
+double WindowSampler::quantile(const std::string& histogram_name,
+                               double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SnapshotDelta delta = window_delta_locked();
+  const HistogramSample* h = delta.find_histogram(histogram_name);
+  return h ? h->quantile(q) : 0.0;
+}
+
+std::vector<IntervalSample> WindowSampler::timeline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IntervalSample> out;
+  if (entries_.size() < 2) return out;
+  out.reserve(entries_.size() - 1);
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    IntervalSample sample;
+    sample.t = entries_[i].t;
+    sample.delta =
+        diff_snapshots(entries_[i].snapshot, entries_[i - 1].snapshot,
+                       entries_[i].t - entries_[i - 1].t);
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+MetricsSnapshot WindowSampler::latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? MetricsSnapshot{} : entries_.back().snapshot;
+}
+
+}  // namespace ldmo::obs

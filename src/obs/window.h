@@ -1,0 +1,109 @@
+// Sliding-window SLO statistics: a background sampler that snapshots the
+// metrics registry at a fixed interval and keeps a ring of recent
+// snapshots, so a live server can answer "what happened over the last N
+// seconds" — rolling latency quantiles, per-stage error rates, queue-depth
+// and cache-hit timelines — without ever touching the metric hot path
+// (instrumentation sites stay one relaxed atomic op; all aggregation runs
+// on the sampler and scrape threads).
+//
+// Window aggregates difference the newest retained snapshot against the
+// oldest, so counter rates and histogram quantiles cover only the window,
+// not process lifetime. timeline() exposes the per-interval deltas for
+// sparkline-style consumers (/varz, dashboards).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+
+namespace ldmo::obs {
+
+struct WindowConfig {
+  double interval_seconds = 1.0;
+  /// Intervals retained; the window spans capacity * interval_seconds.
+  std::size_t capacity = 30;
+  /// Invoked before every sample (e.g. runtime::publish_metrics, which the
+  /// obs layer cannot call itself without a dependency cycle).
+  std::function<void()> pre_sample;
+};
+
+/// One retained interval: when it ended (seconds since sampler start) and
+/// what changed during it.
+struct IntervalSample {
+  double t = 0.0;        ///< interval end, seconds since sampler start
+  SnapshotDelta delta;   ///< vs the previous sample
+};
+
+class WindowSampler {
+ public:
+  /// Samples `reg` (default: the process-wide registry()).
+  explicit WindowSampler(WindowConfig config, Registry* reg = nullptr);
+  ~WindowSampler();  ///< stops the thread
+
+  WindowSampler(const WindowSampler&) = delete;
+  WindowSampler& operator=(const WindowSampler&) = delete;
+
+  /// Spawns the background thread (idempotent).
+  void start();
+  /// Stops and joins it (idempotent; safe without start()).
+  void stop();
+
+  /// Takes one sample now — the background tick, also callable directly
+  /// (tests, or callers that drive their own cadence).
+  void sample_now();
+
+  /// Snapshots retained (the window is samples()-1 intervals wide).
+  std::size_t samples() const;
+  /// Seconds between the oldest and newest retained snapshots.
+  double window_seconds() const;
+
+  /// Counter rate (per second) across the whole window; 0 when unknown.
+  double counter_rate(const std::string& name) const;
+  /// Summed window rate of counters whose names start with `prefix`.
+  double counter_rate_prefix(const std::string& prefix) const;
+  /// Window-wide counter delta (not divided by time).
+  long long counter_delta(const std::string& name) const;
+  long long counter_delta_prefix(const std::string& prefix) const;
+  /// Newest sampled gauge value; 0 when the gauge has never been sampled.
+  double latest_gauge(const std::string& name) const;
+  /// Quantile of observations recorded during the window (newest-vs-oldest
+  /// histogram delta through HistogramSample::quantile).
+  double quantile(const std::string& histogram_name, double q) const;
+
+  /// Per-interval deltas, oldest first.
+  std::vector<IntervalSample> timeline() const;
+  /// Newest retained snapshot (empty before the first sample).
+  MetricsSnapshot latest() const;
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point when;
+    double t = 0.0;
+    MetricsSnapshot snapshot;
+  };
+
+  SnapshotDelta window_delta_locked() const;  ///< newest vs oldest
+  void run();
+
+  const WindowConfig config_;
+  Registry* const registry_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;  ///< capacity_+1 snapshots = capacity_ intervals
+
+  std::mutex thread_mu_;
+  std::condition_variable stop_cv_;
+  std::thread thread_;
+  bool stopping_ = false;
+};
+
+}  // namespace ldmo::obs

@@ -1,0 +1,254 @@
+#include "serve/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "obs/exporter.h"
+#include "obs/trace_export.h"
+#include "runtime/thread_pool.h"
+#include "serve/server.h"
+
+namespace ldmo::serve {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kListenBacklog = 16;
+constexpr int kPollMillis = 100;  ///< stop-flag latency of the accept loop
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+void set_socket_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                       tv.tv_sec)) *
+                                        1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// Writes all of `data` (the socket has a send timeout; short writes loop).
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
+                    reason_phrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+/// Reads until the header terminator (request bodies are not supported —
+/// every admin endpoint is a GET).
+std::string read_request_head(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return head;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(const AdminConfig& config, Server& server)
+    : config_(config), server_(server) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0, "AdminServer: cannot create socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, kListenBacklog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    raise("AdminServer: cannot bind 127.0.0.1:" +
+          std::to_string(config_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  thread_ = std::thread([this] { listen_loop(); });
+  log_info("admin: listening on http://127.0.0.1:", port_,
+           " (/metrics /healthz /readyz /varz /trace /flightrecorder)");
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::listen_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout (stop-flag check) or EINTR
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    set_socket_timeout(client, 2.0);
+
+    const std::string head = read_request_head(client);
+    std::string method, path;
+    const std::size_t method_end = head.find(' ');
+    if (method_end != std::string::npos) {
+      const std::size_t path_end = head.find(' ', method_end + 1);
+      if (path_end != std::string::npos) {
+        method = head.substr(0, method_end);
+        path = head.substr(method_end + 1, path_end - method_end - 1);
+        const std::size_t query = path.find('?');
+        if (query != std::string::npos) path.resize(query);
+      }
+    }
+
+    HttpResponse response;
+    if (method.empty()) {
+      response = {405, "text/plain", "malformed request\n"};
+    } else {
+      try {
+        response = handle(method, path);
+      } catch (const std::exception& e) {
+        // An endpoint must never take down the listener.
+        response = {503, "text/plain",
+                    std::string("admin endpoint error: ") + e.what() + "\n"};
+      }
+    }
+    send_all(client, serialize_response(response));
+    ::close(client);
+  }
+}
+
+HttpResponse AdminServer::handle(const std::string& method,
+                                 const std::string& path) const {
+  if (method != "GET")
+    return {405, "text/plain", "only GET is supported\n"};
+
+  if (path == "/metrics") {
+    runtime::publish_metrics();  // fold pool/workspace gauges into the scrape
+    return {200, "text/plain; version=0.0.4",
+            obs::to_openmetrics(obs::registry().snapshot())};
+  }
+  if (path == "/healthz") {
+    std::string detail;
+    const bool healthy = server_.healthy(&detail);
+    return {healthy ? 200 : 503, "text/plain", detail + "\n"};
+  }
+  if (path == "/readyz") {
+    std::string detail;
+    const bool ready = server_.ready(&detail);
+    return {ready ? 200 : 503, "text/plain", detail + "\n"};
+  }
+  if (path == "/varz") {
+    runtime::publish_metrics();
+    return {200, "application/json", server_.report().to_json()};
+  }
+  if (path == "/trace")
+    return {200, "application/json",
+            obs::to_chrome_trace(obs::tracer().snapshot())};
+  if (path == "/flightrecorder")
+    return {200, "application/json", server_.flight_recorder().to_json()};
+  if (path == "/")
+    return {200, "text/plain",
+            "ldmo admin endpoints: /metrics /healthz /readyz /varz /trace "
+            "/flightrecorder\n"};
+  return {404, "text/plain", "unknown endpoint " + path + "\n"};
+}
+
+HttpResponse http_get(int port, const std::string& path,
+                      double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, "http_get: cannot create socket");
+  set_socket_timeout(fd, timeout_seconds);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    raise("http_get: cannot connect to 127.0.0.1:" + std::to_string(port));
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    raise("http_get: send failed");
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  require(raw.compare(0, 9, "HTTP/1.1 ") == 0 &&
+              head_end != std::string::npos,
+          "http_get: malformed response");
+  HttpResponse response;
+  response.status = std::atoi(raw.c_str() + 9);
+  response.body = raw.substr(head_end + 4);
+  const std::size_t ct = raw.find("Content-Type: ");
+  if (ct != std::string::npos && ct < head_end) {
+    const std::size_t eol = raw.find("\r\n", ct);
+    response.content_type =
+        raw.substr(ct + 14, eol - ct - 14);
+  }
+  return response;
+}
+
+}  // namespace ldmo::serve

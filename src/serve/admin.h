@@ -1,0 +1,90 @@
+// HTTP/1.1 admin endpoint for a live Server — the repo's first networking
+// code, and the deliberate stepping stone toward the multi-node wire
+// protocol (ROADMAP item 3): a router needs health/readiness signals
+// before it can exist.
+//
+// A single listener thread on 127.0.0.1 accepts and answers GET requests
+// serially (scrape traffic is ~1 Hz; concurrent scrapers queue in the
+// accept backlog). Endpoint catalog (DESIGN.md §12):
+//
+//   /metrics          OpenMetrics text exposition of the registry
+//   /healthz          200 while the recent failed-request ratio is under
+//                     the configured threshold; 503 otherwise (a fault
+//                     drill flips it, the sliding window recovers it)
+//   /readyz           200 while admission is open and dispatchers run
+//   /varz             JSON: registry snapshot + serve state + window stats
+//   /trace            Chrome trace JSON of finished spans (Perfetto)
+//   /flightrecorder   JSON ring of recent request events
+//
+// Everything here runs on scrape/admin threads; the serve hot path is
+// never touched (its instrumentation stays one relaxed atomic op).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace ldmo::serve {
+
+class Server;
+
+struct AdminConfig {
+  bool enabled = false;
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back via AdminServer::port()).
+  int port = 0;
+  /// Sliding-window sampler cadence and width (window = interval * capacity).
+  double window_interval_seconds = 1.0;
+  std::size_t window_capacity = 30;
+  /// /healthz flips to 503 when failed requests exceed this fraction of
+  /// terminal responses within the window.
+  double unhealthy_failed_ratio = 0.5;
+};
+
+/// One parsed HTTP exchange (also the return type of http_get).
+struct HttpResponse {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+
+  bool ok() const { return status == 200; }
+};
+
+class AdminServer {
+ public:
+  /// Binds and starts the listener thread; throws ldmo::Error when the
+  /// port cannot be bound. `server` must outlive the AdminServer.
+  AdminServer(const AdminConfig& config, Server& server);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Actually-bound port (differs from config.port when that was 0).
+  int port() const { return port_; }
+
+  /// Closes the listener and joins the thread (idempotent).
+  void stop();
+
+  /// Routes one request — the transport-free core of the listener, also
+  /// used directly by tests.
+  HttpResponse handle(const std::string& method,
+                      const std::string& path) const;
+
+ private:
+  void listen_loop();
+
+  const AdminConfig config_;
+  Server& server_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+/// Minimal blocking HTTP GET against 127.0.0.1:`port` — scrape loops and
+/// tests. Throws ldmo::Error on connect/read failure or timeout.
+HttpResponse http_get(int port, const std::string& path,
+                      double timeout_seconds = 5.0);
+
+}  // namespace ldmo::serve

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "common/log.h"
 #include "obs/span.h"
+#include "runtime/thread_pool.h"
 
 namespace ldmo::serve {
 
@@ -18,18 +21,20 @@ double seconds_since(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
-/// Nearest-rank percentile of an already-sorted sample.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double rank = q * static_cast<double>(sorted.size());
-  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
-  if (index > 0) --index;
-  if (index >= sorted.size()) index = sorted.size() - 1;
-  return sorted[index];
-}
-
 obs::Counter& status_counter(ServeStatus status) {
   return obs::counter(std::string("serve.requests.") + status_name(status));
+}
+
+constexpr const char* kLatencyHistogram = "serve.latency.seconds";
+
+/// End-to-end latency of ok/cached responses. Log-spaced from sub-ms
+/// cache hits to multi-second cold full-flow runs; quantiles come from
+/// HistogramSample::quantile, so the report and the sliding window agree.
+obs::Histogram& latency_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      kLatencyHistogram, {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                          0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0});
+  return h;
 }
 
 }  // namespace
@@ -53,7 +58,8 @@ Server::Server(ServeConfig config,
       result_cache_(config_.result_cache, &estimated_bytes),
       queue_(config_.queue_capacity),
       paused_(config_.start_paused),
-      started_(Clock::now()) {
+      started_(Clock::now()),
+      flight_recorder_(config_.flight.capacity) {
   require(config_.dispatchers >= 1, "Server: dispatchers must be >= 1");
   engines_.reserve(static_cast<std::size_t>(config_.dispatchers));
   for (int i = 0; i < config_.dispatchers; ++i)
@@ -63,6 +69,15 @@ Server::Server(ServeConfig config,
   dispatchers_.reserve(engines_.size());
   for (int i = 0; i < config_.dispatchers; ++i)
     dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });
+  if (config_.admin.enabled) {
+    obs::WindowConfig window;
+    window.interval_seconds = config_.admin.window_interval_seconds;
+    window.capacity = config_.admin.window_capacity;
+    window.pre_sample = [] { runtime::publish_metrics(); };
+    window_ = std::make_unique<obs::WindowSampler>(std::move(window));
+    window_->start();
+    admin_ = std::make_unique<AdminServer>(config_.admin, *this);
+  }
 }
 
 Server::~Server() { shutdown(/*drain=*/true); }
@@ -166,6 +181,12 @@ void Server::shutdown(bool drain) {
   start();  // unpark dispatchers so they can observe the closed queue
   for (std::thread& t : dispatchers_)
     if (t.joinable()) t.join();
+  // The admin endpoint outlives the dispatchers (a scrape during drain
+  // still answers; /readyz reports not-ready as soon as the queue closes)
+  // and stops only once the server has no more state changes to publish.
+  if (admin_) admin_->stop();
+  if (window_) window_->stop();
+  dump_flight_recorder("shutdown", /*rate_limited=*/false);
 }
 
 void Server::dispatcher_loop(int index) {
@@ -321,23 +342,118 @@ void Server::finish(Pending& pending, ServeResponse response,
   response.completion_sequence = completion_seq_.fetch_add(1) + 1;
   status_counts_[static_cast<std::size_t>(response.status)].fetch_add(1);
   status_counter(response.status).inc();
-  if (response.ok()) {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    ok_latencies_.push_back(response.total_seconds);
+  if (response.ok()) latency_histogram().observe(response.total_seconds);
+
+  obs::FlightEvent event;
+  event.id = response.request_id;
+  event.queue_seconds = response.queue_seconds;
+  event.total_seconds = response.total_seconds;
+  event.attempts = response.attempts;
+  event.degraded = response.degraded;
+  event.set_status(status_name(response.status));
+  if (response.status == ServeStatus::kFailed) {
+    event.set_stage(stage_name(response.error.stage));
+    event.set_error(response.error.message);
   }
+  flight_recorder_.record(event);
+  if (response.status == ServeStatus::kFailed)
+    dump_flight_recorder("failed response", /*rate_limited=*/true);
+
   pending.promise.set_value(std::move(response));
+}
+
+void Server::dump_flight_recorder(const char* reason, bool rate_limited) {
+  if (config_.flight.dump_path.empty()) return;
+  if (rate_limited) {
+    const long long now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - started_)
+            .count();
+    long long last = last_flight_dump_ms_.load();
+    if (now_ms - last < 1000 ||
+        !last_flight_dump_ms_.compare_exchange_strong(last, now_ms))
+      return;
+  }
+  std::ofstream out(config_.flight.dump_path,
+                    std::ios::binary | std::ios::trunc);
+  if (!out) {
+    log_warn("serve: cannot write flight recorder dump to ",
+             config_.flight.dump_path);
+    return;
+  }
+  out << flight_recorder_.to_json() << '\n';
+  log_info("serve: flight recorder dumped to ", config_.flight.dump_path,
+           " (", reason, ")");
+}
+
+bool Server::healthy(std::string* detail) const {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) {
+      if (detail) *detail = "unhealthy: shut down";
+      return false;
+    }
+  }
+  if (!window_) {
+    if (detail) *detail = "ok (no window sampler; liveness only)";
+    return true;
+  }
+  long long terminal = 0;
+  for (int s = 0; s < kServeStatusCount; ++s)
+    terminal += window_->counter_delta(
+        std::string("serve.requests.") +
+        status_name(static_cast<ServeStatus>(s)));
+  const long long failed =
+      window_->counter_delta("serve.requests.failed");
+  const double ratio =
+      terminal > 0
+          ? static_cast<double>(failed) / static_cast<double>(terminal)
+          : 0.0;
+  char line[128];
+  std::snprintf(line, sizeof line,
+                "failed %lld of %lld terminal responses in the last %.1fs "
+                "(ratio %.2f, threshold %.2f)",
+                failed, terminal, window_->window_seconds(), ratio,
+                config_.admin.unhealthy_failed_ratio);
+  const bool ok =
+      failed == 0 || ratio < config_.admin.unhealthy_failed_ratio;
+  if (detail) *detail = std::string(ok ? "ok: " : "unhealthy: ") + line;
+  return ok;
+}
+
+bool Server::ready(std::string* detail) const {
+  if (queue_.closed()) {
+    if (detail) *detail = "not ready: admission closed";
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    if (paused_) {
+      if (detail) *detail = "not ready: dispatchers parked (start_paused)";
+      return false;
+    }
+  }
+  if (detail)
+    *detail = "ready: queue depth " + std::to_string(queue_.depth()) + "/" +
+              std::to_string(queue_.capacity());
+  return true;
 }
 
 obs::RunReport Server::report() const {
   obs::RunReport report("ldmo-serve");
   report.meta("predictor", backend_->name());
 
-  std::vector<double> latencies;
+  // Latency quantiles come from the serve.latency.seconds histogram (the
+  // registry is process-wide, so with several servers in one process this
+  // aggregates across them, like every other serve.* metric). Copied by
+  // value: the section lambda renders after this snapshot dies.
+  obs::HistogramSample latency;
   {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    latencies = ok_latencies_;
+    const obs::MetricsSnapshot metrics_now = obs::registry().snapshot();
+    if (const obs::HistogramSample* h =
+            metrics_now.find_histogram(kLatencyHistogram))
+      latency = *h;
   }
-  std::sort(latencies.begin(), latencies.end());
 
   struct StatusRow {
     const char* name;
@@ -374,10 +490,10 @@ obs::RunReport Server::report() const {
     w.end_object();
     w.key("latency_seconds");
     w.begin_object();
-    w.kv("count", static_cast<long long>(latencies.size()));
-    w.kv("p50", percentile(latencies, 0.50));
-    w.kv("p95", percentile(latencies, 0.95));
-    w.kv("p99", percentile(latencies, 0.99));
+    w.kv("count", latency.count);
+    w.kv("p50", latency.quantile(0.50));
+    w.kv("p95", latency.quantile(0.95));
+    w.kv("p99", latency.quantile(0.99));
     w.end_object();
     w.kv("elapsed_seconds", elapsed);
     w.kv("throughput_rps",
@@ -405,6 +521,69 @@ obs::RunReport Server::report() const {
     w.end_object();
     w.end_object();
   });
+
+  if (window_) {
+    // Rolling SLO view: rates and quantiles cover only the sliding window,
+    // plus per-interval timelines for queue depth and cache hits.
+    struct WindowRow {
+      double t = 0.0;
+      double queue_depth = 0.0;
+      long long requests = 0;
+      long long cache_hits = 0;
+    };
+    std::vector<WindowRow> intervals;
+    for (const obs::IntervalSample& s : window_->timeline()) {
+      WindowRow row;
+      row.t = s.t;
+      if (const obs::GaugeSample* g =
+              [&]() -> const obs::GaugeSample* {
+            for (const obs::GaugeSample& gauge : s.delta.gauges)
+              if (gauge.name == "serve.queue.depth") return &gauge;
+            return nullptr;
+          }())
+        row.queue_depth = g->value;
+      for (const obs::CounterDelta& c : s.delta.counters) {
+        if (c.name.rfind("serve.requests.", 0) == 0 &&
+            c.name != "serve.requests.submitted")
+          row.requests += c.delta;
+        if (c.name == "serve.cache.hits") row.cache_hits = c.delta;
+      }
+      intervals.push_back(row);
+    }
+    const double window_seconds = window_->window_seconds();
+    const double request_rate =
+        window_->counter_rate_prefix("serve.requests.") -
+        window_->counter_rate("serve.requests.submitted");
+    const double error_rate = window_->counter_rate_prefix("serve.errors.");
+    const double wp50 = window_->quantile(kLatencyHistogram, 0.50);
+    const double wp95 = window_->quantile(kLatencyHistogram, 0.95);
+    const double wp99 = window_->quantile(kLatencyHistogram, 0.99);
+
+    report.section("window", [=](obs::JsonWriter& w) {
+      w.begin_object();
+      w.kv("seconds", window_seconds);
+      w.kv("request_rate", request_rate);
+      w.kv("error_rate", error_rate);
+      w.key("latency_seconds");
+      w.begin_object();
+      w.kv("p50", wp50);
+      w.kv("p95", wp95);
+      w.kv("p99", wp99);
+      w.end_object();
+      w.key("timeline");
+      w.begin_array();
+      for (const WindowRow& row : intervals) {
+        w.begin_object();
+        w.kv("t", row.t);
+        w.kv("queue_depth", row.queue_depth);
+        w.kv("requests", row.requests);
+        w.kv("cache_hits", row.cache_hits);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    });
+  }
   return report;
 }
 

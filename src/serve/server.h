@@ -38,9 +38,12 @@
 
 #include "common/flow_error.h"
 #include "core/flow_engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/report.h"
 #include "obs/span.h"
+#include "obs/window.h"
 #include "runtime/cancellation.h"
+#include "serve/admin.h"
 #include "serve/admission_queue.h"
 #include "serve/batcher.h"
 #include "serve/cache_key.h"
@@ -84,6 +87,17 @@ struct ServeConfig {
     double backoff_multiplier = 2.0;
   };
   RetryPolicy retry;
+  /// Live-telemetry admin endpoint (off by default). Enabling it also
+  /// starts the sliding-window sampler that powers /healthz and the
+  /// report()'s "window" section.
+  AdminConfig admin;
+  /// Flight recorder: ring capacity and the optional JSON dump target
+  /// (written on kFailed responses — rate-limited — and at shutdown).
+  struct FlightConfig {
+    std::size_t capacity = 256;
+    std::string dump_path;  ///< empty = no automatic file dumps
+  };
+  FlightConfig flight;
 };
 
 /// Caller's handle on a submitted request.
@@ -143,6 +157,25 @@ class Server {
   long long retry_count() const { return retry_count_.load(); }
   long long degraded_count() const { return degraded_count_.load(); }
 
+  /// Liveness signal behind /healthz: false once shut down, or while
+  /// failed requests exceed config.admin.unhealthy_failed_ratio of the
+  /// terminal responses inside the sliding window (requires the admin
+  /// sampler; without it only shutdown flips health). `detail` (optional)
+  /// receives a one-line explanation either way.
+  bool healthy(std::string* detail = nullptr) const;
+  /// Readiness signal behind /readyz: admission open, dispatchers running
+  /// and unparked.
+  bool ready(std::string* detail = nullptr) const;
+
+  /// Recent-request ring (always on; /flightrecorder serves it).
+  const obs::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+  /// Sliding-window sampler; null unless config.admin.enabled.
+  const obs::WindowSampler* window() const { return window_.get(); }
+  /// Bound admin port; -1 when the admin endpoint is disabled.
+  int admin_port() const { return admin_ ? admin_->port() : -1; }
+
   /// Run report with a "serve" section: per-status request counts, ok/cached
   /// latency percentiles (p50/p95/p99), throughput, queue and cache state —
   /// on top of the standard registry snapshot (serve.cache.*,
@@ -176,6 +209,10 @@ class Server {
   void record_error(const FlowError& error, obs::Span& span);
   void finish(Pending& pending, ServeResponse response,
               Clock::time_point dispatched);
+  /// Writes the flight-recorder JSON to config.flight.dump_path (no-op
+  /// when that is empty); kFailed-triggered dumps are rate-limited to one
+  /// per second so an error storm cannot turn into an I/O storm.
+  void dump_flight_recorder(const char* reason, bool rate_limited);
 
   ServeConfig config_;
   std::unique_ptr<litho::LithoSimulator> backend_simulator_;  ///< default only
@@ -190,7 +227,7 @@ class Server {
   std::vector<std::unique_ptr<core::FlowEngine>> engines_;
   std::vector<std::thread> dispatchers_;
 
-  std::mutex pause_mu_;
+  mutable std::mutex pause_mu_;
   std::condition_variable pause_cv_;
   bool paused_ = false;
 
@@ -202,10 +239,12 @@ class Server {
   std::atomic<long long> degraded_count_{0};
   Clock::time_point started_;
 
-  mutable std::mutex latency_mu_;
-  std::vector<double> ok_latencies_;  ///< total_seconds of ok/cached
+  obs::FlightRecorder flight_recorder_;
+  std::atomic<long long> last_flight_dump_ms_{-1000000};
+  std::unique_ptr<obs::WindowSampler> window_;
+  std::unique_ptr<AdminServer> admin_;
 
-  std::mutex shutdown_mu_;
+  mutable std::mutex shutdown_mu_;
   bool shut_down_ = false;
 };
 

@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "common/grid.h"
 #include "common/hash.h"
+#include "common/log.h"
+#include "obs/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/timer.h"
@@ -236,6 +238,39 @@ TEST(Hash, DoubleFeedIsBitExact) {
 TEST(Hash, SignedFeedDistinguishesNegatives) {
   EXPECT_NE(common::Fnv1a().i64(-1).digest(),
             common::Fnv1a().i64(1).digest());
+}
+
+TEST(Log, ParseLogLevelNamesAndFallback) {
+  EXPECT_EQ(parse_log_level("DEBUG", LogLevel::Off), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::Off), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::Error), LogLevel::Error);
+}
+
+TEST(Log, TextFormatLine) {
+  const LogFormat saved = log_format();
+  set_log_format(LogFormat::Text);
+  const std::string line =
+      detail::format_log_line(LogLevel::Warn, "disk almost full");
+  set_log_format(saved);
+  // "[<iso8601>] [WARN] disk almost full"
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_NE(line.find("] [WARN] disk almost full"), std::string::npos);
+}
+
+TEST(Log, JsonFormatLineIsParseableAndEscaped) {
+  const LogFormat saved = log_format();
+  set_log_format(LogFormat::Json);
+  const std::string line = detail::format_log_line(
+      LogLevel::Error, "bad \"input\"\nsecond line");
+  set_log_format(saved);
+  const obs::JsonValue doc = obs::parse_json(line);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("level")->string, "error");
+  EXPECT_EQ(doc.find("msg")->string, "bad \"input\"\nsecond line");
+  EXPECT_FALSE(doc.find("ts")->string.empty());
+  // One object per line: embedded newlines in the message must not break
+  // line-oriented consumers.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
 }
 
 }  // namespace

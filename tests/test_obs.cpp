@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -75,6 +76,22 @@ TEST_F(ObsTest, HistogramRejectsUnsortedBounds) {
   EXPECT_THROW(obs::Histogram({3.0, 1.0}), std::invalid_argument);
 }
 
+TEST_F(ObsTest, HistogramBoundsMismatchIsCounted) {
+  obs::Histogram& h = obs::histogram("test.hist.mismatch", {1.0, 2.0});
+  const long long before =
+      obs::counter("obs.histogram.bounds_mismatch").value();
+  // Same bounds: no mismatch.
+  obs::histogram("test.hist.mismatch", {1.0, 2.0});
+  EXPECT_EQ(obs::counter("obs.histogram.bounds_mismatch").value(), before);
+  // Different bounds: the original buckets win, but the conflict is
+  // counted instead of silently ignored.
+  obs::Histogram& again = obs::histogram("test.hist.mismatch", {5.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(obs::counter("obs.histogram.bounds_mismatch").value(),
+            before + 1);
+}
+
 TEST_F(ObsTest, SnapshotCapturesAllMetricTypesSorted) {
   obs::counter("test.snap.b").inc(2);
   obs::counter("test.snap.a").inc(1);
@@ -139,6 +156,25 @@ TEST_F(ObsTest, NestedSpansFormTree) {
   EXPECT_EQ(*loss, 4.5);
   // Children's time is contained in the parent's.
   EXPECT_LE(a->seconds, root.seconds);
+}
+
+TEST_F(ObsTest, TracerRetentionCapDropsOldestRoots) {
+  obs::set_tracing_enabled(true);
+  obs::tracer().set_max_roots(2);
+  const long long counter_before =
+      obs::counter("obs.trace.dropped_roots").value();
+  const std::uint64_t dropped_before = obs::tracer().dropped_roots();
+  { obs::Span s("first"); }
+  { obs::Span s("second"); }
+  { obs::Span s("third"); }
+  const std::vector<obs::SpanNode> roots = obs::tracer().snapshot();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].name, "second");  // "first" aged out
+  EXPECT_EQ(roots[1].name, "third");
+  EXPECT_EQ(obs::tracer().dropped_roots(), dropped_before + 1);
+  EXPECT_EQ(obs::counter("obs.trace.dropped_roots").value(),
+            counter_before + 1);
+  obs::tracer().set_max_roots(obs::Tracer::kDefaultMaxRoots);
 }
 
 TEST_F(ObsTest, SequentialRootsAccumulate) {
