@@ -17,9 +17,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -38,6 +40,9 @@
 #include "layout/raster.h"
 #include "mpl/baselines.h"
 #include "mpl/decomposition_generator.h"
+#include "net/client.h"
+#include "net/daemon.h"
+#include "net/router.h"
 #include "obs/report.h"
 #include "runtime/thread_pool.h"
 #include "serve/server.h"
@@ -69,7 +74,25 @@ int usage() {
                "                    [--threads N] [--inject]\n"
                "                    [--inject-prob P] [--inject-seed S]\n"
                "                    [--admin-port P] [--admin-linger-ms MS]\n"
+               "                    [--net-workers W]\n"
+               "  ldmo_cli serve [--listen PORT] [--dispatchers D]\n"
+               "                    [--grid N] [--pixel NM]\n"
+               "                    [--weights FILE] [--snapshot FILE]\n"
+               "                    [--admin-port P] [--threads N]\n"
+               "  ldmo_cli route --workers P1,P2,... [--listen PORT]\n"
+               "                    [--admin-port P]\n"
+               "  ldmo_cli net-submit FILE --port P [--deadline-ms MS]\n"
+               "  ldmo_cli net-stats --port P\n"
+               "  ldmo_cli swap-weights --port P [--weights FILE]\n"
+               "                    [--version N]\n"
                "\n"
+               "serve/route run until SIGINT/SIGTERM and print\n"
+               "'listening on port N' once bound; --listen 0 (default)\n"
+               "picks a free port. serve-bench --net-workers W spins an\n"
+               "in-process W-worker cluster behind a consistent-hash\n"
+               "router and drives it over the wire protocol (--inject\n"
+               "then drops connections mid-frame instead of arming flow\n"
+               "faults).\n"
                "LEVEL: debug|info|warn|error|off (also honored from the\n"
                "LDMO_LOG_LEVEL environment variable)\n"
                "--threads: parallelism budget (default: all hardware\n"
@@ -351,6 +374,134 @@ int cmd_validate_report(int argc, char** argv) {
 // percentiles; --report writes the server's run report (serve.cache.*,
 // serve.batch.*, queue depth, percentiles) as JSON.
 //
+// serve-bench --net-workers W: the same closed-loop load, but through the
+// wire protocol — W in-process ServeDaemons behind a consistent-hash
+// Router, every request a TCP round trip. With --inject, the armed sites
+// are the transport ones (net.frame.read / net.frame.write / net.connect):
+// connections drop mid-frame at client, router and worker alike, and the
+// drill verdict checks that client retry + router failover still deliver a
+// terminal response for every request (requests are content-addressed and
+// idempotent, so a resend can never produce a different answer).
+int run_net_bench(int requests, int unique, int clients, int dispatchers,
+                  double deadline_ms, bool inject, double inject_prob,
+                  std::uint64_t inject_seed, int net_workers) {
+  serve::ServeConfig scfg;
+  scfg.engine.litho = cli_litho();
+  scfg.dispatchers = dispatchers;
+  scfg.queue_capacity =
+      std::max<std::size_t>(64, static_cast<std::size_t>(requests));
+  scfg.overflow = serve::OverflowPolicy::kBlock;
+
+  std::vector<std::unique_ptr<net::ServeDaemon>> workers;
+  std::vector<int> worker_ports;
+  for (int w = 0; w < net_workers; ++w) {
+    net::DaemonConfig dcfg;
+    dcfg.serve = scfg;
+    workers.push_back(std::make_unique<net::ServeDaemon>(dcfg));
+    worker_ports.push_back(workers.back()->port());
+  }
+  net::RouterConfig rcfg;
+  rcfg.worker_ports = worker_ports;
+  net::Router router(rcfg);
+
+  if (inject) {
+    fail::arm("net.frame.read",
+              fail::probability(inject_prob, inject_seed));
+    fail::arm("net.frame.write",
+              fail::probability(inject_prob, inject_seed + 1));
+    fail::arm("net.connect",
+              fail::probability(inject_prob, inject_seed + 2));
+  }
+
+  layout::LayoutGenerator generator;
+  std::vector<layout::Layout> pool;
+  pool.reserve(static_cast<std::size_t>(unique));
+  for (int k = 0; k < unique; ++k)
+    pool.push_back(generator.generate(9000 + static_cast<std::uint64_t>(k)));
+
+  std::atomic<int> next{0};
+  std::atomic<int> lost{0};
+  std::mutex responses_mu;
+  std::vector<serve::ServeResponse> responses;
+  responses.reserve(static_cast<std::size_t>(requests));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    client_threads.emplace_back([&] {
+      // Generous transport retry budget: under injection each attempt can
+      // lose its connection at several hops, and the drill's contract is
+      // zero lost requests.
+      net::Client client(net::ClientConfig{
+          .port = router.port(),
+          .net_retries = inject ? 5 : 2,
+      });
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= requests) return;
+        serve::ServeRequest request;
+        request.layout = pool[static_cast<std::size_t>(i % unique)];
+        request.deadline_seconds = deadline_ms / 1000.0;
+        try {
+          serve::ServeResponse response = client.submit(request);
+          std::lock_guard<std::mutex> lock(responses_mu);
+          responses.push_back(std::move(response));
+        } catch (const std::exception& e) {
+          lost.fetch_add(1);
+          std::fprintf(stderr, "net-bench: lost request %d: %s\n", i,
+                       e.what());
+        }
+      }
+    });
+  for (std::thread& t : client_threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (inject) fail::disarm_all();
+
+  std::printf("serve-bench[net]: %d requests (%d unique), %d clients -> "
+              "router -> %d workers x %d dispatchers%s\n",
+              requests, unique, clients, net_workers, dispatchers,
+              inject ? ", transport fault injection on" : "");
+  long long ok = 0, cached = 0, failed = 0;
+  for (const serve::ServeResponse& r : responses) {
+    if (r.status == serve::ServeStatus::kOk) ++ok;
+    if (r.status == serve::ServeStatus::kCached) ++cached;
+    if (r.status == serve::ServeStatus::kFailed) ++failed;
+  }
+  std::printf("  ok %lld  cached %lld  failed %lld  throughput %.2f req/s\n",
+              ok, cached, failed,
+              static_cast<double>(requests) / elapsed);
+  for (int port : worker_ports)
+    std::printf("  shard %-5d forwarded %lld  errors %lld\n", port,
+                obs::counter("net.router.shard." + std::to_string(port) +
+                             ".forwarded")
+                    .value(),
+                obs::counter("net.router.shard." + std::to_string(port) +
+                             ".errors")
+                    .value());
+  std::printf("  transport: %lld frame errors, %lld client retries, "
+              "%lld failovers\n",
+              obs::counter("net.frame.errors").value(),
+              obs::counter("net.client.retries").value(),
+              obs::counter("net.router.failovers").value());
+  if (inject)
+    for (const char* site :
+         {"net.frame.read", "net.frame.write", "net.connect"})
+      std::printf("    fired.%-15s %lld\n", site, fail::fire_count(site));
+  const bool all_answered =
+      lost.load() == 0 &&
+      responses.size() == static_cast<std::size_t>(requests);
+  std::printf("  drill verdict: %s (%zu/%d responses, %d lost)\n",
+              all_answered ? "zero lost requests" : "LOST REQUESTS",
+              responses.size(), requests, lost.load());
+
+  router.stop();
+  for (auto& worker : workers) worker->stop();
+  return all_answered ? 0 : 1;
+}
+
 // --inject turns the bench into a fault drill: probability failpoints are
 // armed across the stack (generation, scoring, litho exposure, ILT, the
 // result cache) and retry is enabled, so the run demonstrates the fault
@@ -376,6 +527,14 @@ int cmd_serve_bench(int argc, char** argv) {
       std::atoi(flag_value(argc, argv, "--admin-linger-ms", "0"));
   if (requests < 1 || unique < 1 || clients < 1) return usage();
   if (inject && (inject_prob <= 0.0 || inject_prob >= 1.0)) return usage();
+
+  const int net_workers =
+      std::atoi(flag_value(argc, argv, "--net-workers", "0"));
+  if (net_workers > 0) {
+    obs::registry().reset();
+    return run_net_bench(requests, unique, clients, dispatchers, deadline_ms,
+                         inject, inject_prob, inject_seed, net_workers);
+  }
 
   obs::registry().reset();
   if (report_path) {
@@ -521,6 +680,160 @@ int cmd_serve_bench(int argc, char** argv) {
   return 0;
 }
 
+// --- cluster subcommands (src/net) ---
+
+volatile std::sig_atomic_t g_signal_stop = 0;
+void handle_stop_signal(int) { g_signal_stop = 1; }
+
+/// Blocks until SIGINT/SIGTERM (the serve/route process lifetime).
+void wait_for_stop_signal() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_signal_stop)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+// Worker daemon: drains wire-protocol frames into an in-process
+// serve::Server until SIGTERM, then drains and (if configured) writes the
+// result-cache snapshot. The cluster tests parse the "listening on port"
+// line from stdout, so it is printed unbuffered before the wait.
+int cmd_serve(int argc, char** argv) {
+  net::DaemonConfig cfg;
+  cfg.listen_port = std::atoi(flag_value(argc, argv, "--listen", "0"));
+  cfg.serve.engine.litho = cli_litho();
+  cfg.serve.engine.litho.grid_size =
+      std::atoi(flag_value(argc, argv, "--grid", "64"));
+  cfg.serve.engine.litho.pixel_nm =
+      std::atof(flag_value(argc, argv, "--pixel", "16"));
+  cfg.serve.dispatchers =
+      std::atoi(flag_value(argc, argv, "--dispatchers", "2"));
+  cfg.serve.overflow = serve::OverflowPolicy::kBlock;
+  cfg.weights_path = flag_value(argc, argv, "--weights", "");
+  cfg.snapshot_path = flag_value(argc, argv, "--snapshot", "");
+  const char* admin_port = flag_value(argc, argv, "--admin-port", nullptr);
+  if (admin_port) {
+    cfg.serve.admin.enabled = true;
+    cfg.serve.admin.port = std::atoi(admin_port);
+  }
+
+  net::ServeDaemon daemon(cfg);
+  std::printf("serve: listening on port %d\n", daemon.port());
+  if (admin_port)
+    std::printf("serve: admin on http://127.0.0.1:%d\n",
+                daemon.server()->admin_port());
+  std::fflush(stdout);
+  wait_for_stop_signal();
+  daemon.stop();
+  std::printf("serve: stopped\n");
+  return 0;
+}
+
+std::vector<int> parse_port_list(const char* spec) {
+  std::vector<int> ports;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) ports.push_back(std::atoi(item.c_str()));
+  return ports;
+}
+
+// Router process: consistent-hash front door over worker ports.
+int cmd_route(int argc, char** argv) {
+  const char* workers = flag_value(argc, argv, "--workers", nullptr);
+  if (!workers) return usage();
+  net::RouterConfig cfg;
+  cfg.listen_port = std::atoi(flag_value(argc, argv, "--listen", "0"));
+  cfg.worker_ports = parse_port_list(workers);
+  if (cfg.worker_ports.empty()) return usage();
+  const char* admin_port = flag_value(argc, argv, "--admin-port", nullptr);
+  if (admin_port) {
+    cfg.admin.enabled = true;
+    cfg.admin.port = std::atoi(admin_port);
+  }
+
+  net::Router router(cfg);
+  std::printf("route: listening on port %d\n", router.port());
+  if (admin_port)
+    std::printf("route: admin on http://127.0.0.1:%d\n",
+                router.admin_port());
+  std::fflush(stdout);
+  wait_for_stop_signal();
+  router.stop();
+  std::printf("route: stopped\n");
+  return 0;
+}
+
+// One layout over the wire: submit to a worker or router and print the
+// terminal status (the cluster quick-start's smoke test).
+int cmd_net_submit(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const char* port = flag_value(argc, argv, "--port", nullptr);
+  if (!port) return usage();
+  serve::ServeRequest request;
+  request.layout = layout::read_layout_text(argv[2]);
+  request.deadline_seconds =
+      std::atof(flag_value(argc, argv, "--deadline-ms", "0")) / 1000.0;
+
+  net::Client client(net::ClientConfig{.port = std::atoi(port)});
+  const serve::ServeResponse response = client.submit(request);
+  std::printf("net-submit: %s (%s) in %.3fs", serve::status_name(response.status),
+              response.ok() ? "ok" : response.error.message.c_str(),
+              response.total_seconds);
+  if (response.ok())
+    std::printf(", %d EPE violations, L2 %.1f",
+                response.result.ilt.report.epe.violation_count,
+                response.result.ilt.report.l2);
+  std::printf("\n");
+  return response.ok() ? 0 : 1;
+}
+
+int cmd_net_stats(int argc, char** argv) {
+  const char* port = flag_value(argc, argv, "--port", nullptr);
+  if (!port) return usage();
+  net::Client client(net::ClientConfig{.port = std::atoi(port)});
+  const net::WorkerStats stats = client.stats();
+  std::printf("worker: predictor %s, weights v%llu, config %016llx\n",
+              stats.predictor.c_str(),
+              static_cast<unsigned long long>(stats.weights_version),
+              static_cast<unsigned long long>(stats.config_fingerprint));
+  for (int s = 0; s < serve::kServeStatusCount; ++s)
+    std::printf("  %-10s %lld\n",
+                serve::status_name(static_cast<serve::ServeStatus>(s)),
+                stats.status_counts[s]);
+  std::printf("  cache: %llu entries, %lld hits, %lld misses; queue %llu\n",
+              static_cast<unsigned long long>(stats.cache_entries),
+              stats.cache_hits, stats.cache_misses,
+              static_cast<unsigned long long>(stats.queue_depth));
+  return 0;
+}
+
+// Versioned weight hot-swap: push a weights file (or, with no --weights, a
+// rolling restart that keeps the current weights and carries the warm
+// cache across) to a worker — or to a router, which broadcasts it.
+int cmd_swap_weights(int argc, char** argv) {
+  const char* port = flag_value(argc, argv, "--port", nullptr);
+  if (!port) return usage();
+  const char* weights = flag_value(argc, argv, "--weights", nullptr);
+  const std::uint64_t version = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--version", "0")));
+
+  std::vector<std::uint8_t> blob;
+  if (weights) {
+    std::ifstream in(weights, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "swap-weights: cannot read %s\n", weights);
+      return 1;
+    }
+    blob.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  net::Client client(net::ClientConfig{.port = std::atoi(port)});
+  const std::uint64_t active = client.swap_weights(version, blob);
+  std::printf("swap-weights: active version is now %llu\n",
+              static_cast<unsigned long long>(active));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -535,6 +848,14 @@ int main(int argc, char** argv) {
       return cmd_validate_report(argc, argv);
     if (std::strcmp(argv[1], "serve-bench") == 0)
       return cmd_serve_bench(argc, argv);
+    if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
+    if (std::strcmp(argv[1], "route") == 0) return cmd_route(argc, argv);
+    if (std::strcmp(argv[1], "net-submit") == 0)
+      return cmd_net_submit(argc, argv);
+    if (std::strcmp(argv[1], "net-stats") == 0)
+      return cmd_net_stats(argc, argv);
+    if (std::strcmp(argv[1], "swap-weights") == 0)
+      return cmd_swap_weights(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

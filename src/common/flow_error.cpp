@@ -16,6 +16,8 @@ const char* stage_name(FlowStage stage) {
       return "litho";
     case FlowStage::kCache:
       return "cache";
+    case FlowStage::kNet:
+      return "net";
     case FlowStage::kUnknown:
       return "unknown";
   }

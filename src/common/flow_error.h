@@ -27,11 +27,12 @@ enum class FlowStage {
   kIlt,        ///< ILT mask optimization
   kLitho,      ///< lithography simulation (optics / resist)
   kCache,      ///< serve-layer result/score cache access
+  kNet,        ///< wire-protocol framing / connection faults (src/net)
   kUnknown,    ///< escaped exception with no stage attribution
 };
 
 /// Number of FlowStage values (for per-stage counter arrays).
-inline constexpr int kFlowStageCount = 7;
+inline constexpr int kFlowStageCount = 8;
 
 const char* stage_name(FlowStage stage);
 

@@ -20,6 +20,20 @@ std::string sanitized_name(const std::string& name) {
   return out;
 }
 
+/// Parse failure with full attribution: the offending path and the byte
+/// offset the stream had reached. Thrown as a stage-tagged FlowException so
+/// a serving daemon reading layouts off disk (or a frame decoder reusing
+/// this format) reports *which* input broke and *where*, not just that
+/// parsing failed somewhere.
+[[noreturn]] void parse_fail(const std::string& path, std::istream& in,
+                             const std::string& what) {
+  in.clear();  // tellg() on a failed stream returns -1; recover it first
+  const std::streamoff offset = static_cast<std::streamoff>(in.tellg());
+  std::string message = "read_layout_text: " + what + " in " + path;
+  if (offset >= 0) message += " at byte " + std::to_string(offset);
+  throw FlowException(FlowStage::kLayout, message);
+}
+
 }  // namespace
 
 void write_pgm(const GridF& grid, const std::string& path, double lo,
@@ -53,7 +67,9 @@ void write_layout_text(const Layout& layout, const std::string& path) {
 Layout read_layout_text(const std::string& path) {
   fail::maybe_fail("io.layout.read", FlowStage::kLayout);
   std::ifstream in(path);
-  require(in.good(), "read_layout_text: cannot open " + path);
+  if (!in.good())
+    throw FlowException(FlowStage::kLayout,
+                        "read_layout_text: cannot open " + path);
   Layout layout;
   std::string token;
   bool have_clip = false;
@@ -69,18 +85,20 @@ Layout read_layout_text(const std::string& path) {
     } else if (token == "clip") {
       geometry::Point lo, hi;
       in >> lo.x >> lo.y >> hi.x >> hi.y;
+      if (in.fail()) parse_fail(path, in, "malformed clip line");
       layout.clip = geometry::Rect::make(lo, hi);
       have_clip = true;
     } else if (token == "rect") {
       geometry::Point lo, hi;
       in >> lo.x >> lo.y >> hi.x >> hi.y;
+      if (in.fail()) parse_fail(path, in, "malformed rect line");
       layout.add_pattern(geometry::Rect::make(lo, hi));
     } else {
-      raise("read_layout_text: unknown token '" + token + "' in " + path);
+      parse_fail(path, in, "unknown token '" + token + "'");
     }
-    require(!in.fail(), "read_layout_text: parse error in " + path);
+    if (in.fail()) parse_fail(path, in, "parse error");
   }
-  require(have_clip, "read_layout_text: missing clip line in " + path);
+  if (!have_clip) parse_fail(path, in, "missing clip line");
   return layout;
 }
 

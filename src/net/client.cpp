@@ -1,0 +1,178 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "common/flow_error.h"
+#include "obs/metrics.h"
+
+namespace ldmo::net {
+
+Client::Client(ClientConfig config)
+    : config_(config), peer_(endpoint_name(config.port)) {}
+
+void Client::ensure_connected() {
+  if (sock_.valid()) return;
+  sock_ = connect_loopback(config_.port, config_.timeout_seconds,
+                           config_.connect_attempts,
+                           config_.connect_retry_seconds);
+}
+
+Frame Client::roundtrip(MessageType type,
+                        const std::vector<std::uint8_t>& payload,
+                        MessageType expected) {
+  try {
+    ensure_connected();
+    write_frame(sock_.fd(), type, payload, peer_);
+    std::optional<Frame> reply = read_frame(sock_.fd(), peer_);
+    if (!reply)
+      throw FlowException(FlowStage::kNet,
+                          "frame (" + peer_ + "): connection closed while "
+                          "awaiting " + message_type_name(expected));
+    if (reply->type == MessageType::kError) {
+      // Protocol-level refusal: decode the carried (stage, message) and
+      // rethrow it as our own — the server could not even form a response.
+      WireReader r(reply->payload, peer_ + " error frame");
+      const auto stage = static_cast<FlowStage>(r.u8());
+      const std::string message = r.str();
+      throw FlowException(
+          stage < FlowStage::kUnknown ? stage : FlowStage::kUnknown,
+          "remote (" + peer_ + "): " + message);
+    }
+    if (reply->type != expected)
+      throw FlowException(FlowStage::kNet,
+                          "frame (" + peer_ + "): expected " +
+                              message_type_name(expected) + ", got " +
+                              message_type_name(reply->type));
+    return std::move(*reply);
+  } catch (const FlowException& e) {
+    // Any transport fault poisons the stream framing; reconnect next time.
+    if (e.error().stage == FlowStage::kNet) sock_.close();
+    throw;
+  }
+}
+
+serve::ServeResponse Client::submit(const serve::ServeRequest& request) {
+  WireWriter w;
+  write_request(w, request);
+  const std::vector<std::uint8_t> payload = w.take();
+
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const Frame reply = roundtrip(MessageType::kSubmitRequest, payload,
+                                    MessageType::kSubmitResponse);
+      WireReader r(reply.payload, peer_);
+      serve::ServeResponse response = read_response(r);
+      r.expect_end();
+      return response;
+    } catch (const FlowException& e) {
+      if (e.error().stage != FlowStage::kNet ||
+          attempt >= config_.net_retries)
+        throw;
+      obs::counter("net.client.retries").inc();
+    }
+  }
+}
+
+bool Client::ping() {
+  try {
+    roundtrip(MessageType::kPing, {}, MessageType::kPong);
+    return true;
+  } catch (const FlowException&) {
+    return false;
+  }
+}
+
+WorkerStats Client::stats() {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const Frame reply = roundtrip(MessageType::kStats, {},
+                                    MessageType::kStatsResponse);
+      WireReader r(reply.payload, peer_);
+      WorkerStats stats = read_stats(r);
+      r.expect_end();
+      return stats;
+    } catch (const FlowException& e) {
+      if (e.error().stage != FlowStage::kNet ||
+          attempt >= config_.net_retries)
+        throw;
+      obs::counter("net.client.retries").inc();
+    }
+  }
+}
+
+std::uint64_t Client::swap_weights(std::uint64_t version,
+                                   const std::vector<std::uint8_t>& blob) {
+  WireWriter w;
+  w.u64(version);
+  w.u32(static_cast<std::uint32_t>(blob.size()));
+  for (std::uint8_t byte : blob) w.u8(byte);
+  // No transport retry: a swap is not idempotent from the cache's point of
+  // view (the blue/green handoff runs once); the caller decides whether to
+  // re-issue after a fault.
+  const Frame reply = roundtrip(MessageType::kSwapWeights, w.take(),
+                                MessageType::kSwapAck);
+  WireReader r(reply.payload, peer_);
+  const std::uint64_t active = r.u64();
+  r.expect_end();
+  return active;
+}
+
+AsyncClient::AsyncClient(ClientConfig config, int workers)
+    : config_(config) {
+  if (workers < 1) workers = 1;
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+AsyncClient::~AsyncClient() { shutdown(); }
+
+std::future<serve::ServeResponse> AsyncClient::submit(
+    serve::ServeRequest request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<serve::ServeResponse> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      job.promise.set_exception(std::make_exception_ptr(FlowException(
+          FlowStage::kNet, "AsyncClient: submit after shutdown")));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void AsyncClient::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+}
+
+void AsyncClient::worker_loop() {
+  Client client(config_);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      job.promise.set_value(client.submit(job.request));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace ldmo::net

@@ -1,0 +1,115 @@
+// Client side of the wire protocol: a blocking connection to one worker or
+// router, and an async wrapper that pumps a bounded number of concurrent
+// connections.
+//
+// Submits are idempotent by construction — the result of a request is a
+// pure function of (configuration, layout geometry), and the server's
+// content-addressed cache serves a replayed request bit-identically — so
+// the client retries a kNet fault (connection cut, corrupt frame, armed
+// failpoint) by reconnecting and resending. That retry is what turns
+// "connection dropped mid-frame" into "zero lost requests" in the fault
+// drill; non-kNet failures (the worker computed and said kFailed) are
+// answers, not transport faults, and are never retried here.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/request.h"
+
+namespace ldmo::net {
+
+struct ClientConfig {
+  int port = 0;
+  /// Socket send/receive timeout. Covers one full flow computation, so it
+  /// is generous by default.
+  double timeout_seconds = 120.0;
+  /// connect() retry schedule (a just-spawned worker needs a beat to bind).
+  int connect_attempts = 20;
+  double connect_retry_seconds = 0.05;
+  /// Transport-level retries per request (total attempts = 1 + retries).
+  int net_retries = 2;
+};
+
+/// Blocking client: one connection, lazily (re)established. Not
+/// thread-safe — one Client per thread, or external locking.
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+
+  /// Round-trips one request. Retries kNet faults per config.net_retries
+  /// (reconnect + resend); rethrows the last fault when they are exhausted.
+  serve::ServeResponse submit(const serve::ServeRequest& request);
+
+  /// Liveness probe; false on any transport fault.
+  bool ping();
+
+  /// Worker identity and counters. Throws FlowException(kNet) on transport
+  /// fault (after retries).
+  WorkerStats stats();
+
+  /// Pushes a weight blob (empty = rolling restart with current weights)
+  /// and returns the version the worker acknowledged as active.
+  std::uint64_t swap_weights(std::uint64_t version,
+                             const std::vector<std::uint8_t>& blob);
+
+  int port() const { return config_.port; }
+
+  /// Drops the connection; the next call reconnects.
+  void disconnect() { sock_.close(); }
+
+ private:
+  /// One request/response exchange; throws FlowException(kNet) on any
+  /// transport fault (and drops the connection so the next try is clean).
+  Frame roundtrip(MessageType type, const std::vector<std::uint8_t>& payload,
+                  MessageType expected);
+  void ensure_connected();
+
+  ClientConfig config_;
+  Socket sock_;
+  std::string peer_;
+};
+
+/// Async facade: `workers` threads, each owning its own Client connection,
+/// drain a bounded submit queue. submit() returns a future that resolves to
+/// the worker's ServeResponse (or rethrows the transport fault).
+class AsyncClient {
+ public:
+  AsyncClient(ClientConfig config, int workers = 4);
+  ~AsyncClient();
+
+  AsyncClient(const AsyncClient&) = delete;
+  AsyncClient& operator=(const AsyncClient&) = delete;
+
+  std::future<serve::ServeResponse> submit(serve::ServeRequest request);
+
+  /// Finishes queued work and joins the worker threads (idempotent; the
+  /// destructor calls it).
+  void shutdown();
+
+ private:
+  struct Job {
+    serve::ServeRequest request;
+    std::promise<serve::ServeResponse> promise;
+  };
+
+  void worker_loop();
+
+  ClientConfig config_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool closed_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ldmo::net

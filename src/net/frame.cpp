@@ -1,0 +1,161 @@
+#include "net/frame.h"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace ldmo::net {
+
+namespace {
+
+[[noreturn]] void frame_fail(const std::string& peer, const std::string& what,
+                             std::size_t offset) {
+  obs::counter("net.frame.errors").inc();
+  throw FlowException(FlowStage::kNet,
+                      "frame (" + peer + "): " + what + " at byte " +
+                          std::to_string(offset));
+}
+
+/// recv() exactly `len` bytes. Returns the byte count actually read, which
+/// is short only when the connection closed (or errored) first.
+std::size_t recv_exact(int fd, std::uint8_t* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, out + got, len - got, 0);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kSubmitRequest: return "submit-request";
+    case MessageType::kSubmitResponse: return "submit-response";
+    case MessageType::kPing: return "ping";
+    case MessageType::kPong: return "pong";
+    case MessageType::kStats: return "stats";
+    case MessageType::kStatsResponse: return "stats-response";
+    case MessageType::kSwapWeights: return "swap-weights";
+    case MessageType::kSwapAck: return "swap-ack";
+    case MessageType::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(
+    MessageType type, const std::vector<std::uint8_t>& payload) {
+  WireWriter header;
+  header.u8(static_cast<std::uint8_t>(kFrameMagic[0]));
+  header.u8(static_cast<std::uint8_t>(kFrameMagic[1]));
+  header.u8(static_cast<std::uint8_t>(kFrameMagic[2]));
+  header.u8(static_cast<std::uint8_t>(kFrameMagic[3]));
+  header.u16(kProtocolVersion);
+  header.u16(static_cast<std::uint16_t>(type));
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u64(common::fnv1a(payload.data(), payload.size()));
+  std::vector<std::uint8_t> out = header.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void write_frame(int fd, MessageType type,
+                 const std::vector<std::uint8_t>& payload,
+                 const std::string& peer) {
+  fail::maybe_fail("net.frame.write", FlowStage::kNet);
+  if (payload.size() > kMaxPayloadBytes)
+    frame_fail(peer, "payload too large to send (" +
+                         std::to_string(payload.size()) + " bytes)", 0);
+  const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0)
+      frame_fail(peer, std::string("send failed mid-") +
+                           message_type_name(type) + "-frame", sent);
+    sent += static_cast<std::size_t>(n);
+  }
+  obs::counter("net.frame.writes").inc();
+  obs::counter("net.frame.bytes_sent").inc(
+      static_cast<long long>(bytes.size()));
+}
+
+std::optional<Frame> read_frame(int fd, const std::string& peer) {
+  fail::maybe_fail("net.frame.read", FlowStage::kNet);
+
+  std::uint8_t header[kFrameHeaderBytes];
+  const std::size_t head_got = recv_exact(fd, header, kFrameHeaderBytes);
+  if (head_got == 0) return std::nullopt;  // clean EOF between frames
+  if (head_got < kFrameHeaderBytes)
+    frame_fail(peer, "connection closed mid-header", head_got);
+
+  WireReader r(header, kFrameHeaderBytes, peer + " frame header");
+  for (char magic : kFrameMagic) {
+    if (r.u8() != static_cast<std::uint8_t>(magic))
+      frame_fail(peer, "bad magic (not an LDMO frame)", r.offset() - 1);
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kProtocolVersion)
+    frame_fail(peer,
+               "protocol version " + std::to_string(version) +
+                   " (this build speaks " + std::to_string(kProtocolVersion) +
+                   ")",
+               4);
+  const std::uint16_t raw_type = r.u16();
+  if (raw_type < static_cast<std::uint16_t>(MessageType::kSubmitRequest) ||
+      raw_type > static_cast<std::uint16_t>(MessageType::kError))
+    frame_fail(peer, "unknown message type " + std::to_string(raw_type), 6);
+  const std::uint32_t payload_len = r.u32();
+  if (payload_len > kMaxPayloadBytes)
+    frame_fail(peer,
+               "payload length " + std::to_string(payload_len) +
+                   " exceeds the " + std::to_string(kMaxPayloadBytes) +
+                   "-byte cap",
+               8);
+  const std::uint64_t checksum = r.u64();
+
+  Frame frame;
+  frame.type = static_cast<MessageType>(raw_type);
+  frame.payload.resize(payload_len);
+  const std::size_t body_got =
+      recv_exact(fd, frame.payload.data(), payload_len);
+  if (body_got < payload_len)
+    frame_fail(peer,
+               std::string("connection closed mid-") +
+                   message_type_name(frame.type) + "-payload",
+               kFrameHeaderBytes + body_got);
+  const std::uint64_t actual =
+      common::fnv1a(frame.payload.data(), frame.payload.size());
+  if (actual != checksum)
+    frame_fail(peer,
+               std::string("payload checksum mismatch on ") +
+                   message_type_name(frame.type) + " frame",
+               kFrameHeaderBytes);
+
+  obs::counter("net.frame.reads").inc();
+  obs::counter("net.frame.bytes_received").inc(
+      static_cast<long long>(kFrameHeaderBytes + payload_len));
+  return frame;
+}
+
+void send_error_frame(int fd, const std::string& peer, int stage,
+                      const std::string& message) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(stage));
+  w.str(message);
+  try {
+    write_frame(fd, MessageType::kError, w.bytes(), peer);
+  } catch (const FlowException&) {
+    // Connection already dead; caller closes it.
+  }
+}
+
+}  // namespace ldmo::net

@@ -1,0 +1,84 @@
+// Length-prefixed binary framing over TCP.
+//
+// Every message on the wire is one frame:
+//
+//   offset  size  field
+//   0       4     magic "LDMO"
+//   4       2     protocol version (u16 LE) = 1
+//   6       2     message type (u16 LE)
+//   8       4     payload length (u32 LE, <= 64 MiB)
+//   12      8     payload checksum (u64 LE) = fnv1a(payload bytes)
+//   20      n     payload (a wire.h message, or raw bytes for weight blobs)
+//
+// The 20-byte header is decoded with the same WireReader as payloads, so a
+// corrupt header fails with peer attribution and byte offset. A clean EOF
+// exactly on a frame boundary is not an error (read_frame returns nullopt);
+// EOF anywhere else — mid-header or mid-payload — throws
+// FlowException(FlowStage::kNet) naming the peer and how far it got.
+//
+// Failpoint sites: "net.frame.read" fires before reading a frame,
+// "net.frame.write" before writing one — both throw as kNet faults, which
+// to the remote side is indistinguishable from a connection cut mid-frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ldmo::net {
+
+inline constexpr char kFrameMagic[4] = {'L', 'D', 'M', 'O'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+inline constexpr std::size_t kMaxPayloadBytes = 64ull << 20;
+
+/// Frame vocabulary. Values are wire format — never renumber; append only.
+enum class MessageType : std::uint16_t {
+  kSubmitRequest = 1,   ///< wire request  -> worker (payload: "rq1")
+  kSubmitResponse = 2,  ///< worker -> caller (payload: "rp1")
+  kPing = 3,            ///< liveness probe (empty payload)
+  kPong = 4,            ///< liveness answer (empty payload)
+  kStats = 5,           ///< stats query (empty payload)
+  kStatsResponse = 6,   ///< worker -> caller (payload: "st1")
+  kSwapWeights = 7,     ///< weight hot-swap (payload: u64 version +
+                        ///< u32 blob length + serialized weights; an empty
+                        ///< blob means "rolling restart, same weights")
+  kSwapAck = 8,         ///< swap applied (payload: u64 active version)
+  kError = 9,           ///< request-level failure (payload: u8 stage + str)
+};
+
+const char* message_type_name(MessageType type);
+
+/// One decoded frame.
+struct Frame {
+  MessageType type = MessageType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes header + payload into one contiguous buffer (the only
+/// allocation on the send path; written with a single send loop so a frame
+/// is never interleaved with another thread's bytes on the same socket).
+std::vector<std::uint8_t> encode_frame(MessageType type,
+                                       const std::vector<std::uint8_t>& payload);
+
+/// Writes one frame to `fd`. Throws FlowException(kNet) naming `peer` on
+/// send failure or when the "net.frame.write" failpoint fires.
+void write_frame(int fd, MessageType type,
+                 const std::vector<std::uint8_t>& payload,
+                 const std::string& peer);
+
+/// Reads one frame from `fd`. Returns nullopt on clean EOF at a frame
+/// boundary (orderly peer close). Throws FlowException(kNet) — with `peer`
+/// and the byte offset reached — on mid-frame EOF, bad magic, version or
+/// type, oversized payload, or checksum mismatch; also when the
+/// "net.frame.read" failpoint fires.
+std::optional<Frame> read_frame(int fd, const std::string& peer);
+
+/// Writes a kError frame (u8 stage + message string). Best-effort: a send
+/// failure is swallowed — the caller is about to close the connection
+/// anyway.
+void send_error_frame(int fd, const std::string& peer, int stage,
+                      const std::string& message);
+
+}  // namespace ldmo::net

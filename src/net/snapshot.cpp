@@ -1,0 +1,76 @@
+#include "net/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/flow_error.h"
+#include "net/wire.h"
+
+namespace ldmo::net {
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'L', 'D', 'S', 'N'};
+constexpr std::uint16_t kSnapshotVersion = 1;
+
+}  // namespace
+
+void save_cache_snapshot(const std::string& path,
+                         const CacheSnapshot& snapshot) {
+  WireWriter w;
+  for (char magic : kSnapshotMagic)
+    w.u8(static_cast<std::uint8_t>(magic));
+  w.u16(kSnapshotVersion);
+  w.u64(snapshot.config_fingerprint);
+  w.u32(static_cast<std::uint32_t>(snapshot.entries.size()));
+  for (const auto& [key, result] : snapshot.entries) {
+    w.u64(key);
+    write_result(w, result);
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw FlowException(FlowStage::kNet,
+                          "snapshot: cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.size()));
+    if (!out)
+      throw FlowException(FlowStage::kNet, "snapshot: write to " + tmp +
+                                               " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw FlowException(FlowStage::kNet,
+                        "snapshot: cannot rename " + tmp + " to " + path);
+}
+
+std::optional<CacheSnapshot> load_cache_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // cold start
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+
+  WireReader r(bytes, path);
+  for (char magic : kSnapshotMagic) {
+    if (r.u8() != static_cast<std::uint8_t>(magic))
+      r.fail("bad snapshot magic (not an LDSN file)");
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kSnapshotVersion)
+    r.fail("snapshot version " + std::to_string(version) +
+           " (this build reads " + std::to_string(kSnapshotVersion) + ")");
+
+  CacheSnapshot snapshot;
+  snapshot.config_fingerprint = r.u64();
+  const std::uint32_t count = r.u32();
+  snapshot.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t key = r.u64();
+    snapshot.entries.emplace_back(key, read_result(r));
+  }
+  r.expect_end();
+  return snapshot;
+}
+
+}  // namespace ldmo::net

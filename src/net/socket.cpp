@@ -1,0 +1,134 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/flow_error.h"
+#include "obs/metrics.h"
+
+namespace ldmo::net {
+
+namespace {
+
+constexpr int kListenBacklog = 64;
+constexpr int kPollMillis = 100;  ///< stop-flag latency of accept()
+
+sockaddr_in loopback_addr(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_timeout(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+Socket connect_loopback(int port, double timeout_seconds, int attempts,
+                        double retry_delay_seconds) {
+  const std::string endpoint = endpoint_name(port);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(retry_delay_seconds));
+    try {
+      fail::maybe_fail("net.connect", FlowStage::kNet);
+    } catch (...) {
+      obs::counter("net.connect.errors").inc();
+      if (attempt + 1 == attempts) throw;
+      continue;
+    }
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) continue;
+    sock.set_timeout(timeout_seconds);
+    const int one = 1;
+    setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const sockaddr_in addr = loopback_addr(port);
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      obs::counter("net.connect.ok").inc();
+      return sock;
+    }
+    obs::counter("net.connect.errors").inc();
+  }
+  throw FlowException(FlowStage::kNet,
+                      "connect (" + endpoint + "): no connection after " +
+                          std::to_string(attempts) + " attempt(s)");
+}
+
+TcpListener::TcpListener(int port) {
+  listen_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listen_.valid())
+    throw FlowException(FlowStage::kNet, "listener: cannot create socket");
+  const int one = 1;
+  setsockopt(listen_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  const sockaddr_in addr = loopback_addr(port);
+  if (::bind(listen_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_.fd(), kListenBacklog) != 0)
+    throw FlowException(FlowStage::kNet,
+                        "listener: cannot bind " + endpoint_name(port));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  getsockname(listen_.fd(), reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+Socket TcpListener::accept(const std::atomic<bool>& stop) {
+  while (!stop.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_.fd();
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout (stop-flag check) or EINTR
+    const int client = ::accept(listen_.fd(), nullptr, nullptr);
+    if (client < 0) continue;
+    Socket sock(client);
+    const int one = 1;
+    setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    obs::counter("net.listener.accepts").inc();
+    return sock;
+  }
+  return Socket();
+}
+
+std::string endpoint_name(int port) {
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+}  // namespace ldmo::net

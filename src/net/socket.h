@@ -1,0 +1,71 @@
+// Thin RAII TCP plumbing for the wire protocol: an owned socket fd, a
+// loopback connect with bounded retry, and a poll-based listener.
+//
+// The listener reuses the stop-flag pattern proven by the serve admin
+// endpoint (serve/admin.cpp): accept() only after poll() reports POLLIN
+// with a 100 ms timeout, so a stop flag is honored within one poll tick and
+// shutdown never hangs in a blocking accept. Binding port 0 picks an
+// ephemeral port, read back via port() — the cluster tests depend on this
+// to run many processes without port collisions.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace ldmo::net {
+
+/// Owned socket fd; closes on destruction. Movable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Send/receive timeout on the fd (guards against a hung peer wedging a
+  /// frame read forever).
+  void set_timeout(double seconds);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to 127.0.0.1:`port` with up to `attempts` tries spaced
+/// `retry_delay_seconds` apart (a just-forked worker needs a beat to bind).
+/// Failpoint site "net.connect" fires as a kNet fault before each attempt.
+/// Throws FlowException(FlowStage::kNet) naming the endpoint when every
+/// attempt fails.
+Socket connect_loopback(int port, double timeout_seconds = 10.0,
+                        int attempts = 1,
+                        double retry_delay_seconds = 0.05);
+
+/// Listening socket on 127.0.0.1 with poll-gated accept.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port. Throws
+  /// FlowException(kNet) when the port cannot be bound.
+  explicit TcpListener(int port);
+
+  int port() const { return port_; }
+
+  /// Accepts one connection, polling at 100 ms so `stop` is honored
+  /// promptly. Returns an invalid Socket once `stop` is set.
+  Socket accept(const std::atomic<bool>& stop);
+
+ private:
+  Socket listen_;
+  int port_ = 0;
+};
+
+/// "127.0.0.1:<port>" — the context string used in frame/decode errors.
+std::string endpoint_name(int port);
+
+}  // namespace ldmo::net

@@ -85,7 +85,18 @@ std::string read_request_head(int fd) {
 }  // namespace
 
 AdminServer::AdminServer(const AdminConfig& config, Server& server)
-    : config_(config), server_(server) {
+    : config_(config), server_(&server), process_name_("serve") {
+  bind_and_start();
+}
+
+AdminServer::AdminServer(const AdminConfig& config, std::string process_name)
+    : config_(config),
+      server_(nullptr),
+      process_name_(std::move(process_name)) {
+  bind_and_start();
+}
+
+void AdminServer::bind_and_start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   require(listen_fd_ >= 0, "AdminServer: cannot create socket");
   const int one = 1;
@@ -177,24 +188,37 @@ HttpResponse AdminServer::handle(const std::string& method,
             obs::to_openmetrics(obs::registry().snapshot())};
   }
   if (path == "/healthz") {
+    if (!server_)
+      return {200, "text/plain", "ok (" + process_name_ + ")\n"};
     std::string detail;
-    const bool healthy = server_.healthy(&detail);
+    const bool healthy = server_->healthy(&detail);
     return {healthy ? 200 : 503, "text/plain", detail + "\n"};
   }
   if (path == "/readyz") {
+    if (!server_)
+      return {200, "text/plain", "ready (" + process_name_ + ")\n"};
     std::string detail;
-    const bool ready = server_.ready(&detail);
+    const bool ready = server_->ready(&detail);
     return {ready ? 200 : 503, "text/plain", detail + "\n"};
   }
   if (path == "/varz") {
     runtime::publish_metrics();
-    return {200, "application/json", server_.report().to_json()};
+    if (!server_) {
+      // Registry-only report: the router's net.* counters and gauges.
+      obs::RunReport report("ldmo-" + process_name_);
+      return {200, "application/json", report.to_json()};
+    }
+    return {200, "application/json", server_->report().to_json()};
   }
   if (path == "/trace")
     return {200, "application/json",
             obs::to_chrome_trace(obs::tracer().snapshot())};
-  if (path == "/flightrecorder")
-    return {200, "application/json", server_.flight_recorder().to_json()};
+  if (path == "/flightrecorder") {
+    if (!server_)
+      return {404, "text/plain",
+              "no flight recorder in a " + process_name_ + " process\n"};
+    return {200, "application/json", server_->flight_recorder().to_json()};
+  }
   if (path == "/")
     return {200, "text/plain",
             "ldmo admin endpoints: /metrics /healthz /readyz /varz /trace "

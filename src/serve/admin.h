@@ -55,6 +55,14 @@ class AdminServer {
   /// Binds and starts the listener thread; throws ldmo::Error when the
   /// port cannot be bound. `server` must outlive the AdminServer.
   AdminServer(const AdminConfig& config, Server& server);
+
+  /// Server-less admin endpoint: the registry-backed endpoints (/metrics,
+  /// /varz, /trace) work as usual — net.* counters included — while the
+  /// server-backed ones answer a static liveness line. This is what the
+  /// router process runs: it has no serve::Server, but its per-shard
+  /// routing and connection stats still need a scrape target.
+  /// `process_name` labels /healthz//readyz/ ("ok (<name>)").
+  AdminServer(const AdminConfig& config, std::string process_name);
   ~AdminServer();
 
   AdminServer(const AdminServer&) = delete;
@@ -73,9 +81,11 @@ class AdminServer {
 
  private:
   void listen_loop();
+  void bind_and_start();
 
   const AdminConfig config_;
-  Server& server_;
+  Server* server_ = nullptr;  ///< null in the server-less (router) mode
+  std::string process_name_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

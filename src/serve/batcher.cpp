@@ -86,7 +86,12 @@ std::vector<double> InferenceBatcher::score(
     cv_.wait(lock, [&] { return batch->flushed; });
   }
 
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (batch->failed) {
+    // Fresh exception per joiner; see the Batch comment in batcher.h.
+    if (batch->stage_tagged)
+      throw FlowException(batch->error.stage, batch->error.message);
+    throw Error(batch->error.message);
+  }
   return std::move(batch->results[my_index]);
 }
 
@@ -104,15 +109,26 @@ void InferenceBatcher::flush(std::shared_ptr<Batch> batch,
   std::vector<core::ScoringJob> jobs = batch->jobs;  // stable copy
   lock.unlock();
   std::vector<std::vector<double>> results;
-  std::exception_ptr error;
+  bool failed = false, tagged = false;
+  FlowError error;
   try {
     results = backend_.score_batch_multi(jobs);
+  } catch (const FlowException& e) {
+    failed = true;
+    tagged = true;
+    error = e.error();
+  } catch (const std::exception& e) {
+    failed = true;
+    error = {FlowStage::kUnknown, e.what()};
   } catch (...) {
-    error = std::current_exception();
+    failed = true;
+    error = {FlowStage::kUnknown, "unknown scoring backend exception"};
   }
   lock.lock();
   batch->results = std::move(results);
-  batch->error = error;
+  batch->failed = failed;
+  batch->stage_tagged = tagged;
+  batch->error = std::move(error);
   batch->flushed = true;
   flush_in_progress_ = false;
   cv_.notify_all();

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/flow_error.h"
 #include "core/predictor.h"
 #include "obs/metrics.h"
 #include "serve/cache_key.h"
@@ -58,12 +59,19 @@ class InferenceBatcher {
 
  private:
   /// One coalescing generation: jobs joined before its flush started.
+  /// A backend failure is captured as a FlowError VALUE, not an
+  /// exception_ptr: rethrowing one shared exception_ptr would hand every
+  /// joiner thread the same underlying exception object, racing one
+  /// thread's catch-cleanup against another's reads. Each joiner throws
+  /// its own fresh exception built from the value instead.
   struct Batch {
     std::vector<core::ScoringJob> jobs;
     std::vector<std::vector<double>> results;  ///< aligned with jobs
     std::size_t candidates = 0;
     bool flushed = false;
-    std::exception_ptr error;
+    bool failed = false;
+    bool stage_tagged = false;  ///< original exception was a FlowException
+    FlowError error;
   };
 
   void flush(std::shared_ptr<Batch> batch,

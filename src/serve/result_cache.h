@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -112,6 +113,24 @@ class ShardedLruCache {
     adjust_totals(static_cast<long long>(bytes), +1);
     insertions_.inc();
     evict_over_budget(shard);
+  }
+
+  /// Copies every entry out, least-recently-used first within each shard —
+  /// replaying the result through put() in order reproduces the recency
+  /// ranking (the last put is the most recent). Powers the serving layer's
+  /// cache snapshot/restore (net/snapshot.h); shards are locked one at a
+  /// time, so a snapshot during traffic is consistent per shard and never
+  /// blocks the whole cache.
+  std::vector<std::pair<std::uint64_t, V>> export_entries() {
+    std::vector<std::pair<std::uint64_t, V>> out;
+    if (!config_.enabled) return out;
+    out.reserve(entries());
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it)
+        out.emplace_back(it->key, it->value);
+    }
+    return out;
   }
 
   bool enabled() const { return config_.enabled; }

@@ -34,6 +34,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/flow_error.h"
@@ -181,6 +182,41 @@ class Server {
   /// on top of the standard registry snapshot (serve.cache.*,
   /// serve.batch.*, serve.queue.depth live there).
   obs::RunReport report() const;
+
+  /// Copies the result-cache contents out, least-recently-used first (the
+  /// snapshot/restore and hot-swap handoff hook — net/snapshot.h writes
+  /// these to disk, ServeDaemon carries them across a blue/green server
+  /// swap). Safe during traffic; see ShardedLruCache::export_entries.
+  std::vector<std::pair<std::uint64_t, core::LdmoResult>>
+  export_result_cache() {
+    return result_cache_.export_entries();
+  }
+
+  /// Result-cache observability for the wire protocol's stats message.
+  /// Entries are per-instance; hits/misses read the process-global
+  /// "serve.cache.*" counters (cumulative across blue/green server
+  /// generations, which is what a scraper wants).
+  std::size_t result_cache_entries() const { return result_cache_.entries(); }
+  long long result_cache_hits() const { return result_cache_.hits(); }
+  long long result_cache_misses() const { return result_cache_.misses(); }
+
+  /// Name of the active scoring backend (what config_fingerprint() folded
+  /// in — the wire stats message reports it for swap verification).
+  std::string predictor_name() const { return backend_->name(); }
+
+  /// Replays exported entries into the result cache (in order, so recency
+  /// survives the round trip) and returns how many were admitted. Keys are
+  /// content addresses that embed the config fingerprint, so entries from a
+  /// different configuration are harmless — they can never be looked up —
+  /// but callers should filter on config_fingerprint() to avoid dead
+  /// weight.
+  std::size_t import_result_cache(
+      std::vector<std::pair<std::uint64_t, core::LdmoResult>> entries) {
+    if (!result_cache_.enabled()) return 0;
+    for (auto& [key, result] : entries)
+      result_cache_.put(key, std::move(result));
+    return entries.size();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

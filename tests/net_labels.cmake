@@ -1,0 +1,13 @@
+# Included by ctest (TEST_INCLUDE_FILES) after gtest discovery populated
+# test_net_TESTS / test_net_cluster_TESTS. Discovery can only attach a
+# single label — it flattens list-valued PROPERTIES — so the full label set
+# lives here: "sanitize" (daemon/router/client threading is the TSan
+# payload) plus "net" (ctest -L net runs the wire-protocol and cluster
+# suites on their own). The cluster drill forks real ldmo_cli processes, so
+# it gets a generous timeout and never runs concurrently with itself.
+foreach(t IN LISTS test_net_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "sanitize;net")
+endforeach()
+foreach(t IN LISTS test_net_cluster_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "sanitize;net" TIMEOUT 600)
+endforeach()

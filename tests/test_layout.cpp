@@ -386,6 +386,29 @@ TEST_F(IoTest, ReadMissingFileThrows) {
   EXPECT_THROW(read_layout_text("/nonexistent/nowhere.txt"), ldmo::Error);
 }
 
+TEST_F(IoTest, ParseErrorsNameThePathAndByteOffset) {
+  // A daemon reading layouts off disk must be able to report *which* file
+  // broke and *where* — the error carries the path and the byte offset the
+  // stream had reached when parsing stopped.
+  const std::string path = "test_layout_corrupt.txt";
+  cleanup_.push_back(path);
+  {
+    std::ofstream out(path);
+    out << "name broken\n"
+        << "clip 0 0 not-a-number 1024\n";
+  }
+  try {
+    (void)read_layout_text(path);
+    FAIL() << "corrupt layout did not throw";
+  } catch (const FlowException& e) {
+    EXPECT_EQ(e.stage(), FlowStage::kLayout);
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("at byte"), std::string::npos) << what;
+    EXPECT_NE(what.find("malformed clip line"), std::string::npos) << what;
+  }
+}
+
 TEST_F(IoTest, IoFailpointsThrowTaggedLayoutStage) {
   const std::string path = "test_layout_fp.txt";
   cleanup_.push_back(path);

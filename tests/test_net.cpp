@@ -1,0 +1,1139 @@
+// Wire-protocol and cluster-component tests (tests run in-process; the
+// multi-process drill lives in test_net_cluster.cpp):
+//
+//   - golden byte vectors pinning the little-endian primitive encodings and
+//     the frame header layout (hand-computed, no run-to-pin),
+//   - encoded-message digests pinning the field order of every compound
+//     message (a codec reorder breaks these before it breaks a cluster),
+//   - re-encode round trips plus a corrupt/truncated corpus: every strict
+//     prefix of every message must throw, never misparse,
+//   - frame I/O over a socketpair: clean EOF vs mid-frame EOF, bad magic/
+//     version/type, checksum mismatch, oversized payload, failpoints,
+//   - consistent-hash ring properties (determinism, distinct failover
+//     order, minimal disruption on membership change),
+//   - cache snapshot save/load/corruption and restart warm-start,
+//   - ServeDaemon + Client loopback bit-identity against a direct
+//     serve::Server, weight hot-swap, transport retries, AsyncClient,
+//   - Router forwarding, failover to the surviving shard, swap broadcast,
+//     and the server-less admin endpoint.
+//
+// Flow-running tests use the 32-pixel serving-tier lithography model, so a
+// full run is tens of milliseconds (same budget as test_serve.cpp).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "layout/fingerprint.h"
+#include "layout/generator.h"
+#include "net/client.h"
+#include "net/daemon.h"
+#include "net/frame.h"
+#include "net/router.h"
+#include "net/snapshot.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "nn/resnet.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "serve/admin.h"
+#include "serve/cache_key.h"
+#include "serve/server.h"
+
+namespace ldmo::net {
+namespace {
+
+// --- shared fixtures -------------------------------------------------------
+
+litho::LithoConfig fast_litho() {
+  litho::LithoConfig cfg;
+  cfg.grid_size = 32;
+  cfg.pixel_nm = 32.0;  // 32 px x 32 nm = the generator's 1024nm clip
+  return cfg;
+}
+
+core::FlowEngineConfig fast_engine_config() {
+  core::FlowEngineConfig cfg;
+  cfg.litho = fast_litho();
+  return cfg;
+}
+
+serve::ServeConfig fast_serve_config() {
+  serve::ServeConfig cfg;
+  cfg.engine = fast_engine_config();
+  cfg.dispatchers = 2;
+  return cfg;
+}
+
+layout::Layout generated_layout(std::uint64_t seed) {
+  return layout::LayoutGenerator().generate(seed);
+}
+
+/// Hand-built layout for golden vectors: every byte of its encoding is a
+/// pure function of these literals.
+layout::Layout golden_layout() {
+  layout::Layout layout;
+  layout.name = "golden";
+  layout.clip = geometry::Rect::make({0, 0}, {1024, 1024});
+  layout.add_pattern(geometry::Rect::make({100, 200}, {160, 260}));
+  layout.add_pattern(geometry::Rect::make({300, 200}, {360, 260}));
+  return layout;
+}
+
+/// Hand-built LdmoResult exercising every codec field (small 2x2 grids).
+core::LdmoResult golden_result() {
+  core::LdmoResult result;
+  result.chosen = {0, 1, 0};
+  result.ilt.mask1 = GridF(2, 2, 0.25);
+  result.ilt.mask2 = GridF(2, 2, 0.75);
+  result.ilt.response = GridF(2, 2, 0.5);
+  result.ilt.report.l2 = 12.5;
+  result.ilt.report.epe.violation_count = 1;
+  result.ilt.report.epe.max_epe_nm = 3.5;
+  result.ilt.report.epe.mean_epe_nm = 1.25;
+  litho::EpeMeasurement m;
+  m.checkpoint.x_nm = 110.0;
+  m.checkpoint.y_nm = 230.0;
+  m.checkpoint.normal_x = 1.0;
+  m.checkpoint.normal_y = 0.0;
+  m.checkpoint.pattern_id = 0;
+  m.epe_nm = 3.5;
+  m.violation = true;
+  m.contour_found = true;
+  result.ilt.report.epe.measurements.push_back(m);
+  result.ilt.report.violations.missing = 1;
+  result.ilt.report.violations.bridges = 0;
+  result.ilt.report.violations.extra = 2;
+  result.ilt.trajectory.push_back({0, 20.0, 3, 1});
+  result.ilt.trajectory.push_back({1, 12.5, 1, 0});
+  result.ilt.iterations_run = 2;
+  result.ilt.aborted_on_violation = false;
+  result.ilt.cancelled = false;
+  result.candidates_generated = 4;
+  result.candidates_tried = 1;
+  result.timing.add("generate", 0.5, 0.25);
+  result.timing.add("ilt", 2.0, 1.5);
+  result.total_seconds = 2.5;
+  result.error = FlowError{FlowStage::kUnknown, ""};
+  result.degraded = false;
+  return result;
+}
+
+serve::ServeResponse golden_response() {
+  serve::ServeResponse response;
+  response.status = serve::ServeStatus::kOk;
+  response.result = golden_result();
+  response.request_id = 42;
+  response.cache_key = 0x1122334455667788ull;
+  response.completion_sequence = 7;
+  response.queue_seconds = 0.125;
+  response.service_seconds = 2.5;
+  response.total_seconds = 2.625;
+  response.attempts = 1;
+  return response;
+}
+
+WorkerStats golden_stats() {
+  WorkerStats stats;
+  stats.config_fingerprint = 0xdeadbeefcafef00dull;
+  stats.weights_version = 3;
+  stats.predictor = "cnn@v3";
+  stats.status_counts[0] = 10;
+  stats.status_counts[1] = 20;
+  stats.cache_hits = 19;
+  stats.cache_misses = 11;
+  stats.cache_entries = 6;
+  stats.queue_depth = 2;
+  return stats;
+}
+
+std::uint64_t digest_of(const WireWriter& w) {
+  return common::fnv1a(w.bytes().data(), w.size());
+}
+
+/// Serialized parameters of a freshly initialized ResNet — a valid weight
+/// blob for the kSwapWeights path (the daemon reconstitutes a CnnPredictor
+/// from it). `path` is the staging file; the caller owns cleanup.
+std::vector<std::uint8_t> fresh_weights_blob(const std::string& path) {
+  nn::ResNetRegressor model;
+  nn::save_parameters(model.parameters(), path);
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// The deterministic slice of an LdmoResult: everything except the measured
+/// wall/CPU timings (those differ run to run by construction). Bit-identity
+/// assertions compare these bytes.
+std::vector<std::uint8_t> deterministic_result_bytes(
+    const core::LdmoResult& result) {
+  core::LdmoResult copy = result;
+  copy.timing = PhaseTimer{};
+  copy.total_seconds = 0.0;
+  WireWriter w;
+  write_result(w, copy);
+  return w.take();
+}
+
+void send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// socketpair with RAII ends, for frame I/O tests without a listener.
+struct FdPair {
+  int a = -1, b = -1;
+  FdPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~FdPair() {
+    close_a();
+    close_b();
+  }
+  void close_a() {
+    if (a >= 0) ::close(a);
+    a = -1;
+  }
+  void close_b() {
+    if (b >= 0) ::close(b);
+    b = -1;
+  }
+};
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::disarm_all(); }
+  void TearDown() override {
+    fail::disarm_all();
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+  std::vector<std::string> cleanup_;
+};
+
+// --- golden vectors: primitives -------------------------------------------
+
+TEST(WireGolden, PrimitiveEncodingsAreLittleEndian) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0x89ABCDEF);
+  w.u64(0x0102030405060708ull);
+  w.i32(-2);
+  w.f64(1.5);  // IEEE-754: 0x3FF8000000000000
+  w.str("hi");
+  const std::vector<std::uint8_t> expected = {
+      0xAB,                                            // u8
+      0x34, 0x12,                                      // u16 LE
+      0xEF, 0xCD, 0xAB, 0x89,                          // u32 LE
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // u64 LE
+      0xFE, 0xFF, 0xFF, 0xFF,                          // i32 -2
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,  // f64 1.5
+      0x02, 0x00, 0x00, 0x00, 'h',  'i',               // str
+  };
+  EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(WireGolden, PrimitiveRoundTrip) {
+  WireWriter w;
+  w.u8(7).u16(65535).u32(0).u64(~0ull).i32(-123456).i64(-1).f64(-0.0);
+  w.str("").str("layout name with spaces");
+  GridF g(2, 3);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = static_cast<double>(i) * 0.5;
+  w.grid(g);
+
+  WireReader r(w.bytes(), "test");
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u64(), ~0ull);
+  EXPECT_EQ(r.i32(), -123456);
+  EXPECT_EQ(r.i64(), -1);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit-exact, not value-equal
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "layout name with spaces");
+  const GridF back = r.grid();
+  ASSERT_EQ(back.height(), 2);
+  ASSERT_EQ(back.width(), 3);
+  for (std::size_t i = 0; i < back.size(); ++i) EXPECT_EQ(back[i], g[i]);
+  r.expect_end();
+}
+
+TEST(WireGolden, FrameHeaderLayoutIsPinned) {
+  // A kPing frame with an empty payload is exactly the 20-byte header; the
+  // checksum of zero bytes is the FNV-1a offset basis.
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kPing, {});
+  const std::vector<std::uint8_t> expected = {
+      'L',  'D',  'M',  'O',                           // magic
+      0x01, 0x00,                                      // version 1
+      0x03, 0x00,                                      // type kPing
+      0x00, 0x00, 0x00, 0x00,                          // payload length
+      0x25, 0x23, 0x22, 0x84, 0xE4, 0x9C, 0xF2, 0xCB,  // fnv1a("") LE
+  };
+  EXPECT_EQ(frame, expected);
+}
+
+TEST(WireGolden, FrameChecksumCoversPayload) {
+  const std::vector<std::uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kStats, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  WireReader r(frame, "test");
+  r.u32();  // magic
+  EXPECT_EQ(r.u16(), kProtocolVersion);
+  EXPECT_EQ(r.u16(), static_cast<std::uint16_t>(MessageType::kStats));
+  EXPECT_EQ(r.u32(), payload.size());
+  EXPECT_EQ(r.u64(), common::fnv1a(payload.data(), payload.size()));
+}
+
+// --- golden vectors: compound message digests ------------------------------
+//
+// These digests pin the exact encoded bytes of each message built from the
+// golden_* literals above. They fail on ANY codec change — field order,
+// width, added or removed fields. That is the point: the wire format is
+// frozen at version 1; a deliberate format change must bump
+// kProtocolVersion (and these constants) in the same commit.
+
+TEST(WireGolden, LayoutMessageBytesAreStable) {
+  WireWriter w;
+  write_layout(w, golden_layout());
+  EXPECT_EQ(digest_of(w), 0x835e6ddfd7525fc9ull)
+      << "encoded layout bytes changed — wire format break";
+}
+
+TEST(WireGolden, ConfigMessageBytesAreStable) {
+  WireWriter w;
+  write_config(w, fast_engine_config());
+  EXPECT_EQ(digest_of(w), 0xa446625d7e9e9e0full)
+      << "encoded config bytes changed — wire format break";
+}
+
+TEST(WireGolden, RequestMessageBytesAreStable) {
+  serve::ServeRequest request;
+  request.layout = golden_layout();
+  request.priority = serve::Priority::kInteractive;
+  request.deadline_seconds = 30.0;
+  WireWriter w;
+  write_request(w, request);
+  EXPECT_EQ(digest_of(w), 0xa16e6494eab7dcd6ull)
+      << "encoded request bytes changed — wire format break";
+}
+
+TEST(WireGolden, ResultMessageBytesAreStable) {
+  WireWriter w;
+  write_result(w, golden_result());
+  EXPECT_EQ(digest_of(w), 0xd09dd1d153b8839eull)
+      << "encoded result bytes changed — wire format break";
+}
+
+TEST(WireGolden, ResponseMessageBytesAreStable) {
+  WireWriter w;
+  write_response(w, golden_response());
+  EXPECT_EQ(digest_of(w), 0xd1353112d5a242b4ull)
+      << "encoded response bytes changed — wire format break";
+}
+
+TEST(WireGolden, StatsMessageBytesAreStable) {
+  WireWriter w;
+  write_stats(w, golden_stats());
+  EXPECT_EQ(digest_of(w), 0x160d0ac1b79ca440ull)
+      << "encoded stats bytes changed — wire format break";
+}
+
+// --- round trips and the corrupt/truncated corpus --------------------------
+
+/// The corrupt corpus, shared by every message type below: every strict
+/// prefix must throw (truncation sweep), a flipped tag must throw, and one
+/// trailing byte must fail expect_end — never a misparse, never a crash.
+template <typename ReadFn>
+void check_corrupt_corpus(const std::vector<std::uint8_t>& bytes,
+                          ReadFn read_fn) {
+  // Every strict prefix throws a kNet FlowException — never a misparse,
+  // never a crash.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    WireReader r(bytes.data(), len, "truncated");
+    bool threw = false;
+    try {
+      (void)read_fn(r);
+      r.expect_end();
+    } catch (const FlowException& e) {
+      threw = true;
+      EXPECT_EQ(e.stage(), FlowStage::kNet);
+    }
+    EXPECT_TRUE(threw) << "prefix of " << len << " bytes decoded cleanly";
+  }
+  // Flipped tag byte: loud mismatch, not a misparse.
+  {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[4] ^= 0xFF;  // first tag character (after the u32 length prefix)
+    WireReader r(bad, "bad-tag");
+    EXPECT_THROW((void)read_fn(r), FlowException);
+  }
+  // Trailing garbage after a well-formed message: expect_end throws.
+  {
+    std::vector<std::uint8_t> extra = bytes;
+    extra.push_back(0x5A);
+    WireReader r(extra, "trailing");
+    (void)read_fn(r);
+    EXPECT_THROW(r.expect_end(), FlowException);
+  }
+}
+
+TEST(WireCorpus, LayoutRoundTripAndCorpus) {
+  WireWriter w;
+  write_layout(w, golden_layout());
+  {
+    WireReader r(w.bytes(), "test");
+    const layout::Layout decoded = read_layout(r);
+    r.expect_end();
+    EXPECT_EQ(decoded.name, "golden");
+    EXPECT_EQ(decoded.pattern_count(), 2);
+    WireWriter again;
+    write_layout(again, decoded);
+    EXPECT_EQ(again.bytes(), w.bytes());
+    EXPECT_EQ(layout::fingerprint(decoded),
+              layout::fingerprint(golden_layout()));
+  }
+  check_corrupt_corpus(w.bytes(),
+                       [](WireReader& r) { return read_layout(r); });
+}
+
+TEST(WireCorpus, ConfigRoundTripAndCorpus) {
+  WireWriter w;
+  write_config(w, fast_engine_config());
+  {
+    WireReader r(w.bytes(), "test");
+    const core::FlowEngineConfig decoded = read_config(r);
+    r.expect_end();
+    WireWriter again;
+    write_config(again, decoded);
+    EXPECT_EQ(again.bytes(), w.bytes());
+    // The fingerprint a server would compute from the decoded config
+    // matches the sender's — the cluster-wide cache-key contract.
+    EXPECT_EQ(serve::config_fingerprint(decoded, "p"),
+              serve::config_fingerprint(fast_engine_config(), "p"));
+  }
+  check_corrupt_corpus(w.bytes(),
+                       [](WireReader& r) { return read_config(r); });
+}
+
+TEST(WireCorpus, RequestRoundTripAndCorpus) {
+  serve::ServeRequest request;
+  request.layout = golden_layout();
+  request.priority = serve::Priority::kBatch;
+  request.deadline_seconds = 5.0;
+  WireWriter w;
+  write_request(w, request);
+  {
+    WireReader r(w.bytes(), "test");
+    const serve::ServeRequest decoded = read_request(r);
+    r.expect_end();
+    EXPECT_EQ(decoded.priority, serve::Priority::kBatch);
+    EXPECT_EQ(decoded.deadline_seconds, 5.0);
+    WireWriter again;
+    write_request(again, decoded);
+    EXPECT_EQ(again.bytes(), w.bytes());
+  }
+  check_corrupt_corpus(w.bytes(),
+                       [](WireReader& r) { return read_request(r); });
+}
+
+TEST(WireCorpus, ResultRoundTripAndCorpus) {
+  WireWriter w;
+  write_result(w, golden_result());
+  {
+    WireReader r(w.bytes(), "test");
+    const core::LdmoResult decoded = read_result(r);
+    r.expect_end();
+    WireWriter again;
+    write_result(again, decoded);
+    EXPECT_EQ(again.bytes(), w.bytes());  // bit-identical masks included
+    EXPECT_EQ(decoded.ilt.report.epe.measurements.size(), 1u);
+    EXPECT_EQ(decoded.timing.get("ilt"), 2.0);
+    EXPECT_EQ(decoded.timing.get_cpu("generate"), 0.25);
+  }
+  check_corrupt_corpus(w.bytes(),
+                       [](WireReader& r) { return read_result(r); });
+}
+
+TEST(WireCorpus, ResponseRoundTripAndCorpus) {
+  WireWriter w;
+  write_response(w, golden_response());
+  {
+    WireReader r(w.bytes(), "test");
+    const serve::ServeResponse decoded = read_response(r);
+    r.expect_end();
+    EXPECT_EQ(decoded.status, serve::ServeStatus::kOk);
+    EXPECT_EQ(decoded.request_id, 42u);
+    WireWriter again;
+    write_response(again, decoded);
+    EXPECT_EQ(again.bytes(), w.bytes());
+  }
+  check_corrupt_corpus(w.bytes(),
+                       [](WireReader& r) { return read_response(r); });
+}
+
+TEST(WireCorpus, FailedResponseTravelsWithoutResult) {
+  serve::ServeResponse response;
+  response.status = serve::ServeStatus::kFailed;
+  response.error = FlowError{FlowStage::kIlt, "diverged"};
+  response.attempts = 3;
+  WireWriter w;
+  write_response(w, response);
+  WireReader r(w.bytes(), "test");
+  const serve::ServeResponse decoded = read_response(r);
+  r.expect_end();
+  EXPECT_EQ(decoded.status, serve::ServeStatus::kFailed);
+  EXPECT_EQ(decoded.error.stage, FlowStage::kIlt);
+  EXPECT_EQ(decoded.error.message, "diverged");
+  EXPECT_EQ(decoded.attempts, 3);
+  // No embedded result: the failed response is compact.
+  EXPECT_LT(w.size(), 200u);
+}
+
+TEST(WireCorpus, StatsRoundTripAndCorpus) {
+  WireWriter w;
+  write_stats(w, golden_stats());
+  {
+    WireReader r(w.bytes(), "test");
+    const WorkerStats decoded = read_stats(r);
+    r.expect_end();
+    EXPECT_EQ(decoded.config_fingerprint, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(decoded.predictor, "cnn@v3");
+    WireWriter again;
+    write_stats(again, decoded);
+    EXPECT_EQ(again.bytes(), w.bytes());
+  }
+  check_corrupt_corpus(w.bytes(),
+                       [](WireReader& r) { return read_stats(r); });
+}
+
+TEST(WireCorpus, OutOfRangeEnumsAreRejected) {
+  {  // priority 7
+    WireWriter w;
+    write_layout(w.str("rq1"), golden_layout());
+    w.u8(7).f64(0.0);
+    WireReader r(w.bytes(), "test");
+    EXPECT_THROW((void)read_request(r), FlowException);
+  }
+  {  // serve status 200
+    WireWriter w;
+    w.str("rp1").u8(200);
+    WireReader r(w.bytes(), "test");
+    EXPECT_THROW((void)read_response(r), FlowException);
+  }
+}
+
+TEST(WireCorpus, HostileLengthsAreRejectedBeforeAllocation) {
+  {  // implausible grid shape
+    WireWriter w;
+    w.i32(1 << 20).i32(2);
+    WireReader r(w.bytes(), "test");
+    EXPECT_THROW((void)r.grid(), FlowException);
+  }
+  {  // plausible shape, body longer than the remaining payload
+    WireWriter w;
+    w.i32(100).i32(100);
+    WireReader r(w.bytes(), "test");
+    EXPECT_THROW((void)r.grid(), FlowException);
+  }
+  {  // string length beyond the payload
+    WireWriter w;
+    w.u32(0xFFFFFFFF);
+    WireReader r(w.bytes(), "test");
+    EXPECT_THROW((void)r.str(), FlowException);
+  }
+  {  // layout pattern count beyond the payload
+    WireWriter w;
+    w.str("ly1").str("n");
+    w.i64(0).i64(0).i64(8).i64(8);
+    w.u32(0x00FFFFFF);
+    WireReader r(w.bytes(), "test");
+    EXPECT_THROW((void)read_layout(r), FlowException);
+  }
+}
+
+TEST(WireCorpus, DecodeErrorsCarryContextAndOffset) {
+  WireWriter w;
+  w.u32(5);  // truncated string: length says 5, zero bytes follow
+  WireReader r(w.bytes(), "127.0.0.1:4021");
+  try {
+    (void)r.str();
+    FAIL() << "decode did not throw";
+  } catch (const FlowException& e) {
+    EXPECT_EQ(e.stage(), FlowStage::kNet);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("127.0.0.1:4021"), std::string::npos) << what;
+    EXPECT_NE(what.find("at byte 4"), std::string::npos) << what;
+  }
+}
+
+// --- frame I/O over a socketpair -------------------------------------------
+
+TEST_F(NetTest, FrameRoundTripOverSocket) {
+  FdPair fds;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  write_frame(fds.a, MessageType::kSubmitRequest, payload, "a");
+  const std::optional<Frame> frame = read_frame(fds.b, "b");
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MessageType::kSubmitRequest);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST_F(NetTest, CleanEofAtFrameBoundaryIsNotAnError) {
+  FdPair fds;
+  write_frame(fds.a, MessageType::kPing, {}, "a");
+  fds.close_a();
+  EXPECT_TRUE(read_frame(fds.b, "b").has_value());   // the ping
+  EXPECT_FALSE(read_frame(fds.b, "b").has_value());  // orderly close
+}
+
+TEST_F(NetTest, MidFrameEofThrowsWithPeerAndOffset) {
+  FdPair fds;
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kStats, {9, 9, 9});
+  send_all(fds.a, {frame.begin(), frame.begin() + 10});  // half a header
+  fds.close_a();
+  try {
+    (void)read_frame(fds.b, "worker-7");
+    FAIL() << "mid-frame EOF did not throw";
+  } catch (const FlowException& e) {
+    EXPECT_EQ(e.stage(), FlowStage::kNet);
+    EXPECT_NE(std::string(e.what()).find("worker-7"), std::string::npos);
+  }
+}
+
+TEST_F(NetTest, MidPayloadEofThrows) {
+  FdPair fds;
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MessageType::kStats, {9, 9, 9});
+  send_all(fds.a, {frame.begin(), frame.end() - 1});  // payload short by one
+  fds.close_a();
+  EXPECT_THROW((void)read_frame(fds.b, "b"), FlowException);
+}
+
+TEST_F(NetTest, BadMagicVersionTypeAndChecksumAreRejected) {
+  const std::vector<std::uint8_t> good =
+      encode_frame(MessageType::kPong, {7});
+  struct Corruption {
+    std::size_t offset;
+    const char* what;
+  };
+  // magic byte, version byte, type byte (99), payload byte (checksum
+  // mismatch).
+  const std::vector<Corruption> corpus = {
+      {0, "magic"}, {4, "version"}, {6, "type"}, {20, "checksum"}};
+  for (const Corruption& c : corpus) {
+    FdPair fds;
+    std::vector<std::uint8_t> bad = good;
+    bad[c.offset] ^= 0x66;
+    send_all(fds.a, bad);
+    EXPECT_THROW((void)read_frame(fds.b, "b"), FlowException) << c.what;
+  }
+}
+
+TEST_F(NetTest, OversizedPayloadIsRejectedFromTheHeaderAlone) {
+  FdPair fds;
+  WireWriter header;
+  for (char c : kFrameMagic) header.u8(static_cast<std::uint8_t>(c));
+  header.u16(kProtocolVersion);
+  header.u16(static_cast<std::uint16_t>(MessageType::kStats));
+  header.u32(static_cast<std::uint32_t>(kMaxPayloadBytes) + 1);
+  header.u64(0);
+  send_all(fds.a, header.bytes());
+  // No payload bytes are ever sent; the reader must reject on the header.
+  EXPECT_THROW((void)read_frame(fds.b, "b"), FlowException);
+}
+
+TEST_F(NetTest, FrameFailpointsThrowAsNetFaults) {
+  FdPair fds;
+  fail::arm("net.frame.write", fail::once());
+  EXPECT_THROW(write_frame(fds.a, MessageType::kPing, {}, "a"),
+               FlowException);
+  write_frame(fds.a, MessageType::kPing, {}, "a");  // disarmed again
+  fail::arm("net.frame.read", fail::once());
+  EXPECT_THROW((void)read_frame(fds.b, "b"), FlowException);
+  EXPECT_TRUE(read_frame(fds.b, "b").has_value());
+}
+
+TEST_F(NetTest, ErrorFrameCarriesStageAndMessage) {
+  FdPair fds;
+  send_error_frame(fds.a, "a", static_cast<int>(FlowStage::kIlt),
+                   "diverged badly");
+  const std::optional<Frame> frame = read_frame(fds.b, "b");
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MessageType::kError);
+  WireReader r(frame->payload, "b");
+  EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(FlowStage::kIlt));
+  EXPECT_EQ(r.str(), "diverged badly");
+  r.expect_end();
+}
+
+// --- consistent-hash ring ---------------------------------------------------
+
+TEST(HashRingTest, LookupIsDeterministicAcrossInstances) {
+  const std::vector<int> ports = {5001, 5002, 5003};
+  HashRing a(ports, 64), b(ports, 64);
+  for (std::uint64_t key = 0; key < 200; ++key)
+    EXPECT_EQ(a.lookup(key * 0x9E3779B97F4A7C15ull),
+              b.lookup(key * 0x9E3779B97F4A7C15ull));
+}
+
+TEST(HashRingTest, LookupNReturnsEveryPortOnceInFailoverOrder) {
+  HashRing ring({5001, 5002, 5003}, 64);
+  for (std::uint64_t key = 1; key < 50; ++key) {
+    const std::vector<int> order = ring.lookup_n(key * 7919, 3);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], ring.lookup(key * 7919));
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{5001, 5002, 5003}));
+  }
+}
+
+TEST(HashRingTest, EveryPortOwnsAShareOfTheKeySpace) {
+  HashRing ring({5001, 5002, 5003}, 64);
+  int hits[3] = {0, 0, 0};
+  for (std::uint64_t key = 0; key < 300; ++key)
+    ++hits[ring.lookup(HashRing::route_key(1, key)) - 5001];
+  // With 64 replicas each shard owns roughly a third; require at least a
+  // tenth to catch a degenerate ring without flaking on hash variance.
+  for (int h : hits) EXPECT_GT(h, 30);
+}
+
+TEST(HashRingTest, RemovingAShardOnlyMovesItsOwnKeys) {
+  // The consistent-hashing contract: dropping port 5003 must not move any
+  // key that 5001 or 5002 already owned. This is exact, not statistical —
+  // removing a shard's points cannot change lower_bound for keys whose
+  // first >= point belonged to a surviving shard.
+  HashRing full({5001, 5002, 5003}, 64);
+  HashRing survivors({5001, 5002}, 64);
+  int moved = 0, kept = 0;
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const std::uint64_t k = HashRing::route_key(7, key);
+    if (full.lookup(k) == 5003) {
+      ++moved;
+      continue;
+    }
+    EXPECT_EQ(survivors.lookup(k), full.lookup(k));
+    ++kept;
+  }
+  EXPECT_GT(moved, 0);  // the dead shard did own something
+  EXPECT_GT(kept, 0);
+}
+
+TEST(HashRingTest, RouteKeySeparatesConfigAndLayout) {
+  EXPECT_EQ(HashRing::route_key(1, 2), HashRing::route_key(1, 2));
+  EXPECT_NE(HashRing::route_key(1, 2), HashRing::route_key(2, 1));
+  EXPECT_NE(HashRing::route_key(0, 2), HashRing::route_key(1, 2));
+}
+
+// --- cache snapshot ---------------------------------------------------------
+
+TEST_F(NetTest, SnapshotRoundTripPreservesEntriesAndOrder) {
+  const std::string path = "test_net_snapshot.bin";
+  cleanup_.push_back(path);
+  cleanup_.push_back(path + ".tmp");
+  CacheSnapshot snapshot;
+  snapshot.config_fingerprint = 0xABCDULL;
+  snapshot.entries.emplace_back(11, golden_result());
+  core::LdmoResult second = golden_result();
+  second.total_seconds = 9.0;
+  snapshot.entries.emplace_back(22, second);
+  save_cache_snapshot(path, snapshot);
+
+  const std::optional<CacheSnapshot> loaded = load_cache_snapshot(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->config_fingerprint, 0xABCDULL);
+  ASSERT_EQ(loaded->entries.size(), 2u);
+  EXPECT_EQ(loaded->entries[0].first, 11u);   // LRU-first order preserved
+  EXPECT_EQ(loaded->entries[1].first, 22u);
+  // Bit-identical result round trip through the file.
+  WireWriter a, b;
+  write_result(a, snapshot.entries[1].second);
+  write_result(b, loaded->entries[1].second);
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST_F(NetTest, MissingSnapshotIsAColdStartNotAnError) {
+  EXPECT_FALSE(load_cache_snapshot("no_such_snapshot.bin").has_value());
+}
+
+TEST_F(NetTest, CorruptSnapshotsThrowWithPathAttribution) {
+  const std::string path = "test_net_snapshot_corrupt.bin";
+  cleanup_.push_back(path);
+  {  // garbage bytes
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a snapshot";
+  }
+  EXPECT_THROW((void)load_cache_snapshot(path), FlowException);
+
+  {  // valid snapshot, then truncated mid-entry
+    CacheSnapshot snapshot;
+    snapshot.config_fingerprint = 1;
+    snapshot.entries.emplace_back(5, golden_result());
+    save_cache_snapshot(path, snapshot);
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 40u);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  try {
+    (void)load_cache_snapshot(path);
+    FAIL() << "truncated snapshot did not throw";
+  } catch (const FlowException& e) {
+    EXPECT_EQ(e.stage(), FlowStage::kNet);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+// --- daemon + client loopback ----------------------------------------------
+
+TEST_F(NetTest, DaemonServesBitIdenticalToDirectServer) {
+  const layout::Layout layout = generated_layout(301);
+
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+  serve::ServeRequest request;
+  request.layout = layout;
+  const serve::ServeResponse over_wire = client.submit(request);
+  ASSERT_EQ(over_wire.status, serve::ServeStatus::kOk);
+
+  serve::Server direct(fast_serve_config());
+  serve::ServeRequest again;
+  again.layout = layout;
+  const serve::ServeResponse local = direct.submit(std::move(again))
+                                         .response.get();
+  ASSERT_EQ(local.status, serve::ServeStatus::kOk);
+
+  // The serving determinism contract extends across the wire: the decoded
+  // result is bit-identical (masks, scores, report — everything but the
+  // measured timings) to a local run.
+  EXPECT_EQ(deterministic_result_bytes(over_wire.result),
+            deterministic_result_bytes(local.result));
+  EXPECT_EQ(over_wire.cache_key, local.cache_key);
+}
+
+TEST_F(NetTest, RepeatSubmitHitsTheWorkerCache) {
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+  serve::ServeRequest request;
+  request.layout = generated_layout(302);
+  EXPECT_EQ(client.submit(request).status, serve::ServeStatus::kOk);
+  const serve::ServeResponse cached = client.submit(request);
+  EXPECT_EQ(cached.status, serve::ServeStatus::kCached);
+}
+
+TEST_F(NetTest, PingAndStatsReportWorkerIdentity) {
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+  EXPECT_TRUE(client.ping());
+  const WorkerStats stats = client.stats();
+  const std::shared_ptr<serve::Server> server = daemon.server();
+  EXPECT_EQ(stats.config_fingerprint, server->config_fingerprint());
+  EXPECT_EQ(stats.predictor, server->predictor_name());
+  EXPECT_EQ(stats.weights_version, 0u);
+}
+
+TEST_F(NetTest, EmptyBlobSwapKeepsTheWarmCache) {
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+  serve::ServeRequest request;
+  request.layout = generated_layout(303);
+  ASSERT_EQ(client.submit(request).status, serve::ServeStatus::kOk);
+  const std::uint64_t fp_before = client.stats().config_fingerprint;
+
+  // Rolling restart: an empty blob keeps the current weights, so the ack
+  // reports the version that stays active (0 — nothing was ever pushed).
+  const long long swaps_before = obs::counter("net.daemon.swaps").value();
+  EXPECT_EQ(client.swap_weights(5, {}), 0u);
+  EXPECT_EQ(daemon.weights_version(), 0u);
+  EXPECT_EQ(obs::counter("net.daemon.swaps").value(), swaps_before + 1);
+
+  // Identity unchanged -> cache was handed across the blue/green swap.
+  EXPECT_EQ(client.stats().config_fingerprint, fp_before);
+  EXPECT_EQ(client.submit(request).status, serve::ServeStatus::kCached);
+}
+
+TEST_F(NetTest, RealWeightSwapChangesIdentityAndRetiresTheCache) {
+  const std::string staging = "test_net_swap_weights.bin";
+  cleanup_.push_back(staging);
+  const std::vector<std::uint8_t> blob = fresh_weights_blob(staging);
+  ASSERT_FALSE(blob.empty());
+
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+  serve::ServeRequest request;
+  request.layout = generated_layout(306);
+  ASSERT_EQ(client.submit(request).status, serve::ServeStatus::kOk);
+  const std::uint64_t fp_before = client.stats().config_fingerprint;
+
+  EXPECT_EQ(client.swap_weights(5, blob), 5u);
+  EXPECT_EQ(daemon.weights_version(), 5u);
+  const WorkerStats stats = client.stats();
+  // The version rides in the predictor name, so the fingerprint — and with
+  // it every cache key — changed: stale results are unreachable, not wrong.
+  EXPECT_EQ(stats.predictor, "cnn@v5");
+  EXPECT_NE(stats.config_fingerprint, fp_before);
+  EXPECT_EQ(stats.cache_entries, 0u);  // no handoff across an identity change
+}
+
+TEST_F(NetTest, DaemonRestartRestoresCacheFromSnapshot) {
+  const std::string path = "test_net_daemon_snapshot.bin";
+  cleanup_.push_back(path);
+  cleanup_.push_back(path + ".tmp");
+  const layout::Layout layout = generated_layout(304);
+
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  dcfg.snapshot_path = path;
+  {
+    ServeDaemon daemon(dcfg);
+    Client client(ClientConfig{.port = daemon.port()});
+    serve::ServeRequest request;
+    request.layout = layout;
+    ASSERT_EQ(client.submit(request).status, serve::ServeStatus::kOk);
+  }  // stop() writes the snapshot
+
+  ServeDaemon reborn(dcfg);
+  EXPECT_GE(reborn.restored_entries(), 1u);
+  Client client(ClientConfig{.port = reborn.port()});
+  serve::ServeRequest request;
+  request.layout = layout;
+  EXPECT_EQ(client.submit(request).status, serve::ServeStatus::kCached);
+}
+
+TEST_F(NetTest, ClientRetriesAbsorbAnInjectedFrameFault) {
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+  const long long retries_before =
+      obs::counter("net.client.retries").value();
+
+  fail::arm("net.frame.write", fail::once());
+  serve::ServeRequest request;
+  request.layout = generated_layout(305);
+  const serve::ServeResponse response = client.submit(request);
+  EXPECT_TRUE(response.ok());
+  EXPECT_GE(obs::counter("net.client.retries").value(), retries_before + 1);
+}
+
+TEST_F(NetTest, ConnectRetriesAbsorbAnInjectedConnectFault) {
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+  fail::arm("net.connect", fail::once());
+  EXPECT_TRUE(client.ping());  // second connect attempt succeeds
+}
+
+TEST_F(NetTest, ExhaustedRetriesSurfaceTheTransportFault) {
+  // No daemon on this port: grab one ephemerally and release it.
+  int dead_port;
+  {
+    TcpListener probe(0);
+    dead_port = probe.port();
+  }
+  Client client(ClientConfig{
+      .port = dead_port, .connect_attempts = 2,
+      .connect_retry_seconds = 0.01, .net_retries = 1});
+  serve::ServeRequest request;
+  request.layout = golden_layout();
+  try {
+    (void)client.submit(request);
+    FAIL() << "submit to a dead port did not throw";
+  } catch (const FlowException& e) {
+    EXPECT_EQ(e.stage(), FlowStage::kNet);
+    EXPECT_NE(std::string(e.what())
+                  .find("127.0.0.1:" + std::to_string(dead_port)),
+              std::string::npos);
+  }
+}
+
+TEST_F(NetTest, AsyncClientPumpsConcurrentSubmits) {
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  AsyncClient client(ClientConfig{.port = daemon.port()}, 3);
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    serve::ServeRequest request;
+    request.layout = generated_layout(310 + static_cast<std::uint64_t>(i % 2));
+    futures.push_back(client.submit(std::move(request)));
+  }
+  int ok = 0;
+  for (auto& f : futures) ok += f.get().ok() ? 1 : 0;
+  EXPECT_EQ(ok, 6);
+}
+
+TEST_F(NetTest, UnexpectedFrameTypeGetsAnErrorAnswer) {
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon daemon(dcfg);
+  Socket sock = connect_loopback(daemon.port(), 10.0, 20);
+  // A daemon never expects a kPong out of the blue.
+  write_frame(sock.fd(), MessageType::kPong, {}, "test");
+  const std::optional<Frame> answer = read_frame(sock.fd(), "test");
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->type, MessageType::kError);
+}
+
+// --- router -----------------------------------------------------------------
+
+TEST_F(NetTest, RouterSpreadsRequestsAndSurvivesAWorkerKill) {
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  auto worker_a = std::make_unique<ServeDaemon>(dcfg);
+  auto worker_b = std::make_unique<ServeDaemon>(dcfg);
+  const int port_a = worker_a->port();
+  const int port_b = worker_b->port();
+
+  RouterConfig rcfg;
+  rcfg.worker_ports = {port_a, port_b};
+  Router router(rcfg);
+  Client client(ClientConfig{.port = router.port()});
+
+  const std::uint64_t config_fp = client.stats().config_fingerprint;
+  ASSERT_NE(config_fp, 0u);
+
+  // Find seeds that route to each shard, so both assertions below are
+  // deterministic for whatever ephemeral ports this run drew.
+  HashRing ring({port_a, port_b}, rcfg.ring_replicas);
+  std::uint64_t seed_a = 0, seed_b = 0;
+  for (std::uint64_t seed = 400; seed_a == 0 || seed_b == 0; ++seed) {
+    const layout::Layout layout = generated_layout(seed);
+    const int target = ring.lookup(
+        HashRing::route_key(config_fp, layout::fingerprint(layout)));
+    if (target == port_a && seed_a == 0) seed_a = seed;
+    if (target == port_b && seed_b == 0) seed_b = seed;
+  }
+
+  const auto forwarded = [](int port) {
+    return obs::counter("net.router.shard." + std::to_string(port) +
+                        ".forwarded")
+        .value();
+  };
+  const long long a_before = forwarded(port_a);
+  const long long b_before = forwarded(port_b);
+
+  serve::ServeRequest to_a, to_b;
+  to_a.layout = generated_layout(seed_a);
+  to_b.layout = generated_layout(seed_b);
+  EXPECT_TRUE(client.submit(to_a).ok());
+  EXPECT_TRUE(client.submit(to_b).ok());
+  EXPECT_EQ(forwarded(port_a), a_before + 1);
+  EXPECT_EQ(forwarded(port_b), b_before + 1);
+
+  // Kill the shard that owns seed_a; the router must fail the request over
+  // to the survivor — zero lost requests.
+  const long long failovers_before =
+      obs::counter("net.router.failovers").value();
+  worker_a->stop();
+  worker_a.reset();
+  serve::ServeRequest again;
+  again.layout = generated_layout(seed_a);
+  const serve::ServeResponse response = client.submit(again);
+  EXPECT_TRUE(response.ok());
+  EXPECT_GE(obs::counter("net.router.failovers").value(),
+            failovers_before + 1);
+  EXPECT_EQ(forwarded(port_a), a_before + 1);  // dead shard got nothing new
+}
+
+TEST_F(NetTest, RouterWithAllWorkersDownAnswersWithAnError) {
+  int dead_port;
+  {
+    TcpListener probe(0);
+    dead_port = probe.port();
+  }
+  RouterConfig rcfg;
+  rcfg.worker_ports = {dead_port};
+  rcfg.worker_net_retries = 0;
+  Router router(rcfg);
+  Client client(
+      ClientConfig{.port = router.port(), .net_retries = 0});
+  serve::ServeRequest request;
+  request.layout = golden_layout();
+  const long long exhausted_before =
+      obs::counter("net.router.exhausted").value();
+  EXPECT_THROW((void)client.submit(request), FlowException);
+  EXPECT_EQ(obs::counter("net.router.exhausted").value(),
+            exhausted_before + 1);
+}
+
+TEST_F(NetTest, RouterBroadcastsWeightSwaps) {
+  const std::string staging = "test_net_router_swap_weights.bin";
+  cleanup_.push_back(staging);
+  const std::vector<std::uint8_t> blob = fresh_weights_blob(staging);
+
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  ServeDaemon worker_a(dcfg), worker_b(dcfg);
+  RouterConfig rcfg;
+  rcfg.worker_ports = {worker_a.port(), worker_b.port()};
+  Router router(rcfg);
+  Client client(ClientConfig{.port = router.port()});
+  EXPECT_EQ(client.swap_weights(9, blob), 9u);
+  EXPECT_EQ(worker_a.weights_version(), 9u);
+  EXPECT_EQ(worker_b.weights_version(), 9u);
+}
+
+// --- server-less admin endpoint (the router's scrape target) ----------------
+
+TEST_F(NetTest, ServerlessAdminServesRegistryBackedEndpoints) {
+  obs::counter("net.frame.writes").inc();  // ensure the family exists
+  serve::AdminConfig cfg;
+  cfg.enabled = true;
+  serve::AdminServer admin(cfg, "router");
+  ASSERT_GT(admin.port(), 0);
+
+  const serve::HttpResponse health = serve::http_get(admin.port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("router"), std::string::npos);
+
+  const serve::HttpResponse varz = serve::http_get(admin.port(), "/varz");
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_NE(varz.body.find("net.frame.writes"), std::string::npos);
+
+  const serve::HttpResponse metrics =
+      serve::http_get(admin.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_FALSE(metrics.body.empty());
+}
+
+}  // namespace
+}  // namespace ldmo::net

@@ -1,0 +1,229 @@
+// Multi-process cluster drill: forks the real ldmo_cli binary (path baked
+// in via LDMO_CLI_PATH) into a 3-process topology — router + 2 workers on
+// ephemeral ports — and drives it with the in-process net::Client.
+//
+// This is the process-level counterpart of the in-process router tests in
+// test_net.cpp: it proves the `serve` and `route` subcommands actually
+// compose into a cluster (bind, print their port, answer frames, honor
+// SIGTERM), that a SIGKILLed worker mid-load loses zero requests, and that
+// a worker restart warm-starts from its cache snapshot.
+//
+// Every child runs the 32-pixel serving-tier lithography model so a full
+// flow run stays in the tens-of-milliseconds budget.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "layout/generator.h"
+#include "net/client.h"
+#include "serve/request.h"
+
+namespace ldmo::net {
+namespace {
+
+layout::Layout generated_layout(std::uint64_t seed) {
+  return layout::LayoutGenerator().generate(seed);
+}
+
+/// One forked ldmo_cli child with its stdout on a pipe. The destructor
+/// SIGKILLs and reaps whatever the test did not shut down itself, so a
+/// failed assertion never leaks a daemon into the test runner.
+class ChildProcess {
+ public:
+  ~ChildProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      reap();
+    }
+    if (out_fd_ >= 0) ::close(out_fd_);
+  }
+
+  void spawn(const std::vector<std::string>& args) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    pid_ = ::fork();
+    ASSERT_GE(pid_, 0);
+    if (pid_ == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(LDMO_CLI_PATH));
+      for (const std::string& arg : args)
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      argv.push_back(nullptr);
+      ::execv(LDMO_CLI_PATH, argv.data());
+      ::_exit(127);  // exec failed; the parent times out reading the port
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+  }
+
+  /// Reads child stdout until "listening on port N" appears (the serve and
+  /// route subcommands print it once bound). Fails the test after 60s.
+  int read_port() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    std::string buffer;
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd pfd{};
+      pfd.fd = out_fd_;
+      pfd.events = POLLIN;
+      if (::poll(&pfd, 1, 200) <= 0) continue;
+      char chunk[256];
+      const ssize_t n = ::read(out_fd_, chunk, sizeof chunk);
+      if (n <= 0) break;  // child died before binding
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      const std::size_t at = buffer.find("listening on port ");
+      if (at == std::string::npos) continue;
+      const std::size_t eol = buffer.find('\n', at);
+      if (eol == std::string::npos) continue;
+      port_ = std::atoi(buffer.c_str() + at + std::strlen("listening on port "));
+      return port_;
+    }
+    ADD_FAILURE() << "child never printed its port; stdout so far: "
+                  << buffer;
+    return 0;
+  }
+
+  int port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+  void signal(int sig) {
+    if (pid_ > 0) ::kill(pid_, sig);
+  }
+
+  /// Waits for the child to exit and forgets it.
+  void reap() {
+    if (pid_ <= 0) return;
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+
+  /// SIGTERM + reap: the orderly shutdown path (serve writes its snapshot
+  /// here).
+  void terminate() {
+    signal(SIGTERM);
+    reap();
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  int port_ = 0;
+};
+
+std::vector<std::string> worker_args() {
+  return {"serve", "--listen", "0", "--grid", "32", "--pixel", "32",
+          "--dispatchers", "2"};
+}
+
+TEST(NetCluster, ThreeProcessRouterSurvivesWorkerKillMidLoad) {
+  ChildProcess worker_a, worker_b, router;
+  worker_a.spawn(worker_args());
+  worker_b.spawn(worker_args());
+  const int port_a = worker_a.read_port();
+  const int port_b = worker_b.read_port();
+  ASSERT_GT(port_a, 0);
+  ASSERT_GT(port_b, 0);
+
+  router.spawn({"route", "--listen", "0", "--workers",
+                std::to_string(port_a) + "," + std::to_string(port_b)});
+  const int router_port = router.read_port();
+  ASSERT_GT(router_port, 0);
+
+  ClientConfig ccfg;
+  ccfg.port = router_port;
+  ccfg.net_retries = 5;  // a kill mid-frame costs retries, never requests
+
+  {  // the cluster answers, and the router has learned the workers' config
+    Client client(ccfg);
+    serve::ServeRequest request;
+    request.layout = generated_layout(900);
+    ASSERT_TRUE(client.submit(request).ok());
+    EXPECT_NE(client.stats().config_fingerprint, 0u);
+  }
+
+  // Kill one worker while three client threads are mid-load. Every request
+  // must still get an ok() answer — the client retries transport faults and
+  // the router fails over to the surviving shard.
+  constexpr int kLoadRequests = 6;
+  std::atomic<int> next{0};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c)
+    clients.emplace_back([&] {
+      Client client(ccfg);
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= kLoadRequests) return;
+        serve::ServeRequest request;
+        request.layout =
+            generated_layout(901 + static_cast<std::uint64_t>(i));
+        const serve::ServeResponse response = client.submit(request);
+        if (response.ok()) answered.fetch_add(1);
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  worker_a.signal(SIGKILL);
+  worker_a.reap();
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(answered.load(), kLoadRequests) << "lost requests after a kill";
+
+  // The surviving shard alone still serves new work through the router.
+  Client client(ccfg);
+  serve::ServeRequest request;
+  request.layout = generated_layout(920);
+  EXPECT_TRUE(client.submit(request).ok());
+
+  router.terminate();
+  worker_b.terminate();
+}
+
+TEST(NetCluster, WorkerRestartWarmStartsFromSnapshot) {
+  const std::string snapshot =
+      "test_net_cluster_snapshot_" + std::to_string(::getpid()) + ".bin";
+  std::vector<std::string> args = worker_args();
+  args.push_back("--snapshot");
+  args.push_back(snapshot);
+
+  const layout::Layout layout = generated_layout(950);
+  {
+    ChildProcess worker;
+    worker.spawn(args);
+    const int port = worker.read_port();
+    ASSERT_GT(port, 0);
+    Client client(ClientConfig{.port = port});
+    serve::ServeRequest request;
+    request.layout = layout;
+    ASSERT_EQ(client.submit(request).status, serve::ServeStatus::kOk);
+    worker.terminate();  // orderly stop writes the snapshot
+  }
+
+  ChildProcess reborn;
+  reborn.spawn(args);
+  const int port = reborn.read_port();
+  ASSERT_GT(port, 0);
+  Client client(ClientConfig{.port = port});
+  serve::ServeRequest request;
+  request.layout = layout;
+  EXPECT_EQ(client.submit(request).status, serve::ServeStatus::kCached)
+      << "warm cache did not survive the restart";
+  reborn.terminate();
+  std::remove(snapshot.c_str());
+}
+
+}  // namespace
+}  // namespace ldmo::net
