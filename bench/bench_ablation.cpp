@@ -14,6 +14,7 @@
 #include "common/log.h"
 #include "core/ldmo_flow.h"
 #include "core/predictor.h"
+#include "kernels/kernels.h"
 #include "litho/kernels.h"
 #include "mpl/decomposition_generator.h"
 #include "runtime/thread_pool.h"
@@ -159,6 +160,7 @@ void ablation_binarize(const litho::LithoSimulator& simulator) {
 
 int main(int argc, char** argv) {
   runtime::apply_threads_flag(argc, argv);
+  kernels::apply_backend_flag(argc, argv);
   set_log_level(LogLevel::Warn);
   const litho::LithoSimulator simulator(bench::experiment_litho());
   std::printf("Ablation studies (3 evaluation layouts each)\n\n");

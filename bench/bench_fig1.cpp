@@ -14,12 +14,14 @@
 #include "common/log.h"
 #include "core/baseline_flows.h"
 #include "core/predictor.h"
+#include "kernels/kernels.h"
 #include "runtime/thread_pool.h"
 #include "sampling/decomposition_sampling.h"
 
 int main(int argc, char** argv) {
   using namespace ldmo;
   runtime::apply_threads_flag(argc, argv);
+  kernels::apply_backend_flag(argc, argv);
   set_log_level(LogLevel::Warn);
   bench::BenchReport obs_report("bench_fig1");
   obs_report.meta("experiment",

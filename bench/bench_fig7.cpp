@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "core/baseline_flows.h"
 #include "core/ldmo_flow.h"
+#include "kernels/kernels.h"
 #include "layout/io.h"
 #include "layout/raster.h"
 #include "runtime/thread_pool.h"
@@ -19,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace ldmo;
   runtime::apply_threads_flag(argc, argv);
+  kernels::apply_backend_flag(argc, argv);
   set_log_level(LogLevel::Warn);
   const litho::LithoSimulator simulator(bench::experiment_litho());
   bench::PredictorBundle bundle = bench::get_or_train_predictor(simulator);

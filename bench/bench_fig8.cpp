@@ -12,11 +12,13 @@
 #include "bench_util.h"
 #include "common/log.h"
 #include "core/ldmo_flow.h"
+#include "kernels/kernels.h"
 #include "runtime/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace ldmo;
   runtime::apply_threads_flag(argc, argv);
+  kernels::apply_backend_flag(argc, argv);
   set_log_level(LogLevel::Warn);
   const litho::LithoSimulator simulator(bench::experiment_litho());
 

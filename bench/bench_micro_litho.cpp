@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "alloc_probe.h"
+#include "kernels/kernels.h"
 #include "runtime/thread_pool.h"
 #include "common/rng.h"
 #include "fft/fft.h"
@@ -118,6 +119,7 @@ BENCHMARK(BM_KernelConstruction)->Arg(64)->Unit(benchmark::kMillisecond);
 // argv before google-benchmark sees (and rejects) it.
 int main(int argc, char** argv) {
   ldmo::runtime::apply_threads_flag(argc, argv);
+  ldmo::kernels::apply_backend_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -2,6 +2,7 @@
 // layout similarity, k-medoids and decomposition generation.
 #include <benchmark/benchmark.h>
 
+#include "kernels/kernels.h"
 #include "runtime/thread_pool.h"
 #include "coverage/covering_array.h"
 #include "layout/generator.h"
@@ -89,6 +90,7 @@ BENCHMARK(BM_DecompositionGeneration);
 // argv before google-benchmark sees (and rejects) it.
 int main(int argc, char** argv) {
   ldmo::runtime::apply_threads_flag(argc, argv);
+  ldmo::kernels::apply_backend_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "kernels/kernels.h"
 #include "layout/generator.h"
 #include "net/client.h"
 #include "net/daemon.h"
@@ -238,6 +239,7 @@ void print_row(const PassStats& s) {
 
 int main(int argc, char** argv) {
   runtime::apply_threads_flag(argc, argv);
+  kernels::apply_backend_flag(argc, argv);
   bench::BenchReport report("bench_serve");
   report.meta("requests", std::to_string(kRequests));
   report.meta("unique_layouts", std::to_string(kUnique));

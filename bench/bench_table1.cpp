@@ -16,6 +16,7 @@
 #include "common/log.h"
 #include "core/baseline_flows.h"
 #include "core/ldmo_flow.h"
+#include "kernels/kernels.h"
 #include "mpl/baselines.h"
 #include "runtime/thread_pool.h"
 
@@ -47,6 +48,7 @@ struct FlowStats {
 
 int main(int argc, char** argv) {
   runtime::apply_threads_flag(argc, argv);
+  kernels::apply_backend_flag(argc, argv);
   set_log_level(LogLevel::Warn);
   bench::BenchReport obs_report("bench_table1");
   obs_report.meta("experiment", "Table I: EPE and runtime of four flows");

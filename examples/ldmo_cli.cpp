@@ -35,6 +35,7 @@
 #include "core/baseline_flows.h"
 #include "core/ldmo_flow.h"
 #include "core/predictor.h"
+#include "kernels/kernels.h"
 #include "layout/generator.h"
 #include "layout/io.h"
 #include "layout/raster.h"
@@ -97,6 +98,8 @@ int usage() {
                "LDMO_LOG_LEVEL environment variable)\n"
                "--threads: parallelism budget (default: all hardware\n"
                "threads); results are bit-identical for any value\n"
+               "--backend: compute kernels (generic|avx2|avx512|neon|\n"
+               "auto, default auto; also LDMO_BACKEND env var)\n"
                "--admin-port: serve live telemetry on 127.0.0.1:P\n"
                "(/metrics /healthz /readyz /varz /trace /flightrecorder;\n"
                "0 picks a free port); --admin-linger-ms keeps the server\n"
@@ -840,6 +843,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     runtime::apply_threads_flag(argc, argv);
+    kernels::apply_backend_flag(argc, argv);
     apply_log_level_flag(argc, argv);
     if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
     if (std::strcmp(argv[1], "inspect") == 0) return cmd_inspect(argc, argv);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 #include "runtime/workspace.h"
 
 namespace ldmo::fft {
@@ -34,14 +35,33 @@ FftPlan::FftPlan(int size) : size_(size) {
     bit_reverse_[static_cast<std::size_t>(i)] = rev;
   }
 
-  twiddle_forward_.resize(static_cast<std::size_t>(size_ / 2));
-  twiddle_inverse_.resize(static_cast<std::size_t>(size_ / 2));
+  // Classic half-size twiddle table, then regrouped stage-major: the stage
+  // with span `len` reads entries k*stride (stride = size/len) — copying
+  // them out contiguously keeps the butterfly values bit-identical while
+  // letting each pass stream its table.
+  std::vector<Complex> forward_tw(static_cast<std::size_t>(size_ / 2));
+  std::vector<Complex> inverse_tw(static_cast<std::size_t>(size_ / 2));
   for (int k = 0; k < size_ / 2; ++k) {
     const double angle = -2.0 * M_PI * k / size_;
-    twiddle_forward_[static_cast<std::size_t>(k)] =
+    forward_tw[static_cast<std::size_t>(k)] =
         Complex(std::cos(angle), std::sin(angle));
-    twiddle_inverse_[static_cast<std::size_t>(k)] =
+    inverse_tw[static_cast<std::size_t>(k)] =
         Complex(std::cos(angle), -std::sin(angle));
+  }
+  // Stage offsets: span len owns len/2 entries at offset len/2 - 1
+  // (1 + 2 + ... + len/4 = len/2 - 1), size-1 entries total.
+  stage_twiddle_forward_.resize(size_ > 1 ? static_cast<std::size_t>(size_ - 1)
+                                          : 0);
+  stage_twiddle_inverse_.resize(stage_twiddle_forward_.size());
+  for (int len = 2; len <= size_; len <<= 1) {
+    const int half = len >> 1;
+    const int stride = size_ / len;
+    for (int k = 0; k < half; ++k) {
+      const std::size_t dst = static_cast<std::size_t>(half - 1 + k);
+      const std::size_t src = static_cast<std::size_t>(k * stride);
+      stage_twiddle_forward_[dst] = forward_tw[src];
+      stage_twiddle_inverse_[dst] = inverse_tw[src];
+    }
   }
 }
 
@@ -51,21 +71,13 @@ void FftPlan::transform(Complex* data, bool inverse) const {
     const int j = bit_reverse_[static_cast<std::size_t>(i)];
     if (i < j) std::swap(data[i], data[j]);
   }
-  const auto& twiddle = inverse ? twiddle_inverse_ : twiddle_forward_;
-  // Iterative Cooley-Tukey butterflies.
+  const auto& twiddle =
+      inverse ? stage_twiddle_inverse_ : stage_twiddle_forward_;
+  // Iterative Cooley-Tukey: one dispatched butterfly pass per stage.
+  const kernels::KernelTable& kt = kernels::table();
   for (int len = 2; len <= size_; len <<= 1) {
     const int half = len >> 1;
-    const int stride = size_ / len;
-    for (int start = 0; start < size_; start += len) {
-      for (int k = 0; k < half; ++k) {
-        const Complex w = twiddle[static_cast<std::size_t>(k * stride)];
-        Complex& a = data[start + k];
-        Complex& b = data[start + k + half];
-        const Complex t = w * b;
-        b = a - t;
-        a += t;
-      }
-    }
+    kt.fft_pass_f64(data, twiddle.data() + (half - 1), size_, len);
   }
 }
 
@@ -73,8 +85,8 @@ void FftPlan::forward(Complex* data) const { transform(data, false); }
 
 void FftPlan::inverse(Complex* data) const {
   transform(data, true);
-  const double scale = 1.0 / size_;
-  for (int i = 0; i < size_; ++i) data[i] *= scale;
+  kernels::table().scale_complex_f64(data, 1.0 / size_,
+                                     static_cast<std::size_t>(size_));
 }
 
 Fft2DPlan::Fft2DPlan(int height, int width)
@@ -91,6 +103,11 @@ void Fft2DPlan::transform_rows(Complex* data, bool inverse) const {
 }
 
 void Fft2DPlan::transform_cols(Complex* data, bool inverse) const {
+  transform_cols_range(data, 0, width_, inverse);
+}
+
+void Fft2DPlan::transform_cols_range(Complex* data, int x_begin, int x_end,
+                                     bool inverse) const {
   // Blocked gather/scatter: kColBlock columns move through pooled scratch
   // together, so the row-major walk touches each grid cache line once per
   // block instead of once per column. The per-column butterflies are
@@ -100,8 +117,8 @@ void Fft2DPlan::transform_cols(Complex* data, bool inverse) const {
       runtime::Workspace::this_thread().vec_c128_uninit(
           static_cast<std::size_t>(height_) * kColBlock);
   Complex* buf = scratch.data();
-  for (int x0 = 0; x0 < width_; x0 += kColBlock) {
-    const int block = std::min(kColBlock, width_ - x0);
+  for (int x0 = x_begin; x0 < x_end; x0 += kColBlock) {
+    const int block = std::min(kColBlock, x_end - x0);
     for (int y = 0; y < height_; ++y) {
       const Complex* row = data + static_cast<std::size_t>(y) * width_;
       for (int b = 0; b < block; ++b)
@@ -144,14 +161,79 @@ void Fft2DPlan::inverse(Complex* data) const {
   transform_cols(data, true);
 }
 
+void Fft2DPlan::forward_real(const GridF& src, GridC& out) const {
+  require(src.height() == height_ && src.width() == width_,
+          "Fft2DPlan::forward_real: shape mismatch");
+  out.resize(height_, width_);
+  forward_real(src.data(), out.data());
+}
+
+void Fft2DPlan::forward_real(const double* src, Complex* out) const {
+  const std::size_t cells =
+      static_cast<std::size_t>(height_) * static_cast<std::size_t>(width_);
+  if (height_ < 2) {
+    // Degenerate single-row grid: no pairing possible.
+    for (std::size_t i = 0; i < cells; ++i) out[i] = Complex(src[i], 0.0);
+    forward(out);
+    return;
+  }
+  // Row stage: pack rows (y, y+1) as re + i*im, one FFT per pair, then
+  // split with A(u) = (Z(u) + conj(Z(W-u)))/2, B(u) = (Z(u) - conj(Z(W-u)))/2i.
+  const int w = width_;
+  const int half_w = w / 2;
+  for (int y = 0; y < height_; y += 2) {
+    const double* r0 = src + static_cast<std::size_t>(y) * w;
+    const double* r1 = r0 + w;
+    Complex* a = out + static_cast<std::size_t>(y) * w;
+    Complex* b = a + w;
+    for (int x = 0; x < w; ++x) a[x] = Complex(r0[x], r1[x]);
+    row_plan_.forward(a);
+    // Self-conjugate bins (u = 0 and u = W/2) split without a partner.
+    const Complex z0 = a[0];
+    a[0] = Complex(z0.real(), 0.0);
+    b[0] = Complex(z0.imag(), 0.0);
+    if (w >= 2) {
+      const Complex zh = a[half_w];
+      a[half_w] = Complex(zh.real(), 0.0);
+      b[half_w] = Complex(zh.imag(), 0.0);
+    }
+    for (int u = 1; u < half_w; ++u) {
+      const int v = w - u;
+      const Complex zu = a[u];
+      const Complex zv = a[v];
+      a[u] = Complex(0.5 * (zu.real() + zv.real()),
+                     0.5 * (zu.imag() - zv.imag()));
+      b[u] = Complex(0.5 * (zu.imag() + zv.imag()),
+                     0.5 * (zv.real() - zu.real()));
+      a[v] = Complex(0.5 * (zv.real() + zu.real()),
+                     0.5 * (zv.imag() - zu.imag()));
+      b[v] = Complex(0.5 * (zv.imag() + zu.imag()),
+                     0.5 * (zu.real() - zv.real()));
+    }
+  }
+  // Column stage: every row above is the spectrum of a real row, so
+  // column W-u is the conjugate mirror of column u. Transform only
+  // [0, W/2] and reconstruct the rest via
+  // F(v, W-u) = conj(F((H-v) mod H, u)).
+  transform_cols_range(out, 0, half_w + 1, false);
+  for (int u = 1; u < half_w; ++u) {
+    const int uc = w - u;
+    out[uc] = std::conj(out[u]);
+    for (int v = 1; v < height_; ++v)
+      out[static_cast<std::size_t>(v) * w + uc] = std::conj(
+          out[static_cast<std::size_t>(height_ - v) * w + u]);
+  }
+}
+
 void Fft2DPlan::convolve_spectrum(const GridC& spectrum,
                                   const GridC& kernel_freq,
                                   GridC& out) const {
   require(spectrum.height() == height_ && spectrum.width() == width_ &&
               spectrum.same_shape(kernel_freq),
           "convolve_spectrum: shape mismatch");
-  out = spectrum;  // vector copy-assign reuses out's storage when it fits
-  multiply_inplace(out, kernel_freq);
+  out.resize(height_, width_);  // reuses out's storage when it fits
+  kernels::table().cmul_to_f64(spectrum.data(), kernel_freq.data(),
+                               out.data(), spectrum.size());
   inverse(out);
 }
 
@@ -189,7 +271,7 @@ void real_part(const GridC& grid, GridF& out) {
 
 void multiply_inplace(GridC& a, const GridC& b) {
   require(a.same_shape(b), "multiply_inplace: shape mismatch");
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+  kernels::table().cmul_f64(a.data(), b.data(), a.size());
 }
 
 void multiply_conj_inplace(GridC& a, const GridC& b) {

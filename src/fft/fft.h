@@ -43,8 +43,13 @@ class FftPlan {
   int size_;
   int log2_size_;
   std::vector<int> bit_reverse_;
-  std::vector<Complex> twiddle_forward_;
-  std::vector<Complex> twiddle_inverse_;
+  // Stage-major twiddles: the stage with butterfly span `len` owns the
+  // len/2 contiguous entries starting at offset len/2 - 1, so each
+  // butterfly pass reads its table sequentially (SIMD-friendly) instead of
+  // striding through one size/2 table. Values are gathered from the same
+  // cos/sin evaluations as the classic layout — bit-identical butterflies.
+  std::vector<Complex> stage_twiddle_forward_;
+  std::vector<Complex> stage_twiddle_inverse_;
 };
 
 /// Precomputed plan for 2-D transforms of a fixed power-of-two shape.
@@ -68,6 +73,16 @@ class Fft2DPlan {
   void forward(Complex* data) const;
   void inverse(Complex* data) const;
 
+  /// 2-D forward DFT of a REAL grid (masks, resist targets): packs row
+  /// pairs as re+i*im so each row FFT transforms two rows at once, then
+  /// transforms only columns [0, W/2] and reconstructs the rest from the
+  /// Hermitian symmetry F(v, W-u) = conj(F((H-v) mod H, u)) — just under
+  /// half the butterfly work of forward(to_complex(src)). The spectrum is
+  /// mathematically identical; rounding differs at the ~1 ulp level
+  /// because the pack/unpack reassociates row-transform arithmetic.
+  void forward_real(const GridF& src, GridC& out) const;
+  void forward_real(const double* src, Complex* out) const;
+
   /// Frequency-domain convolution into a caller buffer:
   /// out = IFFT(spectrum .* kernel_freq). `out` is reshaped if needed and
   /// fully overwritten — at steady state (same shape every call) this
@@ -78,6 +93,10 @@ class Fft2DPlan {
  private:
   void transform_rows(Complex* data, bool inverse) const;
   void transform_cols(Complex* data, bool inverse) const;
+  /// Column FFTs restricted to columns [x_begin, x_end) — the Hermitian
+  /// real-input path only transforms the non-redundant half.
+  void transform_cols_range(Complex* data, int x_begin, int x_end,
+                            bool inverse) const;
 
   int height_;
   int width_;

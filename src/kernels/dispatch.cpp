@@ -1,0 +1,279 @@
+// Backend detection and one-time dispatch-table selection.
+//
+// Selection mirrors the fft plan_for cache: the first table() call resolves
+// the backend under a mutex (LDMO_BACKEND env override, else best CPU
+// match), publishes it to telemetry, and stores the table pointer into an
+// atomic; every later call is a single acquire-load. select() /
+// select_by_name() re-point the table explicitly for the --backend flag and
+// for per-backend tests.
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+#include "kernels/kernels.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace ldmo::kernels {
+
+namespace detail {
+const KernelTable& generic_table();
+#ifdef LDMO_KERNELS_AVX2
+const KernelTable& avx2_table();
+#endif
+#ifdef LDMO_KERNELS_AVX512
+const KernelTable& avx512_table();
+#endif
+#ifdef LDMO_KERNELS_NEON
+const KernelTable& neon_table();
+#endif
+}  // namespace detail
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::mutex g_select_mu;
+
+// __builtin_cpu_supports requires a literal argument, hence a macro.
+#if defined(__x86_64__) || defined(__i386__)
+#define LDMO_CPU_HAS(feature) (__builtin_cpu_supports(feature) != 0)
+#else
+#define LDMO_CPU_HAS(feature) false
+#endif
+
+bool cpu_can_run(Backend backend) {
+  switch (backend) {
+    case Backend::kGeneric:
+      return true;
+    case Backend::kAvx2:
+      return LDMO_CPU_HAS("avx2");
+    case Backend::kAvx512:
+      // F for the 512-bit core ops, DQ for 512-bit FP logical ops.
+      return LDMO_CPU_HAS("avx512f") && LDMO_CPU_HAS("avx512dq");
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architecturally mandatory on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Publishes the selected backend to the metrics registry and to the
+/// process-global report metadata so every RunReport / /varz dump records
+/// which kernels actually ran.
+void publish(const KernelTable& t) {
+  obs::gauge("kernels.backend").set(static_cast<double>(t.backend));
+  obs::RunReport::set_global_meta("kernel_backend", t.name);
+  obs::RunReport::set_global_meta("kernel_cpu_features", cpu_features());
+}
+
+/// Stores `t` as the active table and publishes it. Callers hold
+/// g_select_mu (or are in the pre-main single-threaded window).
+void activate(const KernelTable& t) {
+  publish(t);
+  g_active.store(&t, std::memory_order_release);
+}
+
+const KernelTable& resolve_startup() {
+  const char* env = std::getenv("LDMO_BACKEND");
+  if (env != nullptr && *env != '\0') {
+    Backend parsed{};
+    bool is_auto = false;
+    if (!parse_backend(env, parsed, is_auto))
+      raise(std::string("LDMO_BACKEND: unknown backend \"") + env +
+            "\" (expected generic, avx2, avx512, neon, or auto)");
+    if (!is_auto) {
+      if (!supported(parsed))
+        raise(std::string("LDMO_BACKEND: backend \"") + env +
+              "\" is not usable on this host (supported: " +
+              supported_names() + ")");
+      return *detail::table_for(parsed);
+    }
+  }
+  return *detail::table_for(detect_best());
+}
+
+}  // namespace
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kGeneric:
+      return "generic";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool parse_backend(std::string_view name, Backend& out, bool& is_auto) {
+  is_auto = false;
+  if (name == "auto") {
+    is_auto = true;
+    return true;
+  }
+  if (name == "generic") {
+    out = Backend::kGeneric;
+    return true;
+  }
+  if (name == "avx2") {
+    out = Backend::kAvx2;
+    return true;
+  }
+  if (name == "avx512") {
+    out = Backend::kAvx512;
+    return true;
+  }
+  if (name == "neon") {
+    out = Backend::kNeon;
+    return true;
+  }
+  return false;
+}
+
+const KernelTable& table() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  std::lock_guard<std::mutex> lock(g_select_mu);
+  t = g_active.load(std::memory_order_relaxed);
+  if (t == nullptr) {
+    const KernelTable& resolved = resolve_startup();
+    activate(resolved);
+    t = &resolved;
+  }
+  return *t;
+}
+
+Backend active() { return table().backend; }
+
+bool compiled(Backend backend) {
+  return detail::table_for(backend) != nullptr;
+}
+
+bool supported(Backend backend) {
+  return compiled(backend) && cpu_can_run(backend);
+}
+
+Backend detect_best() {
+  if (supported(Backend::kAvx512)) return Backend::kAvx512;
+  if (supported(Backend::kAvx2)) return Backend::kAvx2;
+  if (supported(Backend::kNeon)) return Backend::kNeon;
+  return Backend::kGeneric;
+}
+
+void select(Backend backend) {
+  if (!supported(backend))
+    raise(std::string("kernel backend \"") + to_string(backend) +
+          "\" is not usable on this host (supported: " + supported_names() +
+          ")");
+  std::lock_guard<std::mutex> lock(g_select_mu);
+  activate(*detail::table_for(backend));
+}
+
+void select_by_name(std::string_view name) {
+  Backend parsed{};
+  bool is_auto = false;
+  if (!parse_backend(name, parsed, is_auto))
+    raise("unknown kernel backend \"" + std::string(name) +
+          "\" (expected generic, avx2, avx512, neon, or auto)");
+  select(is_auto ? detect_best() : parsed);
+}
+
+std::string cpu_features() {
+  std::string features;
+  const auto append = [&features](const char* name) {
+    if (!features.empty()) features += ' ';
+    features += name;
+  };
+#if defined(__x86_64__) || defined(__i386__)
+  if (LDMO_CPU_HAS("sse2")) append("sse2");
+  if (LDMO_CPU_HAS("sse4.2")) append("sse4.2");
+  if (LDMO_CPU_HAS("avx")) append("avx");
+  if (LDMO_CPU_HAS("avx2")) append("avx2");
+  if (LDMO_CPU_HAS("fma")) append("fma");
+  if (LDMO_CPU_HAS("avx512f")) append("avx512f");
+  if (LDMO_CPU_HAS("avx512dq")) append("avx512dq");
+  if (LDMO_CPU_HAS("avx512bw")) append("avx512bw");
+  if (LDMO_CPU_HAS("avx512vl")) append("avx512vl");
+#elif defined(__aarch64__)
+  append("neon");
+#endif
+  if (features.empty()) features = "none";
+  return features;
+}
+
+std::string supported_names() {
+  std::string names;
+  for (Backend b : {Backend::kGeneric, Backend::kAvx2, Backend::kAvx512,
+                    Backend::kNeon}) {
+    if (!supported(b)) continue;
+    if (!names.empty()) names += ", ";
+    names += to_string(b);
+  }
+  return names;
+}
+
+const char* apply_backend_flag(int& argc, char** argv) {
+  int write = 1;
+  for (int read = 1; read < argc; ++read) {
+    const std::string arg = argv[read];
+    if (arg == "--backend") {
+      require(read + 1 < argc, "--backend requires a value");
+      select_by_name(argv[read + 1]);
+      ++read;  // consume the value too
+      continue;
+    }
+    if (arg.rfind("--backend=", 0) == 0) {
+      select_by_name(arg.c_str() + 10);
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  argc = write;
+  argv[argc] = nullptr;
+  return table().name;
+}
+
+namespace detail {
+
+const KernelTable* table_for(Backend backend) {
+  switch (backend) {
+    case Backend::kGeneric:
+      return &generic_table();
+    case Backend::kAvx2:
+#ifdef LDMO_KERNELS_AVX2
+      return &avx2_table();
+#else
+      return nullptr;
+#endif
+    case Backend::kAvx512:
+#ifdef LDMO_KERNELS_AVX512
+      return &avx512_table();
+#else
+      return nullptr;
+#endif
+    case Backend::kNeon:
+#ifdef LDMO_KERNELS_NEON
+      return &neon_table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+void reset_for_tests() {
+  std::lock_guard<std::mutex> lock(g_select_mu);
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace detail
+
+}  // namespace ldmo::kernels

@@ -1,0 +1,306 @@
+// NEON kernel backend (128-bit: 2 doubles / 4 floats / 1 complex<double>).
+//
+// AArch64 only (NEON with float64x2 is architecturally mandatory there).
+// Deliberately conservative: plain vmul/vadd/vsub — never vmla/vfma, which
+// would contract to fused multiply-add and break the cross-backend
+// exactness contract — and generic scalar fallbacks for the exp-based
+// sigmoid, the gather-heavy bilinear sampler, and the sum reductions where
+// 2-wide lanes win little.
+#include "kernels/kernels.h"
+
+#ifdef LDMO_KERNELS_NEON
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "kernels/generic_ops.h"
+
+namespace ldmo::kernels {
+namespace {
+
+// Packed complex product for one complex<double> in a float64x2 [re, im].
+inline float64x2_t cmul_f64x2(float64x2_t a, float64x2_t b) {
+  const float64x2_t ar = vdupq_laneq_f64(a, 0);
+  const float64x2_t ai = vdupq_laneq_f64(a, 1);
+  const float64x2_t bs = vextq_f64(b, b, 1);  // [im, re]
+  const float64x2_t t1 = vmulq_f64(ar, b);    // [ar*br, ar*bi]
+  const float64x2_t t2 = vmulq_f64(ai, bs);   // [ai*bi, ai*br]
+  // Lane 0: t1 - t2, lane 1: t1 + t2. x + (-y) is IEEE-identical to x - y.
+  const float64x2_t signs = {-1.0, 1.0};
+  return vaddq_f64(t1, vmulq_f64(t2, signs));
+}
+
+constexpr int kBlock = 64;  // same cache blocking as the generic backend
+
+void gemm_rows_f32(const float* a, const float* b, float* c, int i_begin,
+                   int i_end, int k, int n) {
+  for (int i0 = i_begin; i0 < i_end; i0 += kBlock) {
+    const int i1 = std::min(i0 + kBlock, i_end);
+    for (int p0 = 0; p0 < k; p0 += kBlock) {
+      const int p1 = std::min(p0 + kBlock, k);
+      for (int j0 = 0; j0 < n; j0 += kBlock) {
+        const int j1 = std::min(j0 + kBlock, n);
+        for (int i = i0; i < i1; ++i) {
+          const float* arow = a + static_cast<std::size_t>(i) * k;
+          float* crow = c + static_cast<std::size_t>(i) * n;
+          int j = j0;
+          for (; j + 16 <= j1; j += 16) {
+            float32x4_t acc0 = vld1q_f32(crow + j);
+            float32x4_t acc1 = vld1q_f32(crow + j + 4);
+            float32x4_t acc2 = vld1q_f32(crow + j + 8);
+            float32x4_t acc3 = vld1q_f32(crow + j + 12);
+            for (int p = p0; p < p1; ++p) {
+              const float32x4_t av = vdupq_n_f32(arow[p]);
+              const float* brow = b + static_cast<std::size_t>(p) * n + j;
+              acc0 = vaddq_f32(acc0, vmulq_f32(av, vld1q_f32(brow)));
+              acc1 = vaddq_f32(acc1, vmulq_f32(av, vld1q_f32(brow + 4)));
+              acc2 = vaddq_f32(acc2, vmulq_f32(av, vld1q_f32(brow + 8)));
+              acc3 = vaddq_f32(acc3, vmulq_f32(av, vld1q_f32(brow + 12)));
+            }
+            vst1q_f32(crow + j, acc0);
+            vst1q_f32(crow + j + 4, acc1);
+            vst1q_f32(crow + j + 8, acc2);
+            vst1q_f32(crow + j + 12, acc3);
+          }
+          for (; j + 4 <= j1; j += 4) {
+            float32x4_t acc = vld1q_f32(crow + j);
+            for (int p = p0; p < p1; ++p) {
+              const float32x4_t av = vdupq_n_f32(arow[p]);
+              const float* brow = b + static_cast<std::size_t>(p) * n + j;
+              acc = vaddq_f32(acc, vmulq_f32(av, vld1q_f32(brow)));
+            }
+            vst1q_f32(crow + j, acc);
+          }
+          for (int p = p0; p < p1 && j < j1; ++p) {
+            const float av = arow[p];
+            const float* brow = b + static_cast<std::size_t>(p) * n;
+            for (int jj = j; jj < j1; ++jj) crow[jj] += av * brow[jj];
+          }
+        }
+      }
+    }
+  }
+}
+
+void axpy_f32(float alpha, const float* x, float* y, int n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(y + i,
+              vaddq_f32(vld1q_f32(y + i), vmulq_f32(va, vld1q_f32(x + i))));
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void resist_deriv_f64(const double* t, double* out, std::size_t n,
+                      double theta) {
+  const float64x2_t vt = vdupq_n_f64(theta);
+  const float64x2_t kOne = vdupq_n_f64(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(t + i);
+    vst1q_f64(out + i,
+              vmulq_f64(vmulq_f64(vt, v), vsubq_f64(kOne, v)));
+  }
+  for (; i < n; ++i) out[i] = theta * t[i] * (1.0 - t[i]);
+}
+
+void add_clamp1_f64(const double* a, const double* b, double* out,
+                    std::size_t n) {
+  const float64x2_t kOne = vdupq_n_f64(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(out + i,
+              vminq_f64(vaddq_f64(vld1q_f64(a + i), vld1q_f64(b + i)),
+                        kOne));
+  for (; i < n; ++i) out[i] = std::min(a[i] + b[i], 1.0);
+}
+
+void add_f64(const double* a, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(out + i, vaddq_f64(vld1q_f64(out + i), vld1q_f64(a + i)));
+  for (; i < n; ++i) out[i] += a[i];
+}
+
+void clamp_max_f64(double* a, std::size_t n, double hi) {
+  const float64x2_t vhi = vdupq_n_f64(hi);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(a + i, vminq_f64(vld1q_f64(a + i), vhi));
+  for (; i < n; ++i) a[i] = std::min(a[i], hi);
+}
+
+void gate_lt1_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  const float64x2_t kOne = vdupq_n_f64(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t sum = vaddq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    const uint64x2_t lt = vcltq_f64(sum, kOne);
+    vst1q_f64(out + i,
+              vreinterpretq_f64_u64(
+                  vandq_u64(lt, vreinterpretq_u64_f64(kOne))));
+  }
+  for (; i < n; ++i) out[i] = (a[i] + b[i] < 1.0) ? 1.0 : 0.0;
+}
+
+double max_abs_f64(const double* x, std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    acc = vmaxq_f64(acc, vabsq_f64(vld1q_f64(x + i)));
+  double m = std::max(vgetq_lane_f64(acc, 0), vgetq_lane_f64(acc, 1));
+  for (; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+void descend_f64(double* p, const double* g, double scale, std::size_t n) {
+  const float64x2_t vs = vdupq_n_f64(scale);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(p + i, vsubq_f64(vld1q_f64(p + i),
+                               vmulq_f64(vs, vld1q_f64(g + i))));
+  for (; i < n; ++i) p[i] -= scale * g[i];
+}
+
+void sigmoid_chain_f64(double* g, const double* m, double theta,
+                       std::size_t n) {
+  const float64x2_t vt = vdupq_n_f64(theta);
+  const float64x2_t kOne = vdupq_n_f64(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t mv = vld1q_f64(m + i);
+    const float64x2_t factor =
+        vmulq_f64(vmulq_f64(vt, mv), vsubq_f64(kOne, mv));
+    vst1q_f64(g + i, vmulq_f64(vld1q_f64(g + i), factor));
+  }
+  for (; i < n; ++i) g[i] *= theta * m[i] * (1.0 - m[i]);
+}
+
+void cmul_f64(Complex* a, const Complex* b, std::size_t n) {
+  double* ap = reinterpret_cast<double*>(a);
+  const double* bp = reinterpret_cast<const double*>(b);
+  for (std::size_t i = 0; i < n; ++i, ap += 2, bp += 2)
+    vst1q_f64(ap, cmul_f64x2(vld1q_f64(ap), vld1q_f64(bp)));
+}
+
+void cmul_to_f64(const Complex* a, const Complex* b, Complex* out,
+                 std::size_t n) {
+  const double* ap = reinterpret_cast<const double*>(a);
+  const double* bp = reinterpret_cast<const double*>(b);
+  double* op = reinterpret_cast<double*>(out);
+  for (std::size_t i = 0; i < n; ++i, ap += 2, bp += 2, op += 2)
+    vst1q_f64(op, cmul_f64x2(vld1q_f64(ap), vld1q_f64(bp)));
+}
+
+void cmul_conj_accum_f64(Complex* acc, const Complex* a, const Complex* b,
+                         double w, std::size_t n) {
+  const float64x2_t vw = vdupq_n_f64(w);
+  const float64x2_t conj = {1.0, -1.0};
+  double* cp = reinterpret_cast<double*>(acc);
+  const double* ap = reinterpret_cast<const double*>(a);
+  const double* bp = reinterpret_cast<const double*>(b);
+  for (std::size_t i = 0; i < n; ++i, cp += 2, ap += 2, bp += 2) {
+    const float64x2_t wa = vmulq_f64(vw, vld1q_f64(ap));
+    const float64x2_t bc = vmulq_f64(vld1q_f64(bp), conj);
+    vst1q_f64(cp, vaddq_f64(vld1q_f64(cp), cmul_f64x2(wa, bc)));
+  }
+}
+
+void norm_weighted_accum_f64(double* out, const Complex* a, double w,
+                             std::size_t n) {
+  const double* ap = reinterpret_cast<const double*>(a);
+  for (std::size_t i = 0; i < n; ++i, ap += 2) {
+    const double re = ap[0], im = ap[1];
+    out[i] += w * (re * re + im * im);
+  }
+}
+
+void real_mul_f64(const double* r, const Complex* a, Complex* out,
+                  std::size_t n) {
+  const double* ap = reinterpret_cast<const double*>(a);
+  double* op = reinterpret_cast<double*>(out);
+  for (std::size_t i = 0; i < n; ++i, ap += 2, op += 2)
+    vst1q_f64(op, vmulq_f64(vdupq_n_f64(r[i]), vld1q_f64(ap)));
+}
+
+void scaled_real_f64(const Complex* a, double s, double* out,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = s * a[i].real();
+}
+
+void scale_complex_f64(Complex* a, double s, std::size_t n) {
+  const float64x2_t vs = vdupq_n_f64(s);
+  double* ap = reinterpret_cast<double*>(a);
+  for (std::size_t i = 0; i < n; ++i, ap += 2)
+    vst1q_f64(ap, vmulq_f64(vs, vld1q_f64(ap)));
+}
+
+void fft_pass_f64(Complex* data, const Complex* twiddle, int size, int len) {
+  double* dp = reinterpret_cast<double*>(data);
+  const int half = len >> 1;
+  if (half == 1) {
+    for (int s = 0; s < 2 * size; s += 4) {
+      const float64x2_t a = vld1q_f64(dp + s);
+      const float64x2_t b = vld1q_f64(dp + s + 2);
+      vst1q_f64(dp + s, vaddq_f64(a, b));
+      vst1q_f64(dp + s + 2, vsubq_f64(a, b));
+    }
+    return;
+  }
+  const double* tp = reinterpret_cast<const double*>(twiddle);
+  for (int start = 0; start < size; start += len) {
+    double* ap = dp + 2 * start;
+    double* bp = ap + 2 * half;
+    for (int k = 0; k < half; ++k) {
+      const float64x2_t w = vld1q_f64(tp + 2 * k);
+      const float64x2_t va = vld1q_f64(ap + 2 * k);
+      const float64x2_t vb = vld1q_f64(bp + 2 * k);
+      const float64x2_t t = cmul_f64x2(w, vb);
+      vst1q_f64(bp + 2 * k, vsubq_f64(va, t));
+      vst1q_f64(ap + 2 * k, vaddq_f64(va, t));
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable& neon_table() {
+  static const KernelTable t = {
+      Backend::kNeon,
+      "neon",
+      &gemm_rows_f32,
+      &axpy_f32,
+      &generic::dot_f32,
+      &generic::sigmoid_affine_f64,
+      &resist_deriv_f64,
+      &add_clamp1_f64,
+      &add_f64,
+      &clamp_max_f64,
+      &gate_lt1_f64,
+      &generic::loss_grad_f64,
+      &max_abs_f64,
+      &descend_f64,
+      &sigmoid_chain_f64,
+      &generic::sq_diff_sum_f64,
+      &cmul_f64,
+      &cmul_to_f64,
+      &cmul_conj_accum_f64,
+      &norm_weighted_accum_f64,
+      &real_mul_f64,
+      &scaled_real_f64,
+      &scale_complex_f64,
+      &fft_pass_f64,
+      &generic::bilinear_line_f64,
+  };
+  return t;
+}
+
+}  // namespace detail
+}  // namespace ldmo::kernels
+
+#endif  // LDMO_KERNELS_NEON

@@ -1,9 +1,9 @@
 #include "litho/aerial.h"
 
-#include <cstring>
 #include <vector>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 #include "runtime/parallel_for.h"
 #include "runtime/workspace.h"
 
@@ -30,11 +30,11 @@ void AerialSimulator::intensity_with_fields(const GridF& mask,
   require(mask.height() == n && mask.width() == n,
           "AerialSimulator: mask shape mismatch");
 
-  // Pooled scratch: fully overwritten by to_complex + in-place forward.
+  // Pooled scratch, fully overwritten by the real-input forward FFT
+  // (masks are real, so the Hermitian path does half the butterflies).
   runtime::PooledGrid<fft::Complex> mask_freq =
       Workspace::this_thread().grid_c_uninit(n, n);
-  fft::to_complex(mask, *mask_freq);
-  plan_.forward(*mask_freq);
+  plan_.forward_real(mask.data(), mask_freq->data());
 
   const std::size_t kernel_count = kernels_.kernel_ffts.size();
   out.fields.resize(kernel_count);  // keeps warm grids across refills
@@ -47,11 +47,11 @@ void AerialSimulator::intensity_with_fields(const GridF& mask,
     plan_.convolve_spectrum(*mask_freq, kernels_.kernel_ffts[k],
                             out.fields[k]);
   });
+  const kernels::KernelTable& kt = kernels::table();
   for (std::size_t k = 0; k < kernel_count; ++k) {
-    const double w = kernels_.weights[k];
     const fft::GridC& field = out.fields[k];
-    for (std::size_t i = 0; i < field.size(); ++i)
-      out.intensity[i] += w * std::norm(field[i]);
+    kt.norm_weighted_accum_f64(out.intensity.data(), field.data(),
+                               kernels_.weights[k], field.size());
   }
 }
 
@@ -71,30 +71,28 @@ void AerialSimulator::intensity(const GridF& mask, GridF& out) const {
 
   Workspace& ws = Workspace::this_thread();
   runtime::PooledGrid<fft::Complex> mask_freq = ws.grid_c_uninit(n, n);
-  fft::to_complex(mask, *mask_freq);
-  plan_.forward(*mask_freq);
+  plan_.forward_real(mask.data(), mask_freq->data());
 
   // Per-kernel fields live as slices of one flat pooled stack instead of
   // materialized AerialFields grids; each slice is fully overwritten, and
   // the weighted-norm fold below runs serially in kernel order with the
   // exact arithmetic of the fields path (bit-identical intensities).
+  const kernels::KernelTable& kt = kernels::table();
   runtime::PooledVector<fft::Complex> stack =
       ws.vec_c128_uninit(kernel_count * pixels);
   runtime::parallel_for(kernel_count, [&](std::size_t k) {
     fft::Complex* slice = stack.data() + k * pixels;
-    std::memcpy(slice, mask_freq->data(), pixels * sizeof(fft::Complex));
-    const fft::GridC& kernel = kernels_.kernel_ffts[k];
-    for (std::size_t i = 0; i < pixels; ++i) slice[i] *= kernel[i];
+    kt.cmul_to_f64(mask_freq->data(), kernels_.kernel_ffts[k].data(), slice,
+                   pixels);
     plan_.inverse(slice);
   });
 
   out.resize(n, n);
   out.fill(0.0);
   for (std::size_t k = 0; k < kernel_count; ++k) {
-    const double w = kernels_.weights[k];
     const fft::Complex* slice = stack.data() + k * pixels;
-    for (std::size_t i = 0; i < pixels; ++i)
-      out[i] += w * std::norm(slice[i]);
+    kt.norm_weighted_accum_f64(out.data(), slice, kernels_.weights[k],
+                               pixels);
   }
 }
 
@@ -125,26 +123,25 @@ void AerialSimulator::backpropagate(const GridF& dldi,
   // fully overwritten in parallel, then folded into `accum` serially in
   // kernel order (bit-identical to the serial interleaved accumulation).
   Workspace& ws = Workspace::this_thread();
+  const kernels::KernelTable& kt = kernels::table();
   runtime::PooledVector<fft::Complex> spectra =
       ws.vec_c128_uninit(kernel_count * pixels);
   runtime::parallel_for(kernel_count, [&](std::size_t k) {
     const fft::GridC& field = fields.fields[k];
     fft::Complex* slice = spectra.data() + k * pixels;
-    for (std::size_t i = 0; i < pixels; ++i) slice[i] = dldi[i] * field[i];
+    kt.real_mul_f64(dldi.data(), field.data(), slice, pixels);
     plan_.forward(slice);
   });
   runtime::PooledGrid<fft::Complex> accum = ws.grid_c(n, n);
   for (std::size_t k = 0; k < kernel_count; ++k) {
-    const double w = kernels_.weights[k];
-    const fft::GridC& kernel = kernels_.kernel_ffts[k];
     const fft::Complex* slice = spectra.data() + k * pixels;
-    for (std::size_t i = 0; i < pixels; ++i)
-      (*accum)[i] += w * slice[i] * std::conj(kernel[i]);
+    kt.cmul_conj_accum_f64(accum->data(), slice,
+                           kernels_.kernel_ffts[k].data(),
+                           kernels_.weights[k], pixels);
   }
   plan_.inverse(*accum);
   grad_out.resize(n, n);
-  for (std::size_t i = 0; i < pixels; ++i)
-    grad_out[i] = 2.0 * (*accum)[i].real();
+  kt.scaled_real_f64(accum->data(), 2.0, grad_out.data(), pixels);
 }
 
 }  // namespace ldmo::litho

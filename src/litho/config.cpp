@@ -17,6 +17,8 @@ void LithoConfig::validate() const {
               sigma_outer <= 1.0,
           "LithoConfig: need 0 <= sigma_inner < sigma_outer <= 1");
   require(kernel_count >= 1, "LithoConfig: kernel_count must be >= 1");
+  require(kernel_keep_energy > 0.0 && kernel_keep_energy <= 1.0,
+          "LithoConfig: kernel_keep_energy out of (0,1]");
   require(theta_z > 0.0, "LithoConfig: theta_z must be positive");
   require(intensity_threshold > 0.0 && intensity_threshold < 1.0,
           "LithoConfig: intensity threshold out of (0,1)");
@@ -37,8 +39,8 @@ std::string LithoConfig::kernel_cache_key() const {
   std::ostringstream key;
   key << grid_size << ":" << pixel_nm << ":" << wavelength_nm << ":"
       << numerical_aperture << ":" << sigma_inner << ":" << sigma_outer << ":"
-      << defocus_nm << ":" << kernel_count << ":" << intensity_threshold
-      << ":" << calibration_feature_nm;
+      << defocus_nm << ":" << kernel_count << ":" << kernel_keep_energy
+      << ":" << intensity_threshold << ":" << calibration_feature_nm;
   return key.str();
 }
 

@@ -34,6 +34,13 @@ struct LithoConfig {
   double sigma_outer = 0.6;     ///< annular source outer partial coherence
   double defocus_nm = 0.0;      ///< defocus aberration (0 = in focus)
   int kernel_count = 6;         ///< SOCS kernels kept from the TCC spectrum
+  /// Energy-based SOCS truncation: keep the shortest eigenkernel prefix
+  /// whose cumulative eigenvalue mass reaches this fraction of the TCC
+  /// trace (1.0 = disabled; kernel_count still caps the rank either way).
+  /// Each dropped kernel k perturbs the aerial intensity by at most
+  /// w_k * ||h_k||_1^2 at any pixel for masks in [0,1]; the summed bound is
+  /// reported in SocsKernels::truncation_error_bound.
+  double kernel_keep_energy = 1.0;
 
   // --- resist model (paper Section II) ---
   double theta_z = 120.0;       ///< resist sigmoid slope

@@ -47,6 +47,45 @@ SocsKernels decompose(const LithoConfig& config) {
     kernels.weights.push_back(value);
   }
   require(!kernels.weights.empty(), "SOCS: no positive eigenvalues");
+
+  // Spatial L1 norms: ||h_k||_1 = sum_x |IFFT(h_hat_k)(x)|. With mask
+  // values in [0,1], every field obeys |E_k(x)| <= ||h_k||_1, so each
+  // kernel's worst-case intensity contribution is w_k * ||h_k||_1^2.
+  const fft::Fft2DPlan& plan = fft::plan_for(n, n);
+  for (const fft::GridC& freq : kernels.kernel_ffts) {
+    fft::GridC spatial = freq;
+    plan.inverse(spatial);
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < spatial.size(); ++i)
+      l1 += std::abs(spatial[i]);
+    kernels.kernel_l1_norms.push_back(l1);
+  }
+
+  // Energy-based truncation: keep the shortest prefix reaching the
+  // requested fraction of the TCC trace, and account every dropped
+  // kernel's worst case into the provable pointwise intensity bound.
+  if (config.kernel_keep_energy < 1.0 && trace > 0.0) {
+    std::size_t keep_k = kernels.weights.size();
+    double cum = 0.0;
+    for (std::size_t k = 0; k < kernels.weights.size(); ++k) {
+      cum += kernels.weights[k];
+      if (cum / trace >= config.kernel_keep_energy) {
+        keep_k = k + 1;
+        break;
+      }
+    }
+    for (std::size_t k = keep_k; k < kernels.weights.size(); ++k) {
+      kernels.truncation_error_bound +=
+          kernels.weights[k] * kernels.kernel_l1_norms[k] *
+          kernels.kernel_l1_norms[k];
+      ++kernels.dropped_kernel_count;
+    }
+    kernels.kernel_ffts.resize(keep_k);
+    kernels.weights.resize(keep_k);
+    kernels.kernel_l1_norms.resize(keep_k);
+    captured = 0.0;
+    for (double w : kernels.weights) captured += w;
+  }
   kernels.captured_energy = trace > 0.0 ? captured / trace : 1.0;
   return kernels;
 }
@@ -82,6 +121,9 @@ void calibrate(SocsKernels& kernels) {
   require(edge > 1e-9, "SOCS calibration: degenerate edge intensity");
   const double scale = cfg.intensity_threshold / edge;
   for (double& w : kernels.weights) w *= scale;
+  // The truncation bound is linear in the weights, so it calibrates with
+  // the same dose scale into final intensity units.
+  kernels.truncation_error_bound *= scale;
   kernels.calibration_scale = scale;
 }
 

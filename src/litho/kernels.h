@@ -27,8 +27,18 @@ struct SocsKernels {
   std::vector<fft::GridC> kernel_ffts;
   /// Corresponding (calibrated) nonnegative weights.
   std::vector<double> weights;
+  /// Spatial L1 norms ||h_k||_1 of the kept kernels (same order as
+  /// weights). For masks in [0,1] they bound each field: |E_k| <= ||h_k||_1.
+  std::vector<double> kernel_l1_norms;
   /// Fraction of total TCC trace captured by the kept kernels (diagnostic).
   double captured_energy = 0.0;
+  /// Kernels removed by the kernel_keep_energy truncation (beyond the
+  /// kernel_count cap, which is not counted here).
+  int dropped_kernel_count = 0;
+  /// Provable pointwise intensity-error bound of the truncation, in
+  /// calibrated intensity units: sum over dropped kernels of
+  /// w_k * ||h_k||_1^2. Zero when nothing was truncated.
+  double truncation_error_bound = 0.0;
   /// Scale applied to raw eigenvalues during calibration.
   double calibration_scale = 1.0;
 

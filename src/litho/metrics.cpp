@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
+#include "runtime/workspace.h"
 
 namespace ldmo::litho {
 namespace {
@@ -72,6 +74,16 @@ EpeReport measure_epe(const GridF& response, const layout::Layout& layout,
   const std::vector<EpeCheckpoint> checkpoints = make_checkpoints(layout);
   const double range = config.epe_search_range_nm;
   const double step = std::min(1.0, transform.nm_per_pixel() / 4.0);
+  // Index-based sample positions s_i = -range + i*step (the same walk as
+  // the old accumulating loop, minus its rounding drift) let the whole
+  // normal scan run as one batched bilinear kernel call per checkpoint.
+  const int count =
+      static_cast<int>(std::floor((2.0 * range + 1e-9) / step)) + 1;
+  const double npp = transform.nm_per_pixel();
+  const kernels::KernelTable& kt = kernels::table();
+  runtime::PooledVector<double> samples =
+      runtime::Workspace::this_thread().vec_f64(
+          static_cast<std::size_t>(count));
   double epe_sum = 0.0;
 
   for (const EpeCheckpoint& cp : checkpoints) {
@@ -80,15 +92,18 @@ EpeReport measure_epe(const GridF& response, const layout::Layout& layout,
     EpeMeasurement m;
     m.checkpoint = cp;
 
+    kt.bilinear_line_f64(
+        response.data(), response.height(), response.width(),
+        transform.to_px_x(cp.x_nm + cp.normal_x * -range),
+        transform.to_px_y(cp.y_nm + cp.normal_y * -range),
+        cp.normal_x * step / npp, cp.normal_y * step / npp, count,
+        samples.data());
     double prev_s = -range;
-    double prev_t = sample_bilinear(
-        response, transform.to_px_x(cp.x_nm + cp.normal_x * prev_s),
-        transform.to_px_y(cp.y_nm + cp.normal_y * prev_s));
+    double prev_t = samples.data()[0];
     double best_crossing = std::numeric_limits<double>::infinity();
-    for (double s = -range + step; s <= range + 1e-9; s += step) {
-      const double t = sample_bilinear(
-          response, transform.to_px_x(cp.x_nm + cp.normal_x * s),
-          transform.to_px_y(cp.y_nm + cp.normal_y * s));
+    for (int i = 1; i < count; ++i) {
+      const double s = -range + i * step;
+      const double t = samples.data()[i];
       if ((prev_t - 0.5) * (t - 0.5) <= 0.0 && prev_t != t) {
         // Linear interpolation for the sub-step crossing position.
         const double frac = (0.5 - prev_t) / (t - prev_t);
@@ -123,12 +138,8 @@ EpeReport measure_epe(const GridF& response, const layout::Layout& layout,
 
 double l2_error(const GridF& response, const GridF& target) {
   require(response.same_shape(target), "l2_error: shape mismatch");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < response.size(); ++i) {
-    const double d = response[i] - target[i];
-    sum += d * d;
-  }
-  return sum;
+  return kernels::table().sq_diff_sum_f64(response.data(), target.data(),
+                                          response.size());
 }
 
 ViolationReport detect_print_violations(

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 
 namespace ldmo::litho {
 
@@ -21,9 +22,9 @@ GridF resist_response(const GridF& intensity, const LithoConfig& config) {
 void resist_response_into(const GridF& intensity, const LithoConfig& config,
                           GridF& out) {
   out.resize(intensity.height(), intensity.width());
-  for (std::size_t i = 0; i < intensity.size(); ++i)
-    out[i] =
-        sigmoid(config.theta_z * (intensity[i] - config.intensity_threshold));
+  kernels::table().sigmoid_affine_f64(intensity.data(), out.data(),
+                                      intensity.size(), config.theta_z,
+                                      config.intensity_threshold);
 }
 
 GridF resist_derivative(const GridF& response, const LithoConfig& config) {
@@ -35,8 +36,8 @@ GridF resist_derivative(const GridF& response, const LithoConfig& config) {
 void resist_derivative_into(const GridF& response, const LithoConfig& config,
                             GridF& out) {
   out.resize(response.height(), response.width());
-  for (std::size_t i = 0; i < response.size(); ++i)
-    out[i] = config.theta_z * response[i] * (1.0 - response[i]);
+  kernels::table().resist_deriv_f64(response.data(), out.data(),
+                                    response.size(), config.theta_z);
 }
 
 GridF combine_exposures(const GridF& t1, const GridF& t2) {
@@ -48,8 +49,8 @@ GridF combine_exposures(const GridF& t1, const GridF& t2) {
 void combine_exposures_into(const GridF& t1, const GridF& t2, GridF& out) {
   require(t1.same_shape(t2), "combine_exposures: shape mismatch");
   out.resize(t1.height(), t1.width());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = std::min(t1[i] + t2[i], 1.0);
+  kernels::table().add_clamp1_f64(t1.data(), t2.data(), out.data(),
+                                  out.size());
 }
 
 GridF combine_exposures_n(const std::vector<GridF>& responses) {
@@ -63,13 +64,14 @@ void combine_exposures_n_into(const std::vector<GridF>& responses,
   require(!responses.empty(), "combine_exposures_n: no exposures");
   const GridF& first = responses.front();
   out.resize(first.height(), first.width());
+  const kernels::KernelTable& kt = kernels::table();
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = first[i];
   for (std::size_t e = 1; e < responses.size(); ++e) {
     require(out.same_shape(responses[e]),
             "combine_exposures_n: shape mismatch");
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += responses[e][i];
+    kt.add_f64(responses[e].data(), out.data(), out.size());
   }
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::min(out[i], 1.0);
+  kt.clamp_max_f64(out.data(), out.size(), 1.0);
 }
 
 GridF combine_gradient_mask(const GridF& t1, const GridF& t2) {
@@ -82,8 +84,8 @@ void combine_gradient_mask_into(const GridF& t1, const GridF& t2,
                                 GridF& out) {
   require(t1.same_shape(t2), "combine_gradient_mask: shape mismatch");
   out.resize(t1.height(), t1.width());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = (t1[i] + t2[i] < 1.0) ? 1.0 : 0.0;
+  kernels::table().gate_lt1_f64(t1.data(), t2.data(), out.data(),
+                                out.size());
 }
 
 GridU8 binarize(const GridF& response, double threshold) {

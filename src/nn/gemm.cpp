@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "kernels/kernels.h"
 #include "runtime/parallel_for.h"
 
 namespace ldmo::nn {
@@ -13,34 +14,16 @@ constexpr int kBlock = 64;  // fits three blocks in L1/L2 comfortably
 // measured crossover is ~64^3 on the bench machine, we gate conservatively.
 constexpr long long kParallelFlops = 1LL << 18;
 
-// Row ranges partition C, so every C element is written by exactly one
-// chunk and the per-element accumulation order is the serial order:
-// parallel results are bit-identical to serial at any thread count.
-void gemm_rows(const float* a, const float* b, float* c, int i_begin,
-               int i_end, int k, int n) {
-  for (int i0 = i_begin; i0 < i_end; i0 += kBlock) {
-    const int i1 = std::min(i0 + kBlock, i_end);
-    for (int p0 = 0; p0 < k; p0 += kBlock) {
-      const int p1 = std::min(p0 + kBlock, k);
-      for (int j0 = 0; j0 < n; j0 += kBlock) {
-        const int j1 = std::min(j0 + kBlock, n);
-        for (int i = i0; i < i1; ++i) {
-          float* crow = c + static_cast<std::size_t>(i) * n;
-          for (int p = p0; p < p1; ++p) {
-            const float av = a[static_cast<std::size_t>(i) * k + p];
-            const float* brow = b + static_cast<std::size_t>(p) * n;
-            for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
 }  // namespace
 
 void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
                      int n) {
+  // Row ranges partition C, so every C element is written by exactly one
+  // chunk and the per-element accumulation order is the serial order:
+  // parallel results are bit-identical to serial at any thread count. The
+  // blocked inner tiles come from the dispatched kernel table (SIMD lanes
+  // span j, so accumulation over p stays serial per element).
+  const kernels::KernelTable& kt = kernels::table();
   const long long flops =
       static_cast<long long>(m) * k * n;
   if (flops >= kParallelFlops && runtime::parallel_enabled() && m > kBlock) {
@@ -51,11 +34,11 @@ void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
         row_blocks, 1, [&](std::size_t blk_begin, std::size_t blk_end) {
           const int i_begin = static_cast<int>(blk_begin) * kBlock;
           const int i_end = std::min(static_cast<int>(blk_end) * kBlock, m);
-          gemm_rows(a, b, c, i_begin, i_end, k, n);
+          kt.gemm_rows_f32(a, b, c, i_begin, i_end, k, n);
         });
     return;
   }
-  gemm_rows(a, b, c, 0, m, k, n);
+  kt.gemm_rows_f32(a, b, c, 0, m, k, n);
 }
 
 void gemm(const float* a, const float* b, float* c, int m, int k, int n) {
@@ -66,14 +49,14 @@ void gemm(const float* a, const float* b, float* c, int m, int k, int n) {
 void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
                           int k, int n) {
   // C[i][j] += sum_p A[p][i] * B[p][j]
+  const kernels::KernelTable& kt = kernels::table();
   for (int p = 0; p < k; ++p) {
     const float* arow = a + static_cast<std::size_t>(p) * m;
     const float* brow = b + static_cast<std::size_t>(p) * n;
     for (int i = 0; i < m; ++i) {
       const float av = arow[i];
       if (av == 0.0f) continue;
-      float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      kt.axpy_f32(av, brow, c + static_cast<std::size_t>(i) * n, n);
     }
   }
 }
@@ -81,16 +64,16 @@ void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
 void gemm_a_bt_accumulate(const float* a, const float* b, float* c, int m,
                           int k, int n) {
   // C[i][j] += sum_p A[i][p] * B[j][p]. Rows of C are independent dot
-  // products, so row chunks parallelize with bit-identical results.
+  // products, so row chunks parallelize with per-backend-deterministic
+  // results (the dot reduction is lane-parallel in SIMD backends).
+  const kernels::KernelTable& kt = kernels::table();
   const auto rows = [&](int i_begin, int i_end) {
     for (int i = i_begin; i < i_end; ++i) {
       const float* arow = a + static_cast<std::size_t>(i) * k;
       float* crow = c + static_cast<std::size_t>(i) * n;
       for (int j = 0; j < n; ++j) {
         const float* brow = b + static_cast<std::size_t>(j) * k;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += acc;
+        crow[j] += kt.dot_f32(arow, brow, k);
       }
     }
   };

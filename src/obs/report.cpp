@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <ctime>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 
 namespace ldmo::obs {
@@ -89,8 +90,28 @@ void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snapshot) {
   w.end_object();
 }
 
+namespace {
+std::mutex g_global_meta_mu;
+std::vector<std::pair<std::string, std::string>>& global_meta() {
+  static std::vector<std::pair<std::string, std::string>> meta;
+  return meta;
+}
+}  // namespace
+
 void RunReport::meta(const std::string& key, const std::string& value) {
   meta_.emplace_back(key, value);
+}
+
+void RunReport::set_global_meta(const std::string& key,
+                                const std::string& value) {
+  std::lock_guard<std::mutex> lock(g_global_meta_mu);
+  for (auto& [k, v] : global_meta()) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  global_meta().emplace_back(key, value);
 }
 
 void RunReport::section(const std::string& key,
@@ -105,6 +126,19 @@ std::string RunReport::to_json() const {
   w.kv("generated_at", iso8601_utc_now());
   w.key("meta");
   w.begin_object();
+  {
+    std::lock_guard<std::mutex> lock(g_global_meta_mu);
+    for (const auto& [k, v] : global_meta()) {
+      bool overridden = false;
+      for (const auto& [ik, iv] : meta_) {
+        if (ik == k) {
+          overridden = true;
+          break;
+        }
+      }
+      if (!overridden) w.kv(k, v);
+    }
+  }
   for (const auto& [k, v] : meta_) w.kv(k, v);
   w.end_object();
   w.key("metrics");

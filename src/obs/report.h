@@ -42,6 +42,12 @@ class RunReport {
   /// Free-form string metadata ("flow": "ours", "layout": "T3", ...).
   void meta(const std::string& key, const std::string& value);
 
+  /// Process-wide metadata stamped into every report's "meta" object (the
+  /// kernel backend, detected CPU features, ...). Instance meta with the
+  /// same key wins. Thread-safe; last set_global_meta per key wins.
+  static void set_global_meta(const std::string& key,
+                              const std::string& value);
+
   /// Custom top-level section: `emit` must write exactly one JSON value
   /// (typically begin_object()...end_object()).
   void section(const std::string& key,

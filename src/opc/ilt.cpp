@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/failpoint.h"
+#include "kernels/kernels.h"
 #include "layout/raster.h"
 #include "litho/resist.h"
 #include "obs/metrics.h"
@@ -12,17 +13,6 @@
 #include "runtime/parallel_for.h"
 
 namespace ldmo::opc {
-namespace {
-
-// Elementwise |max| of a grid.
-double max_abs(const GridF& g) {
-  double m = 0.0;
-  for (std::size_t i = 0; i < g.size(); ++i)
-    m = std::max(m, std::abs(g[i]));
-  return m;
-}
-
-}  // namespace
 
 IltEngine::IltEngine(const litho::LithoSimulator& simulator, IltConfig config)
     : simulator_(simulator), config_(config) {
@@ -49,8 +39,8 @@ GridF IltEngine::mask_of(const GridF& p, double theta_m) const {
 void IltEngine::mask_of_into(const GridF& p, double theta_m,
                              GridF& out) const {
   out.resize(p.height(), p.width());
-  for (std::size_t i = 0; i < p.size(); ++i)
-    out[i] = litho::sigmoid(theta_m * p[i]);
+  kernels::table().sigmoid_affine_f64(p.data(), out.data(), p.size(), theta_m,
+                                      0.0);
 }
 
 GridF IltEngine::binarize_parameters(const GridF& p, double threshold) const {
@@ -112,6 +102,7 @@ void IltEngine::step(IltState& state, const GridF& target,
                      IltScratch& s) const {
   const litho::LithoConfig& litho_cfg = simulator_.config();
   const litho::AerialSimulator& aerial = simulator_.aerial();
+  const kernels::KernelTable& kt = kernels::table();
 
   // Forward pass, retaining per-kernel fields for the adjoint. Every
   // intermediate lands in caller scratch — at steady state (shapes warm
@@ -126,15 +117,11 @@ void IltEngine::step(IltState& state, const GridF& target,
 
   // Loss and dL/dT = 2 w (T - T') with optional per-pixel edge weights.
   const bool weighted = !state.loss_weights.empty();
-  double loss = 0.0;
   s.dldt.resize(s.t.height(), s.t.width());
-  for (std::size_t i = 0; i < s.t.size(); ++i) {
-    const double w = weighted ? state.loss_weights[i] : 1.0;
-    const double d = s.t[i] - target[i];
-    loss += w * d * d;
-    s.dldt[i] = 2.0 * w * d;
-  }
-  state.last_loss = loss;
+  state.last_loss = kt.loss_grad_f64(
+      s.t.data(), target.data(),
+      weighted ? state.loss_weights.data() : nullptr, s.dldt.data(),
+      s.t.size());
 
   // Through the min(): gradient flows only where T1 + T2 < 1.
   litho::combine_gradient_mask_into(s.t1, s.t2, s.gate);
@@ -152,21 +139,20 @@ void IltEngine::step(IltState& state, const GridF& target,
   // Through the optics (adjoint convolution), then the mask sigmoid.
   aerial.backpropagate(s.dldi1, s.f1, s.g1);
   aerial.backpropagate(s.dldi2, s.f2, s.g2);
-  for (std::size_t i = 0; i < s.g1.size(); ++i) {
-    s.g1[i] *= state.current_theta_m * s.m1[i] * (1.0 - s.m1[i]);
-    s.g2[i] *= state.current_theta_m * s.m2[i] * (1.0 - s.m2[i]);
-  }
+  kt.sigmoid_chain_f64(s.g1.data(), s.m1.data(), state.current_theta_m,
+                       s.g1.size());
+  kt.sigmoid_chain_f64(s.g2.data(), s.m2.data(), state.current_theta_m,
+                       s.g2.size());
 
   // Max-normalized descent: the largest parameter moves exactly
   // current_step, which keeps the update scale-free w.r.t. the loss
   // magnitude and decays geometrically for convergence.
-  const double g_max = std::max(max_abs(s.g1), max_abs(s.g2));
+  const double g_max = std::max(kt.max_abs_f64(s.g1.data(), s.g1.size()),
+                                kt.max_abs_f64(s.g2.data(), s.g2.size()));
   if (g_max > 1e-300) {
     const double scale = state.current_step / g_max;
-    for (std::size_t i = 0; i < s.g1.size(); ++i) {
-      state.p1[i] -= scale * s.g1[i];
-      state.p2[i] -= scale * s.g2[i];
-    }
+    kt.descend_f64(state.p1.data(), s.g1.data(), scale, state.p1.size());
+    kt.descend_f64(state.p2.data(), s.g2.data(), scale, state.p2.size());
   }
   state.current_step *= config_.step_decay;
   state.current_theta_m *= config_.theta_m_anneal;

@@ -13,6 +13,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "kernels/kernels.h"
 #include "obs/exporter.h"
 #include "obs/trace_export.h"
 #include "runtime/thread_pool.h"
@@ -222,7 +223,9 @@ HttpResponse AdminServer::handle(const std::string& method,
   if (path == "/")
     return {200, "text/plain",
             "ldmo admin endpoints: /metrics /healthz /readyz /varz /trace "
-            "/flightrecorder\n"};
+            "/flightrecorder\n"
+            "kernel backend: " + std::string(kernels::table().name) + " (" +
+                kernels::cpu_features() + ")\n"};
   return {404, "text/plain", "unknown endpoint " + path + "\n"};
 }
 
