@@ -1,0 +1,256 @@
+// Warm-start acceptance experiment (ROADMAP item 2): harvest a corpus by
+// replaying the flow, train the MaskNet warm start on it, then run a
+// held-out set of clips through two FlowEngine sessions — the paper's
+// cold +/- initial_p init at the full 50-iteration ILT budget, and the
+// learned seed at --warm-iters (default 25, i.e. half). The claim under
+// test: equal-or-better final score at >= 2x fewer ILT iterations.
+//
+// Uses the quick 64-pixel lithography model (the CLI's model, not the
+// 128-pixel experiment model): the acceptance criterion is a ratio of
+// iteration counts at matched quality, which the quick model measures in
+// minutes instead of hours. Harvested corpora are cached on disk
+// (./ldmo_cache_warmstart.corpus) like the predictor weights caches.
+//
+// Writes warmstart_before.txt (cold session) and warmstart_after.txt
+// (seeded session + verdict) into --report-dir (default ".").
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/log.h"
+#include "core/flow_engine.h"
+#include "kernels/kernels.h"
+#include "layout/generator.h"
+#include "runtime/thread_pool.h"
+#include "warmstart/corpus.h"
+#include "warmstart/harvest.h"
+#include "warmstart/train.h"
+#include "warmstart/warm_start.h"
+
+namespace {
+
+using namespace ldmo;
+
+const char* flag_value(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[i + 1];
+  return fallback;
+}
+
+litho::LithoConfig quick_litho() {
+  litho::LithoConfig cfg;
+  cfg.grid_size = 64;
+  cfg.pixel_nm = 16.0;
+  return cfg;
+}
+
+struct EvalRow {
+  std::uint64_t seed = 0;
+  double score = 0.0;
+  double l2 = 0.0;
+  int epe = 0;
+  int iterations = 0;
+  double seconds = 0.0;
+  bool warm_started = false;
+};
+
+EvalRow eval_one(core::FlowEngine& engine, const layout::Layout& layout,
+                 std::uint64_t seed) {
+  const core::LdmoResult r = engine.run(layout);
+  if (r.failed) {
+    std::fprintf(stderr, "bench_warmstart: run failed for seed %llu: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 r.error.message.c_str());
+    std::exit(1);
+  }
+  EvalRow row;
+  row.seed = seed;
+  row.score = r.ilt.report.score();
+  row.l2 = r.ilt.report.l2;
+  row.epe = r.ilt.report.epe.violation_count;
+  row.iterations = r.ilt.iterations_run;
+  row.seconds = r.total_seconds;
+  row.warm_started = r.warm_started;
+  return row;
+}
+
+void write_table(std::FILE* f, const char* title,
+                 const std::vector<EvalRow>& rows, bool warm_column) {
+  std::fprintf(f, "%s\n", title);
+  std::fprintf(f, "%-8s | %9s | %8s | %4s | %5s | %7s%s\n", "seed", "score",
+               "L2", "EPE#", "iters", "seconds",
+               warm_column ? " | seeded" : "");
+  std::fprintf(f, "---------+-----------+----------+------+-------+--------%s\n",
+               warm_column ? "+-------" : "");
+  double score_sum = 0.0;
+  long long iter_sum = 0;
+  double sec_sum = 0.0;
+  for (const EvalRow& row : rows) {
+    std::fprintf(f, "%-8llu | %9.2f | %8.2f | %4d | %5d | %7.2f%s%s\n",
+                 static_cast<unsigned long long>(row.seed), row.score, row.l2,
+                 row.epe, row.iterations, row.seconds,
+                 warm_column ? " | " : "",
+                 warm_column ? (row.warm_started ? "yes" : "NO") : "");
+    score_sum += row.score;
+    iter_sum += row.iterations;
+    sec_sum += row.seconds;
+  }
+  const double n = static_cast<double>(rows.size());
+  std::fprintf(f, "mean score %.2f, total ILT iterations %lld, "
+               "total %.2fs over %zu held-out clips\n",
+               score_sum / n, iter_sum, sec_sum, rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::apply_threads_flag(argc, argv);
+  kernels::apply_backend_flag(argc, argv);
+  set_log_level(LogLevel::Warn);
+
+  const int clips = std::atoi(flag_value(argc, argv, "--clips", "48"));
+  const int epochs = std::atoi(flag_value(argc, argv, "--epochs", "24"));
+  const int width = std::atoi(flag_value(argc, argv, "--width", "8"));
+  const int holdout = std::atoi(flag_value(argc, argv, "--holdout", "8"));
+  const int warm_iters =
+      std::atoi(flag_value(argc, argv, "--warm-iters", "25"));
+  const std::string report_dir = flag_value(argc, argv, "--report-dir", ".");
+  const std::string corpus_path = "ldmo_cache_warmstart.corpus";
+
+  core::FlowEngineConfig cfg;
+  cfg.litho = quick_litho();
+
+  // --- harvest (disk-cached) ---
+  std::size_t have = 0;
+  try {
+    have = warmstart::corpus_record_count(corpus_path);
+  } catch (const std::exception&) {
+    have = 0;  // absent or stale-format cache: re-harvest
+  }
+  if (have < static_cast<std::size_t>(clips)) {
+    std::printf("harvesting %d clips into %s (cached: %zu)...\n", clips,
+                corpus_path.c_str(), have);
+    core::FlowEngine harvest_engine(cfg);
+    warmstart::HarvestConfig hcfg;
+    hcfg.clip_count = clips - static_cast<int>(have);
+    hcfg.seed0 = 900 + have;
+    const warmstart::HarvestStats stats =
+        warmstart::harvest_corpus(harvest_engine, hcfg, corpus_path);
+    std::printf("harvest: %d attempted, %d harvested, %d failed\n",
+                stats.attempted, stats.harvested, stats.failed);
+  } else {
+    std::printf("corpus cache hit: %zu records in %s\n", have,
+                corpus_path.c_str());
+  }
+
+  // --- train ---
+  const warmstart::Corpus corpus = warmstart::read_corpus(corpus_path);
+  warmstart::MaskNetConfig net_cfg;
+  net_cfg.grid_size = cfg.litho.grid_size;
+  net_cfg.base_width = width;
+  auto warm = std::make_shared<warmstart::MaskWarmStart>(net_cfg);
+  warmstart::WarmTrainConfig tcfg;
+  tcfg.epochs = epochs;
+  std::printf("training MaskNet (width %d, %zu parameters) on %zu records "
+              "for %d epochs...\n",
+              width, warm->net().parameter_count(), corpus.records.size(),
+              epochs);
+  const std::vector<warmstart::WarmEpochStats> curve = warmstart::train_masknet(
+      warm->net(), corpus, tcfg, [](const warmstart::WarmEpochStats& e) {
+        std::printf("  epoch %2d  mask MSE %.6f\n", e.epoch, e.mean_loss);
+      });
+  warm->refresh_version();
+  const double cold_mse = warmstart::cold_init_loss(corpus, tcfg.theta_m);
+  std::printf("train-set mask MSE: learned %.6f vs cold init %.6f\n",
+              curve.back().mean_loss, cold_mse);
+
+  // --- held-out evaluation: cold 50-iteration vs seeded warm_iters ---
+  layout::LayoutGenerator generator;
+  std::vector<layout::Layout> layouts;
+  std::vector<std::uint64_t> seeds;
+  for (int k = 0; k < holdout; ++k) {
+    seeds.push_back(5000 + static_cast<std::uint64_t>(k));
+    layouts.push_back(generator.generate(seeds.back()));
+  }
+
+  core::FlowEngine cold_engine(cfg);
+  cold_engine.warmup();
+  std::vector<EvalRow> cold_rows;
+  for (int k = 0; k < holdout; ++k)
+    cold_rows.push_back(eval_one(cold_engine, layouts[k], seeds[k]));
+
+  core::FlowEngineConfig warm_cfg = cfg;
+  warm_cfg.flow.warm_start.enabled = true;
+  warm_cfg.flow.warm_start.max_iterations = warm_iters;
+  core::FlowEngine warm_engine(warm_cfg);
+  warm_engine.set_warm_start(warm);
+  warm_engine.warmup();
+  std::vector<EvalRow> warm_rows;
+  for (int k = 0; k < holdout; ++k)
+    warm_rows.push_back(eval_one(warm_engine, layouts[k], seeds[k]));
+
+  // --- reports + verdict ---
+  const std::string before_path = report_dir + "/warmstart_before.txt";
+  const std::string after_path = report_dir + "/warmstart_after.txt";
+  std::FILE* before = std::fopen(before_path.c_str(), "w");
+  std::FILE* after = std::fopen(after_path.c_str(), "w");
+  if (!before || !after) {
+    std::fprintf(stderr, "bench_warmstart: cannot write reports under %s\n",
+                 report_dir.c_str());
+    return 1;
+  }
+  std::fprintf(before,
+               "Cold baseline: paper +/- initial_p init, %d-iteration ILT "
+               "budget\n(held-out seeds disjoint from the %zu-record "
+               "training corpus)\n\n",
+               cfg.flow.ilt.max_iterations, corpus.records.size());
+  write_table(before, "per-clip results (cold)", cold_rows, false);
+
+  long long cold_iters = 0, warm_iters_total = 0;
+  double cold_score = 0.0, warm_score = 0.0;
+  bool all_seeded = true;
+  for (int k = 0; k < holdout; ++k) {
+    cold_iters += cold_rows[static_cast<std::size_t>(k)].iterations;
+    warm_iters_total += warm_rows[static_cast<std::size_t>(k)].iterations;
+    cold_score += cold_rows[static_cast<std::size_t>(k)].score;
+    warm_score += warm_rows[static_cast<std::size_t>(k)].score;
+    all_seeded = all_seeded && warm_rows[static_cast<std::size_t>(k)].warm_started;
+  }
+  const double iter_ratio = static_cast<double>(cold_iters) /
+                            static_cast<double>(warm_iters_total);
+  std::fprintf(after,
+               "Learned warm start: MaskNet seed (width %d, trained %d "
+               "epochs on %zu clips), %d-iteration ILT budget\n\n",
+               width, epochs, corpus.records.size(), warm_iters);
+  write_table(after, "per-clip results (seeded)", warm_rows, true);
+  std::fprintf(after,
+               "\nverdict vs cold baseline:\n"
+               "  ILT iterations: %lld -> %lld (%.2fx fewer; target >= 2x)\n"
+               "  mean score:     %.2f -> %.2f (%s; target equal-or-better)\n"
+               "  every winning attempt seeded: %s\n"
+               "  ACCEPTANCE %s\n",
+               cold_iters, warm_iters_total, iter_ratio,
+               cold_score / holdout, warm_score / holdout,
+               warm_score <= cold_score ? "equal-or-better" : "WORSE",
+               all_seeded ? "yes" : "NO",
+               (iter_ratio >= 2.0 && warm_score <= cold_score) ? "PASS"
+                                                               : "FAIL");
+  std::fclose(before);
+  std::fclose(after);
+
+  std::printf("\ncold:   %lld ILT iterations, mean score %.2f\n", cold_iters,
+              cold_score / holdout);
+  std::printf("seeded: %lld ILT iterations, mean score %.2f (%.2fx fewer "
+              "iterations)\n",
+              warm_iters_total, warm_score / holdout, iter_ratio);
+  std::printf("wrote %s and %s\n", before_path.c_str(), after_path.c_str());
+  const bool pass = iter_ratio >= 2.0 && warm_score <= cold_score;
+  std::printf("SHAPE warmstart_acceptance=%s\n", pass ? "pass" : "FAIL");
+  return pass ? 0 : 1;
+}

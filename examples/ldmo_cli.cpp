@@ -11,6 +11,13 @@
 //       report (metrics, span tree, per-iteration ILT trace).
 //   ldmo_cli validate-report run.json
 //       Parse a run report and check its structure; exit 0 iff valid.
+//   ldmo_cli warmstart-harvest --out corpus.bin [--clips N]
+//       Replay the flow over generated clips and append (target,
+//       decomposition, optimized-mask) training triples to a corpus.
+//   ldmo_cli warmstart-train --corpus corpus.bin --out model.weights
+//       Train the MaskNet warm-start model on a harvested corpus.
+//   ldmo_cli run clip.layout --warm-start model.weights
+//       Seed ILT from the learned model at a halved iteration budget.
 //
 // All subcommands use the quick 64-pixel lithography model so they respond
 // in seconds; the benches use the experiment-grade 128-pixel model.
@@ -47,6 +54,10 @@
 #include "obs/report.h"
 #include "runtime/thread_pool.h"
 #include "serve/server.h"
+#include "warmstart/corpus.h"
+#include "warmstart/harvest.h"
+#include "warmstart/train.h"
+#include "warmstart/warm_start.h"
 
 namespace {
 
@@ -66,8 +77,15 @@ int usage() {
                "  ldmo_cli inspect FILE\n"
                "  ldmo_cli run FILE [--flow ours|suald|balanced|unified]\n"
                "                    [--report OUT.json] [--log-level LEVEL]\n"
-               "                    [--threads N]\n"
+               "                    [--threads N] [--warm-start WEIGHTS]\n"
+               "                    [--warm-iters N] [--warm-width W]\n"
                "  ldmo_cli validate-report FILE.json\n"
+               "  ldmo_cli warmstart-harvest [--out CORPUS] [--clips N]\n"
+               "                    [--seed0 S] [--sampling]\n"
+               "                    [--oversample K] [--threads N]\n"
+               "  ldmo_cli warmstart-train [--corpus CORPUS] [--out WEIGHTS]\n"
+               "                    [--epochs E] [--batch B] [--width W]\n"
+               "                    [--lr RATE] [--threads N]\n"
                "  ldmo_cli serve-bench [--requests N] [--unique K]\n"
                "                    [--clients C] [--dispatchers D]\n"
                "                    [--deadline-ms MS] [--no-cache]\n"
@@ -79,6 +97,8 @@ int usage() {
                "  ldmo_cli serve [--listen PORT] [--dispatchers D]\n"
                "                    [--grid N] [--pixel NM]\n"
                "                    [--weights FILE] [--snapshot FILE]\n"
+               "                    [--warm-start WEIGHTS] [--warm-iters N]\n"
+               "                    [--warm-width W]\n"
                "                    [--admin-port P] [--threads N]\n"
                "  ldmo_cli route --workers P1,P2,... [--listen PORT]\n"
                "                    [--admin-port P]\n"
@@ -100,6 +120,12 @@ int usage() {
                "threads); results are bit-identical for any value\n"
                "--backend: compute kernels (generic|avx2|avx512|neon|\n"
                "auto, default auto; also LDMO_BACKEND env var)\n"
+               "--warm-start: load trained MaskNet weights and seed every\n"
+               "ILT attempt from the learned P fields at a --warm-iters\n"
+               "budget (default 25, half the cold 50); --warm-width must\n"
+               "match the trained model's base width (default 8). Only\n"
+               "the 'ours' flow and serve consult the model; without the\n"
+               "flag the paper-faithful cold init runs unchanged.\n"
                "--admin-port: serve live telemetry on 127.0.0.1:P\n"
                "(/metrics /healthz /readyz /varz /trace /flightrecorder;\n"
                "0 picks a free port); --admin-linger-ms keeps the server\n"
@@ -173,6 +199,9 @@ int cmd_run(int argc, char** argv) {
   const layout::Layout l = layout::read_layout_text(argv[2]);
   const std::string flow_name = flag_value(argc, argv, "--flow", "ours");
   const char* report_path = flag_value(argc, argv, "--report", nullptr);
+  const char* warm_path = flag_value(argc, argv, "--warm-start", nullptr);
+  if (warm_path && flow_name != "ours")
+    throw std::runtime_error("--warm-start requires --flow ours");
   if (report_path) {
     obs::set_tracing_enabled(true);
     obs::tracer().clear();
@@ -184,15 +213,39 @@ int cmd_run(int argc, char** argv) {
   litho::PrintabilityReport report;
   double seconds = 0.0;
   int candidates_generated = 0, candidates_tried = 0;
+  int iterations_run = 0;
+  bool warm_started = false;
   PhaseTimer phase_timing;
   {
     obs::Span cli_span("cli.run");
     cli_span.attr("flow", flow_name);
     cli_span.attr("layout", l.name);
     if (flow_name == "ours") {
-      core::RawPrintPredictor predictor(simulator);
-      core::LdmoFlow flow(simulator, predictor, {});
-      core::LdmoResult r = flow.run(l);
+      core::LdmoResult r;
+      if (warm_path) {
+        // Learned warm start: a FlowEngine session owns the stack so the
+        // shared MaskNet can be installed once; every speculative ILT
+        // attempt is seeded from its prediction and runs at the halved
+        // --warm-iters budget instead of the cold 50.
+        warmstart::MaskNetConfig net_cfg;
+        net_cfg.grid_size = cli_litho().grid_size;
+        net_cfg.base_width =
+            std::atoi(flag_value(argc, argv, "--warm-width", "8"));
+        auto warm = std::make_shared<warmstart::MaskWarmStart>(net_cfg);
+        warm->load(warm_path);
+        core::FlowEngineConfig engine_cfg;
+        engine_cfg.litho = cli_litho();
+        engine_cfg.flow.warm_start.enabled = true;
+        engine_cfg.flow.warm_start.max_iterations =
+            std::atoi(flag_value(argc, argv, "--warm-iters", "25"));
+        core::FlowEngine engine(engine_cfg);
+        engine.set_warm_start(warm);
+        r = engine.run(l);
+      } else {
+        core::RawPrintPredictor predictor(simulator);
+        core::LdmoFlow flow(simulator, predictor, {});
+        r = flow.run(l);
+      }
       if (r.failed) {
         // e.g. an LDMO_FAILPOINTS-armed site fired: report the stage
         // instead of writing empty masks.
@@ -207,6 +260,8 @@ int cmd_run(int argc, char** argv) {
       seconds = r.total_seconds;
       candidates_generated = r.candidates_generated;
       candidates_tried = r.candidates_tried;
+      iterations_run = r.ilt.iterations_run;
+      warm_started = r.warm_started;
       phase_timing = r.timing;
     } else if (flow_name == "suald" || flow_name == "balanced") {
       core::TwoStageFlow flow(
@@ -238,6 +293,9 @@ int cmd_run(int argc, char** argv) {
               "L2 %.1f, score %.1f (%.2fs)\n",
               flow_name.c_str(), report.epe.violation_count,
               report.violations.total(), report.l2, report.score(), seconds);
+  if (warm_path)
+    std::printf("warm start: %s, %d ILT iterations run\n",
+                warm_started ? "seeded" : "cold fallback", iterations_run);
   layout::write_pgm(mask1, "cli_mask1.pgm");
   layout::write_pgm(mask2, "cli_mask2.pgm");
   layout::write_pgm(response, "cli_print.pgm");
@@ -258,6 +316,8 @@ int cmd_run(int argc, char** argv) {
       w.kv("seconds", seconds);
       w.kv("candidates_generated", candidates_generated);
       w.kv("candidates_tried", candidates_tried);
+      w.kv("ilt_iterations", iterations_run);
+      w.kv("warm_started", warm_started);
       w.end_object();
     });
     // Parallelism accounting: the thread budget plus per-phase wall vs
@@ -367,6 +427,79 @@ int cmd_validate_report(int argc, char** argv) {
 
   std::printf("validate-report: %s ok (%zu top-level spans)\n", argv[2],
               spans->array.size());
+  return 0;
+}
+
+// Replays the full LDMO flow over generated clips and appends each
+// successful (target, decomposition rasters, optimized masks) triple to an
+// append-only binary corpus — the supervision the warm-start MaskNet
+// trains on. --sampling spends the flow runs on a SIFT/k-medoids-selected
+// subset of an oversampled clip pool instead of the first N seeds.
+int cmd_warmstart_harvest(int argc, char** argv) {
+  const std::string out =
+      flag_value(argc, argv, "--out", "warmstart_corpus.bin");
+  warmstart::HarvestConfig hcfg;
+  hcfg.clip_count = std::atoi(flag_value(argc, argv, "--clips", "32"));
+  hcfg.seed0 = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed0", "900")));
+  hcfg.use_sampling = flag_present(argc, argv, "--sampling");
+  hcfg.oversample = std::atoi(flag_value(argc, argv, "--oversample", "4"));
+  if (hcfg.clip_count < 1 || hcfg.oversample < 1) return usage();
+
+  core::FlowEngineConfig engine_cfg;
+  engine_cfg.litho = cli_litho();
+  core::FlowEngine engine(engine_cfg);
+  const warmstart::HarvestStats stats =
+      warmstart::harvest_corpus(engine, hcfg, out);
+  std::printf("warmstart-harvest: %d attempted, %d harvested, %d failed\n",
+              stats.attempted, stats.harvested, stats.failed);
+  std::printf("corpus %s now holds %zu records (grid %d)\n", out.c_str(),
+              warmstart::corpus_record_count(out),
+              engine_cfg.litho.grid_size);
+  return stats.harvested > 0 ? 0 : 1;
+}
+
+// Trains the MaskNet warm-start model on a harvested corpus and writes the
+// weights (tmp-then-rename). Prints the per-epoch mask MSE plus the cold
+// +/- initial_p baseline the learned init must beat.
+int cmd_warmstart_train(int argc, char** argv) {
+  const std::string corpus_path =
+      flag_value(argc, argv, "--corpus", "warmstart_corpus.bin");
+  const std::string out =
+      flag_value(argc, argv, "--out", "warmstart.weights");
+  warmstart::WarmTrainConfig tcfg;
+  tcfg.epochs = std::atoi(flag_value(argc, argv, "--epochs", "12"));
+  tcfg.batch_size = std::atoi(flag_value(argc, argv, "--batch", "4"));
+  tcfg.adam.learning_rate =
+      std::atof(flag_value(argc, argv, "--lr",
+                           std::to_string(tcfg.adam.learning_rate).c_str()));
+  const int width = std::atoi(flag_value(argc, argv, "--width", "8"));
+  if (tcfg.epochs < 1 || tcfg.batch_size < 1 || width < 1) return usage();
+
+  const warmstart::Corpus corpus = warmstart::read_corpus(corpus_path);
+  std::printf("warmstart-train: %zu records (grid %d) from %s\n",
+              corpus.records.size(), corpus.grid_size, corpus_path.c_str());
+  warmstart::MaskNetConfig net_cfg;
+  net_cfg.grid_size = corpus.grid_size;
+  net_cfg.base_width = width;
+  warmstart::MaskWarmStart warm(net_cfg);
+  std::printf("MaskNet: base width %d, %zu parameters\n", width,
+              warm.net().parameter_count());
+  train_masknet(warm.net(), corpus, tcfg,
+                [](const warmstart::WarmEpochStats& epoch) {
+                  std::printf("  epoch %2d  mask MSE %.6f\n", epoch.epoch,
+                              epoch.mean_loss);
+                });
+  warm.refresh_version();
+  warm.save(out);
+
+  const double cold = warmstart::cold_init_loss(corpus, tcfg.theta_m);
+  const double learned =
+      warmstart::evaluate_masknet(warm.net(), corpus, tcfg.theta_m);
+  std::printf("train-set mask MSE: learned %.6f vs cold init %.6f (%s)\n",
+              learned, cold, learned < cold ? "better" : "WORSE");
+  std::printf("wrote %s (weights v%llu)\n", out.c_str(),
+              static_cast<unsigned long long>(warm.version()));
   return 0;
 }
 
@@ -713,6 +846,22 @@ int cmd_serve(int argc, char** argv) {
   cfg.serve.overflow = serve::OverflowPolicy::kBlock;
   cfg.weights_path = flag_value(argc, argv, "--weights", "");
   cfg.snapshot_path = flag_value(argc, argv, "--snapshot", "");
+  const char* warm_path = flag_value(argc, argv, "--warm-start", nullptr);
+  if (warm_path) {
+    // One shared model serves every dispatcher engine; its weight version
+    // is folded into the config fingerprint so cached results retire if
+    // the daemon restarts with a retrained model.
+    warmstart::MaskNetConfig net_cfg;
+    net_cfg.grid_size = cfg.serve.engine.litho.grid_size;
+    net_cfg.base_width =
+        std::atoi(flag_value(argc, argv, "--warm-width", "8"));
+    auto warm = std::make_shared<warmstart::MaskWarmStart>(net_cfg);
+    warm->load(warm_path);
+    cfg.serve.warm_start = warm;
+    cfg.serve.engine.flow.warm_start.enabled = true;
+    cfg.serve.engine.flow.warm_start.max_iterations =
+        std::atoi(flag_value(argc, argv, "--warm-iters", "25"));
+  }
   const char* admin_port = flag_value(argc, argv, "--admin-port", nullptr);
   if (admin_port) {
     cfg.serve.admin.enabled = true;
@@ -850,6 +999,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
     if (std::strcmp(argv[1], "validate-report") == 0)
       return cmd_validate_report(argc, argv);
+    if (std::strcmp(argv[1], "warmstart-harvest") == 0)
+      return cmd_warmstart_harvest(argc, argv);
+    if (std::strcmp(argv[1], "warmstart-train") == 0)
+      return cmd_warmstart_train(argc, argv);
     if (std::strcmp(argv[1], "serve-bench") == 0)
       return cmd_serve_bench(argc, argv);
     if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/error.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "runtime/workspace.h"
@@ -21,10 +22,20 @@ FlowEngine::FlowEngine(FlowEngineConfig config,
     predictor_ = std::make_unique<RawPrintPredictor>(simulator_);
 }
 
+void FlowEngine::set_warm_start(
+    std::shared_ptr<const MaskInitializer> warm_start) {
+  if (warm_start) {
+    require(warm_start->grid_size() == simulator_.grid_size(),
+            "FlowEngine::set_warm_start: initializer grid does not match "
+            "the simulator");
+  }
+  warm_start_ = std::move(warm_start);
+}
+
 LdmoResult FlowEngine::run(const layout::Layout& layout,
                            runtime::CancellationToken token) {
   LdmoResult result = run_ldmo_flow(engine_, *predictor_, config_.flow,
-                                    layout, token);
+                                    layout, token, warm_start_.get());
   if (result.cancelled) {
     session_.cancelled_runs += 1;
     return result;
@@ -34,6 +45,7 @@ LdmoResult FlowEngine::run(const layout::Layout& layout,
     return result;
   }
   if (result.degraded) session_.degraded_runs += 1;
+  if (result.warm_started) session_.warm_started_runs += 1;
   session_.runs += 1;
   session_.total_seconds += result.total_seconds;
   session_.candidates_generated += result.candidates_generated;
@@ -88,6 +100,7 @@ obs::RunReport FlowEngine::session_report() const {
     w.kv("cancelled_runs", stats.cancelled_runs);
     w.kv("failed_runs", stats.failed_runs);
     w.kv("degraded_runs", stats.degraded_runs);
+    w.kv("warm_started_runs", stats.warm_started_runs);
     w.kv("total_seconds", stats.total_seconds);
     w.kv("candidates_generated", stats.candidates_generated);
     w.kv("candidates_tried", stats.candidates_tried);

@@ -43,6 +43,7 @@ class FlowEngine {
     int cancelled_runs = 0;  ///< token-cancelled runs (not in history)
     int failed_runs = 0;     ///< stage-failed runs (not in history)
     int degraded_runs = 0;   ///< runs that fell back to heuristic ranking
+    int warm_started_runs = 0;  ///< runs whose winning ILT attempt was seeded
     double total_seconds = 0.0;
     long long candidates_generated = 0;
     long long candidates_tried = 0;
@@ -61,6 +62,13 @@ class FlowEngine {
   const litho::LithoSimulator& simulator() const { return simulator_; }
   const opc::IltEngine& ilt_engine() const { return engine_; }
   PrintabilityPredictor& predictor() { return *predictor_; }
+
+  /// Installs (or clears) the learned warm-start initializer. Shared so the
+  /// serving layer can point every dispatcher engine at one model; only
+  /// consulted when config().flow.warm_start.enabled. The initializer's
+  /// grid must match the simulator (checked here, throws ldmo::Error).
+  void set_warm_start(std::shared_ptr<const MaskInitializer> warm_start);
+  const MaskInitializer* warm_start() const { return warm_start_.get(); }
 
   /// One end-to-end LDMO run (generation -> prediction -> ILT), recorded
   /// in the session stats. `token` (optional) cancels cooperatively —
@@ -103,6 +111,7 @@ class FlowEngine {
   litho::LithoSimulator simulator_;
   opc::IltEngine engine_;
   std::unique_ptr<PrintabilityPredictor> predictor_;
+  std::shared_ptr<const MaskInitializer> warm_start_;
   SessionStats session_;
 };
 

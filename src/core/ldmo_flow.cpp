@@ -28,7 +28,8 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
                          PrintabilityPredictor& predictor,
                          const LdmoConfig& config,
                          const layout::Layout& layout,
-                         runtime::CancellationToken token) {
+                         runtime::CancellationToken token,
+                         const MaskInitializer* warm_start) {
   static obs::Counter& runs_counter = obs::counter("flow.runs");
   static obs::Counter& generated_counter =
       obs::counter("flow.candidates_generated");
@@ -147,6 +148,41 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
   // flow always produces masks.
   const int attempts = std::min<int>(
       config.max_fallbacks + 1, static_cast<int>(order.size()));
+
+  // 3a. Learned warm-start seeds (ROADMAP item 2): one MaskNet prediction
+  // per speculative attempt, computed serially before the attempts launch —
+  // the model forward caches activations and is guarded by a mutex, so
+  // predicting inside the attempt tasks would serialize them anyway, and
+  // the serial order keeps results bit-identical at any thread count. A
+  // prediction that throws (model fault, warmstart.predict failpoint)
+  // degrades that attempt to the paper's cold init.
+  const bool want_warm = config.warm_start.enabled && warm_start != nullptr;
+  std::vector<opc::IltState> seeds;  // only p1/p2 are used
+  std::vector<char> seeded(static_cast<std::size_t>(attempts), 0);
+  if (want_warm) {
+    static obs::Counter& predictions_counter =
+        obs::counter("warmstart.predictions");
+    static obs::Counter& predict_error_counter =
+        obs::counter("warmstart.predict_errors");
+    seeds.resize(static_cast<std::size_t>(attempts));
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      const std::size_t rank = static_cast<std::size_t>(attempt);
+      try {
+        warm_start->seed(layout, generated.candidates[order[rank]],
+                         seeds[rank].p1, seeds[rank].p2);
+        predictions_counter.inc();
+        seeded[rank] = 1;
+      } catch (const std::exception& e) {
+        predict_error_counter.inc();
+        log_warn("LdmoFlow: warm-start prediction failed for attempt ",
+                 attempt, " (", e.what(), "), using cold init");
+      }
+    }
+    obs::counter("warmstart.seeded_attempts")
+        .inc(static_cast<long long>(
+            std::count(seeded.begin(), seeded.end(), 1)));
+  }
+
   try {
     timed_phase(result.timing, "ilt", [&] {
       std::vector<opc::IltResult> slots(static_cast<std::size_t>(attempts));
@@ -170,9 +206,17 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
           attempt_span.attr("candidate_rank", attempt);
           attempt_span.attr("predicted_score", scores[order[rank]]);
           attempt_span.attr("abort_enabled", last_attempt ? 0.0 : 1.0);
-          opc::IltResult ilt = engine.optimize(
-              layout, candidate, /*abort_on_violation=*/!last_attempt,
-              /*record_trajectory=*/false, cancels[rank].token());
+          attempt_span.attr("warm_started", seeded[rank] ? 1.0 : 0.0);
+          opc::IltResult ilt =
+              seeded[rank]
+                  ? engine.optimize_seeded(
+                        layout, candidate, seeds[rank].p1, seeds[rank].p2,
+                        config.warm_start.max_iterations,
+                        /*abort_on_violation=*/!last_attempt,
+                        /*record_trajectory=*/false, cancels[rank].token())
+                  : engine.optimize(
+                        layout, candidate, /*abort_on_violation=*/!last_attempt,
+                        /*record_trajectory=*/false, cancels[rank].token());
           attempt_span.attr("iterations_run", ilt.iterations_run);
           attempt_span.attr("aborted", ilt.aborted_on_violation ? 1.0 : 0.0);
           if (ilt.cancelled) {
@@ -222,6 +266,23 @@ LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
       if (best > 0 && best + 1 == attempts) exhausted_counter.inc();
       result.chosen = generated.candidates[order[static_cast<std::size_t>(best)]];
       result.ilt = std::move(slots[static_cast<std::size_t>(best)]);
+      result.warm_started = seeded[static_cast<std::size_t>(best)] != 0;
+      if (result.warm_started) {
+        // Iterations the warm seed saved versus the cold budget the serial
+        // chain would have spent on this winning candidate.
+        static obs::Counter& wins_counter = obs::counter("warmstart.seeded_wins");
+        static obs::Counter& saved_counter =
+            obs::counter("warmstart.iterations_saved_total");
+        static obs::Gauge& saved_gauge =
+            obs::gauge("warmstart.iterations_saved");
+        wins_counter.inc();
+        const int saved =
+            config.ilt.max_iterations - result.ilt.iterations_run;
+        if (saved > 0) saved_counter.inc(saved);
+        saved_gauge.set(saved);
+        run_span.attr("warm_started", 1.0);
+        run_span.attr("warmstart_iterations_saved", saved);
+      }
     });
   } catch (const std::exception& e) {
     // TaskGroup::wait rethrows the first attempt's exception here; a

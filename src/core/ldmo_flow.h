@@ -15,13 +15,24 @@
 
 #include "common/flow_error.h"
 #include "common/timer.h"
+#include "core/mask_init.h"
 #include "core/predictor.h"
 #include "mpl/decomposition_generator.h"
 #include "opc/ilt.h"
 
 namespace ldmo::core {
 
+/// Learned warm-start knobs (ROADMAP item 2). Off by default: the
+/// paper-faithful flow must stay bit-identical unless explicitly enabled.
+struct WarmStartConfig {
+  bool enabled = false;
+  /// Iteration budget for seeded ILT runs. The acceptance target is >= 2x
+  /// fewer iterations than the cold ilt.max_iterations (50), hence 25.
+  int max_iterations = 25;
+};
+
 struct LdmoConfig {
+  WarmStartConfig warm_start;
   mpl::GenerationConfig generation;
   opc::IltConfig ilt;
   /// Maximum violation-triggered fallbacks before the best remaining
@@ -58,6 +69,11 @@ struct LdmoResult {
   /// violation-checked, just not CNN-ranked; degraded results are not
   /// admitted to the serve result cache.
   bool degraded = false;
+  /// True when the winning ILT attempt started from a learned MaskNet seed
+  /// (warm_start enabled, initializer present and its prediction succeeded
+  /// for that candidate). Cold fallbacks leave this false even with the
+  /// flag on.
+  bool warm_started = false;
 };
 
 /// The flow pipeline (Fig. 2) over caller-owned components. FlowEngine
@@ -75,11 +91,18 @@ struct LdmoResult {
 /// from deep components — litho, nn — win over the observing phase). A
 /// predict-stage failure degrades to heuristic ordering instead when
 /// `config.degrade_on_predict_failure` is set.
+///
+/// `warm_start`: optional learned P-field initializer, consulted only when
+/// `config.warm_start.enabled`. Seeds are computed serially (one prediction
+/// per speculative attempt) before the attempts launch, so attempt results
+/// stay bit-identical at any thread count; a prediction that throws
+/// degrades that attempt to the paper's cold init.
 LdmoResult run_ldmo_flow(const opc::IltEngine& engine,
                          PrintabilityPredictor& predictor,
                          const LdmoConfig& config,
                          const layout::Layout& layout,
-                         runtime::CancellationToken token = {});
+                         runtime::CancellationToken token = {},
+                         const MaskInitializer* warm_start = nullptr);
 
 /// End-to-end LDMO flow bound to a caller-owned simulator and predictor.
 /// Thin shim over run_ldmo_flow(); prefer core::FlowEngine for sessions

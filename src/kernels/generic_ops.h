@@ -16,6 +16,7 @@ float dot_f32(const float* x, const float* y, int n);
 
 void sigmoid_affine_f64(const double* x, double* out, std::size_t n,
                         double scale, double shift);
+void cis_f64(const double* phase, Complex* out, std::size_t n);
 void resist_deriv_f64(const double* t, double* out, std::size_t n,
                       double theta);
 void add_clamp1_f64(const double* a, const double* b, double* out,

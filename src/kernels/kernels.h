@@ -20,10 +20,10 @@
 //     resist derivative/gate/descent, max reductions). These produce
 //     bit-identical results on every backend.
 //   * approximate ops — lane-parallel sum reductions (dot_f32,
-//     loss_grad_f64, sq_diff_sum_f64) and the vectorized exp inside
-//     sigmoid_affine_f64. These differ from generic by O(1 ulp)-level
-//     rounding; tests pin per-backend determinism and generic-vs-SIMD
-//     tolerances.
+//     loss_grad_f64, sq_diff_sum_f64), the vectorized exp inside
+//     sigmoid_affine_f64, and the vectorized sincos inside cis_f64. These
+//     differ from generic by O(1 ulp)-level rounding; tests pin per-backend
+//     determinism and generic-vs-SIMD tolerances.
 #pragma once
 
 #include <complex>
@@ -66,6 +66,11 @@ struct KernelTable {
   /// exp; SIMD backends use a vectorized polynomial exp: approximate class.
   void (*sigmoid_affine_f64)(const double* x, double* out, std::size_t n,
                              double scale, double shift);
+  /// out[i] = cos(phase[i]) + i sin(phase[i]) — the unit phasor e^{i phi}
+  /// (pupil defocus phases, any batched trig). Generic uses libm cos/sin;
+  /// SIMD backends use a vectorized Cody-Waite pi/2 reduction + Taylor
+  /// sincos: approximate class (~1e-13 abs vs libm for |phase| < 1e6).
+  void (*cis_f64)(const double* phase, Complex* out, std::size_t n);
   /// out[i] = theta * t[i] * (1 - t[i]). Exact.
   void (*resist_deriv_f64)(const double* t, double* out, std::size_t n,
                            double theta);

@@ -71,6 +71,65 @@ inline __m512d exp_le0_pd(__m512d x) {
   return _mm512_maskz_mov_pd(ok, result);
 }
 
+// ---- vector sincos: same reduction/polynomials as the AVX2 TU ----
+inline void sincos_pd(__m512d x, __m512d* s_out, __m512d* c_out) {
+  const __m512d kTwoOverPi = _mm512_set1_pd(6.36619772367581382433e-01);
+  const __m512d kPio2Hi = _mm512_set1_pd(1.57079632673412561417e+00);
+  const __m512d kPio2Mid = _mm512_set1_pd(6.07710050630396597660e-11);
+  const __m512d kPio2Lo = _mm512_set1_pd(2.02226624871116645580e-21);
+  const __m512d n = _mm512_roundscale_pd(
+      _mm512_mul_pd(x, kTwoOverPi),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m512d r = _mm512_sub_pd(x, _mm512_mul_pd(n, kPio2Hi));
+  r = _mm512_sub_pd(r, _mm512_mul_pd(n, kPio2Mid));
+  r = _mm512_sub_pd(r, _mm512_mul_pd(n, kPio2Lo));
+  const __m512d r2 = _mm512_mul_pd(r, r);
+  __m512d ps = _mm512_set1_pd(-7.64716373181981647590e-13);       // -1/15!
+  ps = _mm512_add_pd(_mm512_mul_pd(ps, r2),
+                     _mm512_set1_pd(1.60590438368216145994e-10));  // 1/13!
+  ps = _mm512_add_pd(_mm512_mul_pd(ps, r2),
+                     _mm512_set1_pd(-2.50521083854417187751e-08));  // -1/11!
+  ps = _mm512_add_pd(_mm512_mul_pd(ps, r2),
+                     _mm512_set1_pd(2.75573192239858906526e-06));  // 1/9!
+  ps = _mm512_add_pd(_mm512_mul_pd(ps, r2),
+                     _mm512_set1_pd(-1.98412698412698412698e-04));  // -1/7!
+  ps = _mm512_add_pd(_mm512_mul_pd(ps, r2),
+                     _mm512_set1_pd(8.33333333333333333333e-03));  // 1/5!
+  ps = _mm512_add_pd(_mm512_mul_pd(ps, r2),
+                     _mm512_set1_pd(-1.66666666666666666667e-01));  // -1/3!
+  const __m512d sin_r =
+      _mm512_add_pd(r, _mm512_mul_pd(_mm512_mul_pd(r2, r), ps));
+  __m512d pc = _mm512_set1_pd(-1.14707455977297247139e-11);       // -1/14!
+  pc = _mm512_add_pd(_mm512_mul_pd(pc, r2),
+                     _mm512_set1_pd(2.08767569878680989792e-09));  // 1/12!
+  pc = _mm512_add_pd(_mm512_mul_pd(pc, r2),
+                     _mm512_set1_pd(-2.75573192239858906526e-07));  // -1/10!
+  pc = _mm512_add_pd(_mm512_mul_pd(pc, r2),
+                     _mm512_set1_pd(2.48015873015873015873e-05));  // 1/8!
+  pc = _mm512_add_pd(_mm512_mul_pd(pc, r2),
+                     _mm512_set1_pd(-1.38888888888888888889e-03));  // -1/6!
+  pc = _mm512_add_pd(_mm512_mul_pd(pc, r2),
+                     _mm512_set1_pd(4.16666666666666666667e-02));  // 1/4!
+  const __m512d cos_r = _mm512_add_pd(
+      _mm512_sub_pd(_mm512_set1_pd(1.0),
+                    _mm512_mul_pd(r2, _mm512_set1_pd(0.5))),
+      _mm512_mul_pd(_mm512_mul_pd(r2, r2), pc));
+  // Quadrant fixup from q = n mod 4:
+  //   sin(x) = [ s,  c, -s, -c][q]    cos(x) = [ c, -s, -c,  s][q]
+  const __m512i q = _mm512_cvtepi32_epi64(_mm512_cvtpd_epi32(n));
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i two = _mm512_set1_epi64(2);
+  const __mmask8 swap = _mm512_test_epi64_mask(q, one);
+  const __m512d sin_sign = _mm512_castsi512_pd(
+      _mm512_slli_epi64(_mm512_and_epi64(q, two), 62));
+  const __m512d cos_sign = _mm512_castsi512_pd(_mm512_slli_epi64(
+      _mm512_and_epi64(_mm512_add_epi64(q, one), two), 62));
+  *s_out =
+      _mm512_xor_pd(_mm512_mask_blend_pd(swap, sin_r, cos_r), sin_sign);
+  *c_out =
+      _mm512_xor_pd(_mm512_mask_blend_pd(swap, cos_r, sin_r), cos_sign);
+}
+
 // Packed complex product: lanes hold [re0, im0, re1, im1, ...].
 // AVX-512 has no vaddsubpd; the masked subtract on even (real) lanes is
 // the same add/sub per lane, just differently encoded.
@@ -204,6 +263,20 @@ void sigmoid_affine_f64(const double* x, double* out, std::size_t n,
     _mm512_storeu_pd(out + i, _mm512_mask_blend_pd(take_pos, neg, pos));
   }
   if (i < n) generic::sigmoid_affine_f64(x + i, out + i, n - i, scale, shift);
+}
+
+void cis_f64(const double* phase, Complex* out, std::size_t n) {
+  const __m512i idx_lo = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+  const __m512i idx_hi = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+  double* op = reinterpret_cast<double*>(out);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8, op += 16) {
+    __m512d s, c;
+    sincos_pd(_mm512_loadu_pd(phase + i), &s, &c);
+    _mm512_storeu_pd(op, _mm512_permutex2var_pd(c, idx_lo, s));
+    _mm512_storeu_pd(op + 8, _mm512_permutex2var_pd(c, idx_hi, s));
+  }
+  if (i < n) generic::cis_f64(phase + i, out + i, n - i);
 }
 
 void resist_deriv_f64(const double* t, double* out, std::size_t n,
@@ -590,6 +663,7 @@ const KernelTable& avx512_table() {
       &axpy_f32,
       &dot_f32,
       &sigmoid_affine_f64,
+      &cis_f64,
       &resist_deriv_f64,
       &add_clamp1_f64,
       &add_f64,

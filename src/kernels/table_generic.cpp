@@ -60,6 +60,11 @@ void sigmoid_affine_f64(const double* x, double* out, std::size_t n,
   }
 }
 
+void cis_f64(const double* phase, Complex* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = Complex(std::cos(phase[i]), std::sin(phase[i]));
+}
+
 void resist_deriv_f64(const double* t, double* out, std::size_t n,
                       double theta) {
   for (std::size_t i = 0; i < n; ++i) out[i] = theta * t[i] * (1.0 - t[i]);
@@ -204,6 +209,7 @@ const KernelTable& generic_table() {
       &generic::axpy_f32,
       &generic::dot_f32,
       &generic::sigmoid_affine_f64,
+      &generic::cis_f64,
       &generic::resist_deriv_f64,
       &generic::add_clamp1_f64,
       &generic::add_f64,

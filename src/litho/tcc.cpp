@@ -1,8 +1,10 @@
 #include "litho/tcc.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 
 namespace ldmo::litho {
 
@@ -70,18 +72,48 @@ TccResult build_tcc(const LithoConfig& config, int source_supersample) {
 
   // Cache pupil values P(s + f_i) per source point, then form the rank-1
   // accumulation TCC += J(s) p p^H. Only the upper triangle is computed.
+  // Defocused pupils batch their Fresnel phases through the dispatched
+  // cis_f64 phasor kernel instead of per-point libm cos/sin; in focus the
+  // pupil is {0, 1} and needs no trig at all. The generic backend's cis is
+  // elementwise libm, so results there are bit-identical to pupil_value.
   result.matrix.assign(static_cast<std::size_t>(dim) * dim, {0.0, 0.0});
   std::vector<std::complex<double>> p(static_cast<std::size_t>(dim));
+  const bool defocused = config.defocus_nm != 0.0;
+  // Same association order as pupil_value's phase expression.
+  const double phase_scale =
+      -M_PI * config.wavelength_nm * config.defocus_nm;
+  std::vector<double> phases;
+  std::vector<char> in_band;
+  if (defocused) {
+    phases.resize(static_cast<std::size_t>(dim));
+    in_band.resize(static_cast<std::size_t>(dim));
+  }
   for (const SourcePoint& s : source) {
     bool any = false;
     for (int i = 0; i < dim; ++i) {
       const auto [kx, ky] = result.support[static_cast<std::size_t>(i)];
-      p[static_cast<std::size_t>(i)] =
-          pupil_value(config, s.fx + kx * df, s.fy + ky * df);
-      if (p[static_cast<std::size_t>(i)] != std::complex<double>(0.0, 0.0))
-        any = true;
+      const double fx = s.fx + kx * df;
+      const double fy = s.fy + ky * df;
+      const double f2 = fx * fx + fy * fy;
+      const bool inside = !(f2 > cutoff * cutoff);
+      if (inside) any = true;
+      if (defocused) {
+        in_band[static_cast<std::size_t>(i)] = inside ? 1 : 0;
+        phases[static_cast<std::size_t>(i)] = phase_scale * f2;
+      } else {
+        p[static_cast<std::size_t>(i)] =
+            inside ? std::complex<double>(1.0, 0.0)
+                   : std::complex<double>(0.0, 0.0);
+      }
     }
     if (!any) continue;
+    if (defocused) {
+      kernels::table().cis_f64(phases.data(), p.data(),
+                               static_cast<std::size_t>(dim));
+      for (int i = 0; i < dim; ++i)
+        if (in_band[static_cast<std::size_t>(i)] == 0)
+          p[static_cast<std::size_t>(i)] = {0.0, 0.0};
+    }
     for (int i = 0; i < dim; ++i) {
       if (p[static_cast<std::size_t>(i)] == std::complex<double>(0.0, 0.0))
         continue;

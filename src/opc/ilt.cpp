@@ -171,6 +171,35 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
                               bool abort_on_violation,
                               bool record_trajectory,
                               runtime::CancellationToken token) const {
+  return optimize_impl(layout, assignment, nullptr, nullptr,
+                       config_.max_iterations, abort_on_violation,
+                       record_trajectory, token);
+}
+
+IltResult IltEngine::optimize_seeded(const layout::Layout& layout,
+                                     const layout::Assignment& assignment,
+                                     const GridF& seed_p1,
+                                     const GridF& seed_p2, int max_iterations,
+                                     bool abort_on_violation,
+                                     bool record_trajectory,
+                                     runtime::CancellationToken token) const {
+  const int n = simulator_.grid_size();
+  require(seed_p1.height() == n && seed_p1.width() == n &&
+              seed_p2.height() == n && seed_p2.width() == n,
+          "IltEngine::optimize_seeded: seed grid does not match simulator");
+  require(max_iterations >= 1,
+          "IltEngine::optimize_seeded: need >= 1 iteration");
+  return optimize_impl(layout, assignment, &seed_p1, &seed_p2, max_iterations,
+                       abort_on_violation, record_trajectory, token);
+}
+
+IltResult IltEngine::optimize_impl(const layout::Layout& layout,
+                                   const layout::Assignment& assignment,
+                                   const GridF* seed_p1, const GridF* seed_p2,
+                                   int max_iterations,
+                                   bool abort_on_violation,
+                                   bool record_trajectory,
+                                   runtime::CancellationToken token) const {
   static obs::Counter& runs_counter = obs::counter("ilt.runs");
   static obs::Counter& iter_counter = obs::counter("ilt.iterations");
   static obs::Counter& check_counter = obs::counter("ilt.violation_checks");
@@ -187,12 +216,21 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
   const GridF target =
       layout::rasterize_target(layout, simulator_.grid_size());
   IltState state = init_state(layout, assignment);
+  if (seed_p1 != nullptr) {
+    // Warm start: keep init_state's schedule/loss-weight setup but replace
+    // the +/- initial_p fields with the learned prediction.
+    static obs::Counter& seeded_counter = obs::counter("ilt.seeded_runs");
+    seeded_counter.inc();
+    state.p1 = *seed_p1;
+    state.p2 = *seed_p2;
+    span.attr("seeded", 1.0);
+  }
 
   IltResult result;
   // One scratch for the whole run: iteration 1 warms every shape, the
   // remaining ~50 iterations run allocation-free through the pooled paths.
   IltScratch scratch;
-  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+  for (int iter = 0; iter < max_iterations; ++iter) {
     if (token.cancelled()) {
       // Wind down without finalizing: the caller is discarding this run.
       result.cancelled = true;
@@ -207,7 +245,7 @@ IltResult IltEngine::optimize(const layout::Layout& layout,
     const bool check_now =
         (iter + 1 > config_.violation_check_warmup &&
          (iter + 1) % config_.violation_check_interval == 0) ||
-        iter + 1 == config_.max_iterations;
+        iter + 1 == max_iterations;
     litho::ViolationReport violations;
     if (check_now || record_trajectory) {
       // Same computation as response_of(state), but reusing the run's

@@ -157,10 +157,33 @@ class IltEngine {
                      bool record_trajectory = false,
                      runtime::CancellationToken token = {}) const;
 
+  /// Warm-started optimization: identical loop, but the P fields start from
+  /// caller-provided seeds (e.g. the `warmstart` MaskNet prediction) instead
+  /// of the +/- initial_p raster, and the iteration budget can be cut below
+  /// config().max_iterations. Seeds must match the simulator grid. The
+  /// annealing/step schedules and violation-check cadence are unchanged, so
+  /// a seeded run with max_iterations == config().max_iterations and
+  /// +/-initial_p seeds is bit-identical to optimize().
+  IltResult optimize_seeded(const layout::Layout& layout,
+                            const layout::Assignment& assignment,
+                            const GridF& seed_p1, const GridF& seed_p2,
+                            int max_iterations,
+                            bool abort_on_violation = false,
+                            bool record_trajectory = false,
+                            runtime::CancellationToken token = {}) const;
+
   /// Binarizes a parameter field into a 0/1 mask grid (P >= threshold -> 1).
   GridF binarize_parameters(const GridF& p, double threshold = 0.0) const;
 
  private:
+  /// Shared loop behind optimize()/optimize_seeded(). `seed_p1/p2` null for
+  /// the paper-faithful cold init.
+  IltResult optimize_impl(const layout::Layout& layout,
+                          const layout::Assignment& assignment,
+                          const GridF* seed_p1, const GridF* seed_p2,
+                          int max_iterations, bool abort_on_violation,
+                          bool record_trajectory,
+                          runtime::CancellationToken token) const;
   GridF mask_of(const GridF& p, double theta_m) const;  ///< Eq. 1 sigmoid
   /// Out-param Eq. 1 sigmoid: reshapes and fully overwrites `out`.
   void mask_of_into(const GridF& p, double theta_m, GridF& out) const;

@@ -6,7 +6,8 @@
 namespace ldmo::serve {
 
 std::uint64_t config_fingerprint(const core::FlowEngineConfig& config,
-                                 const std::string& predictor_name) {
+                                 const std::string& predictor_name,
+                                 std::uint64_t warm_start_version) {
   common::Fnv1a h;
   // Version tag: bump when the flow's semantics change in a way the fields
   // below cannot express (e.g. a new phase, different score weights).
@@ -36,6 +37,14 @@ std::uint64_t config_fingerprint(const core::FlowEngineConfig& config,
 
   h.i64(config.flow.max_fallbacks);
   h.str(predictor_name);
+
+  // Warm-start identity: the enabled flag and iteration cap change the
+  // masks, and so does the seed model itself — its weight fingerprint
+  // stands in for the weights. All three hash even when disabled so
+  // toggling the flag always moves the key.
+  const core::WarmStartConfig& w = config.flow.warm_start;
+  h.u64(w.enabled ? 1 : 0).i64(w.max_iterations);
+  h.u64(w.enabled ? warm_start_version : 0);
   return h.digest();
 }
 

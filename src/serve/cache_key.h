@@ -27,9 +27,13 @@ namespace ldmo::serve {
 
 /// Fingerprint of every configuration field that can affect a flow result.
 /// `predictor_name` folds the candidate-ranking model identity in (swap
-/// the predictor, invalidate the cache).
+/// the predictor, invalidate the cache). `warm_start_version` is the
+/// MaskInitializer weight fingerprint (0 when no initializer is
+/// installed): with the warm-start flag on, retraining the seed model
+/// changes the produced masks, so it must retire every cached result.
 std::uint64_t config_fingerprint(const core::FlowEngineConfig& config,
-                                 const std::string& predictor_name);
+                                 const std::string& predictor_name,
+                                 std::uint64_t warm_start_version = 0);
 
 /// Result-tier key: one full LdmoResult per (config, layout geometry).
 std::uint64_t result_cache_key(std::uint64_t config_fp,

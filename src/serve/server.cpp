@@ -50,8 +50,9 @@ Server::Server(ServeConfig config,
                    ? std::move(backend)
                    : std::make_unique<core::RawPrintPredictor>(
                          *backend_simulator_)),
-      config_fp_(serve::config_fingerprint(config_.engine,
-                                           backend_->name())),
+      config_fp_(serve::config_fingerprint(
+          config_.engine, backend_->name(),
+          config_.warm_start ? config_.warm_start->version() : 0)),
       batcher_(*backend_, config_.batcher),
       score_cache_(config_.score_cache,
                    [](const double&) { return sizeof(double); }),
@@ -62,10 +63,12 @@ Server::Server(ServeConfig config,
       flight_recorder_(config_.flight.capacity) {
   require(config_.dispatchers >= 1, "Server: dispatchers must be >= 1");
   engines_.reserve(static_cast<std::size_t>(config_.dispatchers));
-  for (int i = 0; i < config_.dispatchers; ++i)
+  for (int i = 0; i < config_.dispatchers; ++i) {
     engines_.push_back(std::make_unique<core::FlowEngine>(
         config_.engine, std::make_unique<BatchingPredictor>(
                             batcher_, &score_cache_, config_fp_)));
+    if (config_.warm_start) engines_.back()->set_warm_start(config_.warm_start);
+  }
   dispatchers_.reserve(engines_.size());
   for (int i = 0; i < config_.dispatchers; ++i)
     dispatchers_.emplace_back([this, i] { dispatcher_loop(i); });

@@ -61,6 +61,12 @@ enum class OverflowPolicy {
 
 struct ServeConfig {
   core::FlowEngineConfig engine;
+  /// Learned ILT warm-start model, shared by every dispatcher engine (the
+  /// implementation serializes concurrent predictions internally). Only
+  /// consulted when engine.flow.warm_start.enabled; its weight version is
+  /// folded into the config fingerprint so cached results retire on model
+  /// swap.
+  std::shared_ptr<const core::MaskInitializer> warm_start;
   int dispatchers = 2;
   std::size_t queue_capacity = 64;
   OverflowPolicy overflow = OverflowPolicy::kReject;

@@ -1,0 +1,100 @@
+#include "warmstart/harvest.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "layout/raster.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "warmstart/corpus.h"
+
+namespace ldmo::warmstart {
+namespace {
+
+std::vector<float> to_plane(const GridF& grid) {
+  std::vector<float> plane(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    plane[i] = static_cast<float>(grid[i]);
+  return plane;
+}
+
+}  // namespace
+
+HarvestStats harvest_corpus(core::FlowEngine& engine,
+                            const HarvestConfig& config,
+                            const std::string& corpus_path) {
+  require(config.clip_count >= 1, "harvest_corpus: need >= 1 clip");
+  require(!engine.config().flow.warm_start.enabled,
+          "harvest_corpus: harvest with the cold flow — training labels "
+          "must come from the paper-faithful path, not a prior model");
+
+  static obs::Counter& harvested_counter =
+      obs::counter("warmstart.harvested_clips");
+  static obs::Counter& failure_counter =
+      obs::counter("warmstart.harvest_failures");
+
+  obs::Span span("warmstart.harvest");
+  span.attr("clips", config.clip_count);
+  span.attr("sampling", config.use_sampling ? 1.0 : 0.0);
+
+  const layout::LayoutGenerator generator(config.generator);
+  std::vector<layout::Layout> layouts;
+  if (config.use_sampling) {
+    // Generate a wider pool and keep the SIFT/k-medoids selection so the
+    // corpus covers the layout space's shape, not just consecutive seeds.
+    require(config.oversample >= 1, "harvest_corpus: bad oversample");
+    const std::vector<layout::Layout> pool = generator.generate_corpus(
+        config.clip_count * config.oversample, config.seed0);
+    sampling::LayoutSamplingConfig sampling_config = config.sampling;
+    const sampling::LayoutSamplingResult sampled =
+        sampling::sample_layouts(pool, sampling_config);
+    for (const int idx : sampled.selected) {
+      layouts.push_back(pool[static_cast<std::size_t>(idx)]);
+      if (static_cast<int>(layouts.size()) >= config.clip_count) break;
+    }
+    // Top up from the pool when the clustering selected fewer than asked.
+    for (std::size_t i = 0;
+         i < pool.size() &&
+         static_cast<int>(layouts.size()) < config.clip_count;
+         ++i) {
+      bool taken = false;
+      for (const int idx : sampled.selected)
+        if (static_cast<std::size_t>(idx) == i) { taken = true; break; }
+      if (!taken) layouts.push_back(pool[i]);
+    }
+  } else {
+    layouts = generator.generate_corpus(config.clip_count, config.seed0);
+  }
+
+  const int n = engine.simulator().grid_size();
+  CorpusWriter writer(corpus_path, n);
+  HarvestStats stats;
+  for (const layout::Layout& layout : layouts) {
+    ++stats.attempted;
+    core::LdmoResult result = engine.run(layout);
+    if (result.failed || result.cancelled) {
+      ++stats.failed;
+      failure_counter.inc();
+      log_warn("warmstart harvest: flow run for ", layout.name,
+               " did not produce masks, skipping");
+      continue;
+    }
+    ClipRecord record;
+    record.target = to_plane(layout::rasterize_target(layout, n));
+    record.raster1 =
+        to_plane(layout::rasterize_mask(layout, result.chosen, 0, n));
+    record.raster2 =
+        to_plane(layout::rasterize_mask(layout, result.chosen, 1, n));
+    record.mask1 = to_plane(result.ilt.mask1);
+    record.mask2 = to_plane(result.ilt.mask2);
+    writer.append(record);
+    ++stats.harvested;
+    harvested_counter.inc();
+  }
+  span.attr("harvested", stats.harvested);
+  span.attr("failed", stats.failed);
+  return stats;
+}
+
+}  // namespace ldmo::warmstart

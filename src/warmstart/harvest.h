@@ -1,0 +1,46 @@
+// Dataset harvester: replays the existing LDMO flow over generated clips
+// and records (target, decomposition, optimized-mask) training triples.
+//
+// The flow already produces exactly the supervision MaskNet needs — for
+// every successful run, the chosen decomposition's rasters pair with the
+// ILT-optimized binary masks. Harvesting is therefore a loop over
+// generator seeds through a FlowEngine session, appending each successful
+// run to the corpus; optional SIFT/k-medoids sampling (the paper's
+// Section IV-A machinery) diversifies which generated clips are spent on
+// flow runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/flow_engine.h"
+#include "layout/generator.h"
+#include "sampling/layout_sampling.h"
+
+namespace ldmo::warmstart {
+
+struct HarvestConfig {
+  layout::GeneratorConfig generator;
+  int clip_count = 32;        ///< flow runs to attempt
+  std::uint64_t seed0 = 900;  ///< first generator seed
+  /// Diversify: generate `clip_count * oversample` clips, then keep the
+  /// SIFT/k-medoids selection instead of the first clip_count seeds.
+  bool use_sampling = false;
+  int oversample = 4;
+  sampling::LayoutSamplingConfig sampling;
+};
+
+struct HarvestStats {
+  int attempted = 0;
+  int harvested = 0;  ///< records appended to the corpus
+  int failed = 0;     ///< flow runs that failed/cancelled (skipped)
+};
+
+/// Runs `config.clip_count` layouts through `engine` and appends each
+/// successful (target, rasters, optimized masks) triple to the corpus at
+/// `corpus_path` (created if absent; grid must match the engine).
+HarvestStats harvest_corpus(core::FlowEngine& engine,
+                            const HarvestConfig& config,
+                            const std::string& corpus_path);
+
+}  // namespace ldmo::warmstart

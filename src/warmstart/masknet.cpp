@@ -1,0 +1,155 @@
+#include "warmstart/masknet.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ldmo::warmstart {
+namespace {
+
+Rng seeded_rng(std::uint64_t seed) { return Rng(seed); }
+
+}  // namespace
+
+MaskNet::MaskNet(MaskNetConfig config)
+    : config_(config),
+      enc1_([&] {
+        require(config_.grid_size >= 8 && config_.grid_size % 4 == 0,
+                "MaskNet: grid_size must be >= 8 and divisible by 4");
+        require(config_.base_width >= 2, "MaskNet: base_width too small");
+        Rng rng = seeded_rng(config_.seed);
+        return nn::Conv2d(3, config_.base_width, 3, 1, 1, true, rng);
+      }()),
+      down1_([&] {
+        Rng rng = seeded_rng(config_.seed + 1);
+        return nn::Conv2d(config_.base_width, 2 * config_.base_width, 3, 2, 1,
+                          true, rng);
+      }()),
+      down2_([&] {
+        Rng rng = seeded_rng(config_.seed + 2);
+        return nn::Conv2d(2 * config_.base_width, 4 * config_.base_width, 3,
+                          2, 1, true, rng);
+      }()),
+      bott_([&] {
+        Rng rng = seeded_rng(config_.seed + 3);
+        return nn::Conv2d(4 * config_.base_width, 4 * config_.base_width, 3,
+                          1, 1, true, rng);
+      }()),
+      up1_([&] {
+        Rng rng = seeded_rng(config_.seed + 4);
+        return nn::ConvTranspose2d(4 * config_.base_width,
+                                   2 * config_.base_width, 2, 2, 0, true,
+                                   rng);
+      }()),
+      dec1_([&] {
+        Rng rng = seeded_rng(config_.seed + 5);
+        return nn::Conv2d(4 * config_.base_width, 2 * config_.base_width, 3,
+                          1, 1, true, rng);
+      }()),
+      up2_([&] {
+        Rng rng = seeded_rng(config_.seed + 6);
+        return nn::ConvTranspose2d(2 * config_.base_width, config_.base_width,
+                                   2, 2, 0, true, rng);
+      }()),
+      dec2_([&] {
+        Rng rng = seeded_rng(config_.seed + 7);
+        return nn::Conv2d(2 * config_.base_width, config_.base_width, 3, 1, 1,
+                          true, rng);
+      }()),
+      head_([&] {
+        Rng rng = seeded_rng(config_.seed + 8);
+        return nn::Conv2d(config_.base_width, 2, 3, 1, 1, true, rng);
+      }()) {}
+
+nn::Tensor MaskNet::forward(const nn::Tensor& input, bool training) {
+  require(input.rank() == 4 && input.dim(1) == 3 &&
+              input.dim(2) == config_.grid_size &&
+              input.dim(3) == config_.grid_size,
+          "MaskNet::forward: expects [N, 3, S, S] at the configured grid");
+
+  skip_e1_ = relu_enc1_.forward(enc1_.forward(input, training), training);
+  skip_e2_ =
+      relu_down1_.forward(down1_.forward(skip_e1_, training), training);
+  nn::Tensor x =
+      relu_down2_.forward(down2_.forward(skip_e2_, training), training);
+  x = relu_bott_.forward(bott_.forward(x, training), training);
+
+  x = up1_.forward(x, training);
+  x = nn::concat_channels(x, skip_e2_);
+  x = relu_dec1_.forward(dec1_.forward(x, training), training);
+
+  x = up2_.forward(x, training);
+  x = nn::concat_channels(x, skip_e1_);
+  x = relu_dec2_.forward(dec2_.forward(x, training), training);
+
+  nn::Tensor out = head_.forward(x, training);
+  // Cold-init residual: P_k += c * (2 * raster_k - 1), the +/- initial_p
+  // field IltState would have used (raster_k is input channel k + 1).
+  const float c = static_cast<float>(config_.cold_residual);
+  const int plane = config_.grid_size * config_.grid_size;
+  for (int b = 0; b < input.dim(0); ++b)
+    for (int k = 0; k < 2; ++k) {
+      const float* raster =
+          input.data() + static_cast<std::size_t>(b * 3 + 1 + k) * plane;
+      float* o = out.data() + static_cast<std::size_t>(b * 2 + k) * plane;
+      for (int i = 0; i < plane; ++i)
+        o[i] += c * (2.0f * raster[i] - 1.0f);
+    }
+  return out;
+}
+
+nn::Tensor MaskNet::backward(const nn::Tensor& grad_output) {
+  nn::Tensor g = head_.backward(grad_output);
+  g = dec2_.backward(relu_dec2_.backward(g));
+  nn::Tensor g_up2, g_skip1;
+  nn::split_channels(g, config_.base_width, g_up2, g_skip1);
+  g = up2_.backward(g_up2);
+
+  g = dec1_.backward(relu_dec1_.backward(g));
+  nn::Tensor g_up1, g_skip2;
+  nn::split_channels(g, 2 * config_.base_width, g_up1, g_skip2);
+  g = up1_.backward(g_up1);
+
+  g = down2_.backward(relu_down2_.backward(bott_.backward(
+      relu_bott_.backward(g))));
+  // The skip adds its branch gradient to the encoder path's.
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] += g_skip2[i];
+
+  g = down1_.backward(relu_down1_.backward(g));
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] += g_skip1[i];
+
+  nn::Tensor g_input = enc1_.backward(relu_enc1_.backward(g));
+  // Pass-through gradient of the cold-init residual: d P_k / d raster_k
+  // is the constant 2c on input channel k + 1.
+  const float c2 = 2.0f * static_cast<float>(config_.cold_residual);
+  const int plane = config_.grid_size * config_.grid_size;
+  for (int b = 0; b < g_input.dim(0); ++b)
+    for (int k = 0; k < 2; ++k) {
+      const float* go =
+          grad_output.data() + static_cast<std::size_t>(b * 2 + k) * plane;
+      float* gi = g_input.data() +
+                  static_cast<std::size_t>(b * 3 + 1 + k) * plane;
+      for (int i = 0; i < plane; ++i) gi[i] += c2 * go[i];
+    }
+  return g_input;
+}
+
+std::vector<nn::Parameter*> MaskNet::parameters() {
+  std::vector<nn::Parameter*> params;
+  for (nn::Layer* layer :
+       {static_cast<nn::Layer*>(&enc1_), static_cast<nn::Layer*>(&down1_),
+        static_cast<nn::Layer*>(&down2_), static_cast<nn::Layer*>(&bott_),
+        static_cast<nn::Layer*>(&up1_), static_cast<nn::Layer*>(&dec1_),
+        static_cast<nn::Layer*>(&up2_), static_cast<nn::Layer*>(&dec2_),
+        static_cast<nn::Layer*>(&head_)}) {
+    for (nn::Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::size_t MaskNet::parameter_count() {
+  std::size_t count = 0;
+  for (nn::Parameter* p : parameters()) count += p->value.size();
+  return count;
+}
+
+}  // namespace ldmo::warmstart

@@ -1,0 +1,90 @@
+// MaskNet: the warm-start encoder-decoder (ROADMAP item 2).
+//
+// A small UNet mapping the rasterized flow inputs — target plane plus the
+// two decomposition mask rasters — to continuous per-mask P-field
+// initializations for ILT, replacing IltState's +/- initial_p cold start.
+// Two downsampling stages with skip connections keep it cheap enough to
+// run once per speculative attempt on a CPU serving path while preserving
+// the pixel alignment the P fields need.
+//
+//   input  [N, 3, S, S]   (target, raster1, raster2)
+//   enc1:  3x3 conv (3 -> w) + ReLU                         -- skip to dec2
+//   down1: 3x3 conv stride 2 (w -> 2w) + ReLU               -- skip to dec1
+//   down2: 3x3 conv stride 2 (2w -> 4w) + ReLU
+//   bott:  3x3 conv (4w -> 4w) + ReLU
+//   up1:   2x2 deconv stride 2 (4w -> 2w), concat skip, 3x3 conv + ReLU
+//   up2:   2x2 deconv stride 2 (2w -> w),  concat skip, 3x3 conv + ReLU
+//   head:  3x3 conv (w -> 2), linear
+//          + cold_residual * (2 * raster_k - 1)   -- cold-init residual
+//   output [N, 2, S, S]   (P1, P2)
+//
+// Like ResNetRegressor, forward/backward are hand-written (the skip
+// connections need explicit gradient routing through split_channels), and
+// forward() caches activations — one forward/backward in flight at a time;
+// the serving wrapper (MaskWarmStart) serializes concurrent predictions.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/conv.h"
+#include "nn/deconv.h"
+#include "nn/upsample.h"
+
+namespace ldmo::warmstart {
+
+struct MaskNetConfig {
+  int grid_size = 64;   ///< must match the litho simulator grid; % 4 == 0
+  int base_width = 8;   ///< w above; capacity knob
+  std::uint64_t seed = 4242;  ///< weight initialization seed
+  /// The head output is a *residual* on the paper's cold init: the final
+  /// P_k adds cold_residual * (2 * raster_k - 1) — exactly IltState's
+  /// +/- initial_p field, which the raster input channels encode. A
+  /// freshly initialized net therefore starts at cold-init quality and
+  /// training can only improve on it (without this, the class-imbalanced
+  /// mask loss has a "predict everything empty" plateau that an
+  /// encoder-decoder of this size falls into). Match IltConfig::initial_p.
+  double cold_residual = 0.25;
+};
+
+class MaskNet {
+ public:
+  explicit MaskNet(MaskNetConfig config = {});
+
+  const MaskNetConfig& config() const { return config_; }
+
+  /// [N, 3, S, S] planes -> [N, 2, S, S] P fields.
+  nn::Tensor forward(const nn::Tensor& input, bool training);
+
+  /// Backpropagates d(loss)/d(output); accumulates parameter gradients.
+  nn::Tensor backward(const nn::Tensor& grad_output);
+
+  std::vector<nn::Parameter*> parameters();
+
+  /// Total trainable scalar count (diagnostic).
+  std::size_t parameter_count();
+
+ private:
+  MaskNetConfig config_;
+
+  nn::Conv2d enc1_;
+  nn::ReLU relu_enc1_;
+  nn::Conv2d down1_;
+  nn::ReLU relu_down1_;
+  nn::Conv2d down2_;
+  nn::ReLU relu_down2_;
+  nn::Conv2d bott_;
+  nn::ReLU relu_bott_;
+  nn::ConvTranspose2d up1_;
+  nn::Conv2d dec1_;
+  nn::ReLU relu_dec1_;
+  nn::ConvTranspose2d up2_;
+  nn::Conv2d dec2_;
+  nn::ReLU relu_dec2_;
+  nn::Conv2d head_;
+
+  // Skip activations cached by forward() for the concat backward.
+  nn::Tensor skip_e1_;
+  nn::Tensor skip_e2_;
+};
+
+}  // namespace ldmo::warmstart

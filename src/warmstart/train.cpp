@@ -1,0 +1,153 @@
+#include "warmstart/train.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace ldmo::warmstart {
+namespace {
+
+/// Stacks records[order[first..last)] into a [B, 3, S, S] input batch and
+/// a [B, 2, S, S] optimized-mask label batch.
+std::pair<nn::Tensor, nn::Tensor> make_batch(
+    const Corpus& corpus, const std::vector<std::size_t>& order,
+    std::size_t first, std::size_t last) {
+  const int batch = static_cast<int>(last - first);
+  const int n = corpus.grid_size;
+  const std::size_t plane = static_cast<std::size_t>(n) * n;
+  nn::Tensor inputs({batch, 3, n, n});
+  nn::Tensor labels({batch, 2, n, n});
+  for (int b = 0; b < batch; ++b) {
+    const ClipRecord& r =
+        corpus.records[order[first + static_cast<std::size_t>(b)]];
+    float* in = inputs.data() + static_cast<std::size_t>(b) * 3 * plane;
+    std::copy(r.target.begin(), r.target.end(), in);
+    std::copy(r.raster1.begin(), r.raster1.end(), in + plane);
+    std::copy(r.raster2.begin(), r.raster2.end(), in + 2 * plane);
+    float* lab = labels.data() + static_cast<std::size_t>(b) * 2 * plane;
+    std::copy(r.mask1.begin(), r.mask1.end(), lab);
+    std::copy(r.mask2.begin(), r.mask2.end(), lab + plane);
+  }
+  return {std::move(inputs), std::move(labels)};
+}
+
+/// Loss through the mask sigmoid: m = sigmoid(theta * y),
+/// L = mean((m - m*)^2); grad[i] = dL/dy_i. Returns L.
+double mask_loss_grad(const nn::Tensor& y, const nn::Tensor& labels,
+                      double theta, nn::Tensor& grad) {
+  grad = nn::Tensor(y.shape());
+  const double inv_n = 1.0 / static_cast<double>(y.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double m = 1.0 / (1.0 + std::exp(-theta * y[i]));
+    const double diff = m - labels[i];
+    loss += diff * diff;
+    grad[i] = static_cast<float>(2.0 * inv_n * diff * theta * m * (1.0 - m));
+  }
+  return loss * inv_n;
+}
+
+}  // namespace
+
+std::vector<WarmEpochStats> train_masknet(
+    MaskNet& net, const Corpus& corpus, const WarmTrainConfig& config,
+    const std::function<void(const WarmEpochStats&)>& on_epoch) {
+  require(!corpus.records.empty(), "train_masknet: empty corpus");
+  require(corpus.grid_size == net.config().grid_size,
+          "train_masknet: corpus grid does not match the network");
+  require(config.epochs >= 1 && config.batch_size >= 1 &&
+              config.theta_m > 0.0,
+          "train_masknet: bad trainer config");
+
+  static obs::Counter& epoch_counter = obs::counter("warmstart.train.epochs");
+  static obs::Counter& batch_counter = obs::counter("warmstart.train.batches");
+  static obs::Counter& example_counter =
+      obs::counter("warmstart.train.examples");
+
+  obs::Span span("warmstart.train");
+  span.attr("examples", static_cast<double>(corpus.records.size()));
+  span.attr("epochs", config.epochs);
+  span.attr("batch_size", config.batch_size);
+
+  nn::Adam optimizer(net.parameters(), config.adam);
+  Rng rng(config.shuffle_seed);
+
+  std::vector<std::size_t> order(corpus.records.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<WarmEpochStats> history;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    int batches = 0;
+    for (std::size_t first = 0; first < order.size();
+         first += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t last = std::min(
+          order.size(), first + static_cast<std::size_t>(config.batch_size));
+      auto [inputs, labels] = make_batch(corpus, order, first, last);
+      optimizer.zero_grad();
+      const nn::Tensor y = net.forward(inputs, /*training=*/true);
+      nn::Tensor grad;
+      loss_sum += mask_loss_grad(y, labels, config.theta_m, grad);
+      net.backward(grad);
+      optimizer.step();
+      ++batches;
+    }
+    WarmEpochStats stats{epoch + 1, loss_sum / std::max(1, batches)};
+    history.push_back(stats);
+    epoch_counter.inc();
+    batch_counter.inc(batches);
+    example_counter.inc(static_cast<long long>(order.size()));
+    span.row("epochs", {{"epoch", static_cast<double>(stats.epoch)},
+                        {"mean_loss", stats.mean_loss},
+                        {"learning_rate",
+                         optimizer.config().learning_rate}});
+    if (on_epoch) on_epoch(stats);
+    optimizer.config().learning_rate *= config.lr_decay_per_epoch;
+  }
+  span.attr("final_loss", history.empty() ? 0.0 : history.back().mean_loss);
+  return history;
+}
+
+double evaluate_masknet(MaskNet& net, const Corpus& corpus, double theta_m) {
+  require(!corpus.records.empty(), "evaluate_masknet: empty corpus");
+  std::vector<std::size_t> order(corpus.records.size());
+  std::iota(order.begin(), order.end(), 0);
+  double loss_sum = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    auto [inputs, labels] = make_batch(corpus, order, i, i + 1);
+    const nn::Tensor y = net.forward(inputs, /*training=*/false);
+    nn::Tensor grad;
+    loss_sum += mask_loss_grad(y, labels, theta_m, grad);
+  }
+  return loss_sum / static_cast<double>(order.size());
+}
+
+double cold_init_loss(const Corpus& corpus, double theta_m,
+                      double initial_p) {
+  require(!corpus.records.empty(), "cold_init_loss: empty corpus");
+  double loss_sum = 0.0;
+  for (const ClipRecord& r : corpus.records) {
+    double loss = 0.0;
+    const std::size_t n = r.mask1.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      // The paper's init: p = initial_p * (2 r - 1), mask = sigmoid(theta p).
+      const double p1 = initial_p * (2.0 * r.raster1[i] - 1.0);
+      const double p2 = initial_p * (2.0 * r.raster2[i] - 1.0);
+      const double m1 = 1.0 / (1.0 + std::exp(-theta_m * p1));
+      const double m2 = 1.0 / (1.0 + std::exp(-theta_m * p2));
+      const double d1 = m1 - r.mask1[i];
+      const double d2 = m2 - r.mask2[i];
+      loss += d1 * d1 + d2 * d2;
+    }
+    loss_sum += loss / static_cast<double>(2 * n);
+  }
+  return loss_sum / static_cast<double>(corpus.records.size());
+}
+
+}  // namespace ldmo::warmstart

@@ -1,0 +1,52 @@
+// Training loop for MaskNet on a harvested corpus.
+//
+// The loss is computed on the *mask*, not the raw P field: the predicted
+// field Y becomes a continuous mask m = sigmoid(theta_m * Y) — exactly the
+// Eq. 1 parameterization ILT applies to its P fields — and the loss is
+// MSE(m, m*) against the flow's optimized binary mask. Training through
+// the same sigmoid the consumer applies means the network output lands
+// directly in P-field units, so seeding ILT is a plain copy.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "warmstart/corpus.h"
+#include "warmstart/masknet.h"
+
+namespace ldmo::warmstart {
+
+struct WarmTrainConfig {
+  int epochs = 12;
+  int batch_size = 4;
+  nn::AdamConfig adam;
+  double lr_decay_per_epoch = 1.0;
+  /// Mask sigmoid slope used in the loss; match IltConfig::theta_m.
+  double theta_m = 8.0;
+  std::uint64_t shuffle_seed = 77;
+};
+
+struct WarmEpochStats {
+  int epoch = 0;
+  double mean_loss = 0.0;  ///< mean per-pixel squared mask error
+};
+
+/// Trains `net` on every record of `corpus`; returns per-epoch stats.
+/// `on_epoch` (optional) is invoked after each epoch.
+std::vector<WarmEpochStats> train_masknet(
+    MaskNet& net, const Corpus& corpus, const WarmTrainConfig& config = {},
+    const std::function<void(const WarmEpochStats&)>& on_epoch = nullptr);
+
+/// Mean per-pixel squared mask error of the net over a corpus (eval mode,
+/// no gradient) — the training loss as a held-out metric.
+double evaluate_masknet(MaskNet& net, const Corpus& corpus,
+                        double theta_m = 8.0);
+
+/// Mean per-pixel squared mask error of the paper's cold init (+/-
+/// initial_p from the decomposition raster) against the optimized masks —
+/// the baseline a useful warm start must beat.
+double cold_init_loss(const Corpus& corpus, double theta_m = 8.0,
+                      double initial_p = 0.25);
+
+}  // namespace ldmo::warmstart

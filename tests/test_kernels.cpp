@@ -377,6 +377,56 @@ TEST(KernelApproxOpsTest, SigmoidToleranceAndDeterminism) {
   }
 }
 
+TEST(KernelApproxOpsTest, CisToleranceAndDeterminism) {
+  Rng rng(41);
+  constexpr std::size_t n = 1021;  // odd: exercises every tail path
+  std::vector<double> x = random_f64(rng, n, -2000.0, 2000.0);
+  // Edge cases: signed zero, quadrant boundaries and interiors, large
+  // arguments that stress the three-part pi/2 reduction.
+  x[0] = 0.0;
+  x[1] = -0.0;
+  x[2] = M_PI_2;
+  x[3] = -M_PI_2;
+  x[4] = M_PI;
+  x[5] = -M_PI;
+  x[6] = 2.0 * M_PI;
+  x[7] = 0.75 * M_PI;
+  x[8] = -0.75 * M_PI;
+  x[9] = 1e5;
+  x[10] = -1e5;
+  const KernelTable& g = *detail::table_for(Backend::kGeneric);
+  std::vector<Complex> ref(n), out(n), out2(n);
+  g.cis_f64(x.data(), ref.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The generic backend is libm cos/sin, bit for bit.
+    EXPECT_EQ(ref[i].real(), std::cos(x[i]));
+    EXPECT_EQ(ref[i].imag(), std::sin(x[i]));
+  }
+  for (const KernelTable* t : usable_tables()) {
+    SCOPED_TRACE(t->name);
+    t->cis_f64(x.data(), out.data(), n);
+    t->cis_f64(x.data(), out2.data(), n);
+    EXPECT_TRUE(bits_equal(out.data(), out2.data(), n));  // deterministic
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[i].real(), ref[i].real(), 1e-12)
+          << "i=" << i << " x=" << x[i];
+      EXPECT_NEAR(out[i].imag(), ref[i].imag(), 1e-12)
+          << "i=" << i << " x=" << x[i];
+      EXPECT_NEAR(std::abs(out[i]), 1.0, 1e-12);  // unit phasor
+    }
+  }
+  // cis(0) is exactly 1 + 0i on every backend.
+  for (const KernelTable* t : usable_tables()) {
+    std::vector<double> zeros(8, 0.0);
+    std::vector<Complex> z(8);
+    t->cis_f64(zeros.data(), z.data(), 8);
+    for (const Complex& v : z) {
+      EXPECT_EQ(v.real(), 1.0);
+      EXPECT_EQ(v.imag(), 0.0);
+    }
+  }
+}
+
 TEST(KernelApproxOpsTest, ReductionTolerances) {
   Rng rng(29);
   constexpr std::size_t n = 1531;

@@ -14,6 +14,7 @@
 #include "common/failpoint.h"
 #include "nn/batchnorm.h"
 #include "nn/conv.h"
+#include "nn/deconv.h"
 #include "nn/gemm.h"
 #include "nn/linear.h"
 #include "nn/loss.h"
@@ -22,6 +23,7 @@
 #include "nn/resnet.h"
 #include "nn/serialize.h"
 #include "nn/trainer.h"
+#include "nn/upsample.h"
 
 namespace ldmo::nn {
 namespace {
@@ -331,6 +333,95 @@ TEST(BasicBlockLayer, ProjectionShortcutGradients) {
   // differences are noisier than for single layers, hence the wider band
   // (each constituent layer is tightly checked above).
   check_layer_gradients(block, Tensor::randn({2, 3, 6, 6}, rng, 0.5f), 7e-2);
+}
+
+// --------------------------------------------------------------- decoder --
+
+TEST(DeconvLayer, AdjointOfConvolution) {
+  // ConvTranspose2d forward must equal Conv2d backward-through-input with
+  // the same (transposed) kernel: <conv(x), y> == <x, deconv(y)>.
+  Rng rng(40);
+  const int in_c = 2, out_c = 3, k = 3, stride = 2, pad = 1;
+  Conv2d conv(out_c, in_c, k, stride, pad, false, rng);
+  ConvTranspose2d deconv(in_c, out_c, k, stride, pad, false, rng);
+  // Share weights: conv.weight is [in_c, out_c*k*k] viewed as gathering
+  // out_c planes; deconv.weight is [in_c, out_c*k*k] scattering them.
+  deconv.weight().value = conv.weight().value;
+
+  Tensor y = Tensor::randn({1, out_c, 7, 7}, rng, 0.7f);  // conv input
+  Tensor x = Tensor::randn({1, in_c, 4, 4}, rng, 0.7f);   // deconv input
+  const Tensor conv_y = conv.forward(y, false);    // [1, in_c, 4, 4]
+  const Tensor deconv_x = deconv.forward(x, false);  // [1, out_c, 7, 7]
+  ASSERT_EQ(conv_y.shape(), x.shape());
+  ASSERT_EQ(deconv_x.shape(), y.shape());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    lhs += static_cast<double>(conv_y[i]) * x[i];
+  for (std::size_t i = 0; i < y.size(); ++i)
+    rhs += static_cast<double>(deconv_x[i]) * y[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (1.0 + std::abs(lhs)));
+}
+
+TEST(DeconvLayer, DoublesSpatialSizeAtK2S2) {
+  Rng rng(41);
+  ConvTranspose2d deconv(4, 2, 2, 2, 0, true, rng);
+  Tensor x = Tensor::randn({2, 4, 8, 8}, rng);
+  const Tensor y = deconv.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 2, 16, 16}));
+}
+
+TEST(DeconvLayer, GradientsMatchFiniteDifference) {
+  Rng rng(42);
+  ConvTranspose2d deconv(2, 3, 2, 2, 0, true, rng);
+  check_layer_gradients(deconv, Tensor::randn({2, 2, 4, 4}, rng, 0.5f));
+}
+
+TEST(DeconvLayer, StridedPaddedGradientsMatchFiniteDifference) {
+  Rng rng(43);
+  ConvTranspose2d deconv(3, 2, 3, 2, 1, false, rng);
+  check_layer_gradients(deconv, Tensor::randn({1, 3, 5, 5}, rng, 0.5f));
+}
+
+TEST(UpsampleLayer, ReplicatesPixels) {
+  Upsample2x up;
+  Tensor x({1, 1, 2, 2});
+  for (int i = 0; i < 4; ++i) x[static_cast<std::size_t>(i)] = i + 1.0f;
+  const Tensor y = up.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 3, 3), 4.0f);
+}
+
+TEST(UpsampleLayer, GradientsMatchFiniteDifference) {
+  Rng rng(44);
+  Upsample2x up;
+  check_layer_gradients(up, Tensor::randn({2, 3, 3, 3}, rng, 1.0f));
+}
+
+TEST(ConcatChannels, RoundTripAndAdjoint) {
+  Rng rng(45);
+  Tensor a = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor b = Tensor::randn({2, 2, 4, 4}, rng);
+  const Tensor cat = concat_channels(a, b);
+  ASSERT_EQ(cat.shape(), (std::vector<int>{2, 5, 4, 4}));
+  EXPECT_FLOAT_EQ(cat.at4(1, 0, 2, 3), a.at4(1, 0, 2, 3));
+  EXPECT_FLOAT_EQ(cat.at4(1, 4, 2, 3), b.at4(1, 1, 2, 3));
+
+  // split(concat(a, b)) is the identity — which, because concat is a pure
+  // copy, is exactly the finite-difference adjoint check.
+  Tensor ga, gb;
+  split_channels(cat, 3, ga, gb);
+  EXPECT_EQ(ga, a);
+  EXPECT_EQ(gb, b);
+}
+
+TEST(ConcatChannels, ShapeMismatchThrows) {
+  Tensor a({1, 2, 4, 4}), b({1, 2, 3, 4});
+  EXPECT_THROW(concat_channels(a, b), ldmo::Error);
+  Tensor g({1, 4, 4, 4}), ga, gb;
+  EXPECT_THROW(split_channels(g, 4, ga, gb), ldmo::Error);
 }
 
 // ------------------------------------------------------------------ loss --

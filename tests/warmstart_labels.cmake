@@ -1,0 +1,9 @@
+# Included by ctest (TEST_INCLUDE_FILES) after gtest discovery populated
+# test_warmstart_TESTS. Discovery can only attach a single label — it
+# flattens list-valued PROPERTIES — so the full label set lives here:
+# "sanitize" (the suite exercises the MaskWarmStart mutex and failpoints
+# under the TSan budget) plus "warmstart" (ctest -L warmstart runs the
+# harvest -> train -> seeded-ILT end-to-end fixture and friends alone).
+foreach(t IN LISTS test_warmstart_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "sanitize;warmstart")
+endforeach()
