@@ -42,6 +42,9 @@
 #include "core/baseline_flows.h"
 #include "core/ldmo_flow.h"
 #include "core/predictor.h"
+#include "flywheel/log.h"
+#include "flywheel/sink.h"
+#include "flywheel/tuner.h"
 #include "kernels/kernels.h"
 #include "layout/generator.h"
 #include "layout/io.h"
@@ -99,13 +102,21 @@ int usage() {
                "                    [--weights FILE] [--snapshot FILE]\n"
                "                    [--warm-start WEIGHTS] [--warm-iters N]\n"
                "                    [--warm-width W]\n"
+               "                    [--flywheel LOG] [--flywheel-min-new N]\n"
+               "                    [--flywheel-sample K]\n"
+               "                    [--flywheel-poll-ms MS]\n"
+               "                    [--flywheel-epochs E]\n"
                "                    [--admin-port P] [--threads N]\n"
                "  ldmo_cli route --workers P1,P2,... [--listen PORT]\n"
                "                    [--admin-port P]\n"
                "  ldmo_cli net-submit FILE --port P [--deadline-ms MS]\n"
                "  ldmo_cli net-stats --port P\n"
                "  ldmo_cli swap-weights --port P [--weights FILE]\n"
-               "                    [--version N]\n"
+               "                    [--version N] [--warm-start FILE]\n"
+               "  ldmo_cli flywheel-stats --log FILE\n"
+               "  ldmo_cli flywheel-train --log FILE --out WEIGHTS\n"
+               "                    [--weights INCUMBENT] [--min-new N]\n"
+               "                    [--epochs E] [--batch B] [--lr RATE]\n"
                "\n"
                "serve/route run until SIGINT/SIGTERM and print\n"
                "'listening on port N' once bound; --listen 0 (default)\n"
@@ -126,6 +137,11 @@ int usage() {
                "match the trained model's base width (default 8). Only\n"
                "the 'ours' flow and serve consult the model; without the\n"
                "flag the paper-faithful cold init runs unchanged.\n"
+               "--flywheel: online-learning loop on the serve daemon —\n"
+               "capture completed non-degraded runs to LOG, background\n"
+               "fine-tune the predictor CNN on them, and hot-swap the\n"
+               "candidate in (blue/green, cache keys retired) only when it\n"
+               "beats the incumbent's held-out rank correlation\n"
                "--admin-port: serve live telemetry on 127.0.0.1:P\n"
                "(/metrics /healthz /readyz /varz /trace /flightrecorder;\n"
                "0 picks a free port); --admin-linger-ms keeps the server\n"
@@ -868,14 +884,66 @@ int cmd_serve(int argc, char** argv) {
     cfg.serve.admin.port = std::atoi(admin_port);
   }
 
+  // Online-learning flywheel: capture completed runs into a training log
+  // and fine-tune/promote the predictor in the background (DESIGN.md §16).
+  // The sink hangs off the serve config (so the daemon's blue/green swaps
+  // carry it into every replacement server); the tuner promotes through
+  // the daemon's versioned swap path, exactly like a wire swap-weights.
+  const char* flywheel_log = flag_value(argc, argv, "--flywheel", nullptr);
+  std::shared_ptr<flywheel::TrainingLogSink> sink;
+  if (flywheel_log) {
+    flywheel::SinkConfig sink_cfg;
+    sink_cfg.path = flywheel_log;
+    sink_cfg.image_size = 64;  // default CnnPredictor ResNet input size
+    sink_cfg.sample_every =
+        std::atoi(flag_value(argc, argv, "--flywheel-sample", "1"));
+    sink = std::make_shared<flywheel::TrainingLogSink>(sink_cfg);
+    cfg.serve.capture = sink;
+  }
+
   net::ServeDaemon daemon(cfg);
+
+  std::unique_ptr<flywheel::FineTuner> tuner;
+  if (flywheel_log) {
+    flywheel::TunerConfig tuner_cfg;
+    tuner_cfg.log_path = flywheel_log;
+    tuner_cfg.min_new_records = static_cast<std::size_t>(
+        std::atoi(flag_value(argc, argv, "--flywheel-min-new", "12")));
+    tuner_cfg.poll_interval_ms =
+        std::atoi(flag_value(argc, argv, "--flywheel-poll-ms", "500"));
+    tuner_cfg.trainer.epochs =
+        std::atoi(flag_value(argc, argv, "--flywheel-epochs", "4"));
+    tuner = std::make_unique<flywheel::FineTuner>(
+        tuner_cfg,
+        [&daemon](std::uint64_t version,
+                  const std::vector<std::uint8_t>& blob) {
+          daemon.swap_weights(version, blob);
+        });
+    if (!cfg.weights_path.empty()) {
+      std::ifstream in(cfg.weights_path, std::ios::binary);
+      std::vector<std::uint8_t> incumbent{
+          std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+      if (!incumbent.empty()) tuner->set_incumbent(incumbent);
+    }
+    tuner->start();
+  }
+
   std::printf("serve: listening on port %d\n", daemon.port());
   if (admin_port)
     std::printf("serve: admin on http://127.0.0.1:%d\n",
                 daemon.server()->admin_port());
+  if (flywheel_log)
+    std::printf("serve: flywheel capturing to %s\n", flywheel_log);
   std::fflush(stdout);
   wait_for_stop_signal();
+  if (tuner) tuner->stop();
   daemon.stop();
+  if (sink) sink->drain();
+  if (tuner)
+    std::printf("serve: flywheel captured %lld pairs, %lld rounds, "
+                "%lld promotions\n",
+                sink->captured(), tuner->rounds(), tuner->promotions());
   std::printf("serve: stopped\n");
   return 0;
 }
@@ -979,11 +1047,91 @@ int cmd_swap_weights(int argc, char** argv) {
     blob.assign(std::istreambuf_iterator<char>(in),
                 std::istreambuf_iterator<char>());
   }
+  // Optional warm-start MaskNet push in the same swap: the worker loads it
+  // into a fresh MaskWarmStart whose version retires warm-dependent keys.
+  std::vector<std::uint8_t> warm_blob;
+  if (const char* warm = flag_value(argc, argv, "--warm-start", nullptr)) {
+    std::ifstream in(warm, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "swap-weights: cannot read %s\n", warm);
+      return 1;
+    }
+    warm_blob.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+  }
   net::Client client(net::ClientConfig{.port = std::atoi(port)});
-  const std::uint64_t active = client.swap_weights(version, blob);
+  const std::uint64_t active = client.swap_weights(version, blob, warm_blob);
   std::printf("swap-weights: active version is now %llu\n",
               static_cast<unsigned long long>(active));
   return 0;
+}
+
+// Inspect a flywheel training log: record count, framing health, score
+// spread — the operator's first stop when the flywheel looks stalled.
+int cmd_flywheel_stats(int argc, char** argv) {
+  const char* log_path = flag_value(argc, argv, "--log", nullptr);
+  if (!log_path) return usage();
+  const flywheel::TrainingLog log = flywheel::read_training_log(log_path);
+  double lo = 0.0, hi = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < log.pairs.size(); ++i) {
+    const double s = log.pairs[i].score;
+    lo = i == 0 ? s : std::min(lo, s);
+    hi = i == 0 ? s : std::max(hi, s);
+    sum += s;
+  }
+  std::printf("flywheel log %s: %zu pairs at %dx%d%s\n", log_path,
+              log.pairs.size(), log.image_size, log.image_size,
+              log.torn_tail ? " (torn tail dropped)" : "");
+  if (!log.pairs.empty())
+    std::printf("scores: min %.3f, mean %.3f, max %.3f\n", lo,
+                sum / static_cast<double>(log.pairs.size()), hi);
+  return 0;
+}
+
+// One offline flywheel round: fine-tune on a captured log and write the
+// candidate weights iff they beat the incumbent on the held-out slice.
+// Exit 0 = promoted, 1 = gate held or not enough data.
+int cmd_flywheel_train(int argc, char** argv) {
+  const char* log_path = flag_value(argc, argv, "--log", nullptr);
+  const char* out = flag_value(argc, argv, "--out", nullptr);
+  if (!log_path || !out) return usage();
+
+  flywheel::TunerConfig cfg;
+  cfg.log_path = log_path;
+  cfg.min_new_records = static_cast<std::size_t>(
+      std::atoi(flag_value(argc, argv, "--min-new", "8")));
+  cfg.trainer.epochs = std::atoi(flag_value(argc, argv, "--epochs", "4"));
+  cfg.trainer.batch_size = std::atoi(flag_value(argc, argv, "--batch", "8"));
+  cfg.trainer.adam.learning_rate =
+      std::atof(flag_value(argc, argv, "--lr", "0.001"));
+
+  bool promoted = false;
+  flywheel::FineTuner tuner(
+      cfg, [&](std::uint64_t, const std::vector<std::uint8_t>& blob) {
+        std::ofstream f(out, std::ios::binary | std::ios::trunc);
+        f.write(reinterpret_cast<const char*>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
+        if (!f) throw std::runtime_error(std::string("cannot write ") + out);
+        promoted = true;
+      });
+  if (const char* weights = flag_value(argc, argv, "--weights", nullptr)) {
+    std::ifstream in(weights, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "flywheel-train: cannot read %s\n", weights);
+      return 1;
+    }
+    tuner.set_incumbent(std::vector<std::uint8_t>{
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>()});
+  }
+  const flywheel::TuneRound round = tuner.run_once();
+  std::printf("flywheel-train: %s (records %zu, train %zu, holdout %zu, "
+              "incumbent corr %.3f, candidate corr %.3f)\n",
+              round.detail.c_str(), round.records, round.train_count,
+              round.holdout_count, round.incumbent_corr,
+              round.candidate_corr);
+  if (promoted) std::printf("wrote %s\n", out);
+  return round.promoted ? 0 : 1;
 }
 
 }  // namespace
@@ -1013,6 +1161,10 @@ int main(int argc, char** argv) {
       return cmd_net_stats(argc, argv);
     if (std::strcmp(argv[1], "swap-weights") == 0)
       return cmd_swap_weights(argc, argv);
+    if (std::strcmp(argv[1], "flywheel-stats") == 0)
+      return cmd_flywheel_stats(argc, argv);
+    if (std::strcmp(argv[1], "flywheel-train") == 0)
+      return cmd_flywheel_train(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -30,6 +30,53 @@ double median(std::vector<double> values) {
   return 0.5 * (values[n / 2 - 1] + values[n / 2]);
 }
 
+namespace {
+
+/// Average ranks (1-based): tied values share the mean of the positions
+/// they occupy, so e.g. {3, 1, 1} ranks to {3, 1.5, 1.5}.
+std::vector<double> average_ranks(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double rank = 0.5 * (static_cast<double>(i) +
+                               static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_rank_correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  require(a.size() == b.size(),
+          "spearman_rank_correlation: size mismatch");
+  if (a.size() < 2) return 0.0;
+  const std::vector<double> ra = average_ranks(a);
+  const std::vector<double> rb = average_ranks(b);
+  const double ma = mean(ra);
+  const double mb = mean(rb);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double da = ra[i] - ma;
+    const double db = rb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
 void ZScoreNormalizer::fit(const std::vector<double>& values) {
   require(!values.empty(), "ZScoreNormalizer::fit: empty input");
   mean_ = mean(values);

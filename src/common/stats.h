@@ -19,6 +19,16 @@ double stddev(const std::vector<double>& values);
 /// Median (average of middle two for even sizes); 0 for empty input.
 double median(std::vector<double> values);
 
+/// Spearman rank correlation between two equal-length samples, with
+/// average ranks for ties (the textbook definition: Pearson correlation of
+/// the rank vectors). Returns a value in [-1, 1]; 0 when either sample has
+/// fewer than 2 values or zero rank variance (all tied). This is the
+/// promotion gate's "does the predictor still order candidates correctly"
+/// signal — rank-based because the flow only consumes the ordering, and
+/// a model can drift in scale while ranking perfectly.
+double spearman_rank_correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
 /// Fit-once, apply-many z-score transform: z = (x - mean) / stddev.
 /// A degenerate fit (stddev == 0) maps every value to 0.
 class ZScoreNormalizer {

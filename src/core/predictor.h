@@ -6,6 +6,7 @@
 // lithography-simulation loop in seconds.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,6 +88,41 @@ class CnnPredictor : public PrintabilityPredictor {
 
  private:
   std::unique_ptr<nn::ResNetRegressor> network_;
+};
+
+/// Decorator that folds a weight version into the predictor identity:
+/// "cnn" becomes "cnn@v3". serve::config_fingerprint hashes the predictor
+/// name, so every weight promotion — the daemon's wire swap and the
+/// flywheel's in-process swap — changes every cache key and stale results
+/// become unreachable rather than wrong.
+class VersionedPredictor : public PrintabilityPredictor {
+ public:
+  VersionedPredictor(std::unique_ptr<PrintabilityPredictor> inner,
+                     std::uint64_t version)
+      : inner_(std::move(inner)),
+        version_(version),
+        name_(inner_->name() + "@v" + std::to_string(version)) {}
+
+  double score(const layout::Layout& layout,
+               const layout::Assignment& assignment) override {
+    return inner_->score(layout, assignment);
+  }
+  std::vector<double> score_batch(
+      const layout::Layout& layout,
+      const std::vector<layout::Assignment>& candidates) override {
+    return inner_->score_batch(layout, candidates);
+  }
+  std::vector<std::vector<double>> score_batch_multi(
+      const std::vector<ScoringJob>& jobs) override {
+    return inner_->score_batch_multi(jobs);
+  }
+  std::string name() const override { return name_; }
+  std::uint64_t version() const { return version_; }
+
+ private:
+  std::unique_ptr<PrintabilityPredictor> inner_;
+  std::uint64_t version_ = 0;
+  std::string name_;
 };
 
 /// Oracle predictor: runs the full ILT optimization and returns the true

@@ -1,0 +1,111 @@
+#include "flywheel/sink.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "nn/tensor.h"
+#include "sampling/training_set.h"
+
+namespace ldmo::flywheel {
+namespace {
+
+/// Validation happens before any member construction: once the writer
+/// thread member starts, a throwing constructor body would destroy a
+/// joinable std::thread (std::terminate).
+SinkConfig validated(SinkConfig config) {
+  require(config.sample_every >= 1,
+          "TrainingLogSink: sample_every must be >= 1");
+  require(config.queue_capacity >= 1,
+          "TrainingLogSink: queue_capacity must be >= 1");
+  return config;
+}
+
+}  // namespace
+
+TrainingLogSink::TrainingLogSink(SinkConfig config)
+    : config_(validated(std::move(config))),
+      writer_(config_.path, config_.image_size),
+      preexisting_(training_log_record_count(config_.path)),
+      captured_counter_(obs::counter("flywheel.captured")),
+      dropped_counter_(obs::counter("flywheel.dropped")),
+      bytes_counter_(obs::counter("flywheel.bytes")),
+      writer_thread_([this] { writer_loop(); }) {}
+
+TrainingLogSink::~TrainingLogSink() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_thread_.joinable()) writer_thread_.join();
+}
+
+void TrainingLogSink::on_result(const layout::Layout& layout,
+                                const layout::Assignment& chosen,
+                                double actual_score) {
+  const long long n = seen_.fetch_add(1);
+  if (config_.sample_every > 1 && n % config_.sample_every != 0) return;
+
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool capped =
+        config_.max_records > 0 &&
+        preexisting_ + writer_.appended() + queue_.size() >=
+            config_.max_records;
+    if (!stop_ && !capped && queue_.size() < config_.queue_capacity) {
+      queue_.push_back(Item{layout, chosen, actual_score});
+      enqueued = true;
+    }
+  }
+  if (enqueued) {
+    cv_.notify_one();
+  } else {
+    dropped_.fetch_add(1);
+    dropped_counter_.inc();
+  }
+}
+
+void TrainingLogSink::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+void TrainingLogSink::writer_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with nothing left
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      const nn::Tensor image = sampling::decomposition_tensor(
+          item.layout, item.assignment, config_.image_size);
+      TrainingPair pair;
+      pair.image.assign(image.data(), image.data() + image.size());
+      pair.score = item.score;
+      writer_.append(pair);
+      captured_.fetch_add(1);
+      captured_counter_.inc();
+      bytes_counter_.inc(static_cast<long long>(
+          training_log_record_bytes(config_.image_size)));
+    } catch (const std::exception& e) {
+      dropped_.fetch_add(1);
+      dropped_counter_.inc();
+      log_warn("flywheel: dropping training pair (", e.what(), ")");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace ldmo::flywheel

@@ -1,0 +1,115 @@
+// Serve-time training-data capture: the flywheel's intake.
+//
+// TrainingLogSink implements serve::CaptureHook. The dispatcher-side
+// on_result() is deliberately tiny — a sampling check and a bounded queue
+// push of copies — so capture cost on the request path is nanoseconds, not
+// rasterization. A dedicated writer thread drains the queue, rasterizes
+// each decomposition to the CNN's grayscale input image
+// (sampling::decomposition_tensor) and appends the (image, actual score)
+// pair to the append-only training log (log.h).
+//
+// Backpressure is drop-not-block: when the queue is full, or the log
+// already holds max_records, the pair is counted in flywheel.dropped and
+// forgotten. Training data is a sample of traffic, never a reason to slow
+// it down. Append failures (disk faults, the flywheel.log.append
+// failpoint) are likewise counted and logged, and the writer keeps going —
+// the incumbent model keeps serving regardless (ISSUE-10 fault drill).
+//
+// Counters: flywheel.captured (pairs durably appended), flywheel.dropped
+// (sampled-out pairs are NOT counted; only capacity/cap/fault drops are),
+// flywheel.bytes (bytes appended).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "flywheel/log.h"
+#include "obs/metrics.h"
+#include "serve/capture.h"
+
+namespace ldmo::flywheel {
+
+struct SinkConfig {
+  /// Training-log path; created (or resumed) by the writer.
+  std::string path;
+  /// Side of the square grayscale image — must match the predictor CNN's
+  /// input_size so logged pairs train it directly.
+  int image_size = 64;
+  /// Capture 1 of every N eligible results (1 = all). Sampling happens
+  /// before the queue, so a busy server pays one atomic increment for a
+  /// sampled-out result.
+  int sample_every = 1;
+  /// Bounded handoff queue between dispatchers and the writer thread.
+  std::size_t queue_capacity = 64;
+  /// Stop capturing once the log holds this many records (0 = unbounded).
+  /// Keeps a long-lived server from growing the log without limit.
+  std::size_t max_records = 4096;
+};
+
+class TrainingLogSink : public serve::CaptureHook {
+ public:
+  /// Opens (or creates) the log and starts the writer thread. Throws if
+  /// the path is unwritable or holds a log with a different image size.
+  explicit TrainingLogSink(SinkConfig config);
+  /// Writes out anything still queued, then stops and joins the writer
+  /// (the queue is bounded, so this is bounded work).
+  ~TrainingLogSink() override;
+
+  TrainingLogSink(const TrainingLogSink&) = delete;
+  TrainingLogSink& operator=(const TrainingLogSink&) = delete;
+
+  void on_result(const layout::Layout& layout,
+                 const layout::Assignment& chosen,
+                 double actual_score) override;
+
+  /// Blocks until every queued pair has been written (or dropped) — test
+  /// and shutdown hook, not needed in steady state.
+  void drain();
+
+  /// Pairs durably appended to the log by this sink.
+  long long captured() const { return captured_.load(); }
+  /// Pairs lost to a full queue, the max_records cap, or append failure.
+  long long dropped() const { return dropped_.load(); }
+  const SinkConfig& config() const { return config_; }
+
+ private:
+  /// What the dispatcher hands the writer: copies, because the request
+  /// (and its layout) dies when the promise is fulfilled.
+  struct Item {
+    layout::Layout layout;
+    layout::Assignment assignment;
+    double score = 0.0;
+  };
+
+  void writer_loop();
+
+  SinkConfig config_;
+  TrainingLogWriter writer_;
+  /// Records already in the log when this sink opened it (max_records
+  /// counts them; writer_.appended() is this-process only).
+  std::size_t preexisting_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes the writer
+  std::condition_variable idle_cv_;  ///< wakes drain()
+  std::deque<Item> queue_;
+  bool stop_ = false;
+  bool busy_ = false;  ///< writer holds an item outside the lock
+
+  std::atomic<long long> seen_{0};  ///< eligible results (sampling basis)
+  std::atomic<long long> captured_{0};
+  std::atomic<long long> dropped_{0};
+
+  obs::Counter& captured_counter_;
+  obs::Counter& dropped_counter_;
+  obs::Counter& bytes_counter_;
+
+  std::thread writer_thread_;  ///< last member: starts after all state
+};
+
+}  // namespace ldmo::flywheel

@@ -100,12 +100,16 @@ WorkerStats Client::stats() {
   }
 }
 
-std::uint64_t Client::swap_weights(std::uint64_t version,
-                                   const std::vector<std::uint8_t>& blob) {
+std::uint64_t Client::swap_weights(
+    std::uint64_t version, const std::vector<std::uint8_t>& blob,
+    const std::vector<std::uint8_t>& warm_blob) {
   WireWriter w;
   w.u64(version);
-  w.u32(static_cast<std::uint32_t>(blob.size()));
-  for (std::uint8_t byte : blob) w.u8(byte);
+  w.blob(blob);
+  // The warm-start section is appended only when present: an old-style
+  // payload (u64 + blob) and a new-style one without warm weights are
+  // byte-identical, so the wire format stays compatible both ways.
+  if (!warm_blob.empty()) w.blob(warm_blob);
   // No transport retry: a swap is not idempotent from the cache's point of
   // view (the blue/green handoff runs once); the caller decides whether to
   // re-issue after a fault.

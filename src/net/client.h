@@ -59,8 +59,14 @@ class Client {
 
   /// Pushes a weight blob (empty = rolling restart with current weights)
   /// and returns the version the worker acknowledged as active.
+  /// `warm_blob` (optional) carries new warm-start MaskNet weights in the
+  /// same swap; the daemon loads them into a fresh MaskWarmStart whose
+  /// bumped version retires warm-start-dependent cache keys (ISSUE-10
+  /// satellite 2 — previously a weight push left workers on the old
+  /// MaskNet). Empty keeps the current warm-start model.
   std::uint64_t swap_weights(std::uint64_t version,
-                             const std::vector<std::uint8_t>& blob);
+                             const std::vector<std::uint8_t>& blob,
+                             const std::vector<std::uint8_t>& warm_blob = {});
 
   int port() const { return config_.port; }
 

@@ -16,6 +16,7 @@
 #include "net/wire.h"
 #include "nn/resnet.h"
 #include "obs/metrics.h"
+#include "warmstart/warm_start.h"
 
 namespace ldmo::net {
 
@@ -23,36 +24,6 @@ namespace {
 
 constexpr int kPollMillis = 100;        ///< stop-flag latency per connection
 constexpr double kFrameTimeout = 30.0;  ///< mid-frame stall guard
-
-/// Folds the weight version into the predictor identity so
-/// serve::config_fingerprint — which hashes the predictor name — changes
-/// with every weight swap and stale cache entries become unreachable.
-class VersionedPredictor : public core::PrintabilityPredictor {
- public:
-  VersionedPredictor(std::unique_ptr<core::PrintabilityPredictor> inner,
-                     std::uint64_t version)
-      : inner_(std::move(inner)),
-        name_(inner_->name() + "@v" + std::to_string(version)) {}
-
-  double score(const layout::Layout& layout,
-               const layout::Assignment& assignment) override {
-    return inner_->score(layout, assignment);
-  }
-  std::vector<double> score_batch(
-      const layout::Layout& layout,
-      const std::vector<layout::Assignment>& candidates) override {
-    return inner_->score_batch(layout, candidates);
-  }
-  std::vector<std::vector<double>> score_batch_multi(
-      const std::vector<core::ScoringJob>& jobs) override {
-    return inner_->score_batch_multi(jobs);
-  }
-  std::string name() const override { return name_; }
-
- private:
-  std::unique_ptr<core::PrintabilityPredictor> inner_;
-  std::string name_;
-};
 
 std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -74,6 +45,16 @@ std::string peer_of(int fd) {
 void send_error(int fd, const std::string& peer, FlowStage stage,
                 const std::string& message) {
   send_error_frame(fd, peer, static_cast<int>(stage), message);
+}
+
+void stage_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& blob) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out)
+    throw FlowException(FlowStage::kNet,
+                        "daemon: cannot stage weights at " + path);
 }
 
 }  // namespace
@@ -115,24 +96,15 @@ std::shared_ptr<serve::Server> ServeDaemon::build_server(
     // Reconstitute the CNN from the blob via the nn serializer (it
     // validates the parameter layout, so an architecture mismatch fails
     // loudly here instead of scoring garbage).
-    const std::string tmp = (config_.snapshot_path.empty()
-                                 ? "/tmp/ldmo_weights_" +
-                                       std::to_string(::getpid())
-                                 : config_.snapshot_path + ".weights") +
-                            ".v" + std::to_string(version);
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      out.write(reinterpret_cast<const char*>(weights_blob_.data()),
-                static_cast<std::streamsize>(weights_blob_.size()));
-      if (!out)
-        throw FlowException(FlowStage::kNet,
-                            "daemon: cannot stage weights at " + tmp);
-    }
+    const std::string tmp =
+        stage_path(".v" + std::to_string(version));
+    stage_bytes(tmp, weights_blob_);
     auto cnn = std::make_unique<core::CnnPredictor>(
         std::make_unique<nn::ResNetRegressor>());
     cnn->load(tmp);
     std::remove(tmp.c_str());
-    backend = std::make_unique<VersionedPredictor>(std::move(cnn), version);
+    backend =
+        std::make_unique<core::VersionedPredictor>(std::move(cnn), version);
   }
   // Null backend -> the server's raw-print fallback. Its name is version-
   // independent, so an empty-blob swap (rolling restart) keeps the same
@@ -286,15 +258,16 @@ void ServeDaemon::handle_stats(int fd, const std::string& peer) {
   write_frame(fd, MessageType::kStatsResponse, w.bytes(), peer);
 }
 
-void ServeDaemon::handle_swap(int fd, const std::string& peer,
-                              const std::vector<std::uint8_t>& payload) {
-  WireReader r(payload, peer);
-  const std::uint64_t requested_version = r.u64();
-  const std::uint32_t blob_len = r.u32();
-  if (static_cast<std::size_t>(blob_len) != r.remaining())
-    r.fail("weight blob length " + std::to_string(blob_len) +
-           " does not match payload");
+std::string ServeDaemon::stage_path(const std::string& suffix) const {
+  return (config_.snapshot_path.empty()
+              ? "/tmp/ldmo_weights_" + std::to_string(::getpid())
+              : config_.snapshot_path + ".weights") +
+         suffix;
+}
 
+std::uint64_t ServeDaemon::swap_weights(
+    std::uint64_t requested_version, const std::vector<std::uint8_t>& blob,
+    const std::vector<std::uint8_t>& warm_blob) {
   std::shared_ptr<serve::Server> old_server;
   std::uint64_t version;
   {
@@ -302,12 +275,28 @@ void ServeDaemon::handle_swap(int fd, const std::string& peer,
     // and holding swap_mu_ for it parks concurrent server() readers — an
     // accepted cost; swaps are rare operator actions, not hot path.
     std::lock_guard<std::mutex> lock(swap_mu_);
-    if (blob_len > 0) {
-      weights_blob_.assign(payload.end() - blob_len, payload.end());
+    if (!blob.empty()) {
+      weights_blob_ = blob;
       version = requested_version != 0 ? requested_version
                                        : weights_version_.load() + 1;
     } else {
       version = weights_version_.load();  // rolling restart, same weights
+    }
+    if (!warm_blob.empty()) {
+      // Fresh warm-start model from the pushed weights. Its version is the
+      // weight fingerprint, which serve::config_fingerprint folds in — so
+      // even a warm-only push (empty predictor blob) changes the
+      // fingerprint, skips the cache handoff below, and retires every
+      // cached result the old MaskNet contributed to. Before this path
+      // existed a weight push left workers serving with the boot-time
+      // MaskNet forever.
+      const std::string tmp = stage_path(".warm");
+      stage_bytes(tmp, warm_blob);
+      auto warm = std::make_shared<warmstart::MaskWarmStart>(config_.warm_net);
+      warm->load(tmp);
+      std::remove(tmp.c_str());
+      config_.serve.warm_start = std::move(warm);
+      config_.serve.engine.flow.warm_start.enabled = true;
     }
     std::shared_ptr<serve::Server> fresh = build_server(version);
     if (fresh->config_fingerprint() == server_->config_fingerprint()) {
@@ -326,6 +315,22 @@ void ServeDaemon::handle_swap(int fd, const std::string& peer,
   obs::counter("net.daemon.swaps").inc();
   log_info("daemon: weights swapped to version ", version, " (predictor ",
            this->server()->predictor_name(), ")");
+  return version;
+}
+
+void ServeDaemon::handle_swap(int fd, const std::string& peer,
+                              const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload, peer);
+  const std::uint64_t requested_version = r.u64();
+  const std::vector<std::uint8_t> blob = r.blob();
+  // The warm-start section is optional: its absence is byte-identical to
+  // the pre-warm payload format, so old clients keep working.
+  std::vector<std::uint8_t> warm_blob;
+  if (r.remaining() > 0) warm_blob = r.blob();
+  r.expect_end();
+
+  const std::uint64_t version =
+      swap_weights(requested_version, blob, warm_blob);
 
   WireWriter w;
   w.u64(version);

@@ -35,6 +35,7 @@
 
 #include "net/socket.h"
 #include "serve/server.h"
+#include "warmstart/masknet.h"
 
 namespace ldmo::net {
 
@@ -48,6 +49,10 @@ struct DaemonConfig {
   /// Optional result-cache snapshot file: restored at startup, written at
   /// stop(). Empty disables persistence.
   std::string snapshot_path;
+  /// Architecture for warm-start MaskNet weights arriving over the wire
+  /// (the swap verb's optional warm section); must match what the weights
+  /// were trained with. grid_size should equal serve.engine.litho.grid_size.
+  warmstart::MaskNetConfig warm_net;
 };
 
 class ServeDaemon {
@@ -69,6 +74,18 @@ class ServeDaemon {
   }
 
   std::uint64_t weights_version() const { return weights_version_.load(); }
+
+  /// Blue/green weight promotion — the wire verb (kSwapWeights) delegates
+  /// here, and in-process callers (the flywheel's serve --flywheel loop)
+  /// call it directly. `blob` carries new predictor CNN weights (empty =
+  /// rolling restart on current weights); `warm_blob` optionally carries
+  /// new warm-start MaskNet weights, loaded into a fresh MaskWarmStart
+  /// whose weight-fingerprint version feeds the config fingerprint — so a
+  /// warm-start push retires every warm-start-dependent cache key instead
+  /// of leaving workers on the old MaskNet. Returns the active version.
+  std::uint64_t swap_weights(std::uint64_t requested_version,
+                             const std::vector<std::uint8_t>& blob,
+                             const std::vector<std::uint8_t>& warm_blob = {});
 
   /// Cache entries restored from the snapshot at startup.
   std::size_t restored_entries() const { return restored_entries_; }
@@ -93,6 +110,8 @@ class ServeDaemon {
   /// fallback/weights identity) with the version folded into the predictor
   /// name.
   std::shared_ptr<serve::Server> build_server(std::uint64_t version);
+  /// Scratch file for staging weight blobs through the nn serializer.
+  std::string stage_path(const std::string& suffix) const;
 
   DaemonConfig config_;
   /// Current CNN weight blob (file bytes); empty = raw-print fallback.

@@ -22,8 +22,17 @@ void save_cache_snapshot(const std::string& path,
     w.u8(static_cast<std::uint8_t>(magic));
   w.u16(kSnapshotVersion);
   w.u64(snapshot.config_fingerprint);
-  w.u32(static_cast<std::uint32_t>(snapshot.entries.size()));
+  // Degraded results never persist: the live server refuses to cache them
+  // (a recovered predictor should re-rank the layout, not replay a
+  // heuristic fallback), and the snapshot must not resurrect across a
+  // restart what the cache policy evicted at serve time. Counted first so
+  // the header count matches the records written.
+  std::uint32_t kept = 0;
+  for (const auto& [key, result] : snapshot.entries)
+    if (!result.degraded) ++kept;
+  w.u32(kept);
   for (const auto& [key, result] : snapshot.entries) {
+    if (result.degraded) continue;
     w.u64(key);
     write_result(w, result);
   }

@@ -51,6 +51,12 @@ WireWriter& WireWriter::str(std::string_view s) {
   return *this;
 }
 
+WireWriter& WireWriter::blob(const std::vector<std::uint8_t>& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  bytes_.insert(bytes_.end(), b.begin(), b.end());
+  return *this;
+}
+
 WireWriter& WireWriter::grid(const GridF& g) {
   i32(g.height()).i32(g.width());
   for (std::size_t i = 0; i < g.size(); ++i) f64(g[i]);
@@ -109,6 +115,16 @@ std::string WireReader::str() {
   std::string s(reinterpret_cast<const char*>(data_ + offset_), len);
   offset_ += len;
   return s;
+}
+
+std::vector<std::uint8_t> WireReader::blob() {
+  const std::uint32_t len = u32();
+  if (static_cast<std::size_t>(len) > remaining())
+    fail("blob length " + std::to_string(len) + " exceeds remaining " +
+         std::to_string(remaining()) + " bytes");
+  std::vector<std::uint8_t> b(data_ + offset_, data_ + offset_ + len);
+  offset_ += len;
+  return b;
 }
 
 GridF WireReader::grid() {

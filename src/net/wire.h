@@ -53,6 +53,10 @@ class WireWriter {
   }
   WireWriter& f64(double v);
   WireWriter& str(std::string_view s);
+  /// u32 byte length + raw bytes — the length-prefixed framing that lets a
+  /// payload carry several independent blobs (the swap verb's weight and
+  /// warm-start sections) without end-of-payload arithmetic.
+  WireWriter& blob(const std::vector<std::uint8_t>& b);
   WireWriter& grid(const GridF& g);
 
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
@@ -81,6 +85,7 @@ class WireReader {
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64();
   std::string str();
+  std::vector<std::uint8_t> blob();
   GridF grid();
 
   /// Consumes and checks a compound-message tag; throws on mismatch.

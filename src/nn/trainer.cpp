@@ -38,6 +38,14 @@ std::vector<EpochStats> train_regressor(
     ResNetRegressor& model, const std::vector<Example>& examples,
     const TrainerConfig& config,
     const std::function<void(const EpochStats&)>& on_epoch) {
+  Adam optimizer(model.parameters(), config.adam);
+  return train_regressor(model, examples, config, optimizer, on_epoch);
+}
+
+std::vector<EpochStats> train_regressor(
+    ResNetRegressor& model, const std::vector<Example>& examples,
+    const TrainerConfig& config, Adam& optimizer,
+    const std::function<void(const EpochStats&)>& on_epoch) {
   require(!examples.empty(), "train_regressor: no examples");
   require(config.epochs >= 1 && config.batch_size >= 1,
           "train_regressor: bad trainer config");
@@ -51,15 +59,25 @@ std::vector<EpochStats> train_regressor(
   span.attr("epochs", config.epochs);
   span.attr("batch_size", config.batch_size);
 
-  Adam optimizer(model.parameters(), config.adam);
   Rng rng(config.shuffle_seed);
   const int input_size = model.config().input_size;
 
   std::vector<std::size_t> order(examples.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Decay is computed from a snapshot of the optimizer's base rate and the
+  // base rate is restored before returning. The old in-place compounding
+  // (learning_rate *= decay, never reset) made the second train() call on a
+  // long-lived optimizer start at the first call's final decayed rate —
+  // exactly the flywheel's repeated fine-tune rounds — so round N trained
+  // at decay^(N*epochs) of the configured rate instead of the configured
+  // schedule.
+  const double base_lr = optimizer.config().learning_rate;
+  double lr = base_lr;
+
   std::vector<EpochStats> history;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.config().learning_rate = lr;
     rng.shuffle(order);
     double loss_sum = 0.0;
     int batches = 0;
@@ -79,18 +97,18 @@ std::vector<EpochStats> train_regressor(
       loss_sum += loss.value;
       ++batches;
     }
-    EpochStats stats{epoch + 1, loss_sum / std::max(1, batches)};
+    EpochStats stats{epoch + 1, loss_sum / std::max(1, batches), lr};
     history.push_back(stats);
     epoch_counter.inc();
     batch_counter.inc(batches);
     example_counter.inc(static_cast<long long>(order.size()));
     span.row("epochs", {{"epoch", static_cast<double>(stats.epoch)},
                         {"mean_loss", stats.mean_loss},
-                        {"learning_rate",
-                         optimizer.config().learning_rate}});
+                        {"learning_rate", stats.learning_rate}});
     if (on_epoch) on_epoch(stats);
-    optimizer.config().learning_rate *= config.lr_decay_per_epoch;
+    lr *= config.lr_decay_per_epoch;
   }
+  optimizer.config().learning_rate = base_lr;
   span.attr("final_loss", history.empty() ? 0.0 : history.back().mean_loss);
   return history;
 }

@@ -32,6 +32,9 @@ struct TrainerConfig {
 struct EpochStats {
   int epoch = 0;
   double mean_loss = 0.0;
+  /// Learning rate the epoch actually trained at (after decay). Lets
+  /// callers — and the LR-schedule regression test — audit the schedule.
+  double learning_rate = 0.0;
 };
 
 /// Trains `model` on `examples`; returns per-epoch mean training loss.
@@ -39,6 +42,17 @@ struct EpochStats {
 std::vector<EpochStats> train_regressor(
     ResNetRegressor& model, const std::vector<Example>& examples,
     const TrainerConfig& config = {},
+    const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+/// Same loop over a caller-owned optimizer — the fine-tuning entry point:
+/// a long-lived Adam keeps its moment estimates across rounds. The LR
+/// schedule is computed from a per-call snapshot of the optimizer's base
+/// learning rate and the base rate is restored on exit, so back-to-back
+/// rounds see identical schedules (config.adam.learning_rate is ignored
+/// here; the optimizer's own rate is the base).
+std::vector<EpochStats> train_regressor(
+    ResNetRegressor& model, const std::vector<Example>& examples,
+    const TrainerConfig& config, Adam& optimizer,
     const std::function<void(const EpochStats&)>& on_epoch = nullptr);
 
 /// Mean absolute error of the model over a labeled set (eval mode).

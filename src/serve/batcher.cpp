@@ -14,7 +14,7 @@ using Clock = std::chrono::steady_clock;
 
 InferenceBatcher::InferenceBatcher(core::PrintabilityPredictor& backend,
                                    BatcherConfig config)
-    : backend_(backend),
+    : backend_(&backend),
       config_(config),
       flush_counter_(obs::counter("serve.batch.flushes")),
       job_counter_(obs::counter("serve.batch.jobs")),
@@ -25,6 +25,14 @@ InferenceBatcher::InferenceBatcher(core::PrintabilityPredictor& backend,
           "InferenceBatcher: flush_candidates must be >= 1");
   require(config_.flush_timeout_ms >= 0.0,
           "InferenceBatcher: negative flush timeout");
+}
+
+void InferenceBatcher::set_backend(core::PrintabilityPredictor& backend) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A straggling flush still holds the old backend outside the lock; wait
+  // it out so the swap never yanks a model mid-inference.
+  cv_.wait(lock, [&] { return !flush_in_progress_; });
+  backend_ = &backend;
 }
 
 std::vector<double> InferenceBatcher::score(
@@ -42,7 +50,7 @@ std::vector<double> InferenceBatcher::score(
     std::exception_ptr error;
     lock.unlock();
     try {
-      scores = backend_.score_batch(layout, candidates);
+      scores = backend_->score_batch(layout, candidates);
     } catch (...) {
       error = std::current_exception();
     }
@@ -112,7 +120,7 @@ void InferenceBatcher::flush(std::shared_ptr<Batch> batch,
   bool failed = false, tagged = false;
   FlowError error;
   try {
-    results = backend_.score_batch_multi(jobs);
+    results = backend_->score_batch_multi(jobs);
   } catch (const FlowException& e) {
     failed = true;
     tagged = true;
@@ -153,11 +161,12 @@ std::vector<double> BatchingPredictor::score_batch(
   // Score tier: cached doubles are the exact values a cold run computed,
   // so mixing hits with fresh inference preserves bit-identity.
   const std::uint64_t layout_fp = layout::fingerprint(layout);
+  const std::uint64_t config_fp = config_fp_.load(std::memory_order_relaxed);
   std::vector<double> scores(candidates.size());
   std::vector<std::uint64_t> keys(candidates.size());
   std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    keys[i] = score_cache_key(config_fp_, layout_fp, candidates[i]);
+    keys[i] = score_cache_key(config_fp, layout_fp, candidates[i]);
     if (std::optional<double> hit = score_cache_->get(keys[i]))
       scores[i] = *hit;
     else

@@ -16,6 +16,7 @@
 // backends need not be thread-safe.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -54,8 +55,15 @@ class InferenceBatcher {
   std::vector<double> score(const layout::Layout& layout,
                             const std::vector<layout::Assignment>& candidates);
 
+  /// Repoints the batcher at a new backend (the server's in-process
+  /// blue/green swap). Waits out any in-flight flush under the batcher
+  /// lock; the caller (Server::swap_backend) additionally quiesces the
+  /// dispatchers, so no score() can be mid-join. The new backend must
+  /// outlive the batcher or the next set_backend.
+  void set_backend(core::PrintabilityPredictor& backend);
+
   const BatcherConfig& config() const { return config_; }
-  core::PrintabilityPredictor& backend() { return backend_; }
+  core::PrintabilityPredictor& backend() { return *backend_; }
 
  private:
   /// One coalescing generation: jobs joined before its flush started.
@@ -77,7 +85,7 @@ class InferenceBatcher {
   void flush(std::shared_ptr<Batch> batch,
              std::unique_lock<std::mutex>& lock);
 
-  core::PrintabilityPredictor& backend_;
+  core::PrintabilityPredictor* backend_;  ///< never null; swaps under mu_
   const BatcherConfig config_;
 
   std::mutex mu_;
@@ -112,10 +120,18 @@ class BatchingPredictor : public core::PrintabilityPredictor {
   /// Backend's name: the adapter must not change the config fingerprint.
   std::string name() const override { return batcher_.backend().name(); }
 
+  /// Re-namespaces cached scores after a backend swap (the new fingerprint
+  /// embeds the new predictor name, so scores from the old model become
+  /// unreachable). Called by Server::swap_backend while dispatchers are
+  /// quiesced; atomic so a racing reader sees old or new, never torn.
+  void set_config_fp(std::uint64_t config_fp) {
+    config_fp_.store(config_fp, std::memory_order_relaxed);
+  }
+
  private:
   InferenceBatcher& batcher_;
   ShardedLruCache<double>* score_cache_;
-  std::uint64_t config_fp_;
+  std::atomic<std::uint64_t> config_fp_;
 };
 
 }  // namespace ldmo::serve

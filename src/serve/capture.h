@@ -1,0 +1,35 @@
+// Serve-time result capture: the hook the online-learning flywheel hangs
+// off the request path.
+//
+// The server calls the hook once per completed FRESH run — status kOk and
+// not degraded. Cached responses are excluded because they replay work the
+// hook already saw (or predate it), and degraded responses are excluded
+// because their candidate ranking is generation-order, not model-driven:
+// feeding them back into training would poison the fine-tune set with
+// pairs the model never ranked (ISSUE-10 satellite 3).
+//
+// The hook runs on the dispatcher thread, after the response is computed
+// but before the promise is fulfilled, so implementations must be cheap —
+// copy out what they need and return (flywheel::TrainingLogSink does a
+// bounded queue push; rasterization and file I/O happen on its own
+// thread). Exceptions are swallowed and logged by the server: capture is
+// telemetry, never allowed to fail a request.
+#pragma once
+
+#include "layout/layout.h"
+
+namespace ldmo::serve {
+
+class CaptureHook {
+ public:
+  virtual ~CaptureHook() = default;
+
+  /// One completed non-degraded, non-cached run: the request layout, the
+  /// decomposition the flow chose, and the actual post-ILT printability
+  /// score (raw Eq. 9 units) — exactly a predictor training pair.
+  virtual void on_result(const layout::Layout& layout,
+                         const layout::Assignment& chosen,
+                         double actual_score) = 0;
+};
+
+}  // namespace ldmo::serve

@@ -63,10 +63,13 @@ Server::Server(ServeConfig config,
       flight_recorder_(config_.flight.capacity) {
   require(config_.dispatchers >= 1, "Server: dispatchers must be >= 1");
   engines_.reserve(static_cast<std::size_t>(config_.dispatchers));
+  batch_predictors_.reserve(static_cast<std::size_t>(config_.dispatchers));
   for (int i = 0; i < config_.dispatchers; ++i) {
+    auto predictor = std::make_unique<BatchingPredictor>(
+        batcher_, &score_cache_, config_fp_.load());
+    batch_predictors_.push_back(predictor.get());
     engines_.push_back(std::make_unique<core::FlowEngine>(
-        config_.engine, std::make_unique<BatchingPredictor>(
-                            batcher_, &score_cache_, config_fp_)));
+        config_.engine, std::move(predictor)));
     if (config_.warm_start) engines_.back()->set_warm_start(config_.warm_start);
   }
   dispatchers_.reserve(engines_.size());
@@ -192,6 +195,34 @@ void Server::shutdown(bool drain) {
   dump_flight_recorder("shutdown", /*rate_limited=*/false);
 }
 
+void Server::swap_backend(
+    std::unique_ptr<core::PrintabilityPredictor> fresh) {
+  require(fresh != nullptr, "swap_backend: null predictor");
+  // Exclusive acquisition = every in-flight process() has finished and new
+  // ones queue behind us. The batcher cannot be mid-flush either, but
+  // set_backend still waits that condition out for belt and braces.
+  std::unique_lock<std::shared_mutex> lock(backend_mu_);
+  std::unique_ptr<core::PrintabilityPredictor> old = std::move(backend_);
+  backend_ = std::move(fresh);
+  batcher_.set_backend(*backend_);
+  const std::uint64_t fp = serve::config_fingerprint(
+      config_.engine, backend_->name(),
+      config_.warm_start ? config_.warm_start->version() : 0);
+  config_fp_.store(fp);
+  for (BatchingPredictor* predictor : batch_predictors_)
+    predictor->set_config_fp(fp);
+  backend_swaps_.fetch_add(1);
+  obs::counter("serve.backend_swaps").inc();
+  log_info("serve: backend swapped to ", backend_->name(),
+           " (config fingerprint ", fp, ")");
+  // `old` destructs here, after the batcher stopped referencing it.
+}
+
+std::string Server::predictor_name() const {
+  std::shared_lock<std::shared_mutex> lock(backend_mu_);
+  return backend_->name();
+}
+
 void Server::dispatcher_loop(int index) {
   core::FlowEngine& engine = *engines_[static_cast<std::size_t>(index)];
   for (;;) {
@@ -206,6 +237,10 @@ void Server::dispatcher_loop(int index) {
 }
 
 void Server::process(core::FlowEngine& engine, Pending pending) {
+  // Shared for the request's whole life: swap_backend's exclusive
+  // acquisition therefore means "no request is touching the old backend",
+  // without any pause/unpause dance on the dispatchers.
+  std::shared_lock<std::shared_mutex> backend_lock(backend_mu_);
   obs::Span span("serve.request");
   span.attr("id", static_cast<double>(pending.id));
   const Clock::time_point dispatched = Clock::now();
@@ -234,6 +269,21 @@ void Server::process(core::FlowEngine& engine, Pending pending) {
     response.error = {FlowStage::kUnknown, "non-standard exception"};
     record_error(response.error, span);
   }
+  // Training-data capture (capture.h): fresh, non-degraded completions
+  // only. Capture is telemetry — a throwing hook costs a log line, never
+  // the request.
+  if (config_.capture && response.status == ServeStatus::kOk &&
+      !response.degraded) {
+    try {
+      config_.capture->on_result(pending.request.layout,
+                                 response.result.chosen,
+                                 response.result.ilt.report.score());
+    } catch (const std::exception& e) {
+      log_warn("serve: capture hook failed: ", e.what());
+    } catch (...) {
+      log_warn("serve: capture hook failed: non-standard exception");
+    }
+  }
   finish(pending, std::move(response), dispatched);
 }
 
@@ -244,7 +294,7 @@ void Server::compute(core::FlowEngine& engine, Pending& pending,
     token = token.with_deadline(pending.deadline);
 
   const std::uint64_t key =
-      result_cache_key(config_fp_, pending.request.layout);
+      result_cache_key(config_fp_.load(), pending.request.layout);
   response.cache_key = key;
 
   // A request dead on arrival (cancelled ticket, expired deadline) never
@@ -444,7 +494,7 @@ bool Server::ready(std::string* detail) const {
 
 obs::RunReport Server::report() const {
   obs::RunReport report("ldmo-serve");
-  report.meta("predictor", backend_->name());
+  report.meta("predictor", predictor_name());
 
   // Latency quantiles come from the serve.latency.seconds histogram (the
   // registry is process-wide, so with several servers in one process this

@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -48,6 +49,7 @@
 #include "serve/admission_queue.h"
 #include "serve/batcher.h"
 #include "serve/cache_key.h"
+#include "serve/capture.h"
 #include "serve/request.h"
 #include "serve/result_cache.h"
 
@@ -67,6 +69,11 @@ struct ServeConfig {
   /// folded into the config fingerprint so cached results retire on model
   /// swap.
   std::shared_ptr<const core::MaskInitializer> warm_start;
+  /// Training-data capture hook (serve/capture.h): invoked on the
+  /// dispatcher thread for every completed kOk non-degraded run. Null
+  /// disables capture. Shared so a daemon blue/green swap carries the same
+  /// sink into the replacement server.
+  std::shared_ptr<CaptureHook> capture;
   int dispatchers = 2;
   std::size_t queue_capacity = 64;
   OverflowPolicy overflow = OverflowPolicy::kReject;
@@ -150,8 +157,21 @@ class Server {
   /// with kCancelled. Idempotent; the destructor calls shutdown(true).
   void shutdown(bool drain = true);
 
+  /// In-process blue/green weight promotion (the flywheel's local path).
+  /// Quiesces the dispatchers (blocks until in-flight requests finish and
+  /// new ones wait), replaces the scoring backend, recomputes the config
+  /// fingerprint from the new predictor's name — retiring every cached
+  /// result and score key, exactly like the daemon's wire swap — and
+  /// resumes. Queued requests are NOT lost; they proceed on the new model.
+  /// Wrap the backend in core::VersionedPredictor so the name (and with it
+  /// the fingerprint) actually changes.
+  void swap_backend(std::unique_ptr<core::PrintabilityPredictor> fresh);
+
+  /// Number of completed swap_backend calls.
+  long long backend_swaps() const { return backend_swaps_.load(); }
+
   const ServeConfig& config() const { return config_; }
-  std::uint64_t config_fingerprint() const { return config_fp_; }
+  std::uint64_t config_fingerprint() const { return config_fp_.load(); }
   std::size_t queue_depth() const { return queue_.depth(); }
   long long status_count(ServeStatus status) const {
     return status_counts_[static_cast<std::size_t>(status)].load();
@@ -208,7 +228,7 @@ class Server {
 
   /// Name of the active scoring backend (what config_fingerprint() folded
   /// in — the wire stats message reports it for swap verification).
-  std::string predictor_name() const { return backend_->name(); }
+  std::string predictor_name() const;
 
   /// Replays exported entries into the result cache (in order, so recency
   /// survives the round trip) and returns how many were admitted. Keys are
@@ -258,8 +278,13 @@ class Server {
 
   ServeConfig config_;
   std::unique_ptr<litho::LithoSimulator> backend_simulator_;  ///< default only
+  /// Guards backend_ replacement against in-flight request processing:
+  /// process() holds it shared for the life of a request, swap_backend
+  /// holds it exclusive. Requests are seconds and swaps are rare, so the
+  /// rwlock costs one uncontended shared acquisition per request.
+  mutable std::shared_mutex backend_mu_;
   std::unique_ptr<core::PrintabilityPredictor> backend_;
-  std::uint64_t config_fp_ = 0;
+  std::atomic<std::uint64_t> config_fp_{0};
 
   InferenceBatcher batcher_;
   ShardedLruCache<double> score_cache_;
@@ -267,7 +292,12 @@ class Server {
 
   AdmissionQueue<Pending> queue_;
   std::vector<std::unique_ptr<core::FlowEngine>> engines_;
+  /// The BatchingPredictor each engine owns (non-owning view), so
+  /// swap_backend can push the new fingerprint into the score-cache
+  /// namespacing of every dispatcher.
+  std::vector<BatchingPredictor*> batch_predictors_;
   std::vector<std::thread> dispatchers_;
+  std::atomic<long long> backend_swaps_{0};
 
   mutable std::mutex pause_mu_;
   std::condition_variable pause_cv_;

@@ -80,8 +80,14 @@ std::vector<WarmEpochStats> train_masknet(
   std::vector<std::size_t> order(corpus.records.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Same decay discipline as nn::train_regressor: schedule from a base-rate
+  // snapshot, never compounding mutation of the shared config.
+  const double base_lr = optimizer.config().learning_rate;
+  double lr = base_lr;
+
   std::vector<WarmEpochStats> history;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.config().learning_rate = lr;
     rng.shuffle(order);
     double loss_sum = 0.0;
     int batches = 0;
@@ -98,18 +104,18 @@ std::vector<WarmEpochStats> train_masknet(
       optimizer.step();
       ++batches;
     }
-    WarmEpochStats stats{epoch + 1, loss_sum / std::max(1, batches)};
+    WarmEpochStats stats{epoch + 1, loss_sum / std::max(1, batches), lr};
     history.push_back(stats);
     epoch_counter.inc();
     batch_counter.inc(batches);
     example_counter.inc(static_cast<long long>(order.size()));
     span.row("epochs", {{"epoch", static_cast<double>(stats.epoch)},
                         {"mean_loss", stats.mean_loss},
-                        {"learning_rate",
-                         optimizer.config().learning_rate}});
+                        {"learning_rate", stats.learning_rate}});
     if (on_epoch) on_epoch(stats);
-    optimizer.config().learning_rate *= config.lr_decay_per_epoch;
+    lr *= config.lr_decay_per_epoch;
   }
+  optimizer.config().learning_rate = base_lr;
   span.attr("final_loss", history.empty() ? 0.0 : history.back().mean_loss);
   return history;
 }

@@ -30,6 +30,7 @@ struct WarmTrainConfig {
 struct WarmEpochStats {
   int epoch = 0;
   double mean_loss = 0.0;  ///< mean per-pixel squared mask error
+  double learning_rate = 0.0;  ///< rate the epoch actually trained at
 };
 
 /// Trains `net` on every record of `corpus`; returns per-epoch stats.

@@ -1,0 +1,10 @@
+# Included by ctest (TEST_INCLUDE_FILES) after gtest discovery populated
+# test_flywheel_TESTS. Discovery can only attach a single label — it
+# flattens list-valued PROPERTIES — so the full label set lives here:
+# "sanitize" (the suite exercises the capture sink's writer thread, the
+# server's swap rwlock and the tuner loop under the TSan budget) plus
+# "flywheel" (ctest -L flywheel runs the online-learning loop — log,
+# sink, gated promotion, hot swap — on its own).
+foreach(t IN LISTS test_flywheel_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "sanitize;flywheel")
+endforeach()

@@ -145,6 +145,42 @@ TEST(ZScore, FitEmptyThrows) {
   EXPECT_THROW(z.fit({}), Error);
 }
 
+TEST(Spearman, PerfectMonotoneIsOneEvenWhenNonlinear) {
+  // Rank correlation sees through monotone warps — the property the
+  // flywheel's promotion gate relies on (predictor scores drift in scale
+  // while ranking correctly).
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> exp_x = {2.7, 7.4, 20.1, 54.6, 148.4};
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(x, exp_x), 1.0);
+  const std::vector<double> reversed = {5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(x, reversed), -1.0);
+}
+
+TEST(Spearman, TiesGetAverageRanks) {
+  // Textbook worked example: one tied pair in each sample.
+  const std::vector<double> a = {1, 2, 2, 4};
+  const std::vector<double> b = {1, 3, 3, 2};
+  // ranks(a) = {1, 2.5, 2.5, 4}, ranks(b) = {1, 3.5, 3.5, 2}; Pearson of
+  // those rank vectors: cov 1.5 / (sqrt(4.5) * sqrt(4.5)) = 1/3.
+  EXPECT_NEAR(spearman_rank_correlation(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Spearman, DegenerateInputsAreZeroNotNan) {
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({1.0}, {2.0}), 0.0);
+  // Zero rank variance (all tied) on either side.
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({3, 3, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({1, 2, 3}, {7, 7, 7}), 0.0);
+}
+
+TEST(Spearman, UncorrelatedPermutationIsBetweenBounds) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> b = {3, 8, 1, 6, 2, 7, 4, 5};
+  const double rho = spearman_rank_correlation(a, b);
+  EXPECT_GT(rho, -1.0);
+  EXPECT_LT(rho, 1.0);
+}
+
 TEST(PhaseTimer, AccumulatesAndFractions) {
   PhaseTimer timer;
   timer.add("ds", 3.0);

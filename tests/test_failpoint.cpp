@@ -7,12 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
 #include "core/flow_engine.h"
+#include "flywheel/log.h"
+#include "flywheel/sink.h"
+#include "flywheel/tuner.h"
 #include "layout/generator.h"
 #include "serve/server.h"
 
@@ -439,6 +445,109 @@ TEST(ServeFaults, MixedFaultDrillCompletesEveryRequest) {
     terminal += server.status_count(static_cast<serve::ServeStatus>(s));
   EXPECT_EQ(terminal, kRequests);
   server.shutdown();
+}
+
+// --- flywheel fault drills (ISSUE-10) ---------------------------------------
+
+TEST(FlywheelFaults, AppendFaultDropsPairsButNeverFailsRequests) {
+  FailpointGuard guard;
+  const std::string path = "test_failpoint_flywheel_append.bin";
+  std::remove(path.c_str());
+  {
+    auto sink = std::make_shared<flywheel::TrainingLogSink>(
+        flywheel::SinkConfig{.path = path, .image_size = 32});
+    serve::ServeConfig cfg = fast_serve_config();
+    cfg.capture = sink;
+    serve::Server server(cfg);
+
+    // Every second append faults mid-cycle. Capture is telemetry: the
+    // request path must stay green while the writer eats the failures.
+    fail::arm("flywheel.log.append", fail::every_nth(2));
+    for (std::uint64_t seed = 60; seed < 66; ++seed) {
+      serve::ServeRequest request;
+      request.layout = test_layout(seed);
+      const serve::ServeResponse response =
+          server.submit(std::move(request)).response.get();
+      EXPECT_EQ(response.status, serve::ServeStatus::kOk);
+      EXPECT_FALSE(response.degraded);
+    }
+    sink->drain();
+    fail::disarm_all();
+
+    EXPECT_EQ(server.status_count(serve::ServeStatus::kFailed), 0);
+    EXPECT_EQ(sink->captured(), 3);  // the odd-numbered appends survived
+    EXPECT_EQ(sink->dropped(), 3);   // the fired ones were counted, not fatal
+  }
+  // The failpoint fires BEFORE any bytes land, so the log holds exactly
+  // the surviving records and reads back clean — no torn tail.
+  const flywheel::TrainingLog log = flywheel::read_training_log(path);
+  EXPECT_FALSE(log.torn_tail);
+  EXPECT_EQ(log.pairs.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(FlywheelFaults, SaveFaultAbortsPromotionAndIncumbentKeepsServing) {
+  FailpointGuard guard;
+  const std::string path = "test_failpoint_flywheel_save.bin";
+  const std::string scratch = path + ".candidate.bin";
+  std::remove(path.c_str());
+  const int side = 16;
+  {
+    flywheel::TrainingLogWriter writer(path, side);
+    for (int i = 0; i < 16; ++i) {
+      flywheel::TrainingPair pair;
+      pair.image.assign(static_cast<std::size_t>(side) * side,
+                        static_cast<float>(i + 1) / 16.0f);
+      pair.score = static_cast<double>(i + 1) / 16.0;
+      writer.append(pair);
+    }
+  }
+
+  flywheel::TunerConfig tcfg;
+  tcfg.log_path = path;
+  tcfg.network.input_size = side;
+  tcfg.network.width_multiplier = 0.125;
+  tcfg.trainer.epochs = 4;
+  tcfg.trainer.batch_size = 4;
+  tcfg.min_new_records = 8;
+  tcfg.holdout_every = 4;
+  int promotions_seen = 0;
+  flywheel::FineTuner tuner(
+      tcfg, [&](std::uint64_t, const std::vector<std::uint8_t>&) {
+        ++promotions_seen;
+      });
+
+  // Weight serialization faults mid-promotion: the round aborts, the
+  // incumbent (here: none yet — version 0) keeps serving, and nothing
+  // reaches the deployment edge.
+  fail::arm("nn.save", fail::once());
+  const flywheel::TuneRound faulted = tuner.run_once();
+  EXPECT_TRUE(faulted.attempted);
+  EXPECT_FALSE(faulted.promoted);
+  EXPECT_NE(faulted.detail.find("promotion aborted"), std::string::npos);
+  EXPECT_EQ(promotions_seen, 0);
+  EXPECT_EQ(tuner.version(), 0u);
+  fail::disarm_all();
+
+  // Fresh data after the fault clears: the next round promotes normally —
+  // the flywheel recovered on its own.
+  {
+    flywheel::TrainingLogWriter writer(path, side);
+    for (int i = 0; i < 8; ++i) {
+      flywheel::TrainingPair pair;
+      pair.image.assign(static_cast<std::size_t>(side) * side,
+                        1.0f - static_cast<float>(i + 1) / 16.0f);
+      pair.score = 1.0 - static_cast<double>(i + 1) / 16.0;
+      writer.append(pair);
+    }
+  }
+  const flywheel::TuneRound recovered = tuner.run_once();
+  EXPECT_TRUE(recovered.attempted);
+  EXPECT_TRUE(recovered.promoted);
+  EXPECT_EQ(promotions_seen, 1);
+  EXPECT_EQ(tuner.version(), 1u);
+  std::remove(path.c_str());
+  std::remove(scratch.c_str());
 }
 
 }  // namespace

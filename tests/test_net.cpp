@@ -51,6 +51,7 @@
 #include "serve/admin.h"
 #include "serve/cache_key.h"
 #include "serve/server.h"
+#include "warmstart/warm_start.h"
 
 namespace ldmo::net {
 namespace {
@@ -777,6 +778,31 @@ TEST_F(NetTest, SnapshotRoundTripPreservesEntriesAndOrder) {
   EXPECT_EQ(a.bytes(), b.bytes());
 }
 
+TEST_F(NetTest, SnapshotNeverPersistsDegradedResults) {
+  // The live server refuses to cache degraded results; the snapshot must
+  // not resurrect them across a restart either (ISSUE-10 satellite 3).
+  const std::string path = "test_net_snapshot_degraded.bin";
+  cleanup_.push_back(path);
+  cleanup_.push_back(path + ".tmp");
+  CacheSnapshot snapshot;
+  snapshot.config_fingerprint = 7;
+  snapshot.entries.emplace_back(11, golden_result());
+  core::LdmoResult degraded = golden_result();
+  degraded.degraded = true;
+  degraded.error = FlowError{FlowStage::kPredict, "predictor down"};
+  snapshot.entries.emplace_back(22, degraded);
+  snapshot.entries.emplace_back(33, golden_result());
+  save_cache_snapshot(path, snapshot);
+
+  const std::optional<CacheSnapshot> loaded = load_cache_snapshot(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->entries.size(), 2u);  // header count matches records
+  EXPECT_EQ(loaded->entries[0].first, 11u);
+  EXPECT_EQ(loaded->entries[1].first, 33u);
+  for (const auto& [key, result] : loaded->entries)
+    EXPECT_FALSE(result.degraded);
+}
+
 TEST_F(NetTest, MissingSnapshotIsAColdStartNotAnError) {
   EXPECT_FALSE(load_cache_snapshot("no_such_snapshot.bin").has_value());
 }
@@ -910,6 +936,85 @@ TEST_F(NetTest, RealWeightSwapChangesIdentityAndRetiresTheCache) {
   EXPECT_EQ(stats.predictor, "cnn@v5");
   EXPECT_NE(stats.config_fingerprint, fp_before);
   EXPECT_EQ(stats.cache_entries, 0u);  // no handoff across an identity change
+}
+
+/// Serialized MaskNet weights at the serving-tier 32px grid — a valid
+/// warm-start blob for the swap verb's optional warm section.
+std::vector<std::uint8_t> fresh_warm_blob(const std::string& path) {
+  warmstart::MaskNetConfig cfg;
+  cfg.grid_size = 32;
+  warmstart::MaskWarmStart warm(cfg);
+  warm.save(path);
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST_F(NetTest, WarmStartSwapRetiresWarmStartDependentCacheKeys) {
+  // Regression test for the swap bug: handle_swap used to replace only the
+  // predictor, leaving the worker on its old warm-start MaskNet after a
+  // weight push. The warm blob must flow through the same versioned-
+  // fingerprint path, so warm-start-dependent cache keys retire.
+  const std::string staging = "test_net_warm_swap.bin";
+  cleanup_.push_back(staging);
+  const std::vector<std::uint8_t> warm_blob = fresh_warm_blob(staging);
+  ASSERT_FALSE(warm_blob.empty());
+
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  dcfg.warm_net.grid_size = 32;
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+  serve::ServeRequest request;
+  request.layout = generated_layout(307);
+  ASSERT_EQ(client.submit(request).status, serve::ServeStatus::kOk);
+  ASSERT_EQ(client.submit(request).status, serve::ServeStatus::kCached);
+  const std::uint64_t fp_before = client.stats().config_fingerprint;
+
+  // Push ONLY warm-start weights (empty CNN blob = keep current weights).
+  // The weights version stays 0, but the warm model's weight fingerprint
+  // feeds the config fingerprint — the cache cannot be handed across.
+  EXPECT_EQ(client.swap_weights(0, {}, warm_blob), 0u);
+  const WorkerStats stats = client.stats();
+  EXPECT_NE(stats.config_fingerprint, fp_before);
+  EXPECT_EQ(stats.cache_entries, 0u);
+  const std::shared_ptr<serve::Server> server = daemon.server();
+  ASSERT_NE(server->config().warm_start, nullptr);
+  EXPECT_TRUE(server->config().engine.flow.warm_start.enabled);
+  EXPECT_NE(server->config().warm_start->version(), 0u);
+
+  // The old cached result is unreachable; the warm-started run recomputes
+  // and re-caches under the new fingerprint.
+  EXPECT_EQ(client.submit(request).status, serve::ServeStatus::kOk);
+  EXPECT_EQ(client.submit(request).status, serve::ServeStatus::kCached);
+}
+
+TEST_F(NetTest, CombinedCnnAndWarmSwapCarriesBothModels) {
+  const std::string cnn_staging = "test_net_combined_cnn.bin";
+  const std::string warm_staging = "test_net_combined_warm.bin";
+  cleanup_.push_back(cnn_staging);
+  cleanup_.push_back(warm_staging);
+  const std::vector<std::uint8_t> cnn_blob = fresh_weights_blob(cnn_staging);
+  const std::vector<std::uint8_t> warm_blob = fresh_warm_blob(warm_staging);
+
+  DaemonConfig dcfg;
+  dcfg.serve = fast_serve_config();
+  dcfg.warm_net.grid_size = 32;
+  ServeDaemon daemon(dcfg);
+  Client client(ClientConfig{.port = daemon.port()});
+
+  EXPECT_EQ(client.swap_weights(6, cnn_blob, warm_blob), 6u);
+  EXPECT_EQ(daemon.weights_version(), 6u);
+  const WorkerStats stats = client.stats();
+  EXPECT_EQ(stats.predictor, "cnn@v6");
+  const std::shared_ptr<serve::Server> server = daemon.server();
+  ASSERT_NE(server->config().warm_start, nullptr);
+  EXPECT_EQ(server->config().warm_start->name(), "masknet");
+
+  // The worker serves (warm-start seeded, CNN ranked) after the swap.
+  serve::ServeRequest request;
+  request.layout = generated_layout(308);
+  EXPECT_EQ(client.submit(request).status, serve::ServeStatus::kOk);
 }
 
 TEST_F(NetTest, DaemonRestartRestoresCacheFromSnapshot) {

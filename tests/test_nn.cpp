@@ -563,6 +563,40 @@ TEST(Trainer, LrDecayReducesStepSizes) {
   EXPECT_LE(delta_a, delta_b + 1e-6);
 }
 
+TEST(Trainer, BackToBackRoundsSeeIdenticalLrSchedules) {
+  // Regression test for the LR-decay compounding bug: train() used to
+  // decay the optimizer's learning rate IN PLACE, so a second round on the
+  // same Adam started from decay^epochs of the base rate instead of the
+  // base rate. Two identical rounds over one caller-owned optimizer must
+  // now report bit-identical schedules, each starting at the base rate.
+  ResNetRegressor net(tiny_config());
+  Rng rng(23);
+  std::vector<Example> data;
+  for (int i = 0; i < 4; ++i)
+    data.push_back({Tensor::randn({1, 32, 32}, rng, 0.3f),
+                    static_cast<float>(i) * 0.5f});
+  TrainerConfig cfg;
+  cfg.epochs = 3;
+  cfg.lr_decay_per_epoch = 0.5;
+  const double base_lr = 2e-3;
+  AdamConfig acfg;
+  acfg.learning_rate = base_lr;
+  Adam optimizer(net.parameters(), acfg);
+
+  const auto round1 = train_regressor(net, data, cfg, optimizer);
+  const auto round2 = train_regressor(net, data, cfg, optimizer);
+  ASSERT_EQ(round1.size(), 3u);
+  ASSERT_EQ(round2.size(), 3u);
+  for (std::size_t e = 0; e < 3; ++e) {
+    // Schedule is a pure function of the base rate and the epoch index.
+    EXPECT_DOUBLE_EQ(round1[e].learning_rate,
+                     base_lr * std::pow(0.5, static_cast<double>(e)));
+    EXPECT_DOUBLE_EQ(round2[e].learning_rate, round1[e].learning_rate);
+  }
+  // And the base rate itself survived both rounds un-decayed.
+  EXPECT_DOUBLE_EQ(optimizer.config().learning_rate, base_lr);
+}
+
 TEST(SequentialContainer, AggregatesParametersInOrder) {
   Rng rng(22);
   Sequential seq;
